@@ -1,0 +1,87 @@
+// E15 (ablation) — cycle pump factor of the constraint-closure window.
+// Design choice §5.1 of DESIGN.md: decision procedures examine a pumped
+// finite window of the lasso. Too small a pump misses constraint spans
+// (false "consistent"); larger pumps cost O(window²) per constraint.
+// This ablation sweeps the pump factor on a constraint with a long span
+// and reports when the verdict stabilizes and what it costs.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "era/constraint_graph.h"
+#include "ra/register_automaton.h"
+
+namespace rav {
+namespace {
+
+// One state, equality constraint on exact gap 6 and inequality constraint
+// on exact gap 3: at gap lcm-ish windows the two interact (positions 0~6,
+// 0≠3, 3~9, ...): consistent, but detecting the interplay requires
+// windows past the spans.
+ExtendedAutomaton MakeLongSpanEra(bool contradictory) {
+  RegisterAutomaton a(1, Schema());
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  a.AddTransition(q, a.NewGuardBuilder().Build().value(), q);
+  ExtendedAutomaton era(std::move(a));
+  RAV_CHECK(era.AddConstraintFromText(0, 0, true, "q q q q q q q").ok());
+  // Contradictory variant: also force inequality at gap 6.
+  RAV_CHECK(era.AddConstraintFromText(0, 0, false,
+                                      contradictory ? "q q q q q q q"
+                                                    : "q q q q")
+                .ok());
+  return era;
+}
+
+void BM_PumpSweep(benchmark::State& state) {
+  const size_t pump = static_cast<size_t>(state.range(0));
+  const bool contradictory = state.range(1) != 0;
+  ExtendedAutomaton era = MakeLongSpanEra(contradictory);
+  ControlAlphabet alphabet(era.automaton());
+  LassoWord lasso{{}, {0}};
+  bool consistent = false;
+  size_t window = 0;
+  for (auto _ : state) {
+    window = lasso.cycle.size() * pump;
+    if (window == 0) window = 1;
+    ConstraintClosure closure(era, alphabet, lasso, window);
+    consistent = closure.consistent();
+    benchmark::DoNotOptimize(closure);
+  }
+  state.counters["pump"] = static_cast<double>(pump);
+  state.counters["window"] = static_cast<double>(window);
+  state.counters["contradictory_input"] = contradictory;
+  state.counters["verdict_consistent"] = consistent;
+  // Expected: the contradictory variant flips to inconsistent once the
+  // window covers the span (pump >= 7); the satisfiable one stays
+  // consistent at every pump. SuggestedPumpCount for this automaton:
+  state.counters["suggested_pump"] =
+      static_cast<double>(SuggestedPumpCount(era));
+}
+BENCHMARK(BM_PumpSweep)
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({7, 1})
+    ->Args({10, 1})
+    ->Args({20, 1})
+    ->Args({2, 0})
+    ->Args({10, 0})
+    ->Args({20, 0});
+
+void BM_ClosureCostVsWindow(benchmark::State& state) {
+  const size_t window = static_cast<size_t>(state.range(0));
+  ExtendedAutomaton era = MakeLongSpanEra(false);
+  ControlAlphabet alphabet(era.automaton());
+  LassoWord lasso{{}, {0}};
+  for (auto _ : state) {
+    ConstraintClosure closure(era, alphabet, lasso, window);
+    benchmark::DoNotOptimize(closure);
+  }
+  state.counters["window"] = static_cast<double>(window);
+}
+BENCHMARK(BM_ClosureCostVsWindow)->RangeMultiplier(2)->Range(8, 256);
+
+}  // namespace
+}  // namespace rav

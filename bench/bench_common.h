@@ -1,0 +1,83 @@
+#ifndef RAV_BENCH_BENCH_COMMON_H_
+#define RAV_BENCH_BENCH_COMMON_H_
+
+// Shared fixtures for the experiment suite (see DESIGN.md §4 and
+// EXPERIMENTS.md). Each benchmark binary regenerates the data of one
+// experiment E1..E14; sizes are chosen so the whole suite completes in a
+// few minutes.
+
+#include "era/extended_automaton.h"
+#include "ra/register_automaton.h"
+#include "ra/transform.h"
+
+namespace rav::bench {
+
+// Example 1 of the paper (the running 2-register automaton).
+inline RegisterAutomaton MakeExample1() {
+  RegisterAutomaton a(2, Schema());
+  StateId q1 = a.AddState("q1");
+  StateId q2 = a.AddState("q2");
+  a.SetInitial(q1);
+  a.SetFinal(q1);
+  TypeBuilder d1 = a.NewGuardBuilder();
+  d1.AddEq(d1.X(0), d1.X(1)).AddEq(d1.X(1), d1.Y(1));
+  a.AddTransition(q1, d1.Build().value(), q2);
+  TypeBuilder d2 = a.NewGuardBuilder();
+  d2.AddEq(d2.X(1), d2.Y(1));
+  a.AddTransition(q2, d2.Build().value(), q2);
+  TypeBuilder d3 = a.NewGuardBuilder();
+  d3.AddEq(d3.X(1), d3.Y(1)).AddEq(d3.Y(0), d3.Y(1));
+  a.AddTransition(q2, d3.Build().value(), q1);
+  return a;
+}
+
+// A k-register ring automaton with `num_states` states whose guards shift
+// registers (x_i = y_{i+1}) — a scalable family with nontrivial equality
+// propagation, used wherever a parameterized automaton is needed.
+inline RegisterAutomaton MakeShiftRing(int k, int num_states) {
+  RegisterAutomaton a(k, Schema());
+  for (int s = 0; s < num_states; ++s) {
+    a.AddState("s" + std::to_string(s));
+  }
+  a.SetInitial(0);
+  a.SetFinal(0);
+  for (int s = 0; s < num_states; ++s) {
+    TypeBuilder b = a.NewGuardBuilder();
+    for (int i = 0; i + 1 < k; ++i) b.AddEq(b.X(i), b.Y(i + 1));
+    a.AddTransition(s, b.Build().value(), (s + 1) % num_states);
+  }
+  return a;
+}
+
+// Example 5's extended automaton (the projection of Example 1).
+inline ExtendedAutomaton MakeExample5() {
+  RegisterAutomaton b(1, Schema());
+  StateId p1 = b.AddState("p1");
+  StateId p2 = b.AddState("p2");
+  b.SetInitial(p1);
+  b.SetFinal(p1);
+  Type empty = b.NewGuardBuilder().Build().value();
+  b.AddTransition(p1, empty, p2);
+  b.AddTransition(p2, empty, p2);
+  b.AddTransition(p2, empty, p1);
+  ExtendedAutomaton era(std::move(b));
+  Status s = era.AddConstraintFromText(0, 0, true, "p1 p2* p1");
+  RAV_CHECK(s.ok());
+  return era;
+}
+
+// Completes an ERA's automaton, carrying the constraints over.
+inline ExtendedAutomaton CompletedEra(const ExtendedAutomaton& era) {
+  RegisterAutomaton completed = Completed(era.automaton()).value();
+  ExtendedAutomaton out(std::move(completed));
+  for (const GlobalConstraint& c : era.constraints()) {
+    Status s = out.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa,
+                                    c.description);
+    RAV_CHECK(s.ok());
+  }
+  return out;
+}
+
+}  // namespace rav::bench
+
+#endif  // RAV_BENCH_BENCH_COMMON_H_

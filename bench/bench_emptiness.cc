@@ -1,0 +1,91 @@
+// E6 — Extended-automaton emptiness (Theorem 9 / Corollary 10).
+// Claim: emptiness over finite databases is decidable; the lasso search
+// with constraint-closure checking decides the paper's examples.
+// Counters: nonempty, lassos_tried, search length bound.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "era/emptiness.h"
+#include "ra/transform.h"
+
+namespace rav {
+namespace {
+
+void BM_EmptinessExample5(benchmark::State& state) {
+  ExtendedAutomaton era = bench::CompletedEra(bench::MakeExample5());
+  ControlAlphabet alphabet(era.automaton());
+  EraEmptinessOptions options;
+  options.max_lasso_length = static_cast<size_t>(state.range(0));
+  bool nonempty = false;
+  size_t tried = 0;
+  for (auto _ : state) {
+    auto result = CheckEraEmptiness(era, alphabet, options);
+    RAV_CHECK(result.ok());
+    nonempty = result->nonempty;
+    tried = result->lassos_tried;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["max_lasso_length"] =
+      static_cast<double>(options.max_lasso_length);
+  state.counters["nonempty"] = nonempty;
+  state.counters["lassos_tried"] = static_cast<double>(tried);
+}
+BENCHMARK(BM_EmptinessExample5)->DenseRange(4, 10, 2);
+
+void BM_EmptinessContradictory(benchmark::State& state) {
+  // Equality + inequality on the same factor: every lasso inconsistent.
+  ExtendedAutomaton era = bench::MakeExample5();
+  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "p1 p2* p1").ok());
+  ExtendedAutomaton complete = bench::CompletedEra(era);
+  ControlAlphabet alphabet(complete.automaton());
+  EraEmptinessOptions options;
+  options.max_lasso_length = static_cast<size_t>(state.range(0));
+  options.max_lassos = 2000;
+  bool nonempty = true;
+  size_t tried = 0;
+  for (auto _ : state) {
+    auto result = CheckEraEmptiness(complete, alphabet, options);
+    RAV_CHECK(result.ok());
+    nonempty = result->nonempty;
+    tried = result->lassos_tried;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nonempty"] = nonempty;
+  state.counters["lassos_tried"] = static_cast<double>(tried);
+}
+BENCHMARK(BM_EmptinessContradictory)->DenseRange(4, 8, 2);
+
+void BM_EmptinessExample8(benchmark::State& state) {
+  // Example 8: all-distinct values that must stay in a unary relation —
+  // nonempty over infinite databases but EMPTY over finite ones; the
+  // clique-growth guard must reject every lasso.
+  Schema s;
+  RelationId p = s.AddRelation("P", 1);
+  RegisterAutomaton a(1, s);
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  TypeBuilder b = a.NewGuardBuilder();
+  b.AddAtom(p, {b.X(0)}, true).AddAtom(p, {b.Y(0)}, true);
+  a.AddTransition(q, b.Build().value(), q);
+  RegisterAutomaton completed = Completed(a).value();
+  ExtendedAutomaton era(std::move(completed));
+  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "q q+").ok());
+  ControlAlphabet alphabet(era.automaton());
+  EraEmptinessOptions options;
+  options.max_lasso_length = 6;
+  options.max_lassos = 500;
+  bool nonempty = true;
+  for (auto _ : state) {
+    auto result = CheckEraEmptiness(era, alphabet, options);
+    RAV_CHECK(result.ok());
+    nonempty = result->nonempty;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nonempty"] = nonempty;  // expected 0
+}
+BENCHMARK(BM_EmptinessExample8);
+
+}  // namespace
+}  // namespace rav

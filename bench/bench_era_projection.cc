@@ -1,0 +1,90 @@
+// E10 — Theorem 13: projections of extended automata.
+// Claim: extended automata are closed under projection; the composition
+// automaton (equal wavefront + distinct set + constraint-run tracking)
+// stays manageable for small k.
+// Counters: prop6_registers, sd_states, constraints, max_dfa_states.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "projection/project_era.h"
+#include "ra/transform.h"
+
+namespace rav {
+namespace {
+
+void BM_ProjectPlainEra(benchmark::State& state) {
+  // Theorem 13 applied to Example 1 (no global constraints): must match
+  // the Proposition 20 pipeline.
+  RegisterAutomaton a =
+      MakeStateDriven(Completed(bench::MakeExample1()).value());
+  ExtendedAutomaton era(a);
+  Theorem13Stats stats;
+  for (auto _ : state) {
+    auto projected = ProjectExtendedAutomaton(era, 1, &stats);
+    RAV_CHECK(projected.ok());
+    benchmark::DoNotOptimize(projected);
+  }
+  state.counters["sd_states"] = stats.state_driven_states;
+  state.counters["constraints"] = stats.num_constraints;
+  state.counters["max_dfa_states"] = stats.max_constraint_dfa_states;
+}
+BENCHMARK(BM_ProjectPlainEra);
+
+void BM_ProjectEraWithConstraint(benchmark::State& state) {
+  // A 2-register automaton with a hidden-register inequality constraint
+  // that the projection must surface on the visible register.
+  const int gap = static_cast<int>(state.range(0));
+  RegisterAutomaton a(2, Schema());
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  TypeBuilder g = a.NewGuardBuilder();
+  g.AddEq(g.X(0), g.X(1));
+  a.AddTransition(q, g.Build().value(), q);
+  ExtendedAutomaton era(MakeStateDriven(a));
+  std::string expr = ".";
+  for (int i = 0; i < gap; ++i) expr += " .";
+  RAV_CHECK(era.AddConstraintFromText(1, 1, false, expr).ok());
+  Theorem13Stats stats;
+  for (auto _ : state) {
+    auto projected = ProjectExtendedAutomaton(era, 1, &stats);
+    RAV_CHECK(projected.ok());
+    benchmark::DoNotOptimize(projected);
+  }
+  state.counters["gap"] = gap;
+  state.counters["constraints"] = stats.num_constraints;
+  state.counters["max_dfa_states"] = stats.max_constraint_dfa_states;
+}
+BENCHMARK(BM_ProjectEraWithConstraint)->DenseRange(1, 4);
+
+void BM_ProjectEraWithEquality(benchmark::State& state) {
+  // Equality constraints route through Proposition 6 first.
+  ExtendedAutomaton era = bench::MakeExample5();
+  // Project... Example 5 has one register; add a second free register so
+  // there is something to hide.
+  RegisterAutomaton two(2, Schema());
+  StateId p1 = two.AddState("p1");
+  StateId p2 = two.AddState("p2");
+  two.SetInitial(p1);
+  two.SetFinal(p1);
+  Type empty = two.NewGuardBuilder().Build().value();
+  two.AddTransition(p1, empty, p2);
+  two.AddTransition(p2, empty, p2);
+  two.AddTransition(p2, empty, p1);
+  ExtendedAutomaton era2(std::move(two));
+  RAV_CHECK(era2.AddConstraintFromText(1, 1, true, "p1 p2* p1").ok());
+  Theorem13Stats stats;
+  for (auto _ : state) {
+    auto projected = ProjectExtendedAutomaton(era2, 1, &stats);
+    RAV_CHECK(projected.ok());
+    benchmark::DoNotOptimize(projected);
+  }
+  state.counters["prop6_registers"] = stats.prop6_registers;
+  state.counters["sd_states"] = stats.state_driven_states;
+  state.counters["constraints"] = stats.num_constraints;
+}
+BENCHMARK(BM_ProjectEraWithEquality);
+
+}  // namespace
+}  // namespace rav

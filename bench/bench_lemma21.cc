@@ -1,0 +1,67 @@
+// E9 — Lemma 21: propagation automata sizes.
+// Claim: the subset construction tracking the equal/distinct wavefronts
+// has at most ~4^k · |Q| raw states; minimization collapses most of them.
+// Counters: raw_states, max/avg minimized DFA states across the 2k² DFAs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "projection/lemma21.h"
+#include "ra/transform.h"
+
+namespace rav {
+namespace {
+
+void BM_PropagationAutomata(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int s = static_cast<int>(state.range(1));
+  RegisterAutomaton a =
+      MakeStateDriven(Completed(bench::MakeShiftRing(k, s)).value());
+  int raw = 0, max_dfa = 0;
+  double avg_dfa = 0;
+  for (auto _ : state) {
+    auto propagation = PropagationAutomata::Build(a);
+    RAV_CHECK(propagation.ok());
+    raw = propagation->raw_states_per_source();
+    max_dfa = 0;
+    int total = 0, count = 0;
+    for (int i = 0; i < k; ++i) {
+      for (int j = 0; j < k; ++j) {
+        max_dfa = std::max({max_dfa, propagation->EqualityDfa(i, j).num_states(),
+                            propagation->InequalityDfa(i, j).num_states()});
+        total += propagation->EqualityDfa(i, j).num_states() +
+                 propagation->InequalityDfa(i, j).num_states();
+        count += 2;
+      }
+    }
+    avg_dfa = static_cast<double>(total) / count;
+    benchmark::DoNotOptimize(propagation);
+  }
+  state.counters["k"] = k;
+  state.counters["automaton_states"] = a.num_states();
+  state.counters["raw_states"] = raw;
+  state.counters["max_dfa_states"] = max_dfa;
+  state.counters["avg_dfa_states"] = avg_dfa;
+}
+BENCHMARK(BM_PropagationAutomata)
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({3, 3});
+
+void BM_PropagationExample1(benchmark::State& state) {
+  RegisterAutomaton a =
+      MakeStateDriven(Completed(bench::MakeExample1()).value());
+  for (auto _ : state) {
+    auto propagation = PropagationAutomata::Build(a);
+    RAV_CHECK(propagation.ok());
+    benchmark::DoNotOptimize(propagation);
+  }
+  auto propagation = PropagationAutomata::Build(a);
+  state.counters["e_eq_11_states"] = propagation->EqualityDfa(0, 0).num_states();
+  state.counters["raw_states"] = propagation->raw_states_per_source();
+}
+BENCHMARK(BM_PropagationExample1);
+
+}  // namespace
+}  // namespace rav

@@ -1,0 +1,103 @@
+// E11 — LR-boundedness (Definition 15 / Theorem 18, Examples 16 and 17).
+// Claim: LR-bounded automata have a stable max vertex cover across window
+// pumps (Example 16: cover 1); the all-distinct automaton's cover grows
+// with the window (Example 17: not LR-bounded, hence not a projection of
+// any register automaton by Theorem 19).
+// Counters: max_cover, growth (1 = unbounded evidence), lassos.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "projection/lr_bounded.h"
+#include "ra/transform.h"
+
+namespace rav {
+namespace {
+
+ExtendedAutomaton MakeDistinctWithin(int window) {
+  // Values within distance `window` pairwise distinct: LR-bounded with
+  // cover ~ window.
+  RegisterAutomaton a(1, Schema());
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  a.AddTransition(q, a.NewGuardBuilder().Build().value(), q);
+  ExtendedAutomaton era(std::move(a));
+  std::string expr = "q";
+  for (int i = 0; i < window; ++i) expr += " q?";
+  // q q?^w but at least length 2: approximate with union of fixed gaps.
+  // Simpler: exact-gap constraints for each gap in [1, window].
+  (void)expr;
+  for (int gapped = 1; gapped <= window; ++gapped) {
+    std::string e = "q";
+    for (int i = 0; i < gapped; ++i) e += " q";
+    RAV_CHECK(era.AddConstraintFromText(0, 0, false, e).ok());
+  }
+  return era;
+}
+
+void BM_LrBoundWindowFamily(benchmark::State& state) {
+  const int window = static_cast<int>(state.range(0));
+  ExtendedAutomaton era = MakeDistinctWithin(window);
+  ControlAlphabet alphabet(era.automaton());
+  LrBoundOptions options;
+  options.max_lassos = 16;
+  int cover = 0;
+  bool growth = true;
+  for (auto _ : state) {
+    auto bound = EstimateLrBound(era, alphabet, options);
+    RAV_CHECK(bound.ok());
+    cover = bound->max_cover;
+    growth = bound->growth_detected;
+    benchmark::DoNotOptimize(bound);
+  }
+  state.counters["window"] = window;
+  state.counters["max_cover"] = cover;
+  state.counters["growth"] = growth;
+}
+BENCHMARK(BM_LrBoundWindowFamily)->DenseRange(1, 4);
+
+void BM_LrBoundAllDistinct(benchmark::State& state) {
+  RegisterAutomaton a(1, Schema());
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  a.AddTransition(q, a.NewGuardBuilder().Build().value(), q);
+  ExtendedAutomaton era(std::move(a));
+  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "q q+").ok());
+  ControlAlphabet alphabet(era.automaton());
+  bool growth = false;
+  for (auto _ : state) {
+    auto bound = EstimateLrBound(era, alphabet);
+    RAV_CHECK(bound.ok());
+    growth = bound->growth_detected;
+    benchmark::DoNotOptimize(bound);
+  }
+  state.counters["growth"] = growth;  // expected 1
+}
+BENCHMARK(BM_LrBoundAllDistinct);
+
+void BM_MaxCutVertexCoverScaling(benchmark::State& state) {
+  // Direct G^w_h cover computation as the window grows (all-distinct).
+  const size_t window = static_cast<size_t>(state.range(0));
+  RegisterAutomaton a(1, Schema());
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  a.AddTransition(q, a.NewGuardBuilder().Build().value(), q);
+  ExtendedAutomaton era(std::move(a));
+  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "q q+").ok());
+  ControlAlphabet alphabet(era.automaton());
+  LassoWord lasso{{}, {0}};
+  int cover = 0;
+  for (auto _ : state) {
+    cover = MaxCutVertexCover(era, alphabet, lasso, window);
+    benchmark::DoNotOptimize(cover);
+  }
+  state.counters["window"] = static_cast<double>(window);
+  state.counters["cover"] = cover;
+}
+BENCHMARK(BM_MaxCutVertexCoverScaling)->RangeMultiplier(2)->Range(4, 32);
+
+}  // namespace
+}  // namespace rav

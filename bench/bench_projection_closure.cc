@@ -1,0 +1,89 @@
+// E4 — Projections need extended automata (Examples 4 and 5, Theorem 13).
+// Claim: Π₁ of Example 1 is not expressible by a register automaton; the
+// Proposition 20 construction produces an extended automaton for it, and
+// its trace set matches the brute-force projection on a finite pool.
+// Counters: constraints, truth_traces, projected_traces, match (1 = sets
+// equal).
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "bench_common.h"
+#include "era/run_check.h"
+#include "projection/project_ra.h"
+#include "ra/simulate.h"
+#include "ra/transform.h"
+
+namespace rav {
+namespace {
+
+std::set<std::vector<DataValue>> EraTraces(const ExtendedAutomaton& era,
+                                           size_t keep_len,
+                                           const std::vector<DataValue>& pool,
+                                           int m) {
+  std::set<std::vector<DataValue>> out;
+  Database db{era.automaton().schema()};
+  EnumerateRuns(era.automaton(), db, keep_len + 1, pool,
+                [&](const FiniteRun& run) {
+                  if (!CheckFiniteRunConstraints(era, run).ok()) return true;
+                  std::vector<DataValue> flat;
+                  for (size_t n = 0; n < keep_len; ++n) {
+                    flat.insert(flat.end(), run.values[n].begin(),
+                                run.values[n].begin() + m);
+                  }
+                  out.insert(std::move(flat));
+                  return true;
+                });
+  return out;
+}
+
+void BM_ProjectionEquivalence(benchmark::State& state) {
+  const size_t keep_len = static_cast<size_t>(state.range(0));
+  RegisterAutomaton a = bench::MakeExample1();
+  Prop20Stats stats;
+  auto projected = ProjectRegisterAutomaton(a, 1, &stats);
+  RAV_CHECK(projected.ok());
+  ExtendedAutomaton plain{PruneFrontierIncompatibleTransitions(
+      MakeStateDriven(Completed(a).value()))};
+  std::vector<DataValue> pool = {0, 1};
+  std::vector<DataValue> pool_big = {0, 1, 10, 11, 12, 13, 14};
+
+  size_t truth_size = 0, proj_size = 0;
+  bool match = false;
+  for (auto _ : state) {
+    std::set<std::vector<DataValue>> truth;
+    for (auto& trace : EraTraces(plain, keep_len, pool_big, 1)) {
+      bool in_pool = true;
+      for (DataValue v : trace) in_pool = in_pool && (v == 0 || v == 1);
+      if (in_pool) truth.insert(trace);
+    }
+    auto via = EraTraces(*projected, keep_len, pool, 1);
+    truth_size = truth.size();
+    proj_size = via.size();
+    match = truth == via;
+    benchmark::DoNotOptimize(match);
+  }
+  state.counters["constraints"] = stats.num_constraints;
+  state.counters["truth_traces"] = static_cast<double>(truth_size);
+  state.counters["projected_traces"] = static_cast<double>(proj_size);
+  state.counters["match"] = match ? 1 : 0;
+}
+BENCHMARK(BM_ProjectionEquivalence)->DenseRange(2, 4);
+
+void BM_Prop20Construction(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  RegisterAutomaton a = bench::MakeShiftRing(k, 3);
+  Prop20Stats stats;
+  for (auto _ : state) {
+    auto projected = ProjectRegisterAutomaton(a, 1, &stats);
+    benchmark::DoNotOptimize(projected);
+  }
+  state.counters["completed_transitions"] = stats.completed_transitions;
+  state.counters["constraints"] = stats.num_constraints;
+  state.counters["max_dfa_states"] = stats.max_constraint_dfa_states;
+}
+BENCHMARK(BM_Prop20Construction)->DenseRange(1, 3);
+
+}  // namespace
+}  // namespace rav

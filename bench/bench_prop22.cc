@@ -1,0 +1,51 @@
+// E12 — Proposition 22: realizing LR-bounded extended automata as
+// register-automaton projections.
+// Claim: the finite-window subclass realizes with m·(L-1) history
+// registers; the paper's general budget is 2M²+1 for vertex-cover bound
+// N = M-1. Counters compare both.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "projection/lr_bounded.h"
+#include "projection/prop22.h"
+
+namespace rav {
+namespace {
+
+ExtendedAutomaton MakeGapDistinct(int gap) {
+  RegisterAutomaton a(1, Schema());
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  a.AddTransition(q, a.NewGuardBuilder().Build().value(), q);
+  ExtendedAutomaton era(std::move(a));
+  std::string e = "q";
+  for (int i = 0; i < gap; ++i) e += " q";
+  RAV_CHECK(era.AddConstraintFromText(0, 0, false, e).ok());
+  return era;
+}
+
+void BM_RealizeGapDistinct(benchmark::State& state) {
+  const int gap = static_cast<int>(state.range(0));
+  ExtendedAutomaton era = MakeGapDistinct(gap);
+  Prop22Stats stats;
+  for (auto _ : state) {
+    auto realized = RealizeLrBoundedEra(era, &stats);
+    RAV_CHECK(realized.ok());
+    benchmark::DoNotOptimize(realized);
+  }
+  ControlAlphabet alphabet(era.automaton());
+  auto bound = EstimateLrBound(era, alphabet);
+  int cover = bound.ok() ? bound->max_cover : -1;
+  state.counters["gap"] = gap;
+  state.counters["window_L"] = stats.window_length;
+  state.counters["registers"] = stats.registers_after;
+  state.counters["states"] = stats.states_after;
+  state.counters["vertex_cover_N"] = cover;
+  state.counters["paper_budget"] = stats.paper_budget_for(cover);
+}
+BENCHMARK(BM_RealizeGapDistinct)->DenseRange(1, 5);
+
+}  // namespace
+}  // namespace rav

@@ -1,0 +1,70 @@
+// E5 — Proposition 6: equality-constraint elimination.
+// Claim: each equality constraint costs one register per DFA state; the
+// control state carries the on/dead bookkeeping (up to 4^{|DFA|} per
+// constraint).
+// Counters: registers_in/out, states_in/out, transitions_out, as the
+// constraint expression p1 p2^n p1 grows.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "era/prop6.h"
+
+namespace rav {
+namespace {
+
+// Example 5 with the constraint p1 p2^n p1 (exact gap of n p2-steps).
+ExtendedAutomaton MakeGapConstraintEra(int gap) {
+  RegisterAutomaton b(1, Schema());
+  StateId p1 = b.AddState("p1");
+  StateId p2 = b.AddState("p2");
+  b.SetInitial(p1);
+  b.SetFinal(p1);
+  Type empty = b.NewGuardBuilder().Build().value();
+  b.AddTransition(p1, empty, p2);
+  b.AddTransition(p2, empty, p2);
+  b.AddTransition(p2, empty, p1);
+  ExtendedAutomaton era(std::move(b));
+  std::string expr = "p1";
+  for (int i = 0; i < gap; ++i) expr += " p2";
+  expr += " p1";
+  Status s = era.AddConstraintFromText(0, 0, true, expr);
+  RAV_CHECK(s.ok());
+  return era;
+}
+
+void BM_EliminateEqualityGap(benchmark::State& state) {
+  const int gap = static_cast<int>(state.range(0));
+  ExtendedAutomaton era = MakeGapConstraintEra(gap);
+  Prop6Stats stats;
+  for (auto _ : state) {
+    auto b = EliminateEqualityConstraints(era, &stats);
+    RAV_CHECK(b.ok());
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["dfa_states"] = era.constraints()[0].dfa.num_states();
+  state.counters["registers_in"] = stats.registers_before;
+  state.counters["registers_out"] = stats.registers_after;
+  state.counters["states_out"] = stats.states_after;
+  state.counters["transitions_out"] = stats.transitions_after;
+}
+BENCHMARK(BM_EliminateEqualityGap)->DenseRange(1, 5);
+
+void BM_EliminateExample5(benchmark::State& state) {
+  ExtendedAutomaton era = bench::MakeExample5();
+  Prop6Stats stats;
+  for (auto _ : state) {
+    auto b = EliminateEqualityConstraints(era, &stats);
+    RAV_CHECK(b.ok());
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["registers_out"] = stats.registers_after;
+  state.counters["states_out"] = stats.states_after;
+  state.counters["transitions_out"] = stats.transitions_after;
+}
+BENCHMARK(BM_EliminateExample5);
+
+}  // namespace
+}  // namespace rav

@@ -1,0 +1,77 @@
+// E1 — Type completion blow-up (Section 2, Example 2).
+// Claim: completing a σ-type is exponential: the number of equality
+// completions of a free type over n variables is the Bell number B(n);
+// each relation of arity r multiplies by 2^(classes^r).
+// Reported counters: completions = number of complete extensions.
+
+#include <benchmark/benchmark.h>
+
+#include "types/completion.h"
+#include "types/type.h"
+
+namespace rav {
+namespace {
+
+void BM_EqualityCompletions(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Type t(2 * k, 0);  // a k-register transition type with no literals
+  size_t count = 0;
+  for (auto _ : state) {
+    count = CountEqualityCompletions(t);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["vars"] = 2 * k;
+  state.counters["completions"] = static_cast<double>(count);
+}
+BENCHMARK(BM_EqualityCompletions)->DenseRange(1, 4);
+
+void BM_EqualityCompletionsConstrained(benchmark::State& state) {
+  // Example 2: δ2 = (x2 = y2) of Example 1, generalized: k registers with
+  // register k glued across the transition.
+  const int k = static_cast<int>(state.range(0));
+  TypeBuilder b(2 * k, 0);
+  b.AddEq(k - 1, 2 * k - 1);
+  Type t = b.Build().value();
+  size_t count = 0;
+  for (auto _ : state) {
+    count = CountEqualityCompletions(t);
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["completions"] = static_cast<double>(count);
+}
+BENCHMARK(BM_EqualityCompletionsConstrained)->DenseRange(1, 4);
+
+void BM_FullCompletionsUnary(benchmark::State& state) {
+  // One unary relation: each equality completion with c classes fans out
+  // into 2^c sign assignments.
+  const int k = static_cast<int>(state.range(0));
+  Schema s;
+  s.AddRelation("P", 1);
+  Type t(2 * k, 0);
+  size_t count = 0;
+  for (auto _ : state) {
+    count = EnumerateCompletions(t, s, [](const Type&) { return true; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["completions"] = static_cast<double>(count);
+}
+BENCHMARK(BM_FullCompletionsUnary)->DenseRange(1, 3);
+
+void BM_FullCompletionsBinary(benchmark::State& state) {
+  // A binary relation: 2^(classes²) per equality completion — the blow-up
+  // that motivates the non-completing option of Theorem 24.
+  const int k = static_cast<int>(state.range(0));
+  Schema s;
+  s.AddRelation("E", 2);
+  Type t(2 * k, 0);
+  size_t count = 0;
+  for (auto _ : state) {
+    count = EnumerateCompletions(t, s, [](const Type&) { return true; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["completions"] = static_cast<double>(count);
+}
+BENCHMARK(BM_FullCompletionsBinary)->DenseRange(1, 2);
+
+}  // namespace
+}  // namespace rav

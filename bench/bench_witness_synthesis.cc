@@ -1,0 +1,72 @@
+// E7 — Witness synthesis (Theorem 9, constructive content).
+// Claim: a consistent symbolic lasso realizes into a finite database plus
+// a concrete run; with inequality constraints the values split into
+// classes whose inequality graph is colored (χ-boundedness step).
+// Counters: window, db_facts, classes, adom_classes, colors, clique.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "era/emptiness.h"
+#include "ra/transform.h"
+
+namespace rav {
+namespace {
+
+void BM_RealizeWitness(benchmark::State& state) {
+  const size_t length = static_cast<size_t>(state.range(0));
+  ExtendedAutomaton era = bench::CompletedEra(bench::MakeExample5());
+  ControlAlphabet alphabet(era.automaton());
+  auto lasso_result = CheckEraEmptiness(era, alphabet);
+  RAV_CHECK(lasso_result.ok() && lasso_result->nonempty);
+  LassoWord lasso = lasso_result->control_word;
+  size_t facts = 0;
+  for (auto _ : state) {
+    auto witness = RealizeEraWitness(era, alphabet, lasso, length);
+    RAV_CHECK(witness.ok());
+    facts = witness->db.NumFacts();
+    benchmark::DoNotOptimize(witness);
+  }
+  state.counters["window"] = static_cast<double>(length);
+  state.counters["db_facts"] = static_cast<double>(facts);
+}
+BENCHMARK(BM_RealizeWitness)->RangeMultiplier(2)->Range(8, 64);
+
+void BM_ClosureAndColoring(benchmark::State& state) {
+  // The all-distinct automaton: closure classes grow linearly with the
+  // window; the coloring of the (non-adom) inequality graph... for the
+  // adom variant (Example 8 skeleton) clique and colors grow with the
+  // window — exactly the quantity Theorem 9 bounds by the database size.
+  const size_t window = static_cast<size_t>(state.range(0));
+  Schema s;
+  RelationId p = s.AddRelation("P", 1);
+  RegisterAutomaton a(1, s);
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  TypeBuilder b = a.NewGuardBuilder();
+  b.AddAtom(p, {b.X(0)}, true).AddAtom(p, {b.Y(0)}, true);
+  a.AddTransition(q, b.Build().value(), q);
+  ExtendedAutomaton era(MakeStateDriven(a));
+  RAV_CHECK(era.AddConstraintFromText(0, 0, false, ". .+").ok());
+  ControlAlphabet alphabet(era.automaton());
+  LassoWord lasso{{}, {0}};
+  int classes = 0, adom = 0, colors = 0, clique = 0;
+  for (auto _ : state) {
+    ConstraintClosure closure(era, alphabet, lasso, window);
+    classes = closure.num_classes();
+    adom = closure.NumAdomClasses();
+    closure.GreedyAdomColoring(&colors);
+    clique = closure.AdomCliqueNumber(256);
+    benchmark::DoNotOptimize(closure);
+  }
+  state.counters["window"] = static_cast<double>(window);
+  state.counters["classes"] = classes;
+  state.counters["adom_classes"] = adom;
+  state.counters["colors"] = colors;
+  state.counters["clique"] = clique;
+}
+BENCHMARK(BM_ClosureAndColoring)->RangeMultiplier(2)->Range(4, 32);
+
+}  // namespace
+}  // namespace rav

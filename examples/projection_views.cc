@@ -1,0 +1,138 @@
+// Projection views without a database: Examples 4, 5, 7, 16, 17 and the
+// constructions of Sections 4–5 (Theorem 13, Proposition 20, LR-bounds,
+// Proposition 22).
+
+#include <cstdio>
+
+#include "era/run_check.h"
+#include "projection/lr_bounded.h"
+#include "projection/project_ra.h"
+#include "projection/prop22.h"
+#include "ra/simulate.h"
+#include "ra/transform.h"
+
+using namespace rav;
+
+namespace {
+
+RegisterAutomaton MakeExample1() {
+  RegisterAutomaton a(2, Schema());
+  StateId q1 = a.AddState("q1");
+  StateId q2 = a.AddState("q2");
+  a.SetInitial(q1);
+  a.SetFinal(q1);
+  TypeBuilder d1 = a.NewGuardBuilder();
+  d1.AddEq(d1.X(0), d1.X(1)).AddEq(d1.X(1), d1.Y(1));
+  a.AddTransition(q1, d1.Build().value(), q2);
+  TypeBuilder d2 = a.NewGuardBuilder();
+  d2.AddEq(d2.X(1), d2.Y(1));
+  a.AddTransition(q2, d2.Build().value(), q2);
+  TypeBuilder d3 = a.NewGuardBuilder();
+  d3.AddEq(d3.X(1), d3.Y(1)).AddEq(d3.Y(0), d3.Y(1));
+  a.AddTransition(q2, d3.Build().value(), q1);
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  // --- Example 4/5: project Example 1 onto register 1 ---
+  std::printf("== Example 4/5: Π₁ of Example 1 ==\n");
+  std::printf(
+      "The projection forces the initial value to recur at every q1-visit —\n"
+      "a non-local equality no plain register automaton can express.\n\n");
+  Prop20Stats stats;
+  auto view = ProjectRegisterAutomaton(MakeExample1(), 1, &stats);
+  if (!view.ok()) {
+    std::printf("projection failed: %s\n", view.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Proposition 20 construction:\n");
+  std::printf("  completion: %d -> %d transitions\n",
+              stats.original_transitions, stats.completed_transitions);
+  std::printf("  state-driven states: %d\n", stats.state_driven_states);
+  std::printf("  synthesized global constraints: %d (largest DFA: %d "
+              "states)\n\n",
+              stats.num_constraints, stats.max_constraint_dfa_states);
+  std::printf("%s\n", view->ToString().c_str());
+
+  // Spot-check the semantics: a trace revisiting q1 with a different
+  // value violates the synthesized constraints.
+  {
+    const RegisterAutomaton& b = view->automaton();
+    // Find a q1-state and a q2-state of the projected automaton by the
+    // names inherited from the state-driven construction.
+    StateId some_q1 = -1, some_q2 = -1;
+    for (StateId s = 0; s < b.num_states(); ++s) {
+      if (b.state_name(s).substr(0, 2) == "q1" && b.IsInitial(s)) {
+        some_q1 = s;
+      }
+      if (b.state_name(s).substr(0, 2) == "q2") some_q2 = s;
+    }
+    std::printf("Constraint check on hand-written traces:\n");
+    Database db{Schema()};
+    size_t shown = 0;
+    EnumerateRuns(b, db, 3, {7, 8}, [&](const FiniteRun& run) {
+      if (run.states.front() != some_q1 || run.states.back() == some_q2) {
+        return true;
+      }
+      Status s = CheckFiniteRunConstraints(*view, run);
+      std::printf("  %-40s %s\n", run.ToString(b).c_str(),
+                  s.ok() ? "satisfies Σ" : "violates Σ");
+      return ++shown < 6;
+    });
+  }
+
+  // --- Example 7 / 16 / 17: all-distinct is not a projection ---
+  std::printf("\n== Example 7/17: the all-distinct automaton ==\n");
+  RegisterAutomaton one(1, Schema());
+  StateId q = one.AddState("q");
+  one.SetInitial(q);
+  one.SetFinal(q);
+  one.AddTransition(q, one.NewGuardBuilder().Build().value(), q);
+  ExtendedAutomaton all_distinct(one);
+  Status s = all_distinct.AddConstraintFromText(0, 0, false, "q q+");
+  if (!s.ok()) std::printf("constraint error: %s\n", s.ToString().c_str());
+
+  ControlAlphabet alpha(all_distinct.automaton());
+  auto bound = EstimateLrBound(all_distinct, alpha);
+  if (bound.ok()) {
+    std::printf("  LR-bound sampling: max vertex cover %d, growth %s\n",
+                bound->max_cover,
+                bound->growth_detected
+                    ? "DETECTED (not LR-bounded -> not a projection of any "
+                      "register automaton, Theorem 19)"
+                    : "not detected");
+  }
+  auto realized = RealizeLrBoundedEra(all_distinct);
+  std::printf("  Proposition 22 realization: %s\n",
+              realized.ok() ? "succeeded (unexpected!)"
+                            : realized.status().ToString().c_str());
+
+  // --- Example 16: consecutive-distinct IS LR-bounded and realizable ---
+  std::printf("\n== Example 16: consecutive-distinct ==\n");
+  ExtendedAutomaton consecutive(one);
+  s = consecutive.AddConstraintFromText(0, 0, false, "q q");
+  if (!s.ok()) std::printf("constraint error: %s\n", s.ToString().c_str());
+  ControlAlphabet alpha2(consecutive.automaton());
+  auto bound2 = EstimateLrBound(consecutive, alpha2);
+  if (bound2.ok()) {
+    std::printf("  LR-bound sampling: max vertex cover %d, growth %s\n",
+                bound2->max_cover,
+                bound2->growth_detected ? "detected" : "not detected");
+  }
+  Prop22Stats p22;
+  auto ra = RealizeLrBoundedEra(consecutive, &p22);
+  if (ra.ok()) {
+    std::printf(
+        "  Proposition 22: realized with %d registers (window %d); the "
+        "paper's general budget for N=%d would be %d registers\n",
+        p22.registers_after, p22.window_length, bound2.ok() ? bound2->max_cover : 1,
+        p22.paper_budget_for(bound2.ok() ? bound2->max_cover : 1));
+  } else {
+    std::printf("  Proposition 22 failed: %s\n",
+                ra.status().ToString().c_str());
+  }
+  std::printf("\nDone.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: Example 1 of "Projection Views of Register Automata"
+// (Segoufin & Vianu, PODS 2020) built with the rav library.
+//
+// Demonstrates: constructing a register automaton, simulating runs,
+// validating them, completing the automaton (Example 2), the state-driven
+// variant (Example 3), and the symbolic control-trace automaton.
+
+#include <cstdio>
+#include <random>
+
+#include "ra/control.h"
+#include "ra/emptiness.h"
+#include "ra/register_automaton.h"
+#include "ra/simulate.h"
+#include "ra/transform.h"
+
+using namespace rav;
+
+int main() {
+  // --- Example 1: the 2-register automaton ---
+  RegisterAutomaton a(2, Schema());
+  StateId q1 = a.AddState("q1");
+  StateId q2 = a.AddState("q2");
+  a.SetInitial(q1);
+  a.SetFinal(q1);
+
+  // δ1 = (x1 = x2 ∧ x2 = y2): test the registers agree, keep register 2.
+  TypeBuilder d1 = a.NewGuardBuilder();
+  d1.AddEq(d1.X(0), d1.X(1)).AddEq(d1.X(1), d1.Y(1));
+  a.AddTransition(q1, d1.Build().value(), q2);
+  // δ2 = (x2 = y2): keep register 2.
+  TypeBuilder d2 = a.NewGuardBuilder();
+  d2.AddEq(d2.X(1), d2.Y(1));
+  a.AddTransition(q2, d2.Build().value(), q2);
+  // δ3 = (x2 = y2 ∧ y1 = y2): keep register 2 and copy it into register 1.
+  TypeBuilder d3 = a.NewGuardBuilder();
+  d3.AddEq(d3.X(1), d3.Y(1)).AddEq(d3.Y(0), d3.Y(1));
+  a.AddTransition(q2, d3.Build().value(), q1);
+
+  std::printf("== Example 1 ==\n%s\n", a.ToString().c_str());
+
+  // --- Simulate a few runs ---
+  Database db{Schema()};
+  std::mt19937 rng(42);
+  std::printf("== Sampled runs (register 2 never changes) ==\n");
+  for (int i = 0; i < 3; ++i) {
+    auto run = SampleRun(a, db, 6, rng);
+    if (run.has_value()) {
+      Status ok = ValidateRunPrefix(a, db, *run);
+      std::printf("  %s  [%s]\n", run->ToString(a).c_str(),
+                  ok.ok() ? "valid" : ok.ToString().c_str());
+    }
+  }
+
+  // --- Completion (Example 2) ---
+  RegisterAutomaton completed = Completed(a).value();
+  std::printf("\n== Completion (Example 2) ==\n");
+  std::printf("  transitions: %d -> %d (each type split into its complete "
+              "extensions)\n",
+              a.num_transitions(), completed.num_transitions());
+
+  // --- State-driven variant (Example 3) ---
+  RegisterAutomaton sd = MakeStateDriven(a);
+  std::printf("\n== State-driven variant (Example 3) ==\n");
+  std::printf("  states: %d -> %d, state-driven: %s\n", a.num_states(),
+              sd.num_states(), sd.IsStateDriven() ? "yes" : "no");
+
+  // --- Symbolic control traces & emptiness ---
+  RegisterAutomaton complete_sd = MakeStateDriven(completed);
+  ControlAlphabet alphabet(complete_sd);
+  Nba scontrol = BuildSControlNba(complete_sd, alphabet);
+  std::printf("\n== SControl automaton ==\n");
+  std::printf("  control symbols: %d, NBA states: %d, transitions: %d\n",
+              alphabet.size(), scontrol.num_states(),
+              scontrol.num_transitions());
+  auto lasso = FindSymbolicControlLasso(complete_sd, alphabet);
+  if (lasso.has_value()) {
+    std::printf("  accepting symbolic lasso: %s\n",
+                lasso->ToString().c_str());
+    auto witness = RealizeWitness(complete_sd, alphabet, *lasso, 8);
+    if (witness.ok()) {
+      std::printf("  realized witness run: %s\n",
+                  witness->run.ToString(complete_sd).c_str());
+    }
+  }
+  std::printf("\nDone.\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+#include "automata/complement.h"
+
+#include <map>
+#include <queue>
+#include <vector>
+
+namespace rav {
+
+namespace {
+
+// A complement state: the level ranking (rank per A-state, -1 = absent)
+// plus the owing set O (states whose path must still visit an odd rank
+// before the breakpoint resets).
+struct RankState {
+  std::vector<int> rank;
+  std::vector<bool> owing;
+  auto operator<=>(const RankState&) const = default;
+};
+
+}  // namespace
+
+Result<Nba> ComplementNba(const Nba& nba, size_t max_states) {
+  const int n = nba.num_states();
+  const int max_rank = 2 * std::max(n, 1);
+
+  // Successors per (state, symbol).
+  std::vector<std::vector<std::vector<int>>> successors(
+      n, std::vector<std::vector<int>>(nba.alphabet_size()));
+  for (int s = 0; s < n; ++s) {
+    for (const auto& [symbol, to] : nba.TransitionsFrom(s)) {
+      successors[s][symbol].push_back(to);
+    }
+  }
+
+  Nba out(nba.alphabet_size());
+  std::map<RankState, int> ids;
+  std::vector<RankState> states;
+  std::queue<int> work;
+  auto intern = [&](const RankState& rs) -> Result<int> {
+    auto it = ids.find(rs);
+    if (it != ids.end()) return it->second;
+    if (states.size() >= max_states) {
+      return Status::ResourceExhausted(
+          "ComplementNba: rank-state budget exceeded");
+    }
+    int id = out.AddState();
+    ids.emplace(rs, id);
+    states.push_back(rs);
+    // Accepting iff the owing set is empty (a breakpoint).
+    bool owes = false;
+    for (int s = 0; s < n; ++s) owes = owes || rs.owing[s];
+    out.SetAccepting(id, !owes);
+    work.push(id);
+    return id;
+  };
+
+  // Initial state: the A-initial states ranked 2n, nothing owing.
+  {
+    RankState init;
+    init.rank.assign(n, -1);
+    init.owing.assign(n, false);
+    for (int q : nba.initial()) init.rank[q] = max_rank;
+    RAV_ASSIGN_OR_RETURN(int id, intern(init));
+    out.SetInitial(id);
+  }
+
+  // Expansion: for each alive state and symbol, every successor must take
+  // a rank ≤ its predecessor's (accepting successors: an even rank). We
+  // enumerate all "tight enough" successor rankings by assigning, per
+  // alive successor, any allowed rank ≤ the max over its predecessors.
+  while (!work.empty()) {
+    int from_id = work.front();
+    work.pop();
+    RankState current = states[from_id];
+    for (int symbol = 0; symbol < nba.alphabet_size(); ++symbol) {
+      // Alive successors with their rank caps: the ranking must be
+      // non-increasing along every DAG edge, so a successor's rank is
+      // capped by the MINIMUM over its alive predecessors.
+      std::vector<int> cap(n, -1);
+      for (int s = 0; s < n; ++s) {
+        if (current.rank[s] < 0) continue;
+        for (int t : successors[s][symbol]) {
+          cap[t] = cap[t] < 0 ? current.rank[s]
+                              : std::min(cap[t], current.rank[s]);
+        }
+      }
+      std::vector<int> alive;
+      for (int t = 0; t < n; ++t) {
+        if (cap[t] >= 0) alive.push_back(t);
+      }
+      // If no A-state is alive, the complement accepts everything from
+      // here: a dedicated all-accepting sink (empty ranking, not owing).
+      // Enumerate rankings over the alive set.
+      std::vector<int> choice(alive.size(), 0);
+      auto rank_options = [&](int t) {
+        std::vector<int> options;
+        for (int r = 0; r <= cap[t]; ++r) {
+          if (nba.IsAccepting(t) && (r % 2 == 1)) continue;
+          options.push_back(r);
+        }
+        return options;
+      };
+      std::vector<std::vector<int>> options;
+      options.reserve(alive.size());
+      bool infeasible = false;
+      for (int t : alive) {
+        options.push_back(rank_options(t));
+        if (options.back().empty()) infeasible = true;
+      }
+      if (infeasible) continue;
+      while (true) {
+        RankState next;
+        next.rank.assign(n, -1);
+        next.owing.assign(n, false);
+        for (size_t i = 0; i < alive.size(); ++i) {
+          next.rank[alive[i]] = options[i][choice[i]];
+        }
+        // Owing-set update (breakpoint construction): if the current
+        // owing set is empty, restart with all even-ranked alive states;
+        // otherwise carry the even-ranked successors of owing states.
+        bool current_owes = false;
+        for (int s = 0; s < n; ++s) current_owes |= current.owing[s];
+        for (size_t i = 0; i < alive.size(); ++i) {
+          int t = alive[i];
+          if (next.rank[t] % 2 != 0) continue;
+          if (!current_owes) {
+            next.owing[t] = true;
+          } else {
+            // t owes if it has an owing predecessor.
+            for (int s = 0; s < n && !next.owing[t]; ++s) {
+              if (!current.owing[s] || current.rank[s] < 0) continue;
+              for (int t2 : successors[s][symbol]) {
+                if (t2 == t) {
+                  next.owing[t] = true;
+                  break;
+                }
+              }
+            }
+          }
+        }
+        RAV_ASSIGN_OR_RETURN(int to_id, intern(next));
+        out.AddTransition(from_id, symbol, to_id);
+        // Advance the odometer.
+        size_t i = 0;
+        while (i < choice.size() &&
+               choice[i] + 1 == static_cast<int>(options[i].size())) {
+          choice[i] = 0;
+          ++i;
+        }
+        if (i == choice.size()) break;
+        ++choice[i];
+      }
+    }
+  }
+  return out;
+}
+
+Result<bool> NbaLanguageIncluded(const Nba& a, const Nba& b,
+                                 size_t max_states) {
+  RAV_ASSIGN_OR_RETURN(Nba not_b, ComplementNba(b, max_states));
+  return a.Intersect(not_b).IsEmpty();
+}
+
+Result<bool> NbaLanguageEquivalent(const Nba& a, const Nba& b,
+                                   size_t max_states) {
+  RAV_ASSIGN_OR_RETURN(bool ab, NbaLanguageIncluded(a, b, max_states));
+  if (!ab) return false;
+  return NbaLanguageIncluded(b, a, max_states);
+}
+
+}  // namespace rav

@@ -1,0 +1,31 @@
+#ifndef RAV_AUTOMATA_COMPLEMENT_H_
+#define RAV_AUTOMATA_COMPLEMENT_H_
+
+#include "automata/nba.h"
+#include "base/status.h"
+
+namespace rav {
+
+// Rank-based complementation of nondeterministic Büchi automata
+// (Kupferman–Vardi): the complement tracks level rankings of the run DAG;
+// a word is in the complement iff some ranking decreases along every path
+// and traps accepting states at odd ranks. State space O((2n)^n) — this
+// is for the small automata arising from state traces and constraints,
+// with an explicit state budget.
+//
+// Used to decide ω-language inclusion and equivalence, e.g. to validate
+// that transformations (pruning, state-driven form) preserve the
+// SControl languages the paper's results are stated over.
+Result<Nba> ComplementNba(const Nba& nba, size_t max_states = 200000);
+
+// L(a) ⊆ L(b), via emptiness of a ∩ complement(b).
+Result<bool> NbaLanguageIncluded(const Nba& a, const Nba& b,
+                                 size_t max_states = 200000);
+
+// L(a) = L(b).
+Result<bool> NbaLanguageEquivalent(const Nba& a, const Nba& b,
+                                   size_t max_states = 200000);
+
+}  // namespace rav
+
+#endif  // RAV_AUTOMATA_COMPLEMENT_H_

@@ -1,0 +1,72 @@
+#include "automata/dfa_to_regex.h"
+
+#include <vector>
+
+#include "base/logging.h"
+
+namespace rav {
+
+namespace {
+
+// Regex-string algebra for the elimination. nullopt = empty set.
+using Expr = std::optional<std::string>;
+
+Expr Union(const Expr& a, const Expr& b) {
+  if (!a.has_value()) return b;
+  if (!b.has_value()) return a;
+  if (*a == *b) return a;
+  return "(" + *a + " | " + *b + ")";
+}
+
+Expr Concat(const Expr& a, const Expr& b) {
+  if (!a.has_value() || !b.has_value()) return std::nullopt;
+  if (*a == "_eps") return b;
+  if (*b == "_eps") return a;
+  return "(" + *a + " " + *b + ")";
+}
+
+Expr Star(const Expr& a) {
+  if (!a.has_value() || *a == "_eps") return std::string("_eps");
+  return "(" + *a + ")*";
+}
+
+}  // namespace
+
+std::optional<std::string> DfaToRegexString(
+    const Dfa& dfa, const std::function<std::string(int)>& symbol_name) {
+  Dfa min = dfa.Minimize();
+  const int n = min.num_states();
+  // GNFA nodes: 0 = new start, 1..n = DFA states, n+1 = new accept.
+  const int start = 0;
+  const int accept = n + 1;
+  std::vector<std::vector<Expr>> edge(n + 2, std::vector<Expr>(n + 2));
+  edge[start][min.initial() + 1] = std::string("_eps");
+  for (int s = 0; s < n; ++s) {
+    for (int a = 0; a < min.alphabet_size(); ++a) {
+      edge[s + 1][min.Next(s, a) + 1] =
+          Union(edge[s + 1][min.Next(s, a) + 1], symbol_name(a));
+    }
+    if (min.IsAccepting(s)) edge[s + 1][accept] = std::string("_eps");
+  }
+
+  // Eliminate the interior nodes one by one.
+  std::vector<bool> eliminated(n + 2, false);
+  for (int victim = 1; victim <= n; ++victim) {
+    eliminated[victim] = true;
+    Expr loop = Star(edge[victim][victim]);
+    for (int i = 0; i < n + 2; ++i) {
+      if (eliminated[i] && i != victim) continue;
+      if (i == victim) continue;
+      if (!edge[i][victim].has_value()) continue;
+      for (int j = 0; j < n + 2; ++j) {
+        if ((eliminated[j] && j != victim) || j == victim) continue;
+        if (!edge[victim][j].has_value()) continue;
+        edge[i][j] = Union(
+            edge[i][j], Concat(Concat(edge[i][victim], loop), edge[victim][j]));
+      }
+    }
+  }
+  return edge[start][accept];
+}
+
+}  // namespace rav

@@ -1,0 +1,25 @@
+#ifndef RAV_AUTOMATA_DFA_TO_REGEX_H_
+#define RAV_AUTOMATA_DFA_TO_REGEX_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "automata/dfa.h"
+
+namespace rav {
+
+// Converts a DFA back to a regular expression in the library's concrete
+// syntax (see Regex), with `symbol_name` supplying the token for each
+// alphabet symbol. Returns nullopt for the empty language.
+//
+// Classic GNFA state elimination; the result can be exponentially larger
+// than the DFA but round-trips: parsing it and compiling to a DFA yields
+// an equivalent automaton. Used to serialize the DFA-backed global
+// constraints of extended automata into the text format.
+std::optional<std::string> DfaToRegexString(
+    const Dfa& dfa, const std::function<std::string(int)>& symbol_name);
+
+}  // namespace rav
+
+#endif  // RAV_AUTOMATA_DFA_TO_REGEX_H_

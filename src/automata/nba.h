@@ -1,0 +1,119 @@
+#ifndef RAV_AUTOMATA_NBA_H_
+#define RAV_AUTOMATA_NBA_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/lasso.h"
+#include "base/logging.h"
+
+namespace rav {
+
+// Nondeterministic Büchi automaton over a dense integer alphabet, with
+// state-based acceptance: a run is accepting iff it visits an accepting
+// state infinitely often. NBAs represent the ω-regular envelopes the paper
+// works with: SControl(A), LTL properties, and position selectors.
+class Nba {
+ public:
+  explicit Nba(int alphabet_size) : alphabet_size_(alphabet_size) {
+    RAV_CHECK_GE(alphabet_size, 0);
+  }
+
+  int alphabet_size() const { return alphabet_size_; }
+  int num_states() const { return static_cast<int>(transitions_.size()); }
+  int num_transitions() const;
+
+  int AddState();
+  void AddTransition(int from, int symbol, int to);
+  void SetInitial(int state);
+  void SetAccepting(int state, bool accepting = true);
+
+  const std::vector<int>& initial() const { return initial_; }
+  bool IsAccepting(int state) const { return accepting_[state]; }
+  // (symbol, target) pairs leaving `state`.
+  const std::vector<std::pair<int, int>>& TransitionsFrom(int state) const {
+    return transitions_[state];
+  }
+
+  // Emptiness check with witness: returns an accepting lasso word, or
+  // nullopt iff the language is empty.
+  std::optional<LassoWord> FindAcceptingLasso() const;
+  bool IsEmpty() const { return !FindAcceptingLasso().has_value(); }
+
+  // Membership of the ultimately periodic word u·v^ω.
+  bool AcceptsLasso(const LassoWord& word) const;
+
+  // Language intersection (generalized-Büchi product, degeneralized).
+  Nba Intersect(const Nba& other) const;
+
+  // Language union (disjoint sum).
+  Nba Union(const Nba& other) const;
+
+  // Lifts a DFA to the NBA accepting { w ∈ Σ^ω : every finite prefix of w
+  // stays... } — not a language operation we need; instead we provide:
+  // the NBA accepting (L(dfa) ∩ Σ^+)^ω-ish is nontrivial, so we only
+  // expose the word-lasso automaton below.
+
+  // The single-word NBA accepting exactly {u·v^ω}.
+  static Nba FromLassoWord(int alphabet_size, const LassoWord& word);
+
+  // Enumerates accepting lassos (paths q0 →u f-cycle) of total length
+  // (prefix + cycle) at most `max_length`, delivering at most `max_count`
+  // to `callback` (return false to stop). The enumeration is a bounded
+  // DFS: it finds every accepting lasso word up to the length bound but
+  // may deliver the same ω-word under several decompositions. Returns the
+  // number delivered. Used by the decision procedures that must test
+  // many candidate lassos for data-consistency, not just one.
+  // `max_steps` bounds the total DFS node expansions (the path space is
+  // exponential in max_length; the budget keeps worst cases tractable).
+  size_t EnumerateAcceptingLassos(
+      size_t max_length, size_t max_count,
+      const std::function<bool(const LassoWord&)>& callback,
+      size_t max_steps = 2000000) const;
+
+ private:
+  int alphabet_size_;
+  std::vector<std::vector<std::pair<int, int>>> transitions_;
+  std::vector<bool> accepting_;
+  std::vector<int> initial_;
+};
+
+// Generalized Büchi automaton: acceptance requires visiting each of
+// `num_accept_sets` sets infinitely often. Used as the intermediate form
+// of the LTL tableau translation and of NBA intersection.
+class GeneralizedNba {
+ public:
+  GeneralizedNba(int alphabet_size, int num_accept_sets)
+      : alphabet_size_(alphabet_size), num_accept_sets_(num_accept_sets) {
+    RAV_CHECK_GE(num_accept_sets, 0);
+    in_accept_set_.resize(num_accept_sets > 0 ? num_accept_sets : 1);
+  }
+
+  int alphabet_size() const { return alphabet_size_; }
+  int num_states() const { return static_cast<int>(transitions_.size()); }
+  int num_accept_sets() const { return num_accept_sets_; }
+
+  int AddState();
+  void AddTransition(int from, int symbol, int to);
+  void SetInitial(int state) { initial_.push_back(state); }
+  void AddToAcceptSet(int set_index, int state);
+
+  // Counter construction: states (q, i); the counter advances past set i
+  // when the current state belongs to set i; acceptance = (·, 0) states in
+  // set 0. With zero accept sets every run is accepting (one dummy set of
+  // all states is used).
+  Nba Degeneralize() const;
+
+ private:
+  int alphabet_size_;
+  int num_accept_sets_;
+  std::vector<std::vector<std::pair<int, int>>> transitions_;
+  std::vector<std::vector<bool>> in_accept_set_;  // [set][state]
+  std::vector<int> initial_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_AUTOMATA_NBA_H_

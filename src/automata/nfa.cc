@@ -1,0 +1,109 @@
+#include "automata/nfa.h"
+
+#include <unordered_map>
+
+#include "automata/dfa.h"
+
+namespace rav {
+
+int Nfa::AddState() {
+  transitions_.emplace_back();
+  accepting_.push_back(false);
+  return num_states() - 1;
+}
+
+void Nfa::AddTransition(int from, int symbol, int to) {
+  RAV_CHECK_GE(from, 0);
+  RAV_CHECK_LT(from, num_states());
+  RAV_CHECK_GE(to, 0);
+  RAV_CHECK_LT(to, num_states());
+  RAV_CHECK_GE(symbol, kEpsilon);
+  RAV_CHECK_LT(symbol, alphabet_size_);
+  transitions_[from].emplace_back(symbol, to);
+}
+
+void Nfa::SetAccepting(int state, bool accepting) {
+  RAV_CHECK_GE(state, 0);
+  RAV_CHECK_LT(state, num_states());
+  accepting_[state] = accepting;
+}
+
+Bitset Nfa::EpsilonClosure(const Bitset& states) const {
+  Bitset closure = states;
+  std::vector<size_t> stack;
+  closure.ForEach([&](size_t s) { stack.push_back(s); });
+  while (!stack.empty()) {
+    size_t s = stack.back();
+    stack.pop_back();
+    for (const auto& [symbol, to] : transitions_[s]) {
+      if (symbol == kEpsilon && !closure.Test(to)) {
+        closure.Set(to);
+        stack.push_back(to);
+      }
+    }
+  }
+  return closure;
+}
+
+Bitset Nfa::Step(const Bitset& states, int symbol) const {
+  Bitset next(num_states());
+  states.ForEach([&](size_t s) {
+    for (const auto& [sym, to] : transitions_[s]) {
+      if (sym == symbol) next.Set(to);
+    }
+  });
+  return EpsilonClosure(next);
+}
+
+bool Nfa::Accepts(const std::vector<int>& word) const {
+  Bitset current(num_states());
+  for (int s : initial_) current.Set(s);
+  current = EpsilonClosure(current);
+  for (int symbol : word) current = Step(current, symbol);
+  bool accepted = false;
+  current.ForEach([&](size_t s) { accepted = accepted || accepting_[s]; });
+  return accepted;
+}
+
+Dfa Nfa::Determinize() const {
+  Bitset start(num_states());
+  for (int s : initial_) start.Set(s);
+  start = EpsilonClosure(start);
+
+  std::unordered_map<Bitset, int, Bitset::Hasher> ids;
+  std::vector<Bitset> sets;
+  auto intern = [&](const Bitset& set) {
+    auto it = ids.find(set);
+    if (it != ids.end()) return it->second;
+    int id = static_cast<int>(sets.size());
+    ids.emplace(set, id);
+    sets.push_back(set);
+    return id;
+  };
+
+  intern(start);
+  std::vector<std::vector<int>> table;
+  std::vector<bool> accepting;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    Bitset current = sets[i];  // copy: sets may grow below
+    std::vector<int> row(alphabet_size_);
+    for (int symbol = 0; symbol < alphabet_size_; ++symbol) {
+      row[symbol] = intern(Step(current, symbol));
+    }
+    table.push_back(std::move(row));
+    bool acc = false;
+    current.ForEach([&](size_t s) { acc = acc || accepting_[s]; });
+    accepting.push_back(acc);
+  }
+
+  Dfa dfa(alphabet_size_, static_cast<int>(table.size()), 0);
+  for (size_t s = 0; s < table.size(); ++s) {
+    for (int symbol = 0; symbol < alphabet_size_; ++symbol) {
+      dfa.SetTransition(static_cast<int>(s), symbol, table[s][symbol]);
+    }
+    dfa.SetAccepting(static_cast<int>(s), accepting[s]);
+  }
+  return dfa;
+}
+
+}  // namespace rav

@@ -1,0 +1,66 @@
+#ifndef RAV_AUTOMATA_NFA_H_
+#define RAV_AUTOMATA_NFA_H_
+
+#include <vector>
+
+#include "base/bitset.h"
+#include "base/logging.h"
+
+namespace rav {
+
+class Dfa;
+
+// Nondeterministic finite automaton over a dense integer alphabet
+// [0, alphabet_size), with ε-transitions (symbol kEpsilon). Used as the
+// compilation target of regular expressions over automaton states.
+class Nfa {
+ public:
+  static constexpr int kEpsilon = -1;
+
+  explicit Nfa(int alphabet_size) : alphabet_size_(alphabet_size) {
+    RAV_CHECK_GE(alphabet_size, 0);
+  }
+
+  int alphabet_size() const { return alphabet_size_; }
+  int num_states() const { return static_cast<int>(transitions_.size()); }
+
+  // Adds a state; returns its id.
+  int AddState();
+
+  // Adds a transition on `symbol` (kEpsilon allowed).
+  void AddTransition(int from, int symbol, int to);
+
+  void SetInitial(int state) { initial_.push_back(state); }
+  void SetAccepting(int state, bool accepting = true);
+
+  const std::vector<int>& initial() const { return initial_; }
+  bool IsAccepting(int state) const { return accepting_[state]; }
+
+  // All (symbol, target) pairs leaving `state` (ε included).
+  const std::vector<std::pair<int, int>>& TransitionsFrom(int state) const {
+    return transitions_[state];
+  }
+
+  // ε-closure of a state set.
+  Bitset EpsilonClosure(const Bitset& states) const;
+
+  // The state set reached from `states` by one `symbol` step followed by
+  // ε-closure.
+  Bitset Step(const Bitset& states, int symbol) const;
+
+  // Word membership (for tests).
+  bool Accepts(const std::vector<int>& word) const;
+
+  // Subset construction; the result is complete (has a sink if needed).
+  Dfa Determinize() const;
+
+ private:
+  int alphabet_size_;
+  std::vector<std::vector<std::pair<int, int>>> transitions_;
+  std::vector<bool> accepting_;
+  std::vector<int> initial_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_AUTOMATA_NFA_H_

@@ -1,0 +1,48 @@
+#include "base/arena.h"
+
+#include <algorithm>
+
+namespace rav {
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  RAV_CHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+
+  Block* block = blocks_.empty() ? nullptr : &blocks_.back();
+  if (block != nullptr) {
+    uintptr_t base = reinterpret_cast<uintptr_t>(block->data.get());
+    uintptr_t cur = base + block->used;
+    uintptr_t aligned = (cur + alignment - 1) & ~(alignment - 1);
+    size_t needed = (aligned - base) + bytes;
+    if (needed <= block->size) {
+      block->used = needed;
+      bytes_allocated_ += bytes;
+      return reinterpret_cast<void*>(aligned);
+    }
+  }
+
+  block = AddBlock(bytes + alignment);
+  uintptr_t base = reinterpret_cast<uintptr_t>(block->data.get());
+  uintptr_t aligned = (base + alignment - 1) & ~(alignment - 1);
+  block->used = (aligned - base) + bytes;
+  RAV_CHECK_LE(block->used, block->size);
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+Arena::Block* Arena::AddBlock(size_t min_bytes) {
+  size_t size = std::max(block_bytes_, min_bytes);
+  Block block;
+  block.data = std::make_unique<char[]>(size);
+  block.size = size;
+  block.used = 0;
+  blocks_.push_back(std::move(block));
+  return &blocks_.back();
+}
+
+void Arena::Reset() {
+  blocks_.clear();
+  bytes_allocated_ = 0;
+}
+
+}  // namespace rav

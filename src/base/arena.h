@@ -1,0 +1,79 @@
+#ifndef RAV_BASE_ARENA_H_
+#define RAV_BASE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace rav {
+
+// Bump-pointer arena allocator for the symbolic constraint structures built
+// by the decision procedures (type literals, equivalence-class nodes,
+// constraint-graph edges). A single analysis allocates many small
+// short-lived nodes with identical lifetime; the arena allocates them from
+// large blocks and frees them wholesale when the analysis object is
+// destroyed. Only trivially-destructible types may be allocated: the arena
+// never runs destructors.
+class Arena {
+ public:
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Allocates `bytes` with the given alignment. Never returns nullptr.
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t));
+
+  // Allocates and value-initializes a T. T must be trivially destructible
+  // (the arena does not run destructors).
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::New requires a trivially destructible type");
+    void* p = Allocate(sizeof(T), alignof(T));
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  // Allocates an uninitialized array of `n` Ts.
+  template <typename T>
+  T* NewArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::NewArray requires a trivially destructible type");
+    if (n == 0) return nullptr;
+    void* p = Allocate(sizeof(T) * n, alignof(T));
+    return new (p) T[n]();
+  }
+
+  // Total bytes handed out by Allocate (excludes block slack).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  // Number of underlying blocks.
+  size_t num_blocks() const { return blocks_.size(); }
+
+  // Frees all blocks. All pointers previously returned become invalid.
+  void Reset();
+
+ private:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  Block* AddBlock(size_t min_bytes);
+
+  size_t block_bytes_;
+  size_t bytes_allocated_ = 0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_BASE_ARENA_H_

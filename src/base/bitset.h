@@ -1,0 +1,102 @@
+#ifndef RAV_BASE_BITSET_H_
+#define RAV_BASE_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace rav {
+
+// Dense dynamically-sized bitset. Subset-construction algorithms
+// (determinization, Lemma 21 propagation automata) use bitsets as automaton
+// states, so equality/hash and set algebra must be fast.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i) {
+    RAV_CHECK_LT(i, size_);
+    words_[i >> 6] |= (uint64_t{1} << (i & 63));
+  }
+  void Clear(size_t i) {
+    RAV_CHECK_LT(i, size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+  bool Test(size_t i) const {
+    RAV_CHECK_LT(i, size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+  bool None() const { return !Any(); }
+
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  Bitset& operator|=(const Bitset& o) {
+    RAV_CHECK_EQ(size_, o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  Bitset& operator&=(const Bitset& o) {
+    RAV_CHECK_EQ(size_, o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  bool Intersects(const Bitset& o) const {
+    RAV_CHECK_EQ(size_, o.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & o.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  bool operator==(const Bitset& o) const {
+    return size_ == o.size_ && words_ == o.words_;
+  }
+
+  // Calls f(i) for each set bit i in ascending order.
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        int bit = __builtin_ctzll(w);
+        f(wi * 64 + static_cast<size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  struct Hasher {
+    size_t operator()(const Bitset& b) const {
+      size_t seed = b.size_;
+      for (uint64_t w : b.words_) {
+        seed ^= static_cast<size_t>(w) + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                (seed >> 2);
+      }
+      return seed;
+    }
+  };
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_BASE_BITSET_H_

@@ -1,0 +1,47 @@
+#ifndef RAV_BASE_HASH_H_
+#define RAV_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rav {
+
+// Mixes `value`'s hash into `seed` (boost::hash_combine recipe with a
+// 64-bit golden-ratio constant).
+inline void HashCombine(size_t& seed, size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+template <typename T>
+void HashCombineValue(size_t& seed, const T& v) {
+  HashCombine(seed, std::hash<T>{}(v));
+}
+
+// Hash functor for std::vector of hashable elements, usable as the Hash
+// template argument of unordered containers.
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& v) const {
+    size_t seed = v.size();
+    for (const T& x : v) HashCombineValue(seed, x);
+    return seed;
+  }
+};
+
+// Hash functor for std::pair.
+template <typename A, typename B>
+struct PairHash {
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t seed = 0;
+    HashCombineValue(seed, p.first);
+    HashCombineValue(seed, p.second);
+    return seed;
+  }
+};
+
+}  // namespace rav
+
+#endif  // RAV_BASE_HASH_H_

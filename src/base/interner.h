@@ -1,0 +1,52 @@
+#ifndef RAV_BASE_INTERNER_H_
+#define RAV_BASE_INTERNER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace rav {
+
+// Bidirectional map between values of T and dense integer ids. Used to
+// intern names (states, relations, attributes) and canonical symbolic
+// objects so that hot algorithms work on small ints.
+template <typename T, typename Hash = std::hash<T>>
+class Interner {
+ public:
+  // Returns the id of `value`, inserting it if new.
+  int Intern(const T& value) {
+    auto it = ids_.find(value);
+    if (it != ids_.end()) return it->second;
+    int id = static_cast<int>(values_.size());
+    values_.push_back(value);
+    ids_.emplace(values_.back(), id);
+    return id;
+  }
+
+  // Returns the id of `value`, or -1 if absent.
+  int Lookup(const T& value) const {
+    auto it = ids_.find(value);
+    return it == ids_.end() ? -1 : it->second;
+  }
+
+  bool Contains(const T& value) const { return Lookup(value) >= 0; }
+
+  const T& Get(int id) const {
+    RAV_CHECK_GE(id, 0);
+    RAV_CHECK_LT(static_cast<size_t>(id), values_.size());
+    return values_[id];
+  }
+
+  size_t size() const { return values_.size(); }
+
+  const std::vector<T>& values() const { return values_; }
+
+ private:
+  std::vector<T> values_;
+  std::unordered_map<T, int, Hash> ids_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_BASE_INTERNER_H_

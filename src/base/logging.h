@@ -1,0 +1,38 @@
+#ifndef RAV_BASE_LOGGING_H_
+#define RAV_BASE_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight assertion macros in the spirit of other database engines.
+// RAV_CHECK is always on (including release builds): internal invariant
+// violations in symbolic-constraint code are programming errors and must
+// fail fast rather than corrupt an analysis result.
+
+namespace rav::internal {
+
+// Terminates the process after printing the failed expression.
+// Out-of-line-able and [[noreturn]] so the check macros stay cheap.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "RAV_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace rav::internal
+
+#define RAV_CHECK(cond)                                           \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::rav::internal::CheckFailed(__FILE__, __LINE__, #cond);    \
+    }                                                             \
+  } while (0)
+
+#define RAV_CHECK_EQ(a, b) RAV_CHECK((a) == (b))
+#define RAV_CHECK_NE(a, b) RAV_CHECK((a) != (b))
+#define RAV_CHECK_LT(a, b) RAV_CHECK((a) < (b))
+#define RAV_CHECK_LE(a, b) RAV_CHECK((a) <= (b))
+#define RAV_CHECK_GT(a, b) RAV_CHECK((a) > (b))
+#define RAV_CHECK_GE(a, b) RAV_CHECK((a) >= (b))
+
+#endif  // RAV_BASE_LOGGING_H_

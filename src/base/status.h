@@ -1,0 +1,137 @@
+#ifndef RAV_BASE_STATUS_H_
+#define RAV_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "base/logging.h"
+
+namespace rav {
+
+// Error taxonomy for fallible library operations. Kept deliberately small:
+// the library's fallible surface is parsing, validation of user-supplied
+// automata, and resource limits in decision procedures.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad regex, inconsistent type, ...)
+  kNotFound,          // lookup of a named entity failed
+  kFailedPrecondition,// operation applied to an object in the wrong state
+  kResourceExhausted, // a decision procedure exceeded its configured budget
+  kUnimplemented,     // feature intentionally out of scope
+  kInternal,          // invariant violation that was recoverable
+};
+
+// Returns a stable human-readable name ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-type status, modeled after the Status types of Arrow / RocksDB.
+// Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "InvalidArgument: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or an error Status. The accessors CHECK on
+// misuse; call ok() first.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return status;`
+  // from functions returning Result<T>.
+  Result(T value) : payload_(std::move(value)) {}           // NOLINT
+  Result(Status status) : payload_(std::move(status)) {     // NOLINT
+    RAV_CHECK(!std::get<Status>(payload_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const T& value() const& {
+    RAV_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    RAV_CHECK(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    RAV_CHECK(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define RAV_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::rav::Status _rav_status = (expr);       \
+    if (!_rav_status.ok()) return _rav_status; \
+  } while (0)
+
+// Evaluates a Result<T> expression; on error returns its status, otherwise
+// moves the value into `lhs`.
+#define RAV_ASSIGN_OR_RETURN(lhs, expr)                \
+  RAV_ASSIGN_OR_RETURN_IMPL(                           \
+      RAV_STATUS_CONCAT(_rav_result, __LINE__), lhs, expr)
+
+#define RAV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define RAV_STATUS_CONCAT(a, b) RAV_STATUS_CONCAT_IMPL(a, b)
+#define RAV_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace rav
+
+#endif  // RAV_BASE_STATUS_H_

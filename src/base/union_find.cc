@@ -1,0 +1,65 @@
+#include "base/union_find.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/logging.h"
+
+namespace rav {
+
+void UnionFind::Reset(size_t n) {
+  parent_.resize(n);
+  std::iota(parent_.begin(), parent_.end(), 0);
+  rank_.assign(n, 0);
+}
+
+int UnionFind::Add() {
+  int id = static_cast<int>(parent_.size());
+  parent_.push_back(id);
+  rank_.push_back(0);
+  return id;
+}
+
+int UnionFind::Find(int x) const {
+  RAV_CHECK_GE(x, 0);
+  RAV_CHECK_LT(static_cast<size_t>(x), parent_.size());
+  int root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[x] != root) {
+    int next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+int UnionFind::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return ra;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  return ra;
+}
+
+size_t UnionFind::NumClasses() const {
+  size_t count = 0;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    if (Find(static_cast<int>(i)) == static_cast<int>(i)) ++count;
+  }
+  return count;
+}
+
+std::vector<int> UnionFind::Representatives() const {
+  std::vector<int> reps;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    if (Find(static_cast<int>(i)) == static_cast<int>(i)) {
+      reps.push_back(static_cast<int>(i));
+    }
+  }
+  return reps;
+}
+
+}  // namespace rav

@@ -1,0 +1,49 @@
+#ifndef RAV_BASE_UNION_FIND_H_
+#define RAV_BASE_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rav {
+
+// Union-find (disjoint set) over dense integer ids with union by rank and
+// path compression. Used pervasively to canonicalize equality constraints:
+// σ-types, the ~_w closure of extended-automaton runs, and witness
+// construction all reduce equality reasoning to merges in this structure.
+class UnionFind {
+ public:
+  UnionFind() = default;
+  explicit UnionFind(size_t n) { Reset(n); }
+
+  // Re-initializes to n singleton classes {0}, ..., {n-1}.
+  void Reset(size_t n);
+
+  // Adds one fresh singleton element and returns its id.
+  int Add();
+
+  size_t size() const { return parent_.size(); }
+
+  // Returns the canonical representative of x's class.
+  int Find(int x) const;
+
+  // Merges the classes of a and b; returns the surviving representative.
+  int Union(int a, int b);
+
+  bool Same(int a, int b) const { return Find(a) == Find(b); }
+
+  // Number of distinct classes.
+  size_t NumClasses() const;
+
+  // Representative of every class, sorted ascending.
+  std::vector<int> Representatives() const;
+
+ private:
+  // mutable for path compression in const Find.
+  mutable std::vector<int> parent_;
+  std::vector<uint8_t> rank_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_BASE_UNION_FIND_H_

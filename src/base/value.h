@@ -1,0 +1,54 @@
+#ifndef RAV_BASE_VALUE_H_
+#define RAV_BASE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace rav {
+
+// A data value from the paper's infinite domain 𝔻. Only (in)equality and
+// membership in database relations matter semantically, so any countable
+// domain works; we use 64-bit integers. Values are compared for equality
+// only — there is no meaningful order in the model (we still expose < so
+// values can key ordered containers).
+using DataValue = int64_t;
+
+// A register assignment d̄ ∈ 𝔻^k at one position of a run.
+using ValueTuple = std::vector<DataValue>;
+
+// Dispenses values guaranteed fresh with respect to everything it has seen.
+// The paper's technical convention that every run leaves out infinitely
+// many values of 𝔻 is realized by drawing "new" values from this source.
+class FreshValueSource {
+ public:
+  FreshValueSource() = default;
+
+  // Marks `v` as used (it will never be returned by Fresh()).
+  void Observe(DataValue v) {
+    used_.insert(v);
+    if (v >= next_) next_ = v + 1;
+  }
+
+  void ObserveAll(const ValueTuple& vs) {
+    for (DataValue v : vs) Observe(v);
+  }
+
+  // Returns a value distinct from every value observed or returned so far.
+  DataValue Fresh() {
+    while (used_.count(next_) > 0) ++next_;
+    DataValue v = next_++;
+    used_.insert(v);
+    return v;
+  }
+
+ private:
+  DataValue next_ = 0;
+  std::unordered_set<DataValue> used_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_BASE_VALUE_H_

@@ -1,0 +1,100 @@
+#ifndef RAV_ENHANCED_ENHANCED_AUTOMATON_H_
+#define RAV_ENHANCED_ENHANCED_AUTOMATON_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "base/status.h"
+#include "era/extended_automaton.h"
+#include "ra/register_automaton.h"
+#include "ra/run.h"
+
+namespace rav {
+
+// A tuple inequality constraint (Section 6). The paper allows arbitrary
+// MSO pair selectors φ(ā, β̄); this library uses the factor-anchored form
+// that the Theorem 24 construction actually produces (and that
+// generalizes the e≠ constraints of extended automata, as the paper
+// notes): for all anchor positions n ≤ n' with q_n ... q_{n'} ∈
+// L(pair_dfa), the value tuples
+//   ( d_{n + offs_a[t]}[regs_a[t]] )_t   and   ( d_{n' + offs_b[t]}[regs_b[t]] )_t
+// must differ (as tuples). Plain inequality constraints are the arity-1,
+// offset-0 special case.
+struct TupleInequalityConstraint {
+  Dfa pair_dfa = Dfa(1, 1, 0);  // placeholder; replaced at construction
+  std::vector<int> regs_a;
+  std::vector<int> offs_a;  // small non-negative offsets (0 or 1 in Thm 24)
+  std::vector<int> regs_b;
+  std::vector<int> offs_b;
+  std::string description;
+
+  int arity() const { return static_cast<int>(regs_a.size()); }
+};
+
+// A finiteness constraint (Section 6): a position selector together with
+// a register; the run must use only finitely many distinct values in that
+// register over the selected positions. The selector is a prefix DFA:
+// position h is selected iff the DFA accepts q_0 ... q_h. (The paper uses
+// MSO selectors; the Theorem 24 construction only needs selectors
+// determined by the last two states, which prefix DFAs cover.)
+struct FinitenessConstraint {
+  int reg = 0;
+  Dfa selector = Dfa(1, 1, 0);  // placeholder; replaced at construction
+  std::string description;
+};
+
+// An enhanced automaton (Section 6): a register automaton over an *empty*
+// relational signature augmented with global equality constraints, tuple
+// inequality constraints, and finiteness constraints. This is the model
+// that captures projections of register automata when the database is
+// hidden (Theorem 24).
+class EnhancedAutomaton {
+ public:
+  explicit EnhancedAutomaton(RegisterAutomaton automaton)
+      : automaton_(std::move(automaton)) {}
+
+  const RegisterAutomaton& automaton() const { return automaton_; }
+
+  Status AddEqualityConstraint(int i, int j, Dfa dfa,
+                               std::string description = "");
+  Status AddTupleConstraint(TupleInequalityConstraint constraint);
+  Status AddFinitenessConstraint(FinitenessConstraint constraint);
+
+  const std::vector<GlobalConstraint>& equality_constraints() const {
+    return eq_constraints_;
+  }
+  const std::vector<TupleInequalityConstraint>& tuple_constraints() const {
+    return tuple_constraints_;
+  }
+  const std::vector<FinitenessConstraint>& finiteness_constraints() const {
+    return finiteness_constraints_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  RegisterAutomaton automaton_;
+  std::vector<GlobalConstraint> eq_constraints_;
+  std::vector<TupleInequalityConstraint> tuple_constraints_;
+  std::vector<FinitenessConstraint> finiteness_constraints_;
+};
+
+// Checks the equality and tuple-inequality constraints on a finite run
+// prefix (finiteness constraints cannot be violated by a finite prefix).
+Status CheckEnhancedRunConstraints(const EnhancedAutomaton& enhanced,
+                                   const FiniteRun& run);
+
+// Full prefix validity: underlying automaton plus constraints.
+Status ValidateEnhancedRunPrefix(const EnhancedAutomaton& enhanced,
+                                 const FiniteRun& run,
+                                 bool require_initial = true);
+
+// The distinct values of `run` in `constraint.reg` over the selected
+// positions — the quantity the finiteness constraint bounds.
+std::vector<DataValue> SelectedValues(const FinitenessConstraint& constraint,
+                                      const FiniteRun& run);
+
+}  // namespace rav
+
+#endif  // RAV_ENHANCED_ENHANCED_AUTOMATON_H_

@@ -1,0 +1,330 @@
+#include "enhanced/theorem24.h"
+
+#include <vector>
+
+#include "projection/lemma21.h"
+#include "ra/transform.h"
+
+namespace rav {
+
+namespace {
+
+// Does element `element` of `guard` occur (class-wise) in a positive
+// relational literal?
+bool InPositiveLiteral(const Type& guard, int element) {
+  int cls = guard.ClassOf(element);
+  for (const TypeAtom& atom : guard.atoms()) {
+    if (!atom.positive) continue;
+    for (int c : atom.args) {
+      if (c == cls) return true;
+    }
+  }
+  return false;
+}
+
+// The component resolution of one argument class of a relational literal:
+// a visible register with a position offset, a hidden register exposed by
+// an x̄-element, or unresolvable.
+struct Component {
+  enum class Kind { kVisible, kHiddenX, kUnresolvable };
+  Kind kind = Kind::kUnresolvable;
+  int reg = -1;
+  int off = 0;
+};
+
+Component ResolveComponent(const Type& guard, int cls, int k, int m) {
+  Component out;
+  // Prefer a visible x element, then a visible y element, then any x.
+  for (int i = 0; i < m; ++i) {
+    if (guard.ClassOf(i) == cls) {
+      out.kind = Component::Kind::kVisible;
+      out.reg = i;
+      out.off = 0;
+      return out;
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    if (guard.ClassOf(k + i) == cls) {
+      out.kind = Component::Kind::kVisible;
+      out.reg = i;
+      out.off = 1;
+      return out;
+    }
+  }
+  for (int i = m; i < k; ++i) {
+    if (guard.ClassOf(i) == cls) {
+      out.kind = Component::Kind::kHiddenX;
+      out.reg = i;
+      out.off = 0;
+      return out;
+    }
+  }
+  return out;
+}
+
+// DFA over the state alphabet accepting factors whose first symbol lies
+// in `first` and whose last symbol lies in `last` (length >= 1).
+Dfa AnchoredFactorDfa(int num_states, const std::vector<bool>& first,
+                      const std::vector<bool>& last) {
+  // States: 0 start, 1 active-accepting, 2 active-nonaccepting, 3 dead.
+  Dfa dfa(num_states, 4, 0);
+  for (int q = 0; q < num_states; ++q) {
+    dfa.SetTransition(0, q, first[q] ? (last[q] ? 1 : 2) : 3);
+    dfa.SetTransition(1, q, last[q] ? 1 : 2);
+    dfa.SetTransition(2, q, last[q] ? 1 : 2);
+    dfa.SetTransition(3, q, 3);
+  }
+  dfa.SetAccepting(1);
+  return dfa;
+}
+
+}  // namespace
+
+Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
+    const RegisterAutomaton& automaton, int m, Theorem24Stats* stats,
+    const Theorem24Options& options) {
+  const int k = automaton.num_registers();
+  if (m < 0 || m > k) {
+    return Status::InvalidArgument("ProjectWithHiddenDatabase: bad m");
+  }
+
+  RegisterAutomaton completed = automaton;
+  if (options.complete_first) {
+    RAV_ASSIGN_OR_RETURN(
+        completed, Completed(automaton, options.max_completed_transitions));
+  }
+  RegisterAutomaton sd =
+      PruneFrontierIncompatibleTransitions(MakeStateDriven(completed));
+  RAV_ASSIGN_OR_RETURN(PropagationAutomata propagation,
+                       PropagationAutomata::Build(sd));
+
+  // The unique guard per state.
+  const int num_constants = sd.schema().num_constants();
+  const Type trivial(2 * k, num_constants);
+  std::vector<const Type*> guard_of(sd.num_states(), &trivial);
+  for (int ti = 0; ti < sd.num_transitions(); ++ti) {
+    guard_of[sd.transition(ti).from] = &sd.transition(ti).guard;
+  }
+
+  // --- B's automaton: visible equality structure over an empty schema ---
+  RegisterAutomaton b(m, Schema());
+  for (StateId s = 0; s < sd.num_states(); ++s) {
+    StateId id = b.AddState(sd.state_name(s));
+    RAV_CHECK_EQ(id, s);
+    b.SetInitial(s, sd.IsInitial(s));
+    b.SetFinal(s, sd.IsFinal(s));
+  }
+  for (int ti = 0; ti < sd.num_transitions(); ++ti) {
+    const RaTransition& t = sd.transition(ti);
+    TypeBuilder builder(2 * m, 0);
+    auto visible_element = [&](int e) { return e < m ? e : m + (e - k); };
+    std::vector<int> visible;
+    for (int i = 0; i < m; ++i) visible.push_back(i);
+    for (int i = 0; i < m; ++i) visible.push_back(k + i);
+    for (size_t p = 0; p < visible.size(); ++p) {
+      for (size_t q = p + 1; q < visible.size(); ++q) {
+        if (t.guard.AreEqual(visible[p], visible[q])) {
+          builder.AddEq(visible_element(visible[p]),
+                        visible_element(visible[q]));
+        } else if (t.guard.AreDistinct(visible[p], visible[q])) {
+          builder.AddNeq(visible_element(visible[p]),
+                         visible_element(visible[q]));
+        }
+      }
+    }
+    Result<Type> guard = builder.Build();
+    RAV_CHECK(guard.ok());
+    b.AddTransition(t.from, std::move(guard).value(), t.to);
+  }
+
+  EnhancedAutomaton enhanced(std::move(b));
+  const int num_states = sd.num_states();
+  Theorem24Stats local_stats;
+  local_stats.completed_transitions = completed.num_transitions();
+  local_stats.state_driven_states = num_states;
+
+  // --- Equality and inequality constraints (Lemma 21) ---
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const Dfa& eq = propagation.EqualityDfa(i, j);
+      if (!eq.IsEmptyLanguage()) {
+        RAV_RETURN_IF_ERROR(enhanced.AddEqualityConstraint(
+            i, j, eq,
+            "thm24 e=[" + std::to_string(i + 1) + "," +
+                std::to_string(j + 1) + "]"));
+        ++local_stats.num_equality_constraints;
+      }
+      const Dfa& neq = propagation.InequalityDfa(i, j);
+      if (!neq.IsEmptyLanguage()) {
+        TupleInequalityConstraint c;
+        c.pair_dfa = neq;
+        c.regs_a = {i};
+        c.offs_a = {0};
+        c.regs_b = {j};
+        c.offs_b = {0};
+        c.description = "thm24 e≠[" + std::to_string(i + 1) + "," +
+                        std::to_string(j + 1) + "]";
+        RAV_RETURN_IF_ERROR(enhanced.AddTupleConstraint(std::move(c)));
+        ++local_stats.num_inequality_constraints;
+      }
+    }
+  }
+
+  // --- Finiteness constraints ---
+  // Position h is selected for register i iff x_i occurs in a positive
+  // literal of δ_h or y_i occurs in one of δ_{h-1}. The selector tracks
+  // the last two symbols: state 0 = start; 1 + q = one symbol read;
+  // 1 + Q + prev*Q + cur = two or more symbols read.
+  for (int i = 0; i < m; ++i) {
+    bool any = false;
+    for (StateId q = 0; q < num_states; ++q) {
+      any = any || InPositiveLiteral(*guard_of[q], i) ||
+            InPositiveLiteral(*guard_of[q], k + i);
+    }
+    if (!any) continue;
+    const int n = 1 + num_states + num_states * num_states;
+    Dfa selector(num_states, n, 0);
+    auto pair_state = [&](int prev, int cur) {
+      return 1 + num_states + prev * num_states + cur;
+    };
+    for (int q = 0; q < num_states; ++q) {
+      selector.SetTransition(0, q, 1 + q);
+      selector.SetAccepting(1 + q, InPositiveLiteral(*guard_of[q], i));
+      for (int q2 = 0; q2 < num_states; ++q2) {
+        selector.SetTransition(1 + q, q2, pair_state(q, q2));
+        selector.SetAccepting(
+            pair_state(q, q2),
+            InPositiveLiteral(*guard_of[q2], i) ||
+                InPositiveLiteral(*guard_of[q], k + i));
+        for (int q3 = 0; q3 < num_states; ++q3) {
+          selector.SetTransition(pair_state(q, q2), q3, pair_state(q2, q3));
+        }
+      }
+    }
+    FinitenessConstraint fc;
+    fc.reg = i;
+    fc.selector = selector.Minimize();
+    fc.description = "thm24 adom positions of register " + std::to_string(i + 1);
+    RAV_RETURN_IF_ERROR(enhanced.AddFinitenessConstraint(std::move(fc)));
+    ++local_stats.num_finiteness_constraints;
+  }
+
+  // --- Tuple inequality constraints from (¬R, R) literal pairs ---
+  // For every negative literal in some guard and positive literal of the
+  // same relation in some (possibly the same) guard: whenever the hidden
+  // components are ~-connected across the factor, the visible components
+  // must differ as tuples. Both anchor orders are emitted.
+  struct LiteralSite {
+    const Type* guard;
+    std::vector<bool> states;  // states firing this guard
+    const TypeAtom* atom;
+  };
+  std::vector<LiteralSite> negatives, positives;
+  {
+    // Group states by guard identity.
+    std::vector<const Type*> distinct_guards;
+    std::vector<std::vector<bool>> guard_states;
+    for (StateId q = 0; q < num_states; ++q) {
+      if (sd.TransitionsFrom(q).empty()) continue;
+      int found = -1;
+      for (size_t g = 0; g < distinct_guards.size(); ++g) {
+        if (*distinct_guards[g] == *guard_of[q]) {
+          found = static_cast<int>(g);
+          break;
+        }
+      }
+      if (found < 0) {
+        found = static_cast<int>(distinct_guards.size());
+        distinct_guards.push_back(guard_of[q]);
+        guard_states.emplace_back(num_states, false);
+      }
+      guard_states[found][q] = true;
+    }
+    for (size_t g = 0; g < distinct_guards.size(); ++g) {
+      for (const TypeAtom& atom : distinct_guards[g]->atoms()) {
+        LiteralSite site{distinct_guards[g], guard_states[g], &atom};
+        (atom.positive ? positives : negatives).push_back(site);
+      }
+    }
+  }
+  for (const LiteralSite& neg : negatives) {
+    for (const LiteralSite& pos : positives) {
+      if (neg.atom->relation != pos.atom->relation) continue;
+      // Resolve components on both sides.
+      bool expressible = true;
+      TupleInequalityConstraint forward;  // neg anchor first
+      std::vector<std::pair<int, int>> hidden_pairs;  // (reg at neg, at pos)
+      for (size_t t = 0; t < neg.atom->args.size() && expressible; ++t) {
+        Component cn =
+            ResolveComponent(*neg.guard, neg.atom->args[t], k, m);
+        Component cp =
+            ResolveComponent(*pos.guard, pos.atom->args[t], k, m);
+        if (cn.kind == Component::Kind::kVisible &&
+            cp.kind == Component::Kind::kVisible) {
+          forward.regs_a.push_back(cn.reg);
+          forward.offs_a.push_back(cn.off);
+          forward.regs_b.push_back(cp.reg);
+          forward.offs_b.push_back(cp.off);
+        } else if (cn.kind == Component::Kind::kHiddenX &&
+                   cp.kind == Component::Kind::kHiddenX) {
+          hidden_pairs.emplace_back(cn.reg, cp.reg);
+        } else {
+          expressible = false;
+        }
+      }
+      if (!expressible) {
+        ++local_stats.skipped_literal_pairs;
+        continue;
+      }
+      if (forward.regs_a.empty()) {
+        // All components hidden: the constraint has no visible content
+        // (it would constrain the database only).
+        ++local_stats.skipped_literal_pairs;
+        continue;
+      }
+      // Forward order: neg at n, pos at n'.
+      {
+        Dfa pair_dfa =
+            AnchoredFactorDfa(num_states, neg.states, pos.states);
+        for (const auto& [rn, rp] : hidden_pairs) {
+          pair_dfa =
+              pair_dfa.Intersect(propagation.EqualityDfa(rn, rp)).Minimize();
+        }
+        if (!pair_dfa.IsEmptyLanguage()) {
+          TupleInequalityConstraint c = forward;
+          c.pair_dfa = std::move(pair_dfa);
+          c.description = "thm24 ¬R/R pair (" +
+                          sd.schema().relation_name(neg.atom->relation) + ")";
+          RAV_RETURN_IF_ERROR(enhanced.AddTupleConstraint(std::move(c)));
+          ++local_stats.num_tuple_constraints;
+        }
+      }
+      // Reverse order: pos at n, neg at n'.
+      {
+        Dfa pair_dfa =
+            AnchoredFactorDfa(num_states, pos.states, neg.states);
+        for (const auto& [rn, rp] : hidden_pairs) {
+          pair_dfa =
+              pair_dfa.Intersect(propagation.EqualityDfa(rp, rn)).Minimize();
+        }
+        if (!pair_dfa.IsEmptyLanguage()) {
+          TupleInequalityConstraint c;
+          c.pair_dfa = std::move(pair_dfa);
+          c.regs_a = forward.regs_b;
+          c.offs_a = forward.offs_b;
+          c.regs_b = forward.regs_a;
+          c.offs_b = forward.offs_a;
+          c.description = "thm24 R/¬R pair (" +
+                          sd.schema().relation_name(neg.atom->relation) + ")";
+          RAV_RETURN_IF_ERROR(enhanced.AddTupleConstraint(std::move(c)));
+          ++local_stats.num_tuple_constraints;
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return enhanced;
+}
+
+}  // namespace rav

@@ -1,0 +1,65 @@
+#ifndef RAV_ENHANCED_THEOREM24_H_
+#define RAV_ENHANCED_THEOREM24_H_
+
+#include "base/status.h"
+#include "enhanced/enhanced_automaton.h"
+#include "ra/register_automaton.h"
+
+namespace rav {
+
+struct Theorem24Options {
+  // Completing the automaton first makes the synthesized constraints
+  // exact (every (in)equality and relational fact is decided), but the
+  // completion is exponential in the schema: a single binary relation
+  // over 2k variables multiplies each transition into thousands. With the
+  // default (false) the construction consumes the explicitly-forced
+  // structure only — sound, and exact whenever the input guards already
+  // decide the literals the constraints need (as in Example 23).
+  bool complete_first = false;
+  size_t max_completed_transitions = 1u << 20;
+};
+
+struct Theorem24Stats {
+  int completed_transitions = 0;
+  int state_driven_states = 0;
+  int num_equality_constraints = 0;
+  int num_inequality_constraints = 0;
+  int num_tuple_constraints = 0;
+  int num_finiteness_constraints = 0;
+  // Literal pairs whose components could not be expressed in the anchored
+  // constraint model (see the header comment) and were dropped.
+  int skipped_literal_pairs = 0;
+};
+
+// Theorem 24: the projection of a register automaton with a database onto
+// its first m registers, *hiding the database entirely*, is captured by an
+// enhanced automaton B with no database:
+//   Reg(B) = ∪_D Π_m(Reg(D, A)).
+//
+// Mechanized construction (after completing and state-driving A):
+//   * B's transition types are the visible equality structure of A's
+//     types (relational and constant literals dropped);
+//   * equality constraints e=ᵢⱼ come from the Lemma 21 propagation
+//     automata, inequality constraints e≠ᵢⱼ are emitted as arity-1 tuple
+//     constraints (the paper notes this subsumption);
+//   * a finiteness constraint per visible register selects the positions
+//     where the register occurs in a positive relational literal (its
+//     value is then forced into the active domain, which is finite);
+//   * a tuple inequality constraint per pair (¬R-literal, R-literal):
+//     a negated atom can never coincide valuewise with an asserted atom,
+//     so whenever the hidden components are ~-connected across the factor
+//     (checked by intersecting the pair DFA with the Lemma 21 equality
+//     DFAs), the visible component tuples must differ.
+//
+// Scope notes (documented substitutions, see DESIGN.md): position
+// selectors are prefix-DFAs over node-level adom membership of visible
+// registers; hidden literal components are matched when both sides expose
+// an x̄-element of the component class (pairs that cannot be expressed
+// this way are dropped and counted in `skipped_literal_pairs`).
+Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
+    const RegisterAutomaton& automaton, int m,
+    Theorem24Stats* stats = nullptr, const Theorem24Options& options = {});
+
+}  // namespace rav
+
+#endif  // RAV_ENHANCED_THEOREM24_H_

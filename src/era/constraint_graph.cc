@@ -1,0 +1,258 @@
+#include "era/constraint_graph.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace rav {
+
+ConstraintClosure::ConstraintClosure(const ExtendedAutomaton& era,
+                                     const ControlAlphabet& alphabet,
+                                     const LassoWord& control_word,
+                                     size_t window)
+    : k_(era.automaton().num_registers()),
+      num_constants_(era.automaton().schema().num_constants()),
+      window_(window) {
+  RAV_CHECK_GE(window, 1u);
+  uf_.Reset(num_nodes());
+
+  std::vector<bool> node_in_adom(num_nodes(), false);
+  // Constants are part of the active domain by definition.
+  for (int c = 0; c < num_constants_; ++c) {
+    node_in_adom[ConstantNode(c)] = true;
+  }
+
+  // Raw inequality edges between nodes; converted to class edges at the
+  // end.
+  std::vector<std::pair<int, int>> raw_ineq;
+
+  // --- Local structure from the transition types ---
+  // Maps an element of a 2k-var type at step n to a node.
+  auto element_node = [&](size_t n, int element) -> int {
+    if (element < k_) return NodeOf(n, element);
+    if (element < 2 * k_) return NodeOf(n + 1, element - k_);
+    return ConstantNode(element - 2 * k_);
+  };
+  // Same for an element of a k-var restricted type at the last position.
+  auto last_element_node = [&](int element) -> int {
+    if (element < k_) return NodeOf(window_ - 1, element);
+    return ConstantNode(element - k_);
+  };
+
+  auto apply_type = [&](const Type& t,
+                        const std::function<int(int)>& node_of) {
+    std::vector<int> rep(t.num_classes(), -1);
+    for (int e = 0; e < t.num_elements(); ++e) {
+      int c = t.ClassOf(e);
+      if (rep[c] < 0) {
+        rep[c] = e;
+      } else {
+        uf_.Union(node_of(rep[c]), node_of(e));
+      }
+    }
+    for (const auto& [c1, c2] : t.disequalities()) {
+      raw_ineq.emplace_back(node_of(rep[c1]), node_of(rep[c2]));
+    }
+    for (const TypeAtom& a : t.atoms()) {
+      if (!a.positive) continue;
+      for (int c : a.args) node_in_adom[node_of(rep[c])] = true;
+    }
+  };
+
+  for (size_t n = 0; n + 1 < window_; ++n) {
+    const Type& t = alphabet.guard_of(control_word.SymbolAt(n));
+    apply_type(t, [&](int e) { return element_node(n, e); });
+  }
+  {
+    Type last = RestrictToX(
+        alphabet.guard_of(control_word.SymbolAt(window_ - 1)), k_);
+    apply_type(last, [&](int e) { return last_element_node(e); });
+  }
+
+  // --- Global constraints ---
+  for (const GlobalConstraint& c : era.constraints()) {
+    for (size_t n = 0; n < window_; ++n) {
+      int dfa_state = c.dfa.initial();
+      for (size_t m = n; m < window_; ++m) {
+        int q = alphabet.state_of(control_word.SymbolAt(m));
+        dfa_state = c.dfa.Next(dfa_state, q);
+        if (!c.dfa.IsAccepting(dfa_state)) continue;
+        int a = NodeOf(n, c.i);
+        int b = NodeOf(m, c.j);
+        if (c.is_equality) {
+          uf_.Union(a, b);
+        } else {
+          raw_ineq.emplace_back(a, b);
+        }
+      }
+    }
+  }
+
+  // --- Canonicalize classes ---
+  class_of_node_.assign(num_nodes(), -1);
+  std::vector<int> root_to_class(num_nodes(), -1);
+  for (int v = 0; v < num_nodes(); ++v) {
+    int root = uf_.Find(v);
+    if (root_to_class[root] < 0) root_to_class[root] = num_classes_++;
+    class_of_node_[v] = root_to_class[root];
+  }
+  class_in_adom_.assign(num_classes_, false);
+  for (int v = 0; v < num_nodes(); ++v) {
+    if (node_in_adom[v]) class_in_adom_[class_of_node_[v]] = true;
+  }
+
+  // --- Inequality edges; consistency ---
+  std::set<std::pair<int, int>> edges;
+  for (const auto& [a, b] : raw_ineq) {
+    int ca = class_of_node_[a];
+    int cb = class_of_node_[b];
+    if (ca == cb) {
+      consistent_ = false;
+      continue;
+    }
+    edges.emplace(std::min(ca, cb), std::max(ca, cb));
+  }
+  ineq_edges_.assign(edges.begin(), edges.end());
+}
+
+int ConstraintClosure::ClassOf(int node) const {
+  RAV_CHECK_GE(node, 0);
+  RAV_CHECK_LT(static_cast<size_t>(node), class_of_node_.size());
+  return class_of_node_[node];
+}
+
+int ConstraintClosure::NumAdomClasses() const {
+  int n = 0;
+  for (bool b : class_in_adom_) n += b;
+  return n;
+}
+
+std::vector<std::pair<int, int>> ConstraintClosure::AdomInequalityEdges()
+    const {
+  std::vector<std::pair<int, int>> out;
+  for (const auto& [a, b] : ineq_edges_) {
+    if (class_in_adom_[a] && class_in_adom_[b]) out.emplace_back(a, b);
+  }
+  return out;
+}
+
+namespace {
+
+// Bron–Kerbosch with pivoting over an adjacency-list graph on dense ids.
+class CliqueFinder {
+ public:
+  explicit CliqueFinder(int n) : adj_(n, std::vector<bool>(n, false)), n_(n) {}
+
+  void AddEdge(int a, int b) {
+    adj_[a][b] = adj_[b][a] = true;
+  }
+
+  int MaxClique() {
+    std::vector<int> r, p, x;
+    for (int v = 0; v < n_; ++v) p.push_back(v);
+    best_ = 0;
+    Expand(r, p, x);
+    return best_;
+  }
+
+ private:
+  void Expand(std::vector<int>& r, std::vector<int> p, std::vector<int> x) {
+    if (p.empty() && x.empty()) {
+      best_ = std::max(best_, static_cast<int>(r.size()));
+      return;
+    }
+    if (static_cast<int>(r.size() + p.size()) <= best_) return;  // bound
+    // Pivot: vertex of p ∪ x with most neighbors in p.
+    int pivot = -1, pivot_deg = -1;
+    for (int v : p) {
+      int d = 0;
+      for (int u : p) d += adj_[v][u];
+      if (d > pivot_deg) {
+        pivot_deg = d;
+        pivot = v;
+      }
+    }
+    for (int v : x) {
+      int d = 0;
+      for (int u : p) d += adj_[v][u];
+      if (d > pivot_deg) {
+        pivot_deg = d;
+        pivot = v;
+      }
+    }
+    std::vector<int> candidates;
+    for (int v : p) {
+      if (pivot < 0 || !adj_[pivot][v]) candidates.push_back(v);
+    }
+    for (int v : candidates) {
+      std::vector<int> p2, x2;
+      for (int u : p) {
+        if (adj_[v][u]) p2.push_back(u);
+      }
+      for (int u : x) {
+        if (adj_[v][u]) x2.push_back(u);
+      }
+      r.push_back(v);
+      Expand(r, std::move(p2), std::move(x2));
+      r.pop_back();
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+    }
+  }
+
+  std::vector<std::vector<bool>> adj_;
+  int n_;
+  int best_ = 0;
+};
+
+}  // namespace
+
+int ConstraintClosure::AdomCliqueNumber(int max_nodes) const {
+  // Compact the adom classes that touch an inequality edge (isolated
+  // classes cannot enlarge a clique beyond 1).
+  std::vector<std::pair<int, int>> edges = AdomInequalityEdges();
+  if (edges.empty()) return NumAdomClasses() > 0 ? 1 : 0;
+  std::vector<int> compact(num_classes_, -1);
+  int n = 0;
+  for (const auto& [a, b] : edges) {
+    if (compact[a] < 0) compact[a] = n++;
+    if (compact[b] < 0) compact[b] = n++;
+  }
+  if (n > max_nodes) return -1;
+  CliqueFinder finder(n);
+  for (const auto& [a, b] : edges) finder.AddEdge(compact[a], compact[b]);
+  return finder.MaxClique();
+}
+
+std::vector<int> ConstraintClosure::GreedyAdomColoring(int* num_colors) const {
+  std::vector<std::vector<int>> neighbors(num_classes_);
+  for (const auto& [a, b] : AdomInequalityEdges()) {
+    neighbors[a].push_back(b);
+    neighbors[b].push_back(a);
+  }
+  std::vector<int> color(num_classes_, 0);
+  int max_color = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (!class_in_adom_[c]) continue;
+    std::vector<bool> used(num_classes_ + 1, false);
+    for (int nb : neighbors[c]) {
+      if (nb < c && class_in_adom_[nb]) used[color[nb]] = true;
+    }
+    int pick = 0;
+    while (used[pick]) ++pick;
+    color[c] = pick;
+    max_color = std::max(max_color, pick);
+  }
+  if (num_colors != nullptr) *num_colors = max_color + 1;
+  return color;
+}
+
+size_t SuggestedPumpCount(const ExtendedAutomaton& era) {
+  size_t pump = 4 + 2 * static_cast<size_t>(era.automaton().num_registers());
+  for (const GlobalConstraint& c : era.constraints()) {
+    pump += 2 * static_cast<size_t>(c.dfa.num_states());
+  }
+  return pump;
+}
+
+}  // namespace rav

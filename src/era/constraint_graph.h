@@ -1,0 +1,98 @@
+#ifndef RAV_ERA_CONSTRAINT_GRAPH_H_
+#define RAV_ERA_CONSTRAINT_GRAPH_H_
+
+#include <utility>
+#include <vector>
+
+#include "automata/lasso.h"
+#include "base/union_find.h"
+#include "era/extended_automaton.h"
+#include "ra/control.h"
+
+namespace rav {
+
+// The equivalence relation ~_w of Section 3 computed over a finite window
+// of a symbolic control word, together with the induced inequality
+// structure — the machinery behind Theorem 9 (quasi-regularity and
+// witness synthesis), Corollary 10 (emptiness), and the projection
+// constructions.
+//
+// Nodes are the register occurrences (position n < window, register i)
+// plus one node per constant symbol (a constant anchors equality across
+// the whole run). The closure merges
+//   * the equalities of each transition type δ_n,
+//   * every Σ equality e=ᵢⱼ whose expression accepts q_n...q_m in the
+//     window,
+// and records inequality edges from the types' disequalities and from the
+// Σ inequality constraints.
+//
+// The window is a finite under-approximation of the infinite unrolling:
+// any contradiction found is genuine; consistency is relative to the
+// window (pump the cycle more for higher confidence — see
+// SuggestedPumpCount).
+class ConstraintClosure {
+ public:
+  ConstraintClosure(const ExtendedAutomaton& era,
+                    const ControlAlphabet& alphabet,
+                    const LassoWord& control_word, size_t window);
+
+  size_t window() const { return window_; }
+  int num_registers() const { return k_; }
+
+  // Node ids.
+  int NodeOf(size_t pos, int reg) const {
+    return static_cast<int>(pos) * k_ + reg;
+  }
+  int ConstantNode(int c) const { return static_cast<int>(window_) * k_ + c; }
+  int num_nodes() const {
+    return static_cast<int>(window_) * k_ + num_constants_;
+  }
+
+  // True iff no forced-equal pair is forced-distinct within the window.
+  bool consistent() const { return consistent_; }
+
+  // Dense class id of a node (classes canonicalized by smallest node).
+  int ClassOf(int node) const;
+  int num_classes() const { return num_classes_; }
+
+  // Class is in adom_w: one of its nodes occurs in a positive relational
+  // literal (or is a constant).
+  bool ClassInAdom(int class_id) const { return class_in_adom_[class_id]; }
+  int NumAdomClasses() const;
+
+  // Deduplicated inequality edges between distinct classes.
+  const std::vector<std::pair<int, int>>& InequalityEdges() const {
+    return ineq_edges_;
+  }
+
+  // The graph G_w of Theorem 9: inequality edges between adom classes.
+  std::vector<std::pair<int, int>> AdomInequalityEdges() const;
+
+  // Exact maximum clique of G_w (Bron–Kerbosch); returns -1 if the adom
+  // subgraph exceeds `max_nodes` (callers treat that as "too large").
+  int AdomCliqueNumber(int max_nodes = 64) const;
+
+  // Greedy coloring of G_w; entry per class (non-adom classes get 0).
+  // Returns the colors and sets *num_colors.
+  std::vector<int> GreedyAdomColoring(int* num_colors) const;
+
+ private:
+  int k_;
+  int num_constants_;
+  size_t window_;
+  UnionFind uf_;
+  bool consistent_ = true;
+  int num_classes_ = 0;
+  std::vector<int> class_of_node_;
+  std::vector<bool> class_in_adom_;
+  std::vector<std::pair<int, int>> ineq_edges_;  // class pairs, deduped
+};
+
+// A pump count sufficient to expose the periodic constraint structure of
+// the lasso: enough cycle repetitions that every constraint DFA re-enters
+// a previously seen (phase, state) pair at least twice.
+size_t SuggestedPumpCount(const ExtendedAutomaton& era);
+
+}  // namespace rav
+
+#endif  // RAV_ERA_CONSTRAINT_GRAPH_H_

@@ -1,0 +1,195 @@
+#include "era/emptiness.h"
+
+#include <functional>
+#include <map>
+
+#include "era/run_check.h"
+#include "ra/run.h"
+
+namespace rav {
+
+namespace {
+
+// Window length for a pumped lasso.
+size_t WindowLength(const LassoWord& w, size_t pump) {
+  return w.prefix.size() + w.cycle.size() * pump;
+}
+
+}  // namespace
+
+Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
+                                     const ControlAlphabet& alphabet,
+                                     const LassoWord& control_word,
+                                     size_t length) {
+  if (length == 0) {
+    return Status::InvalidArgument("RealizeEraWitness: length 0");
+  }
+  const RegisterAutomaton& automaton = era.automaton();
+  const int k = automaton.num_registers();
+
+  ConstraintClosure closure(era, alphabet, control_word, length);
+  if (!closure.consistent()) {
+    return Status::InvalidArgument(
+        "RealizeEraWitness: constraint closure inconsistent on the window");
+  }
+
+  // One fresh value per class.
+  auto value_of_class = [](int class_id) -> DataValue { return class_id; };
+
+  // Database: constants and the positive atoms of each position's type.
+  Database db(automaton.schema());
+  for (int c = 0; c < automaton.schema().num_constants(); ++c) {
+    db.SetConstant(c, value_of_class(closure.ClassOf(closure.ConstantNode(c))));
+  }
+
+  auto element_class = [&](size_t n, int element) -> int {
+    int node;
+    if (element < k) {
+      node = closure.NodeOf(n, element);
+    } else if (element < 2 * k) {
+      node = closure.NodeOf(n + 1, element - k);
+    } else {
+      node = closure.ConstantNode(element - 2 * k);
+    }
+    return closure.ClassOf(node);
+  };
+  auto last_element_class = [&](int element) -> int {
+    int node = element < k ? closure.NodeOf(length - 1, element)
+                           : closure.ConstantNode(element - k);
+    return closure.ClassOf(node);
+  };
+
+  struct PendingNegative {
+    RelationId relation;
+    ValueTuple tuple;
+  };
+  std::vector<PendingNegative> negatives;
+
+  auto process_type = [&](const Type& t,
+                          const std::function<int(int)>& class_of_element) {
+    std::vector<int> rep(t.num_classes(), -1);
+    for (int e = 0; e < t.num_elements(); ++e) {
+      if (rep[t.ClassOf(e)] < 0) rep[t.ClassOf(e)] = e;
+    }
+    for (const TypeAtom& atom : t.atoms()) {
+      ValueTuple tuple;
+      tuple.reserve(atom.args.size());
+      for (int c : atom.args) {
+        tuple.push_back(value_of_class(class_of_element(rep[c])));
+      }
+      if (atom.positive) {
+        db.Insert(atom.relation, std::move(tuple));
+      } else {
+        negatives.push_back(PendingNegative{atom.relation, std::move(tuple)});
+      }
+    }
+  };
+
+  for (size_t n = 0; n + 1 < length; ++n) {
+    const Type& t = alphabet.guard_of(control_word.SymbolAt(n));
+    process_type(t, [&](int e) { return element_class(n, e); });
+  }
+  Type last =
+      RestrictToX(alphabet.guard_of(control_word.SymbolAt(length - 1)), k);
+  process_type(last, [&](int e) { return last_element_class(e); });
+
+  for (const PendingNegative& neg : negatives) {
+    if (db.Contains(neg.relation, neg.tuple)) {
+      return Status::InvalidArgument(
+          "RealizeEraWitness: positive and negative relational literals "
+          "collide on the window");
+    }
+  }
+
+  // Assemble the run.
+  FiniteRun run;
+  run.values.resize(length);
+  run.states.resize(length);
+  for (size_t n = 0; n < length; ++n) {
+    run.states[n] = alphabet.state_of(control_word.SymbolAt(n));
+    run.values[n].resize(k);
+    for (int i = 0; i < k; ++i) {
+      run.values[n][i] =
+          value_of_class(closure.ClassOf(closure.NodeOf(n, i)));
+    }
+  }
+  for (size_t n = 0; n + 1 < length; ++n) {
+    int found = -1;
+    const Type& guard = alphabet.guard_of(control_word.SymbolAt(n));
+    for (int ti : automaton.TransitionsFrom(run.states[n])) {
+      const RaTransition& t = automaton.transition(ti);
+      if (t.to == run.states[n + 1] && t.guard == guard) {
+        found = ti;
+        break;
+      }
+    }
+    if (found < 0) {
+      return Status::InvalidArgument(
+          "RealizeEraWitness: control word does not follow the transition "
+          "relation");
+    }
+    run.transition_indices.push_back(found);
+  }
+
+  RAV_RETURN_IF_ERROR(
+      ValidateEraRunPrefix(era, db, run, /*require_initial=*/false));
+  return RunWitness{std::move(db), std::move(run)};
+}
+
+Result<EraEmptinessResult> CheckEraEmptiness(
+    const ExtendedAutomaton& era, const ControlAlphabet& alphabet,
+    const EraEmptinessOptions& options) {
+  const RegisterAutomaton& automaton = era.automaton();
+  if (!automaton.IsComplete()) {
+    return Status::FailedPrecondition(
+        "CheckEraEmptiness: automaton must be complete (use Completed())");
+  }
+  Nba scontrol = BuildSControlNba(automaton, alphabet);
+  return SearchConsistentLasso(era, alphabet, scontrol, options);
+}
+
+EraEmptinessResult SearchConsistentLasso(const ExtendedAutomaton& era,
+                                         const ControlAlphabet& alphabet,
+                                         const Nba& nba,
+                                         const EraEmptinessOptions& options) {
+  const size_t pump =
+      options.pump > 0 ? options.pump : SuggestedPumpCount(era);
+  const bool has_database =
+      era.automaton().schema().num_relations() > 0;
+
+  EraEmptinessResult result;
+  size_t enumerated = nba.EnumerateAcceptingLassos(
+      options.max_lasso_length, options.max_lassos,
+      [&](const LassoWord& lasso) {
+        ++result.lassos_tried;
+        const size_t window = WindowLength(lasso, pump);
+        ConstraintClosure closure(era, alphabet, lasso, window);
+        if (!closure.consistent()) return true;  // try the next lasso
+        if (has_database && options.check_unbounded_adom) {
+          // Example 8 guard: if one more cycle strictly grows the largest
+          // clique of G_w, no finite database can support the infinite
+          // run; reject the lasso.
+          ConstraintClosure wider(era, alphabet, lasso,
+                                  window + lasso.cycle.size());
+          int clique_now = closure.AdomCliqueNumber(options.clique_max_nodes);
+          int clique_wider = wider.AdomCliqueNumber(options.clique_max_nodes);
+          if (clique_now >= 0 && clique_wider >= 0 &&
+              clique_wider > clique_now) {
+            return true;
+          }
+        }
+        // Validate by realizing a concrete witness on the window.
+        Result<RunWitness> witness =
+            RealizeEraWitness(era, alphabet, lasso, window);
+        if (!witness.ok()) return true;
+        result.nonempty = true;
+        result.control_word = lasso;
+        return false;  // stop: witness found
+      },
+      options.max_search_steps);
+  result.search_truncated =
+      !result.nonempty && enumerated >= options.max_lassos;
+  return result;
+}
+
+}  // namespace rav

@@ -1,0 +1,75 @@
+#ifndef RAV_ERA_EMPTINESS_H_
+#define RAV_ERA_EMPTINESS_H_
+
+#include <optional>
+
+#include "base/status.h"
+#include "era/constraint_graph.h"
+#include "era/extended_automaton.h"
+#include "ra/emptiness.h"
+
+namespace rav {
+
+// Options of the extended-automaton emptiness search (Corollary 10).
+struct EraEmptinessOptions {
+  // Bounded lasso enumeration over the SControl NBA.
+  size_t max_lasso_length = 12;
+  size_t max_lassos = 5000;
+  size_t max_search_steps = 500000;
+  // Cycle pump count for the constraint-closure window; 0 = automatic
+  // (SuggestedPumpCount).
+  size_t pump = 0;
+  // With a database, reject lassos whose adom inequality graph grows a
+  // strictly larger clique when the window is extended by one more cycle
+  // (the Example 8 phenomenon: no finite database can support the run).
+  bool check_unbounded_adom = true;
+  // Node cap for the exact clique computation.
+  int clique_max_nodes = 64;
+};
+
+// Outcome of the emptiness search.
+struct EraEmptinessResult {
+  // A consistency-checked witness lasso was found: the automaton has an
+  // infinite accepting run over some finite database.
+  bool nonempty = false;
+  LassoWord control_word;  // meaningful iff nonempty
+  size_t lassos_tried = 0;
+  // True if the bounded enumeration was truncated, in which case a
+  // negative answer is relative to the search bound.
+  bool search_truncated = false;
+};
+
+// Decides (boundedly) whether the extended automaton has a run over some
+// finite database, implementing the lasso-based counterpart of
+// Corollary 10: enumerate accepting symbolic control lassos, close each
+// under Σ and the local equalities (Theorem 9's ~_w on a pumped window),
+// and keep the first one that is consistent and finitely supportable.
+// A positive answer carries a validated witness; a negative answer is
+// exhaustive up to the enumeration bounds (reported in the result).
+// The automaton part must be complete (call Completed() first).
+Result<EraEmptinessResult> CheckEraEmptiness(
+    const ExtendedAutomaton& era, const ControlAlphabet& alphabet,
+    const EraEmptinessOptions& options = {});
+
+// The search core shared by emptiness and LTL-FO verification: enumerates
+// accepting lassos of `nba` (an automaton over the control alphabet — the
+// SControl automaton itself, or its product with a property automaton) and
+// returns the first lasso whose constraint closure is consistent and
+// realizable over a finite database.
+EraEmptinessResult SearchConsistentLasso(const ExtendedAutomaton& era,
+                                         const ControlAlphabet& alphabet,
+                                         const Nba& nba,
+                                         const EraEmptinessOptions& options);
+
+// Realizes a consistent control lasso of an extended automaton as a
+// finite database plus a run prefix of `length` positions satisfying both
+// the transition types and (within the prefix) the global constraints —
+// the constructive content of Theorem 9 applied to the window.
+Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
+                                     const ControlAlphabet& alphabet,
+                                     const LassoWord& control_word,
+                                     size_t length);
+
+}  // namespace rav
+
+#endif  // RAV_ERA_EMPTINESS_H_

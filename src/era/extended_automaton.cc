@@ -1,0 +1,60 @@
+#include "era/extended_automaton.h"
+
+#include <sstream>
+
+namespace rav {
+
+Status ExtendedAutomaton::AddConstraint(int i, int j, bool is_equality,
+                                        const Regex& regex,
+                                        std::string description) {
+  return AddConstraintDfa(i, j, is_equality,
+                          regex.ToDfa(automaton_.num_states()),
+                          std::move(description));
+}
+
+Status ExtendedAutomaton::AddConstraintDfa(int i, int j, bool is_equality,
+                                           Dfa dfa, std::string description) {
+  const int k = automaton_.num_registers();
+  if (i < 0 || i >= k || j < 0 || j >= k) {
+    return Status::InvalidArgument("constraint registers out of range");
+  }
+  if (dfa.alphabet_size() != automaton_.num_states()) {
+    return Status::InvalidArgument(
+        "constraint DFA alphabet must be the automaton's state set");
+  }
+  constraints_.push_back(GlobalConstraint{i, j, is_equality, std::move(dfa),
+                                          std::move(description)});
+  return Status::OK();
+}
+
+Status ExtendedAutomaton::AddConstraintFromText(int i, int j, bool is_equality,
+                                                const std::string& regex_text) {
+  auto resolve = [this](const std::string& name) {
+    return automaton_.FindState(name);
+  };
+  auto regex = Regex::Parse(regex_text, resolve);
+  if (!regex.ok()) return regex.status();
+  return AddConstraint(i, j, is_equality, regex.value(), regex_text);
+}
+
+int ExtendedAutomaton::MaxConstraintDfaStates() const {
+  int max_states = 0;
+  for (const GlobalConstraint& c : constraints_) {
+    max_states = std::max(max_states, c.dfa.num_states());
+  }
+  return max_states;
+}
+
+std::string ExtendedAutomaton::ToString() const {
+  std::ostringstream out;
+  out << automaton_.ToString();
+  for (const GlobalConstraint& c : constraints_) {
+    out << "  constraint e" << (c.is_equality ? "=" : "≠") << "[" << (c.i + 1)
+        << "," << (c.j + 1) << "]";
+    if (!c.description.empty()) out << " : " << c.description;
+    out << " (dfa " << c.dfa.num_states() << " states)\n";
+  }
+  return out.str();
+}
+
+}  // namespace rav

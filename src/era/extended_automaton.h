@@ -1,0 +1,74 @@
+#ifndef RAV_ERA_EXTENDED_AUTOMATON_H_
+#define RAV_ERA_EXTENDED_AUTOMATON_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/dfa.h"
+#include "automata/regex.h"
+#include "base/status.h"
+#include "ra/register_automaton.h"
+
+namespace rav {
+
+// One global constraint of an extended automaton (Section 3): a regular
+// expression over the states Q together with a pair of registers and a
+// polarity. A run (d_n, q_n, δ_n) satisfies e=ᵢⱼ if for all n ≤ m with
+// q_n ... q_m ∈ L(e), d_n[i] = d_m[j]; the inequality form e≠ᵢⱼ requires
+// d_n[i] ≠ d_m[j] instead.
+struct GlobalConstraint {
+  int i = 0;               // source register (0-based)
+  int j = 0;               // target register (0-based)
+  bool is_equality = true; // e= vs e≠
+  Dfa dfa;                 // compiled over the state alphabet Q
+  std::string description; // original regex text, for display
+};
+
+// An extended register automaton 𝒜 = (A, Σ): a register automaton plus
+// global regular (in)equality constraints. Runs of 𝒜 are the runs of A
+// satisfying every constraint in Σ.
+class ExtendedAutomaton {
+ public:
+  explicit ExtendedAutomaton(RegisterAutomaton automaton)
+      : automaton_(std::move(automaton)) {}
+
+  const RegisterAutomaton& automaton() const { return automaton_; }
+  RegisterAutomaton& mutable_automaton() { return automaton_; }
+
+  const std::vector<GlobalConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  bool has_equality_constraints() const {
+    for (const GlobalConstraint& c : constraints_) {
+      if (c.is_equality) return true;
+    }
+    return false;
+  }
+
+  // Adds a constraint given as a compiled regex over the automaton's
+  // states (alphabet = num_states).
+  Status AddConstraint(int i, int j, bool is_equality, const Regex& regex,
+                       std::string description = "");
+  // Adds a pre-compiled constraint; dfa alphabet must equal num_states.
+  Status AddConstraintDfa(int i, int j, bool is_equality, Dfa dfa,
+                          std::string description = "");
+
+  // Parses `regex_text` with state names as symbols (see Regex syntax).
+  Status AddConstraintFromText(int i, int j, bool is_equality,
+                               const std::string& regex_text);
+
+  // Largest number of DFA states among the constraints (the |Σ| parameter
+  // of the LR-boundedness analysis), 0 if no constraints.
+  int MaxConstraintDfaStates() const;
+
+  std::string ToString() const;
+
+ private:
+  RegisterAutomaton automaton_;
+  std::vector<GlobalConstraint> constraints_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_ERA_EXTENDED_AUTOMATON_H_

@@ -1,0 +1,266 @@
+#include "era/ltlfo.h"
+
+#include <map>
+#include <queue>
+
+#include "ltl/tableau.h"
+#include "ra/transform.h"
+
+namespace rav {
+
+namespace {
+
+// Conjoins a proposition (or its negation) onto a transition-type
+// builder. Supports literals and positively-signed conjunctions of
+// literals — the shapes quantifier-free LTL-FO propositions take in
+// practice. Returns FailedPrecondition when the requested sign cannot be
+// expressed as a conjunction of literals.
+Status AddFormulaAsLiterals(TypeBuilder& builder, const Formula& formula,
+                            bool positive, int k) {
+  auto element_of = [&](const Term& t) {
+    return t.is_variable() ? t.index : 2 * k + t.index;
+  };
+  switch (formula.op()) {
+    case Formula::Op::kTrue:
+      if (!positive) {
+        return Status::FailedPrecondition("branch infeasible: ¬true");
+      }
+      return Status::OK();
+    case Formula::Op::kFalse:
+      if (positive) {
+        return Status::FailedPrecondition("branch infeasible: false");
+      }
+      return Status::OK();
+    case Formula::Op::kEq: {
+      int a = element_of(formula.lhs());
+      int b = element_of(formula.rhs());
+      if (positive) {
+        builder.AddEq(a, b);
+      } else {
+        builder.AddNeq(a, b);
+      }
+      return Status::OK();
+    }
+    case Formula::Op::kRel: {
+      std::vector<int> elements;
+      for (const Term& t : formula.args()) elements.push_back(element_of(t));
+      builder.AddAtom(formula.relation(), std::move(elements), positive);
+      return Status::OK();
+    }
+    case Formula::Op::kNot:
+      return AddFormulaAsLiterals(builder, formula.children()[0], !positive,
+                                  k);
+    case Formula::Op::kAnd:
+      if (!positive) {
+        return Status::Unimplemented(
+            "VerifyLtlFo: negated conjunction propositions are not "
+            "literal-expressible; rewrite the proposition");
+      }
+      for (const Formula& c : formula.children()) {
+        RAV_RETURN_IF_ERROR(AddFormulaAsLiterals(builder, c, true, k));
+      }
+      return Status::OK();
+    case Formula::Op::kOr:
+      return Status::Unimplemented(
+          "VerifyLtlFo: disjunctive propositions are not "
+          "literal-expressible; split them into separate propositions");
+  }
+  RAV_CHECK(false);
+  return Status::Internal("unreachable");
+}
+
+// Refines every transition of `era` so that each guard decides every
+// proposition: transitions with undetermined propositions are split by
+// the consistent truth assignments. This is the cheap, targeted
+// alternative to full completion (which is exponential in the schema).
+Result<ExtendedAutomaton> RefineForPropositions(
+    const ExtendedAutomaton& era, const std::vector<Formula>& propositions) {
+  const RegisterAutomaton& a = era.automaton();
+  const int k = a.num_registers();
+  RegisterAutomaton refined(k, a.schema());
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    StateId id = refined.AddState(a.state_name(s));
+    RAV_CHECK_EQ(id, s);
+    refined.SetInitial(s, a.IsInitial(s));
+    refined.SetFinal(s, a.IsFinal(s));
+  }
+  const size_t num_props = propositions.size();
+  for (int ti = 0; ti < a.num_transitions(); ++ti) {
+    const RaTransition& t = a.transition(ti);
+    // Which propositions does the guard leave undetermined?
+    std::vector<size_t> undetermined;
+    for (size_t p = 0; p < num_props; ++p) {
+      if (!EvaluateOnCompleteType(propositions[p], t.guard).ok()) {
+        undetermined.push_back(p);
+      }
+    }
+    if (undetermined.empty()) {
+      refined.AddTransition(t.from, t.guard, t.to);
+      continue;
+    }
+    if (undetermined.size() > 16) {
+      return Status::ResourceExhausted(
+          "VerifyLtlFo: too many undetermined propositions per guard");
+    }
+    for (uint32_t assignment = 0;
+         assignment < (uint32_t{1} << undetermined.size()); ++assignment) {
+      TypeBuilder builder(2 * k, a.schema().num_constants());
+      builder.AddAll(t.guard);
+      bool feasible = true;
+      for (size_t i = 0; i < undetermined.size() && feasible; ++i) {
+        bool sign = (assignment >> i) & 1;
+        Status status = AddFormulaAsLiterals(
+            builder, propositions[undetermined[i]], sign, k);
+        if (status.code() == StatusCode::kFailedPrecondition) {
+          feasible = false;
+        } else if (!status.ok()) {
+          return status;
+        }
+      }
+      if (!feasible) continue;
+      Result<Type> guard = builder.Build();
+      if (!guard.ok()) continue;  // contradictory branch
+      // The branch may still leave a proposition undetermined (e.g. an
+      // inequality added as ≠ between classes the relational atoms don't
+      // mention); re-check and skip such branches defensively.
+      bool decided = true;
+      for (size_t i = 0; i < undetermined.size() && decided; ++i) {
+        decided =
+            EvaluateOnCompleteType(propositions[undetermined[i]], *guard)
+                .ok();
+      }
+      if (!decided) {
+        return Status::Internal(
+            "VerifyLtlFo: proposition still undetermined after refinement");
+      }
+      refined.AddTransition(t.from, std::move(guard).value(), t.to);
+    }
+  }
+  ExtendedAutomaton out(std::move(refined));
+  for (const GlobalConstraint& c : era.constraints()) {
+    RAV_RETURN_IF_ERROR(
+        out.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa, c.description));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
+                                       const LtlFoProperty& property,
+                                       const VerificationOptions& options) {
+  (void)options.max_completed_transitions;
+  // 1. Refine the automaton so each control symbol decides every
+  //    proposition (targeted splitting instead of full completion).
+  RAV_ASSIGN_OR_RETURN(ExtendedAutomaton refined,
+                       RefineForPropositions(era, property.propositions));
+  const ExtendedAutomaton* subject = &refined;
+  const RegisterAutomaton& a = subject->automaton();
+  ControlAlphabet alphabet(a);
+
+  // 2. Truth of each proposition per control symbol.
+  const int num_props = static_cast<int>(property.propositions.size());
+  if (property.formula.MaxApIndex() >= num_props) {
+    return Status::InvalidArgument(
+        "VerifyLtlFo: formula references an uninterpreted proposition");
+  }
+  std::vector<uint32_t> ap_mask(alphabet.size(), 0);
+  for (int s = 0; s < alphabet.size(); ++s) {
+    for (int p = 0; p < num_props; ++p) {
+      RAV_ASSIGN_OR_RETURN(
+          bool truth,
+          EvaluateOnCompleteType(property.propositions[p],
+                                 alphabet.guard_of(s)));
+      if (truth) ap_mask[s] |= uint32_t{1} << p;
+    }
+  }
+
+  // 3. Büchi automaton of ¬φ over AP valuations.
+  RAV_ASSIGN_OR_RETURN(
+      LtlAutomaton neg,
+      LtlToNba(LtlFormula::Not(property.formula), num_props));
+
+  // 4. Product with SControl over the control alphabet.
+  Nba scontrol = BuildSControlNba(a, alphabet);
+  GeneralizedNba product(alphabet.size(), 2);
+  std::map<std::pair<int, int>, int> ids;
+  std::vector<std::pair<int, int>> pairs;
+  std::queue<int> work;
+  auto intern = [&](int sc, int lt) {
+    auto key = std::make_pair(sc, lt);
+    auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    int id = product.AddState();
+    ids.emplace(key, id);
+    pairs.push_back(key);
+    if (scontrol.IsAccepting(sc)) product.AddToAcceptSet(0, id);
+    if (neg.nba.IsAccepting(lt)) product.AddToAcceptSet(1, id);
+    work.push(id);
+    return id;
+  };
+  for (int sc : scontrol.initial()) {
+    for (int lt : neg.nba.initial()) {
+      product.SetInitial(intern(sc, lt));
+    }
+  }
+  while (!work.empty()) {
+    int id = work.front();
+    work.pop();
+    auto [sc, lt] = pairs[id];
+    for (const auto& [symbol, sc2] : scontrol.TransitionsFrom(sc)) {
+      for (const auto& [ap, lt2] : neg.nba.TransitionsFrom(lt)) {
+        if (static_cast<uint32_t>(ap) != ap_mask[symbol]) continue;
+        product.AddTransition(id, symbol, intern(sc2, lt2));
+      }
+    }
+  }
+  Nba product_nba = product.Degeneralize();
+
+  // 5. Search for a constraint-consistent counterexample lasso.
+  EraEmptinessResult search = SearchConsistentLasso(
+      *subject, alphabet, product_nba, options.emptiness);
+
+  VerificationResult out;
+  out.holds = !search.nonempty;
+  out.search_truncated = search.search_truncated;
+  if (search.nonempty) out.counterexample = search.control_word;
+  out.ltl_closure_size = neg.closure_size;
+  out.ltl_nba_states = neg.nba.num_states();
+  out.product_states = product_nba.num_states();
+  out.lassos_tried = search.lassos_tried;
+  return out;
+}
+
+ExtendedAutomaton AddGlobalVariableRegisters(const ExtendedAutomaton& era,
+                                             int count) {
+  const RegisterAutomaton& a = era.automaton();
+  const int k = a.num_registers();
+  const int k_new = k + count;
+  RegisterAutomaton b(k_new, a.schema());
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    StateId id = b.AddState(a.state_name(s));
+    RAV_CHECK_EQ(id, s);
+    b.SetInitial(s, a.IsInitial(s));
+    b.SetFinal(s, a.IsFinal(s));
+  }
+  for (int ti = 0; ti < a.num_transitions(); ++ti) {
+    const RaTransition& t = a.transition(ti);
+    TypeBuilder builder(2 * k_new, a.schema().num_constants());
+    builder.AddAll(EmbedTransition(t.guard, k, k_new));
+    for (int r = k; r < k_new; ++r) {
+      builder.AddEq(r, k_new + r);  // x_r = y_r: the value never changes
+    }
+    Result<Type> guard = builder.Build();
+    RAV_CHECK(guard.ok());
+    b.AddTransition(t.from, std::move(guard).value(), t.to);
+  }
+  ExtendedAutomaton out(std::move(b));
+  for (const GlobalConstraint& c : era.constraints()) {
+    Status s = out.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa,
+                                    c.description);
+    RAV_CHECK(s.ok());
+  }
+  return out;
+}
+
+}  // namespace rav

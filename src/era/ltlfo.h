@@ -1,0 +1,73 @@
+#ifndef RAV_ERA_LTLFO_H_
+#define RAV_ERA_LTLFO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "era/emptiness.h"
+#include "era/extended_automaton.h"
+#include "ltl/ltl.h"
+#include "relational/formula.h"
+
+namespace rav {
+
+// An LTL-FO sentence ∀z̄ φ_f (Definition 11) without global variables
+// (they are eliminated by adding constant registers — see
+// AddGlobalVariableRegisters): an LTL formula whose propositions are
+// interpreted by quantifier-free FO formulas over x̄ ∪ ȳ and the schema's
+// constants. Proposition p of `formula` is interpreted by
+// `propositions[p]`.
+struct LtlFoProperty {
+  LtlFormula formula = LtlFormula::True();
+  std::vector<Formula> propositions;
+  std::vector<std::string> proposition_names;  // optional, same length
+};
+
+struct VerificationOptions {
+  EraEmptinessOptions emptiness;
+  // Retained for compatibility; the verifier no longer completes the
+  // automaton (it refines guards per proposition instead, which is
+  // polynomial in the automaton for a fixed property).
+  size_t max_completed_transitions = 1u << 20;
+};
+
+struct VerificationResult {
+  // The property holds on every run (within the counterexample search
+  // bound when search_truncated is set).
+  bool holds = false;
+  bool search_truncated = false;
+  // When the property fails: a counterexample control lasso of the
+  // completed automaton.
+  std::optional<LassoWord> counterexample;
+  // Statistics (benchmark E8).
+  int ltl_closure_size = 0;
+  int ltl_nba_states = 0;
+  int product_states = 0;
+  size_t lassos_tried = 0;
+};
+
+// Theorem 12: decides 𝒜 ⊨ φ_f for an extended automaton. The procedure
+// refines every transition guard until it decides each proposition
+// (splitting on the undetermined ones — the targeted alternative to the
+// paper's full completion, exponentially cheaper on relational schemas),
+// translates ¬φ into a Büchi automaton over AP valuations, products it
+// with SControl(𝒜), and searches the product for a constraint-consistent
+// accepting lasso — a counterexample run. Propositions must be literals
+// or positive conjunctions of literals (Unimplemented otherwise).
+Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
+                                       const LtlFoProperty& property,
+                                       const VerificationOptions& options = {});
+
+// Helper for the global variables ∀z̄ of Definition 11: returns an
+// extended automaton with `count` extra registers that every transition
+// propagates unchanged (x_r = y_r), so each run fixes a valuation of z̄.
+// Propositions may then reference z̄ᵢ as variable index 2·k' + ...; use
+// GlobalVariableTermIndex for the mapping.
+ExtendedAutomaton AddGlobalVariableRegisters(const ExtendedAutomaton& era,
+                                             int count);
+
+}  // namespace rav
+
+#endif  // RAV_ERA_LTLFO_H_

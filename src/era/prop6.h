@@ -1,0 +1,43 @@
+#ifndef RAV_ERA_PROP6_H_
+#define RAV_ERA_PROP6_H_
+
+#include "base/status.h"
+#include "era/extended_automaton.h"
+
+namespace rav {
+
+// Options of the Proposition 6 construction.
+struct Prop6Options {
+  size_t max_states = 100000;
+  size_t max_transitions = 500000;
+};
+
+// Statistics reported alongside the construction (benchmark E5).
+struct Prop6Stats {
+  int registers_before = 0;
+  int registers_after = 0;
+  int states_before = 0;
+  int states_after = 0;
+  int transitions_before = 0;
+  int transitions_after = 0;
+};
+
+// Proposition 6: global *equality* constraints can be compiled away using
+// extra registers. Returns an extended automaton B with
+//   k' = k + Σ_c |DFA states of c|      registers,
+// no equality constraints, and the original inequality constraints lifted
+// to B's states, such that Π_k(Reg(D, B)) = Reg(D, A) for every database.
+//
+// The construction tracks, per equality constraint, which DFA states
+// currently carry an obligated source value ("on" registers) and which
+// DFA states belong to sources that guessed "no future match" and must
+// therefore never reach an accepting state ("dead" states). Guesses are
+// resolved nondeterministically at every position, exactly as in the
+// paper's proof.
+Result<ExtendedAutomaton> EliminateEqualityConstraints(
+    const ExtendedAutomaton& era, Prop6Stats* stats = nullptr,
+    const Prop6Options& options = {});
+
+}  // namespace rav
+
+#endif  // RAV_ERA_PROP6_H_

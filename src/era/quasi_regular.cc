@@ -1,0 +1,54 @@
+#include "era/quasi_regular.h"
+
+namespace rav {
+
+Result<QuasiRegularControl> QuasiRegularControl::Build(
+    const ExtendedAutomaton& era) {
+  if (!era.automaton().IsComplete()) {
+    return Status::FailedPrecondition(
+        "QuasiRegularControl: automaton must be complete (Theorem 9's "
+        "standing assumption; use Completed() first)");
+  }
+  QuasiRegularControl out;
+  out.era_ = std::make_shared<const ExtendedAutomaton>(era);
+  out.alphabet_ =
+      std::make_shared<const ControlAlphabet>(out.era_->automaton());
+  out.scontrol_ = std::make_shared<const Nba>(
+      BuildSControlNba(out.era_->automaton(), *out.alphabet_));
+  return out;
+}
+
+QuasiRegularControl::Verdict QuasiRegularControl::Contains(
+    const LassoWord& control_word, size_t pump) const {
+  Verdict verdict;
+  for (int symbol : control_word.prefix) {
+    if (symbol < 0 || symbol >= alphabet_->size()) return verdict;
+  }
+  for (int symbol : control_word.cycle) {
+    if (symbol < 0 || symbol >= alphabet_->size()) return verdict;
+  }
+  verdict.in_scontrol = scontrol_->AcceptsLasso(control_word);
+  if (!verdict.in_scontrol) return verdict;
+
+  if (pump == 0) pump = SuggestedPumpCount(*era_);
+  const size_t window =
+      control_word.prefix.size() + control_word.cycle.size() * pump;
+  ConstraintClosure closure(*era_, *alphabet_, control_word, window);
+  verdict.closure_consistent = closure.consistent();
+  if (!verdict.closure_consistent) return verdict;
+
+  verdict.clique = closure.AdomCliqueNumber();
+  if (era_->automaton().schema().num_relations() == 0) {
+    // No database: the clique condition is vacuous.
+    verdict.clique_bounded = true;
+    return verdict;
+  }
+  ConstraintClosure wider(*era_, *alphabet_, control_word,
+                          window + control_word.cycle.size());
+  int wider_clique = wider.AdomCliqueNumber();
+  verdict.clique_bounded =
+      verdict.clique < 0 || wider_clique < 0 || wider_clique <= verdict.clique;
+  return verdict;
+}
+
+}  // namespace rav

@@ -1,0 +1,60 @@
+#ifndef RAV_ERA_QUASI_REGULAR_H_
+#define RAV_ERA_QUASI_REGULAR_H_
+
+#include <memory>
+
+#include "base/status.h"
+#include "era/constraint_graph.h"
+#include "era/extended_automaton.h"
+#include "ra/control.h"
+
+namespace rav {
+
+// Theorem 9 as a first-class object: the quasi-regular characterization of
+// Control(𝒜) for an extended automaton. The paper expresses membership as
+//   w ∈ SControl(A)  ∧  ∃N. every clique of G_w has size < N
+// (a quasi-regular condition in Bojańczyk's sense). For ultimately
+// periodic words this class makes the three conjuncts effective:
+//   1. ω-regular membership in the SControl Büchi automaton,
+//   2. consistency of the ~_w closure on a pumped window,
+//   3. boundedness of the adom-class clique (detected by comparing the
+//      clique across two window sizes, the Example 8 guard).
+//
+// The automaton part must be complete (completeness makes control symbols
+// carry full types, Theorem 9's standing assumption).
+class QuasiRegularControl {
+ public:
+  // Takes a snapshot of the automaton; `era` need not outlive the object.
+  static Result<QuasiRegularControl> Build(const ExtendedAutomaton& era);
+
+  // The verdict for one ultimately periodic control word, with the
+  // evidence that produced it.
+  struct Verdict {
+    bool in_scontrol = false;
+    bool closure_consistent = false;
+    bool clique_bounded = false;
+    int clique = -1;  // clique of G_w on the checked window (-1: skipped)
+    bool member() const {
+      return in_scontrol && closure_consistent && clique_bounded;
+    }
+  };
+
+  // Membership of u·v^ω (of control-alphabet symbols) in Control(𝒜).
+  // `pump` = 0 uses SuggestedPumpCount.
+  Verdict Contains(const LassoWord& control_word, size_t pump = 0) const;
+
+  const ControlAlphabet& alphabet() const { return *alphabet_; }
+  const Nba& scontrol_nba() const { return *scontrol_; }
+
+ private:
+  QuasiRegularControl() = default;
+
+  // Shared pointers keep the object cheaply copyable (Result<T> moves).
+  std::shared_ptr<const ExtendedAutomaton> era_;
+  std::shared_ptr<const ControlAlphabet> alphabet_;
+  std::shared_ptr<const Nba> scontrol_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_ERA_QUASI_REGULAR_H_

@@ -1,0 +1,40 @@
+#ifndef RAV_ERA_RUN_CHECK_H_
+#define RAV_ERA_RUN_CHECK_H_
+
+#include "base/status.h"
+#include "era/extended_automaton.h"
+#include "ra/run.h"
+#include "relational/database.h"
+
+namespace rav {
+
+// Checks every global constraint of `era` on the positions of a finite
+// run prefix: for all n ≤ m < length with q_n...q_m ∈ L(e), the value
+// (in)equality must hold. A violation found on a prefix is a genuine
+// violation of any infinite extension; absence of violations on a prefix
+// is of course not a proof for the extension.
+Status CheckFiniteRunConstraints(const ExtendedAutomaton& era,
+                                 const FiniteRun& run);
+
+// Full validity of a finite run prefix of an extended automaton:
+// underlying-automaton validity plus the constraints.
+Status ValidateEraRunPrefix(const ExtendedAutomaton& era, const Database& db,
+                            const FiniteRun& run,
+                            bool require_initial = true);
+
+// Checks every global constraint on the infinite unrolling of a lasso
+// run. The check is exact: because both the values and the DFA states are
+// ultimately periodic, it suffices to examine source positions n in the
+// spine and target positions m within n + spine + 2·period·|dfa| (beyond
+// that window, (DFA state, value, phase) triples repeat).
+Status CheckLassoRunConstraints(const ExtendedAutomaton& era,
+                                const LassoRun& run);
+
+// Full validity of a lasso run of an extended automaton: underlying
+// validity (including Büchi) plus the constraints on the unrolling.
+Status ValidateEraLassoRun(const ExtendedAutomaton& era, const Database& db,
+                           const LassoRun& run);
+
+}  // namespace rav
+
+#endif  // RAV_ERA_RUN_CHECK_H_

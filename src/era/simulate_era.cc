@@ -1,0 +1,46 @@
+#include "era/simulate_era.h"
+
+#include "era/run_check.h"
+
+namespace rav {
+
+namespace {
+
+// Overwrites target positions of equality constraints with their source
+// values. May break transition guards; the caller re-validates.
+void RepairEqualities(const ExtendedAutomaton& era, FiniteRun& run) {
+  for (const GlobalConstraint& c : era.constraints()) {
+    if (!c.is_equality) continue;
+    for (size_t n = 0; n < run.length(); ++n) {
+      int state = c.dfa.initial();
+      for (size_t m = n; m < run.length(); ++m) {
+        state = c.dfa.Next(state, run.states[m]);
+        if (c.dfa.IsAccepting(state)) {
+          run.values[m][c.j] = run.values[n][c.i];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<FiniteRun> SampleEraRun(const ExtendedAutomaton& era,
+                                      const Database& db, size_t length,
+                                      std::mt19937& rng,
+                                      const SimulateOptions& options,
+                                      int max_rejections) {
+  for (int attempt = 0; attempt < max_rejections; ++attempt) {
+    std::optional<FiniteRun> run =
+        SampleRun(era.automaton(), db, length, rng, options);
+    if (!run.has_value()) continue;
+    if (ValidateEraRunPrefix(era, db, *run).ok()) return run;
+    // Try an equality repair before giving up on this proposal.
+    FiniteRun repaired = *run;
+    RepairEqualities(era, repaired);
+    if (ValidateEraRunPrefix(era, db, repaired).ok()) return repaired;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rav

@@ -1,0 +1,29 @@
+#ifndef RAV_ERA_SIMULATE_ERA_H_
+#define RAV_ERA_SIMULATE_ERA_H_
+
+#include <optional>
+#include <random>
+
+#include "era/extended_automaton.h"
+#include "ra/run.h"
+#include "ra/simulate.h"
+#include "relational/database.h"
+
+namespace rav {
+
+// Randomized generation of constraint-satisfying run prefixes of an
+// extended automaton: the underlying sampler proposes runs; prefixes
+// violating a global constraint are rejected and re-drawn. With equality
+// constraints the sampler also *repairs* proposals where possible, by
+// overwriting each constrained target position with the source value
+// before the validity check — which makes constraints like Example 5's
+// recurring-value pattern samplable in practice rather than by luck.
+std::optional<FiniteRun> SampleEraRun(const ExtendedAutomaton& era,
+                                      const Database& db, size_t length,
+                                      std::mt19937& rng,
+                                      const SimulateOptions& options = {},
+                                      int max_rejections = 64);
+
+}  // namespace rav
+
+#endif  // RAV_ERA_SIMULATE_ERA_H_

@@ -1,0 +1,54 @@
+#ifndef RAV_IO_TEXT_FORMAT_H_
+#define RAV_IO_TEXT_FORMAT_H_
+
+#include <string>
+
+#include "base/status.h"
+#include "enhanced/enhanced_automaton.h"
+#include "era/extended_automaton.h"
+#include "ra/register_automaton.h"
+
+namespace rav {
+
+// A human-readable textual format for (extended) register automata, so
+// that automata can live in files, tests, and the command-line tool.
+//
+//   automaton {
+//     registers 2
+//     schema { relation E/2  relation U/1  constant c }
+//     state q1 initial final
+//     state q2
+//     transition q1 -> q2 { x1 = x2  x2 = y2  E(x2, x1)  !U(y1) }
+//     transition q2 -> q2 { x2 = y2  x1 != c }
+//     constraint eq  1 1 "q1 q2* q1"
+//     constraint neq 1 1 "q1 q1"
+//   }
+//
+// Notes:
+//   * literals inside { } are separated by whitespace; `x<i>`/`y<i>` are
+//     register variables (1-based), bare identifiers are constants;
+//   * `=` / `!=` between terms; `R(t, ...)` / `!R(t, ...)` for relations;
+//   * `constraint eq|neq i j "<regex over state names>"` attaches a
+//     global constraint (making the result an extended automaton).
+Result<ExtendedAutomaton> ParseExtendedAutomaton(const std::string& text);
+
+// Convenience: parse and require that no constraints were declared.
+Result<RegisterAutomaton> ParseRegisterAutomaton(const std::string& text);
+
+// Round-trippable rendering of an automaton in the format above.
+std::string ToTextFormat(const RegisterAutomaton& automaton);
+std::string ToTextFormat(const ExtendedAutomaton& era);
+
+// Graphviz rendering of the transition structure (guards as edge labels).
+std::string ToGraphviz(const RegisterAutomaton& automaton);
+
+// Human-readable rendering of an enhanced automaton (Section 6). The
+// equality constraints render like extended-automaton constraints;
+// tuple-inequality and finiteness constraints are rendered as annotated
+// comment blocks (their pair/selector DFAs serialized to regexes) — the
+// text-format grammar does not parse them back.
+std::string ToTextFormat(const EnhancedAutomaton& enhanced);
+
+}  // namespace rav
+
+#endif  // RAV_IO_TEXT_FORMAT_H_

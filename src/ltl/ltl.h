@@ -1,0 +1,86 @@
+#ifndef RAV_LTL_LTL_H_
+#define RAV_LTL_LTL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace rav {
+
+// Linear-time temporal logic over atomic propositions identified by dense
+// indices. Propositions are abstract here; LTL-FO (Definition 11 of the
+// paper) instantiates them with quantifier-free FO formulas over the
+// registers — see era/ltlfo.h.
+//
+// Concrete syntax accepted by Parse:
+//   f := 'true' | 'false' | ident
+//      | '!' f | 'G' f | 'F' f | 'X' f
+//      | f 'U' f | f 'R' f           (right-associative)
+//      | f '&' f | f '|' f | f '->' f
+//      | '(' f ')'
+// Precedence (loosest to tightest): -> , | , & , U/R , unary.
+class LtlFormula {
+ public:
+  enum class Op {
+    kTrue, kFalse, kAp, kNot, kAnd, kOr, kImplies,
+    kNext, kUntil, kRelease, kEventually, kGlobally,
+  };
+
+  static LtlFormula True();
+  static LtlFormula False();
+  static LtlFormula Ap(int index);
+  static LtlFormula Not(LtlFormula f);
+  static LtlFormula And(LtlFormula a, LtlFormula b);
+  static LtlFormula Or(LtlFormula a, LtlFormula b);
+  static LtlFormula Implies(LtlFormula a, LtlFormula b);
+  static LtlFormula Next(LtlFormula f);
+  static LtlFormula Until(LtlFormula a, LtlFormula b);
+  static LtlFormula Release(LtlFormula a, LtlFormula b);
+  static LtlFormula Eventually(LtlFormula f);
+  static LtlFormula Globally(LtlFormula f);
+
+  // Parses the concrete syntax; `resolve` maps proposition identifiers to
+  // indices (negative = unknown identifier, a parse error).
+  static Result<LtlFormula> Parse(
+      const std::string& text,
+      const std::function<int(const std::string&)>& resolve);
+
+  Op op() const { return node_->op; }
+  int ap_index() const { return node_->ap_index; }
+  const LtlFormula& left() const { return *node_->left; }
+  const LtlFormula& right() const { return *node_->right; }
+
+  // Largest proposition index used, or -1.
+  int MaxApIndex() const;
+
+  // Evaluates the formula on the ultimately periodic valuation sequence
+  // (σ_i)_{i≥0} where σ_i is given by `ap_mask_at(i)` (bit p set = AP p
+  // true), with period data (prefix_len, cycle_len) describing when the
+  // sequence repeats. Used by tests as an independent oracle for the
+  // tableau translation.
+  bool EvalOnLasso(const std::function<uint64_t(size_t)>& ap_mask_at,
+                   size_t prefix_len, size_t cycle_len) const;
+
+  std::string ToString(
+      const std::function<std::string(int)>& ap_name) const;
+
+ private:
+  struct Node {
+    Op op;
+    int ap_index = -1;
+    std::shared_ptr<const LtlFormula> left;
+    std::shared_ptr<const LtlFormula> right;
+  };
+
+  explicit LtlFormula(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_LTL_LTL_H_

@@ -1,0 +1,214 @@
+#include "ltl/tableau.h"
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace rav {
+
+namespace {
+
+// Core formula representation for the tableau: LTL is rewritten into the
+// adequate fragment {true, AP, ¬, ∧, X, U} with interning, so that the
+// closure is a dense array of small nodes indexed by id.
+struct CoreNode {
+  enum class Op { kTrue, kAp, kNot, kAnd, kNext, kUntil };
+  Op op;
+  int ap = -1;
+  int left = -1;
+  int right = -1;
+};
+
+class CoreArena {
+ public:
+  int True() { return Intern({CoreNode::Op::kTrue, -1, -1, -1}); }
+  int Ap(int p) { return Intern({CoreNode::Op::kAp, p, -1, -1}); }
+  int Not(int f) {
+    // ¬¬f = f keeps the closure small.
+    if (nodes_[f].op == CoreNode::Op::kNot) return nodes_[f].left;
+    return Intern({CoreNode::Op::kNot, -1, f, -1});
+  }
+  int And(int a, int b) { return Intern({CoreNode::Op::kAnd, -1, a, b}); }
+  int Next(int f) { return Intern({CoreNode::Op::kNext, -1, f, -1}); }
+  int Until(int a, int b) { return Intern({CoreNode::Op::kUntil, -1, a, b}); }
+
+  const CoreNode& node(int id) const { return nodes_[id]; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  int Intern(CoreNode n) {
+    auto key = std::make_tuple(static_cast<int>(n.op), n.ap, n.left, n.right);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(n);
+    ids_.emplace(key, id);
+    return id;
+  }
+
+  std::vector<CoreNode> nodes_;
+  std::map<std::tuple<int, int, int, int>, int> ids_;
+};
+
+int Rewrite(const LtlFormula& f, CoreArena& arena) {
+  using Op = LtlFormula::Op;
+  switch (f.op()) {
+    case Op::kTrue:
+      return arena.True();
+    case Op::kFalse:
+      return arena.Not(arena.True());
+    case Op::kAp:
+      return arena.Ap(f.ap_index());
+    case Op::kNot:
+      return arena.Not(Rewrite(f.left(), arena));
+    case Op::kAnd:
+      return arena.And(Rewrite(f.left(), arena), Rewrite(f.right(), arena));
+    case Op::kOr:
+      return arena.Not(arena.And(arena.Not(Rewrite(f.left(), arena)),
+                                 arena.Not(Rewrite(f.right(), arena))));
+    case Op::kImplies:
+      return arena.Not(arena.And(Rewrite(f.left(), arena),
+                                 arena.Not(Rewrite(f.right(), arena))));
+    case Op::kNext:
+      return arena.Next(Rewrite(f.left(), arena));
+    case Op::kUntil:
+      return arena.Until(Rewrite(f.left(), arena), Rewrite(f.right(), arena));
+    case Op::kRelease:
+      return arena.Not(arena.Until(arena.Not(Rewrite(f.left(), arena)),
+                                   arena.Not(Rewrite(f.right(), arena))));
+    case Op::kEventually:
+      return arena.Until(arena.True(), Rewrite(f.left(), arena));
+    case Op::kGlobally:
+      return arena.Not(
+          arena.Until(arena.True(), arena.Not(Rewrite(f.left(), arena))));
+  }
+  RAV_CHECK(false);
+  return -1;
+}
+
+constexpr int kMaxClosure = 20;
+constexpr int kMaxAps = 16;
+
+}  // namespace
+
+Result<LtlAutomaton> LtlToNba(const LtlFormula& formula, int num_aps) {
+  if (num_aps < 0) num_aps = formula.MaxApIndex() + 1;
+  if (num_aps > kMaxAps) {
+    return Status::ResourceExhausted("LtlToNba: too many propositions");
+  }
+  CoreArena arena;
+  const int root = Rewrite(formula, arena);
+  const int c = arena.size();
+  if (c > kMaxClosure) {
+    return Status::ResourceExhausted("LtlToNba: closure too large (" +
+                                     std::to_string(c) + " formulas)");
+  }
+
+  using Mask = uint32_t;
+  auto has = [](Mask m, int id) { return (m >> id) & 1u; };
+
+  // Enumerate the elementary (locally consistent) formula sets.
+  std::vector<Mask> states;
+  for (Mask m = 0; m < (Mask{1} << c); ++m) {
+    bool ok = true;
+    for (int id = 0; id < c && ok; ++id) {
+      const CoreNode& n = arena.node(id);
+      switch (n.op) {
+        case CoreNode::Op::kTrue:
+          ok = has(m, id);
+          break;
+        case CoreNode::Op::kNot:
+          ok = has(m, id) != has(m, n.left);
+          break;
+        case CoreNode::Op::kAnd:
+          ok = has(m, id) == (has(m, n.left) && has(m, n.right));
+          break;
+        case CoreNode::Op::kUntil:
+          // Local expansion constraints: r ⇒ U; U ∧ ¬r ⇒ l.
+          if (has(m, n.right) && !has(m, id)) ok = false;
+          if (has(m, id) && !has(m, n.right) && !has(m, n.left)) ok = false;
+          break;
+        default:
+          break;
+      }
+    }
+    if (ok) states.push_back(m);
+  }
+
+  // Collect the Until formulas (one GNBA acceptance set each) and the AP /
+  // Next formulas.
+  std::vector<int> untils;
+  std::vector<int> nexts;
+  std::vector<std::pair<int, int>> aps;  // (closure id, ap index)
+  for (int id = 0; id < c; ++id) {
+    const CoreNode& n = arena.node(id);
+    if (n.op == CoreNode::Op::kUntil) untils.push_back(id);
+    if (n.op == CoreNode::Op::kNext) nexts.push_back(id);
+    if (n.op == CoreNode::Op::kAp) aps.emplace_back(id, n.ap);
+  }
+
+  GeneralizedNba gnba(1 << num_aps, static_cast<int>(untils.size()));
+  for (size_t i = 0; i < states.size(); ++i) {
+    int s = gnba.AddState();
+    RAV_CHECK_EQ(s, static_cast<int>(i));
+    Mask m = states[i];
+    for (size_t u = 0; u < untils.size(); ++u) {
+      const CoreNode& n = arena.node(untils[u]);
+      if (!has(m, untils[u]) || has(m, n.right)) {
+        gnba.AddToAcceptSet(static_cast<int>(u), s);
+      }
+    }
+    if (has(m, root)) gnba.SetInitial(s);
+  }
+
+  // Transition constraints of each source state on the successor mask.
+  for (size_t i = 0; i < states.size(); ++i) {
+    Mask m = states[i];
+    Mask required = 0;
+    Mask forbidden = 0;
+    for (int id : nexts) {
+      const CoreNode& n = arena.node(id);
+      if (has(m, id)) {
+        required |= Mask{1} << n.left;
+      } else {
+        forbidden |= Mask{1} << n.left;
+      }
+    }
+    for (int id : untils) {
+      const CoreNode& n = arena.node(id);
+      if (has(m, id) && !has(m, n.right)) required |= Mask{1} << id;
+      if (!has(m, id) && has(m, n.left)) forbidden |= Mask{1} << id;
+    }
+    // Alphabet symbols compatible with the source state's AP claims.
+    uint32_t fixed_bits = 0;
+    uint32_t fixed_values = 0;
+    for (const auto& [id, p] : aps) {
+      fixed_bits |= uint32_t{1} << p;
+      if (has(m, id)) fixed_values |= uint32_t{1} << p;
+    }
+    for (size_t j = 0; j < states.size(); ++j) {
+      Mask m2 = states[j];
+      if ((m2 & required) != required || (m2 & forbidden) != 0) continue;
+      for (uint32_t a = 0; a < (uint32_t{1} << num_aps); ++a) {
+        if ((a & fixed_bits) != fixed_values) continue;
+        gnba.AddTransition(static_cast<int>(i), static_cast<int>(a),
+                           static_cast<int>(j));
+      }
+    }
+  }
+
+  LtlAutomaton out{gnba.Degeneralize(), num_aps, c,
+                   static_cast<int>(states.size())};
+  return out;
+}
+
+Result<std::optional<LassoWord>> LtlSatisfiableWitness(
+    const LtlFormula& formula, int num_aps) {
+  RAV_ASSIGN_OR_RETURN(LtlAutomaton aut, LtlToNba(formula, num_aps));
+  return aut.nba.FindAcceptingLasso();
+}
+
+}  // namespace rav

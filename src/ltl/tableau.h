@@ -1,0 +1,37 @@
+#ifndef RAV_LTL_TABLEAU_H_
+#define RAV_LTL_TABLEAU_H_
+
+#include "automata/nba.h"
+#include "base/status.h"
+#include "ltl/ltl.h"
+
+namespace rav {
+
+// Result of translating an LTL formula into a Büchi automaton. The NBA's
+// alphabet is the set of AP valuations encoded as bitmasks: symbol a has
+// bit p set iff proposition p holds, so alphabet_size = 2^num_aps.
+struct LtlAutomaton {
+  Nba nba;
+  int num_aps = 0;
+  // Statistics for the E8 benchmark.
+  int closure_size = 0;
+  int num_elementary_states = 0;
+};
+
+// Classic declarative tableau translation (elementary-set construction):
+// the returned NBA accepts exactly the AP-valuation ω-words satisfying
+// `formula`. `num_aps` fixes the alphabet; pass -1 to use
+// formula.MaxApIndex() + 1. Fails with ResourceExhausted when the closure
+// exceeds 20 formulas or num_aps exceeds 16 (the construction is
+// exponential; the paper's verification results are about decidability,
+// not complexity).
+Result<LtlAutomaton> LtlToNba(const LtlFormula& formula, int num_aps = -1);
+
+// Satisfiability of an LTL formula over AP ω-words, with a witness lasso
+// of AP bitmask symbols when satisfiable.
+Result<std::optional<LassoWord>> LtlSatisfiableWitness(
+    const LtlFormula& formula, int num_aps = -1);
+
+}  // namespace rav
+
+#endif  // RAV_LTL_TABLEAU_H_

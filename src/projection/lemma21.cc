@@ -1,0 +1,165 @@
+#include "projection/lemma21.h"
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace rav {
+
+namespace {
+
+// Propagation state: the "equal to source" wavefront S and the "distinct
+// from source" set D, over slots [0, k) = registers and [k, k + consts) =
+// constant symbols (a constant slot persists forever once entered: the
+// constant's value is global to the run).
+struct Wavefront {
+  uint64_t equal = 0;
+  uint64_t distinct = 0;
+  int prev_state = -1;  // the symbol read at the previous position
+  auto operator<=>(const Wavefront&) const = default;
+};
+
+}  // namespace
+
+Result<PropagationAutomata> PropagationAutomata::Build(
+    const RegisterAutomaton& a) {
+  // Note: a non-empty relational signature is allowed — the propagation
+  // only consults equality literals. (Lemma 21 is stated for automata
+  // without a database; Theorem 24 reuses the same equality expressions
+  // for automata with one.)
+  if (!a.IsStateDriven()) {
+    return Status::FailedPrecondition(
+        "PropagationAutomata: automaton must be state-driven");
+  }
+  const int k = a.num_registers();
+  const int num_constants = a.schema().num_constants();
+  const int slots = k + num_constants;
+  if (slots > 60) {
+    return Status::ResourceExhausted(
+        "PropagationAutomata: too many registers/constants for the bitmask "
+        "encoding");
+  }
+
+  // The unique guard fired from each state (trivial type for dead ends).
+  const Type trivial(2 * k, num_constants);
+  std::vector<const Type*> guard_of(a.num_states(), &trivial);
+  for (int ti = 0; ti < a.num_transitions(); ++ti) {
+    const RaTransition& t = a.transition(ti);
+    guard_of[t.from] = &t.guard;
+  }
+
+  // Element helpers within a transition type (2k vars + constants).
+  auto x_elem = [&](int slot) {
+    return slot < k ? slot : 2 * k + (slot - k);
+  };
+  auto y_elem = [&](int slot) {
+    return slot < k ? k + slot : 2 * k + (slot - k);
+  };
+
+  PropagationAutomata out;
+  out.k_ = k;
+
+  for (int i = 0; i < k; ++i) {
+    // Explore the reachable wavefront states for source register i.
+    std::map<Wavefront, int> ids;
+    std::vector<Wavefront> fronts;
+    // id 0 is the dedicated start state (before reading the first symbol).
+    std::vector<std::vector<int>> table;  // [id][symbol] -> id
+    auto intern = [&](const Wavefront& w) {
+      auto it = ids.find(w);
+      if (it != ids.end()) return it->second + 1;  // ids shift by 1 (start=0)
+      int id = static_cast<int>(fronts.size());
+      ids.emplace(w, id);
+      fronts.push_back(w);
+      return id + 1;
+    };
+
+    // Start transitions: reading the first symbol q at position a seeds S
+    // and D from the x̄-part of q's type.
+    std::vector<int> start_row(a.num_states());
+    for (StateId q = 0; q < a.num_states(); ++q) {
+      const Type& g = *guard_of[q];
+      Wavefront w;
+      w.prev_state = q;
+      for (int slot = 0; slot < slots; ++slot) {
+        if (g.AreEqual(x_elem(i), x_elem(slot))) {
+          w.equal |= uint64_t{1} << slot;
+        } else if (g.AreDistinct(x_elem(i), x_elem(slot))) {
+          w.distinct |= uint64_t{1} << slot;
+        }
+      }
+      start_row[q] = intern(w);
+    }
+
+    // Saturate.
+    for (size_t front_index = 0; front_index < fronts.size(); ++front_index) {
+      Wavefront current = fronts[front_index];
+      std::vector<int> row(a.num_states());
+      const Type& g = *guard_of[current.prev_state];
+      for (StateId q = 0; q < a.num_states(); ++q) {
+        Wavefront next;
+        next.prev_state = q;
+        for (int slot = 0; slot < slots; ++slot) {
+          // Constants persist.
+          if (slot >= k) {
+            if ((current.equal >> slot) & 1) next.equal |= uint64_t{1} << slot;
+            if ((current.distinct >> slot) & 1) {
+              next.distinct |= uint64_t{1} << slot;
+            }
+          }
+        }
+        for (int m = 0; m < slots; ++m) {
+          bool equal = false;
+          bool distinct = false;
+          for (int l = 0; l < slots && !(equal && distinct); ++l) {
+            bool l_equal = (current.equal >> l) & 1;
+            bool l_distinct = (current.distinct >> l) & 1;
+            if (!l_equal && !l_distinct) continue;
+            if (l_equal && g.AreEqual(x_elem(l), y_elem(m))) equal = true;
+            if (l_equal && g.AreDistinct(x_elem(l), y_elem(m))) {
+              distinct = true;
+            }
+            if (l_distinct && g.AreEqual(x_elem(l), y_elem(m))) {
+              distinct = true;
+            }
+          }
+          if (equal) next.equal |= uint64_t{1} << m;
+          if (distinct && !equal) next.distinct |= uint64_t{1} << m;
+        }
+        row[q] = intern(next);
+      }
+      table.push_back(std::move(row));
+      // `fronts` may have grown; the loop continues over new entries.
+    }
+
+    out.raw_states_per_source_ =
+        std::max(out.raw_states_per_source_, static_cast<int>(fronts.size()));
+
+    // Materialize the per-(i, j) DFAs over the shared structure.
+    const int n = static_cast<int>(fronts.size()) + 1;
+    for (int j = 0; j < k; ++j) {
+      Dfa eq(a.num_states(), n, 0);
+      Dfa neq(a.num_states(), n, 0);
+      for (StateId q = 0; q < a.num_states(); ++q) {
+        eq.SetTransition(0, q, start_row[q]);
+        neq.SetTransition(0, q, start_row[q]);
+      }
+      for (size_t s = 0; s < fronts.size(); ++s) {
+        for (StateId q = 0; q < a.num_states(); ++q) {
+          eq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
+          neq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
+        }
+        eq.SetAccepting(static_cast<int>(s) + 1,
+                        (fronts[s].equal >> j) & 1);
+        neq.SetAccepting(static_cast<int>(s) + 1,
+                         (fronts[s].distinct >> j) & 1);
+      }
+      out.eq_dfas_.push_back(eq.Minimize());
+      out.neq_dfas_.push_back(neq.Minimize());
+    }
+  }
+  return out;
+}
+
+}  // namespace rav

@@ -1,0 +1,64 @@
+#ifndef RAV_PROJECTION_LEMMA21_H_
+#define RAV_PROJECTION_LEMMA21_H_
+
+#include <vector>
+
+#include "automata/dfa.h"
+#include "base/status.h"
+#include "ra/register_automaton.h"
+
+namespace rav {
+
+// Lemma 21 of the paper: for a complete, state-driven register automaton A
+// (no relations in the schema), there are regular expressions e=ᵢⱼ and
+// e≠ᵢⱼ over the state alphabet such that for every state trace w and
+// positions a ≤ b:
+//   (a,i) ~_w (b,j)     iff   w[a..b] ∈ e=ᵢⱼ
+//   [(a,i)] ≠_w [(b,j)] iff   w[a..b] ∈ e≠ᵢⱼ
+//
+// The construction is the subset automaton sketched in the paper's proof:
+// while scanning positions a..b the automaton tracks
+//   S — the registers whose current value equals the value of register i
+//       at position a (the "equal" wavefront), and
+//   D — the registers whose current value is forced distinct from it
+//       (seeded by disequalities against S, propagated by equalities).
+// Because the automaton is state-driven, each state q determines the type
+// fired at its position, so the propagation step is a function of the
+// symbol read. Completeness makes the forced (in)equalities total, which
+// is what localizes the characterization to the factor w[a..b].
+class PropagationAutomata {
+ public:
+  // Requires a state-driven automaton. Completeness is needed for the
+  // exactness of the characterization (Lemma 21); without it the DFAs
+  // compute the explicitly-forced (in)equalities, which is the relation
+  // the non-complete constructions (Theorem 13, Theorem 24) consume.
+  // Relational literals are ignored: only the equality structure matters.
+  static Result<PropagationAutomata> Build(const RegisterAutomaton& a);
+
+  int num_registers() const { return k_; }
+
+  // DFA over the state alphabet accepting {w[a..b] : (a,i) ~ (b,j)}.
+  const Dfa& EqualityDfa(int i, int j) const {
+    return eq_dfas_[i * k_ + j];
+  }
+  // DFA accepting {w[a..b] : [(a,i)] ≠ [(b,j)]}.
+  const Dfa& InequalityDfa(int i, int j) const {
+    return neq_dfas_[i * k_ + j];
+  }
+
+  // Total DFA states across all 2k² automata before minimization — the
+  // Lemma 21 size statistic of benchmark E9.
+  int raw_states_per_source() const { return raw_states_per_source_; }
+
+ private:
+  PropagationAutomata() = default;
+
+  int k_ = 0;
+  int raw_states_per_source_ = 0;
+  std::vector<Dfa> eq_dfas_;   // [i * k + j]
+  std::vector<Dfa> neq_dfas_;  // [i * k + j]
+};
+
+}  // namespace rav
+
+#endif  // RAV_PROJECTION_LEMMA21_H_

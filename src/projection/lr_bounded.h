@@ -1,0 +1,69 @@
+#ifndef RAV_PROJECTION_LR_BOUNDED_H_
+#define RAV_PROJECTION_LR_BOUNDED_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "era/constraint_graph.h"
+#include "era/extended_automaton.h"
+#include "ra/control.h"
+
+namespace rav {
+
+// LR-boundedness (Definition 15): an extended automaton is LR-bounded if
+// some N bounds, over every control trace w and position h, the vertex
+// cover of the graph G^w_h whose edges connect inequality-related classes
+// lying entirely left of h to classes entirely right of h.
+//
+// Theorem 18 decides this with MSO + bounding quantifiers; this module
+// implements the effective sampled counterpart: enumerate consistent
+// control lassos, compute the exact minimum vertex cover of G^w_h for
+// every cut h of a pumped window (the graph is bipartite by construction,
+// so König's theorem applies: min cover = max matching), and report both
+// the largest cover seen and whether the cover keeps growing when the
+// window is pumped further — growth is the signature of a non-LR-bounded
+// automaton (Examples 16/17), stability the signature of a bounded one.
+
+struct LrBoundOptions {
+  size_t max_lassos = 64;
+  size_t max_lasso_length = 8;
+  size_t max_search_steps = 200000;
+  // Window sizes (in cycle pumps) compared for growth detection; 0 = auto
+  // (scaled to twice the largest constraint DFA so that every constraint
+  // span fits inside the smaller window).
+  size_t pump_small = 0;
+  size_t pump_large = 0;
+};
+
+struct LrBoundResult {
+  // Largest min-vertex-cover observed over all sampled (w, h) at the
+  // small pump — the best lower bound for the true N.
+  int max_cover = 0;
+  // True if some lasso's max cover strictly grew between the two pump
+  // sizes: evidence that no N exists.
+  bool growth_detected = false;
+  size_t lassos_examined = 0;
+};
+
+// Samples control lassos of the automaton (consistent ones only) and
+// measures G^w_h vertex covers. Requires no database (empty relational
+// signature), matching Section 5's setting.
+Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
+                                      const ControlAlphabet& alphabet,
+                                      const LrBoundOptions& options = {});
+
+// The exact maximum over cuts h of the minimum vertex cover of G^w_h for
+// one lasso at one window size. Exposed for tests and benchmarks.
+int MaxCutVertexCover(const ExtendedAutomaton& era,
+                      const ControlAlphabet& alphabet, const LassoWord& lasso,
+                      size_t window);
+
+// Minimum vertex cover of a bipartite graph given as edges between left
+// ids [0, n_left) and right ids [0, n_right), via maximum matching
+// (König). Exposed for tests.
+int BipartiteMinVertexCover(int n_left, int n_right,
+                            const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace rav
+
+#endif  // RAV_PROJECTION_LR_BOUNDED_H_

@@ -1,0 +1,382 @@
+#include "projection/project_era.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "era/prop6.h"
+#include "ra/transform.h"
+#include "types/type.h"
+
+namespace rav {
+
+namespace {
+
+// A pending Σ-inequality edge whose source value is being traced forward
+// ("case B" of the header comment): the constraint DFA state reached so
+// far and the set of registers currently holding the source value.
+struct PendingEdge {
+  int dfa_state = 0;
+  uint64_t carriers = 0;
+  auto operator<=>(const PendingEdge&) const = default;
+};
+
+// Composition-automaton state for one source register i.
+struct CompositionState {
+  uint64_t equal = 0;     // slots equal to the source value
+  uint64_t distinct = 0;  // slots forced distinct from it
+  int prev_state = -1;
+  // Per constraint: DFA states of runs seeded at source-connected
+  // positions ("case A"), as a bitmask.
+  std::vector<uint32_t> case_a;
+  // Per constraint: pending case-B edges.
+  std::vector<std::vector<PendingEdge>> case_b;
+  auto operator<=>(const CompositionState&) const = default;
+};
+
+}  // namespace
+
+Result<ExtendedAutomaton> ProjectExtendedAutomaton(
+    const ExtendedAutomaton& era, int m, Theorem13Stats* stats,
+    const Theorem13Options& options) {
+  if (era.automaton().schema().num_relations() > 0) {
+    return Status::InvalidArgument(
+        "ProjectExtendedAutomaton: Theorem 13 applies to automata without "
+        "a database");
+  }
+  if (m < 0 || m > era.automaton().num_registers()) {
+    return Status::InvalidArgument("ProjectExtendedAutomaton: bad m");
+  }
+
+  // Step 1: compile away global equality constraints (Proposition 6).
+  const ExtendedAutomaton* working = &era;
+  std::optional<ExtendedAutomaton> without_eq;
+  if (era.has_equality_constraints()) {
+    Prop6Options prop6_options;
+    prop6_options.max_states = options.max_prop6_states;
+    prop6_options.max_transitions = options.max_prop6_transitions;
+    RAV_ASSIGN_OR_RETURN(
+        ExtendedAutomaton eliminated,
+        EliminateEqualityConstraints(era, nullptr, prop6_options));
+    without_eq = std::move(eliminated);
+    working = &*without_eq;
+  }
+
+  // Step 2: state-driven form (with frontier-dead transitions pruned, per
+  // the consistency assumption in the proof of Theorem 13), lifting the
+  // (inequality) constraints.
+  std::vector<StateId> origin_of;
+  RegisterAutomaton sd = PruneFrontierIncompatibleTransitions(
+      MakeStateDriven(working->automaton(), &origin_of));
+  ExtendedAutomaton sd_era(std::move(sd));
+  {
+    const RegisterAutomaton& sd_ref = sd_era.automaton();
+    for (const GlobalConstraint& c : working->constraints()) {
+      Dfa lifted(sd_ref.num_states(), c.dfa.num_states(), c.dfa.initial());
+      for (int s = 0; s < c.dfa.num_states(); ++s) {
+        lifted.SetAccepting(s, c.dfa.IsAccepting(s));
+        for (StateId q = 0; q < sd_ref.num_states(); ++q) {
+          lifted.SetTransition(s, q, c.dfa.Next(s, origin_of[q]));
+        }
+      }
+      RAV_RETURN_IF_ERROR(sd_era.AddConstraintDfa(
+          c.i, c.j, c.is_equality, std::move(lifted), c.description));
+    }
+  }
+  const RegisterAutomaton& a = sd_era.automaton();
+  const int k = a.num_registers();
+  const int num_constants = a.schema().num_constants();
+  const int slots = k + num_constants;
+  if (slots > 60) {
+    return Status::ResourceExhausted(
+        "ProjectExtendedAutomaton: too many registers for the bitmask "
+        "encoding");
+  }
+  const std::vector<GlobalConstraint>& constraints = sd_era.constraints();
+  const size_t nc = constraints.size();
+
+  // The unique guard per state.
+  const Type trivial(2 * k, num_constants);
+  std::vector<const Type*> guard_of(a.num_states(), &trivial);
+  for (int ti = 0; ti < a.num_transitions(); ++ti) {
+    guard_of[a.transition(ti).from] = &a.transition(ti).guard;
+  }
+  auto x_elem = [&](int slot) {
+    return slot < k ? slot : 2 * k + (slot - k);
+  };
+  auto y_elem = [&](int slot) {
+    return slot < k ? k + slot : 2 * k + (slot - k);
+  };
+
+  // Propagates a carrier set across the guard of `prev` (registers only;
+  // constant slots persist).
+  auto propagate = [&](uint64_t set, const Type& g) {
+    uint64_t out = 0;
+    for (int s = k; s < slots; ++s) {
+      if ((set >> s) & 1) out |= uint64_t{1} << s;
+    }
+    for (int mreg = 0; mreg < slots; ++mreg) {
+      for (int l = 0; l < slots; ++l) {
+        if (!((set >> l) & 1)) continue;
+        if (g.AreEqual(x_elem(l), y_elem(mreg))) {
+          out |= uint64_t{1} << mreg;
+          break;
+        }
+      }
+    }
+    return out;
+  };
+
+  // Closes the equal wavefront under the x̄-side equalities of the guard
+  // fired at the current position (the automaton need not be complete, so
+  // the current position's own type can force equalities the previous
+  // type's ȳ-side did not mention).
+  auto close_equal = [&](uint64_t equal, const Type& g) {
+    uint64_t out = equal;
+    for (int mreg = 0; mreg < slots; ++mreg) {
+      for (int l = 0; l < slots; ++l) {
+        if (((equal >> l) & 1) && g.AreEqual(x_elem(l), x_elem(mreg))) {
+          out |= uint64_t{1} << mreg;
+          break;
+        }
+      }
+    }
+    return out;
+  };
+  // Closes the distinct set: x̄-side equalities spread distinctness, and
+  // x̄-side disequalities against the wavefront add to it.
+  auto close_distinct = [&](uint64_t distinct, uint64_t equal,
+                            const Type& g) {
+    uint64_t out = distinct;
+    for (int mreg = 0; mreg < slots; ++mreg) {
+      bool d = false;
+      for (int l = 0; l < slots && !d; ++l) {
+        if (((distinct >> l) & 1) && g.AreEqual(x_elem(l), x_elem(mreg))) {
+          d = true;
+        }
+        if (((equal >> l) & 1) && g.AreDistinct(x_elem(l), x_elem(mreg))) {
+          d = true;
+        }
+      }
+      if (d) out |= uint64_t{1} << mreg;
+    }
+    return out & ~equal;
+  };
+
+  // Builds the successor composition state when reading symbol q; start
+  // states pass prev < 0 (seed from the x̄-part of q's own guard).
+  auto step = [&](const CompositionState* current,
+                  StateId q) -> CompositionState {
+    CompositionState next;
+    next.prev_state = q;
+    next.case_a.assign(nc, 0);
+    next.case_b.assign(nc, {});
+    if (current == nullptr) {
+      return next;  // caller fills equal/distinct for the seed
+    }
+    const Type& g = *guard_of[current->prev_state];
+    const Type& g_here = *guard_of[q];
+    // (i) equal wavefront, (ii) distinct set.
+    next.equal = close_equal(propagate(current->equal, g), g_here);
+    for (int mreg = 0; mreg < slots; ++mreg) {
+      bool distinct = false;
+      for (int l = 0; l < slots && !distinct; ++l) {
+        bool l_eq = (current->equal >> l) & 1;
+        bool l_neq = (current->distinct >> l) & 1;
+        if (l_eq && g.AreDistinct(x_elem(l), y_elem(mreg))) distinct = true;
+        if (l_neq && g.AreEqual(x_elem(l), y_elem(mreg))) distinct = true;
+      }
+      if (distinct && !((next.equal >> mreg) & 1)) {
+        next.distinct |= uint64_t{1} << mreg;
+      }
+    }
+    // (iii) advance the constraint runs.
+    for (size_t c = 0; c < nc; ++c) {
+      const Dfa& dfa = constraints[c].dfa;
+      for (int s = 0; s < dfa.num_states(); ++s) {
+        if (!((current->case_a[c] >> s) & 1)) continue;
+        int s2 = dfa.Next(s, q);
+        next.case_a[c] |= uint32_t{1} << s2;
+        if (dfa.IsAccepting(s2)) {
+          // Edge (seed, current): target register distinct from source.
+          if (!((next.equal >> constraints[c].j) & 1)) {
+            next.distinct |= uint64_t{1} << constraints[c].j;
+          }
+        }
+      }
+      std::set<PendingEdge> dedup;
+      for (const PendingEdge& e : current->case_b[c]) {
+        uint64_t carriers = propagate(e.carriers, g);
+        if (carriers == 0) continue;  // source value died
+        int s2 = dfa.Next(e.dfa_state, q);
+        if (dfa.IsAccepting(s2) &&
+            ((next.equal >> constraints[c].j) & 1)) {
+          // Edge fires into the wavefront: carriers are distinct.
+          next.distinct |= carriers & ~next.equal;
+        }
+        dedup.insert(PendingEdge{s2, carriers});
+      }
+      next.case_b[c].assign(dedup.begin(), dedup.end());
+    }
+    return next;
+  };
+
+  // Seeds the constraint runs for the current position (after
+  // equal/distinct are final).
+  auto seed = [&](CompositionState& st, StateId q) {
+    for (size_t c = 0; c < nc; ++c) {
+      const Dfa& dfa = constraints[c].dfa;
+      int s0 = dfa.Next(dfa.initial(), q);
+      int src = constraints[c].i;
+      int dst = constraints[c].j;
+      if ((st.equal >> src) & 1) {
+        st.case_a[c] |= uint32_t{1} << s0;
+        if (dfa.IsAccepting(s0) && !((st.equal >> dst) & 1)) {
+          st.distinct |= uint64_t{1} << dst;
+        }
+      }
+      PendingEdge e{s0, uint64_t{1} << src};
+      if (dfa.IsAccepting(s0) && ((st.equal >> dst) & 1) &&
+          !((st.equal >> src) & 1)) {
+        st.distinct |= uint64_t{1} << src;
+      }
+      bool present = false;
+      for (const PendingEdge& existing : st.case_b[c]) {
+        present = present || existing == e;
+      }
+      if (!present) st.case_b[c].push_back(e);
+    }
+    // Keep case_b canonical (sorted).
+    for (auto& edges : st.case_b) {
+      std::sort(edges.begin(), edges.end());
+    }
+    // Final intra-position closure: constraint accepts may have marked a
+    // register distinct whose x̄-equal siblings must follow.
+    st.distinct = close_distinct(st.distinct, st.equal, *guard_of[q]);
+  };
+
+  // --- Build the composed DFAs per source register i < m ---
+  std::vector<Dfa> eq_dfas;
+  std::vector<Dfa> neq_dfas;
+  int max_dfa = 0;
+  for (int i = 0; i < m; ++i) {
+    std::map<CompositionState, int> ids;
+    std::vector<CompositionState> explored;
+    std::vector<std::vector<int>> table;
+    auto intern = [&](const CompositionState& cs) -> Result<int> {
+      auto it = ids.find(cs);
+      if (it != ids.end()) return it->second + 1;
+      if (explored.size() >= options.max_composition_states) {
+        return Status::ResourceExhausted(
+            "ProjectExtendedAutomaton: composition state budget exceeded");
+      }
+      int id = static_cast<int>(explored.size());
+      ids.emplace(cs, id);
+      explored.push_back(cs);
+      return id + 1;
+    };
+
+    std::vector<int> start_row(a.num_states());
+    for (StateId q = 0; q < a.num_states(); ++q) {
+      const Type& g = *guard_of[q];
+      CompositionState st = step(nullptr, q);
+      for (int slot = 0; slot < slots; ++slot) {
+        if (g.AreEqual(x_elem(i), x_elem(slot))) {
+          st.equal |= uint64_t{1} << slot;
+        } else if (g.AreDistinct(x_elem(i), x_elem(slot))) {
+          st.distinct |= uint64_t{1} << slot;
+        }
+      }
+      seed(st, q);
+      RAV_ASSIGN_OR_RETURN(int id, intern(st));
+      start_row[q] = id;
+    }
+    for (size_t index = 0; index < explored.size(); ++index) {
+      CompositionState current = explored[index];
+      std::vector<int> row(a.num_states());
+      for (StateId q = 0; q < a.num_states(); ++q) {
+        CompositionState st = step(&current, q);
+        seed(st, q);
+        RAV_ASSIGN_OR_RETURN(int id, intern(st));
+        row[q] = id;
+      }
+      table.push_back(std::move(row));
+    }
+
+    const int n = static_cast<int>(explored.size()) + 1;
+    for (int j = 0; j < m; ++j) {
+      Dfa eq(a.num_states(), n, 0);
+      Dfa neq(a.num_states(), n, 0);
+      for (StateId q = 0; q < a.num_states(); ++q) {
+        eq.SetTransition(0, q, start_row[q]);
+        neq.SetTransition(0, q, start_row[q]);
+      }
+      for (size_t s = 0; s < explored.size(); ++s) {
+        for (StateId q = 0; q < a.num_states(); ++q) {
+          eq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
+          neq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
+        }
+        eq.SetAccepting(static_cast<int>(s) + 1,
+                        (explored[s].equal >> j) & 1);
+        neq.SetAccepting(static_cast<int>(s) + 1,
+                         (explored[s].distinct >> j) & 1);
+      }
+      eq_dfas.push_back(eq.Minimize());
+      neq_dfas.push_back(neq.Minimize());
+    }
+  }
+
+  // --- Assemble the projected automaton ---
+  RegisterAutomaton projected(m, a.schema());
+  for (StateId s = 0; s < a.num_states(); ++s) {
+    StateId id = projected.AddState(a.state_name(s));
+    RAV_CHECK_EQ(id, s);
+    projected.SetInitial(s, a.IsInitial(s));
+    projected.SetFinal(s, a.IsFinal(s));
+  }
+  std::vector<bool> keep(2 * k, false);
+  for (int i = 0; i < m; ++i) {
+    keep[i] = true;
+    keep[k + i] = true;
+  }
+  for (int ti = 0; ti < a.num_transitions(); ++ti) {
+    const RaTransition& t = a.transition(ti);
+    projected.AddTransition(t.from, t.guard.Restrict(keep), t.to);
+  }
+
+  ExtendedAutomaton out(std::move(projected));
+  int num_constraints_out = 0;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const Dfa& eq = eq_dfas[i * m + j];
+      if (!eq.IsEmptyLanguage()) {
+        RAV_RETURN_IF_ERROR(out.AddConstraintDfa(
+            i, j, true, eq,
+            "thm13 e=[" + std::to_string(i + 1) + "," +
+                std::to_string(j + 1) + "]"));
+        max_dfa = std::max(max_dfa, eq.num_states());
+        ++num_constraints_out;
+      }
+      const Dfa& neq = neq_dfas[i * m + j];
+      if (!neq.IsEmptyLanguage()) {
+        RAV_RETURN_IF_ERROR(out.AddConstraintDfa(
+            i, j, false, neq,
+            "thm13 e≠[" + std::to_string(i + 1) + "," +
+                std::to_string(j + 1) + "]"));
+        max_dfa = std::max(max_dfa, neq.num_states());
+        ++num_constraints_out;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->prop6_registers = k;
+    stats->state_driven_states = a.num_states();
+    stats->num_constraints = num_constraints_out;
+    stats->max_constraint_dfa_states = max_dfa;
+  }
+  return out;
+}
+
+}  // namespace rav

@@ -1,0 +1,47 @@
+#ifndef RAV_PROJECTION_PROJECT_ERA_H_
+#define RAV_PROJECTION_PROJECT_ERA_H_
+
+#include "base/status.h"
+#include "era/extended_automaton.h"
+
+namespace rav {
+
+// Options / budgets of the Theorem 13 construction.
+struct Theorem13Options {
+  size_t max_composition_states = 60000;
+  size_t max_prop6_states = 100000;
+  size_t max_prop6_transitions = 500000;
+};
+
+struct Theorem13Stats {
+  int prop6_registers = 0;
+  int state_driven_states = 0;
+  int num_constraints = 0;
+  int max_constraint_dfa_states = 0;
+};
+
+// Theorem 13: extended register automata (no database) are closed under
+// projection. Given 𝒜 with k registers and m < k, builds 𝒜' with m
+// registers such that Reg(𝒜') = Π_m(Reg(𝒜)).
+//
+// Mechanization: global equality constraints are first compiled away
+// (Proposition 6); the remaining structure has only local equalities and
+// global inequality constraints. The projected constraints e'=ᵢⱼ / e'≠ᵢⱼ
+// are produced by a composition automaton that scans a factor w[a..b]
+// tracking (i) the registers equal to the source value (a,i), (ii) the
+// registers forced distinct from it — seeded by local disequalities and
+// by Σ-inequality edges whose source is connected to (a,i) — and (iii),
+// for Σ edges pointing *into* the wavefront, the forward trace of the
+// edge's source value so it can be flagged distinct when the edge fires.
+//
+// Scope note (see DESIGN.md): the composition tracks inequality edges
+// whose endpoints both lie inside the factor [a..b]. Edges requiring
+// excursions outside the factor need the paper's Lemma 14 MSO machinery
+// (a Büchi run annotation); they do not arise in the paper's examples.
+Result<ExtendedAutomaton> ProjectExtendedAutomaton(
+    const ExtendedAutomaton& era, int m, Theorem13Stats* stats = nullptr,
+    const Theorem13Options& options = {});
+
+}  // namespace rav
+
+#endif  // RAV_PROJECTION_PROJECT_ERA_H_

@@ -1,0 +1,84 @@
+#include "projection/project_ra.h"
+
+#include "ra/transform.h"
+
+namespace rav {
+
+Result<ExtendedAutomaton> ProjectRegisterAutomaton(
+    const RegisterAutomaton& automaton, int m, Prop20Stats* stats,
+    size_t max_completed_transitions) {
+  if (automaton.schema().num_relations() > 0) {
+    return Status::InvalidArgument(
+        "ProjectRegisterAutomaton: Proposition 20 applies to automata "
+        "without a database (see Section 6 / Theorem 24 for the database "
+        "case)");
+  }
+  const int k = automaton.num_registers();
+  if (m < 0 || m > k) {
+    return Status::InvalidArgument("ProjectRegisterAutomaton: bad m");
+  }
+
+  RAV_ASSIGN_OR_RETURN(RegisterAutomaton completed,
+                       Completed(automaton, max_completed_transitions));
+  RegisterAutomaton sd =
+      PruneFrontierIncompatibleTransitions(MakeStateDriven(completed));
+  RAV_ASSIGN_OR_RETURN(PropagationAutomata propagation,
+                       PropagationAutomata::Build(sd));
+
+  // The projected automaton: same states, guards restricted to the first
+  // m registers.
+  RegisterAutomaton projected(m, sd.schema());
+  for (StateId s = 0; s < sd.num_states(); ++s) {
+    StateId id = projected.AddState(sd.state_name(s));
+    RAV_CHECK_EQ(id, s);
+    projected.SetInitial(s, sd.IsInitial(s));
+    projected.SetFinal(s, sd.IsFinal(s));
+  }
+  std::vector<bool> keep(2 * k, false);
+  for (int i = 0; i < m; ++i) {
+    keep[i] = true;
+    keep[k + i] = true;
+  }
+  for (int ti = 0; ti < sd.num_transitions(); ++ti) {
+    const RaTransition& t = sd.transition(ti);
+    projected.AddTransition(t.from, t.guard.Restrict(keep), t.to);
+  }
+
+  ExtendedAutomaton era(std::move(projected));
+  int max_dfa = 0;
+  int num_constraints = 0;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      const Dfa& eq = propagation.EqualityDfa(i, j);
+      if (!eq.IsEmptyLanguage()) {
+        RAV_RETURN_IF_ERROR(era.AddConstraintDfa(
+            i, j, /*is_equality=*/true, eq,
+            "lemma21 e=[" + std::to_string(i + 1) + "," +
+                std::to_string(j + 1) + "]"));
+        max_dfa = std::max(max_dfa, eq.num_states());
+        ++num_constraints;
+      }
+      const Dfa& neq = propagation.InequalityDfa(i, j);
+      if (!neq.IsEmptyLanguage()) {
+        RAV_RETURN_IF_ERROR(era.AddConstraintDfa(
+            i, j, /*is_equality=*/false, neq,
+            "lemma21 e≠[" + std::to_string(i + 1) + "," +
+                std::to_string(j + 1) + "]"));
+        max_dfa = std::max(max_dfa, neq.num_states());
+        ++num_constraints;
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->original_states = automaton.num_states();
+    stats->original_transitions = automaton.num_transitions();
+    stats->completed_transitions = completed.num_transitions();
+    stats->state_driven_states = sd.num_states();
+    stats->num_constraints = num_constraints;
+    stats->max_constraint_dfa_states = max_dfa;
+  }
+  return era;
+}
+
+}  // namespace rav

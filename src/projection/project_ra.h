@@ -1,0 +1,37 @@
+#ifndef RAV_PROJECTION_PROJECT_RA_H_
+#define RAV_PROJECTION_PROJECT_RA_H_
+
+#include "base/status.h"
+#include "era/extended_automaton.h"
+#include "projection/lemma21.h"
+#include "ra/register_automaton.h"
+
+namespace rav {
+
+// Statistics of the Proposition 20 construction (benchmark E9).
+struct Prop20Stats {
+  int original_states = 0;
+  int original_transitions = 0;
+  int completed_transitions = 0;
+  int state_driven_states = 0;
+  int num_constraints = 0;
+  int max_constraint_dfa_states = 0;
+};
+
+// Proposition 20 (the "only if" half of Theorem 19): the projection of a
+// register automaton A (no database) onto its first m registers, as an
+// LR-bounded extended register automaton 𝒜 with
+// Reg(𝒜) = Π_m(Reg(A)).
+//
+// Pipeline: complete A (exponential in the worst case, budgeted), make it
+// state-driven, derive the e=ᵢⱼ / e≠ᵢⱼ expressions of Lemma 21 as DFAs,
+// restrict every transition type to the first m registers, and attach the
+// constraints for visible register pairs. The result is LR-bounded with
+// vertex-cover bound at most k (the proof of Proposition 20).
+Result<ExtendedAutomaton> ProjectRegisterAutomaton(
+    const RegisterAutomaton& automaton, int m, Prop20Stats* stats = nullptr,
+    size_t max_completed_transitions = 1u << 20);
+
+}  // namespace rav
+
+#endif  // RAV_PROJECTION_PROJECT_RA_H_

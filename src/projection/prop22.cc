@@ -1,0 +1,236 @@
+#include "projection/prop22.h"
+
+#include <functional>
+#include <map>
+#include <queue>
+
+#include "types/type.h"
+
+namespace rav {
+
+Result<int> LongestAcceptedWordLength(const Dfa& dfa) {
+  const int n = dfa.num_states();
+  // Useful states: reachable from the initial state and co-reachable from
+  // an accepting state.
+  std::vector<bool> reachable(n, false);
+  {
+    std::queue<int> q;
+    q.push(dfa.initial());
+    reachable[dfa.initial()] = true;
+    while (!q.empty()) {
+      int s = q.front();
+      q.pop();
+      for (int a = 0; a < dfa.alphabet_size(); ++a) {
+        int t = dfa.Next(s, a);
+        if (!reachable[t]) {
+          reachable[t] = true;
+          q.push(t);
+        }
+      }
+    }
+  }
+  std::vector<bool> coreachable(n, false);
+  {
+    // Reverse reachability from accepting states.
+    std::vector<std::vector<int>> rev(n);
+    for (int s = 0; s < n; ++s) {
+      for (int a = 0; a < dfa.alphabet_size(); ++a) {
+        rev[dfa.Next(s, a)].push_back(s);
+      }
+    }
+    std::queue<int> q;
+    for (int s = 0; s < n; ++s) {
+      if (dfa.IsAccepting(s)) {
+        coreachable[s] = true;
+        q.push(s);
+      }
+    }
+    while (!q.empty()) {
+      int s = q.front();
+      q.pop();
+      for (int p : rev[s]) {
+        if (!coreachable[p]) {
+          coreachable[p] = true;
+          q.push(p);
+        }
+      }
+    }
+  }
+  std::vector<bool> useful(n);
+  bool any_useful = false;
+  for (int s = 0; s < n; ++s) {
+    useful[s] = reachable[s] && coreachable[s];
+    any_useful = any_useful || useful[s];
+  }
+  if (!any_useful) {
+    return Status::InvalidArgument("LongestAcceptedWordLength: empty language");
+  }
+
+  // Longest path in the useful sub-DAG from the initial state to an
+  // accepting state; a cycle among useful states means infinite language.
+  // DFS with colors for cycle detection + memoized longest suffix.
+  std::vector<int> longest(n, -2);  // -2 unvisited, -3 in progress
+  bool infinite = false;
+  std::function<int(int)> dfs = [&](int s) -> int {
+    if (longest[s] == -3) {
+      infinite = true;
+      return 0;
+    }
+    if (longest[s] >= -1) return longest[s];
+    longest[s] = -3;
+    int best = dfa.IsAccepting(s) ? 0 : -1;  // -1: no accepting continuation
+    for (int a = 0; a < dfa.alphabet_size() && !infinite; ++a) {
+      int t = dfa.Next(s, a);
+      if (!useful[t]) continue;
+      int sub = dfs(t);
+      if (sub >= 0) best = std::max(best, sub + 1);
+    }
+    longest[s] = best;
+    return best;
+  };
+  int result = dfs(dfa.initial());
+  if (infinite) {
+    return Status::Unimplemented(
+        "LongestAcceptedWordLength: infinite language");
+  }
+  RAV_CHECK_GE(result, 0);
+  return result;
+}
+
+Result<RegisterAutomaton> RealizeLrBoundedEra(const ExtendedAutomaton& era,
+                                              Prop22Stats* stats) {
+  const RegisterAutomaton& b = era.automaton();
+  const int m = b.num_registers();
+  if (era.has_equality_constraints()) {
+    return Status::FailedPrecondition(
+        "RealizeLrBoundedEra: eliminate equality constraints first "
+        "(Proposition 6)");
+  }
+  if (b.schema().num_relations() > 0) {
+    return Status::InvalidArgument(
+        "RealizeLrBoundedEra: Section 5 applies to automata without a "
+        "database");
+  }
+
+  // Longest constraint factor L (word length); window = L states.
+  int window = 1;
+  for (const GlobalConstraint& c : era.constraints()) {
+    Result<int> len = LongestAcceptedWordLength(c.dfa);
+    if (!len.ok()) {
+      if (len.status().code() == StatusCode::kUnimplemented) {
+        return Status::Unimplemented(
+            "RealizeLrBoundedEra: constraint '" + c.description +
+            "' has an infinite language; the general Proposition 22 "
+            "construction (budgeted value guessing) is not mechanized — "
+            "see DESIGN.md");
+      }
+      // Empty language: the constraint is vacuous; ignore it.
+      continue;
+    }
+    window = std::max(window, *len);
+  }
+  const int history = window - 1;  // values of the last `history` positions
+  const int k_new = m * (1 + history);
+  // Register layout: [0, m) visible; hist(t, i) = m + (t-1)*m + i holds
+  // register i's value t positions ago.
+  auto hist_reg = [&](int t, int i) { return m + (t - 1) * m + i; };
+
+  RegisterAutomaton out(k_new, b.schema());
+
+  // States: (B state, recent B states, fill) where `recent` holds the
+  // previous up-to-`history` states, most recent first.
+  struct NewState {
+    StateId q;
+    std::vector<StateId> recent;
+    auto operator<=>(const NewState&) const = default;
+  };
+  std::map<NewState, StateId> ids;
+  std::vector<NewState> states;
+  std::queue<StateId> work;
+  auto intern = [&](const NewState& ns) {
+    auto it = ids.find(ns);
+    if (it != ids.end()) return it->second;
+    std::string name = b.state_name(ns.q);
+    for (StateId r : ns.recent) name += "<" + b.state_name(r);
+    StateId id = out.AddState(name);
+    ids.emplace(ns, id);
+    states.push_back(ns);
+    out.SetInitial(id, false);
+    out.SetFinal(id, b.IsFinal(ns.q));
+    work.push(id);
+    return id;
+  };
+  for (StateId q0 : b.InitialStates()) {
+    StateId id = intern(NewState{q0, {}});
+    out.SetInitial(id, true);
+  }
+
+  while (!work.empty()) {
+    StateId from_id = work.front();
+    work.pop();
+    NewState from = states[from_id];
+    for (int ti = 0; ti < b.num_transitions(); ++ti) {
+      const RaTransition& t = b.transition(ti);
+      if (t.from != from.q) continue;
+
+      TypeBuilder builder(2 * k_new, b.schema().num_constants());
+      builder.AddAll(EmbedTransition(t.guard, m, k_new));
+      // History shift: y_hist(1,i) = x_i; y_hist(t+1,i) = x_hist(t,i).
+      const int known_history = static_cast<int>(from.recent.size());
+      for (int i = 0; i < m; ++i) {
+        if (history >= 1) builder.AddEq(k_new + hist_reg(1, i), i);
+        for (int tstep = 1; tstep < std::min(known_history + 1, history);
+             ++tstep) {
+          builder.AddEq(k_new + hist_reg(tstep + 1, i), hist_reg(tstep, i));
+        }
+      }
+      // Constraint factors ending at the current position: the current
+      // position's state is from.q; the factor of length t+1 is
+      // recent[t-1..0] reversed + from.q.
+      bool contradictory = false;
+      for (const GlobalConstraint& c : era.constraints()) {
+        for (int start = known_history; start >= 0 && !contradictory;
+             --start) {
+          // Factor covering positions n-start .. n.
+          int state = c.dfa.initial();
+          for (int p = start; p >= 1; --p) {
+            state = c.dfa.Next(state, from.recent[p - 1]);
+          }
+          state = c.dfa.Next(state, from.q);
+          if (!c.dfa.IsAccepting(state)) continue;
+          int src = start == 0 ? c.i : hist_reg(start, c.i);
+          int dst = c.j;
+          if (src == dst) {
+            contradictory = true;  // value must differ from itself
+            break;
+          }
+          builder.AddNeq(src, dst);
+        }
+      }
+      if (contradictory) continue;
+      Result<Type> guard = builder.Build();
+      if (!guard.ok()) continue;  // disequalities contradict the base guard
+
+      NewState to;
+      to.q = t.to;
+      to.recent.push_back(from.q);
+      for (StateId r : from.recent) to.recent.push_back(r);
+      if (static_cast<int>(to.recent.size()) > history) {
+        to.recent.resize(history);
+      }
+      StateId to_id = intern(to);
+      out.AddTransition(from_id, std::move(guard).value(), to_id);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->window_length = window;
+    stats->registers_before = m;
+    stats->registers_after = k_new;
+    stats->states_after = out.num_states();
+    stats->transitions_after = out.num_transitions();
+  }
+  return out;
+}
+
+}  // namespace rav

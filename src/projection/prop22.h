@@ -1,0 +1,49 @@
+#ifndef RAV_PROJECTION_PROP22_H_
+#define RAV_PROJECTION_PROP22_H_
+
+#include "base/status.h"
+#include "era/extended_automaton.h"
+#include "ra/register_automaton.h"
+
+namespace rav {
+
+// Statistics of the Proposition 22 realization (benchmark E12).
+struct Prop22Stats {
+  int window_length = 0;      // longest constraint factor L
+  int registers_before = 0;   // m
+  int registers_after = 0;    // m * L
+  int states_after = 0;
+  int transitions_after = 0;
+  // The paper's analytic register budget for the general construction,
+  // 2M² + 1, where M = N + 1 and N is the vertex-cover bound.
+  int paper_budget_for(int vertex_cover_bound) const {
+    int m_budget = vertex_cover_bound + 1;
+    return 2 * m_budget * m_budget + 1;
+  }
+};
+
+// The length of the longest word accepted by `dfa`, or an error if the
+// language is infinite (a cycle can reach an accepting state) or empty.
+Result<int> LongestAcceptedWordLength(const Dfa& dfa);
+
+// Proposition 22 (the "if" half of Theorem 19), implemented for the
+// finite-window subclass of LR-bounded extended automata: every
+// inequality constraint's language must be finite, with longest factor L.
+// Such automata are LR-bounded with vertex cover at most m·L, and the
+// realization uses m·(L-1) history registers: register i's value t steps
+// ago is kept in a history register, the control state remembers the last
+// L-1 states, and each transition asserts the disequalities of every
+// constraint factor ending at the current position.
+//
+// Returns a register automaton A with m·L registers such that
+// Π_m(Reg(A)) = Reg(era). Equality constraints must have been eliminated
+// first (Proposition 6); automata with infinite-language inequality
+// constraints (e.g. the all-distinct automaton of Example 17, which is
+// not LR-bounded, but also genuinely LR-bounded ones needing the paper's
+// full budgeted-guessing construction) are rejected with Unimplemented.
+Result<RegisterAutomaton> RealizeLrBoundedEra(const ExtendedAutomaton& era,
+                                              Prop22Stats* stats = nullptr);
+
+}  // namespace rav
+
+#endif  // RAV_PROJECTION_PROP22_H_

@@ -1,0 +1,126 @@
+#include "ra/control.h"
+
+namespace rav {
+
+ControlAlphabet::ControlAlphabet(const RegisterAutomaton& automaton) {
+  transition_symbol_.resize(automaton.num_transitions(), -1);
+  for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
+    const RaTransition& t = automaton.transition(ti);
+    int symbol = SymbolOf(t.from, t.guard);
+    if (symbol < 0) {
+      symbol = static_cast<int>(symbols_.size());
+      symbols_.emplace_back(t.from, t.guard);
+    }
+    transition_symbol_[ti] = symbol;
+  }
+}
+
+int ControlAlphabet::SymbolOf(StateId q, const Type& guard) const {
+  for (size_t s = 0; s < symbols_.size(); ++s) {
+    if (symbols_[s].first == q && symbols_[s].second == guard) {
+      return static_cast<int>(s);
+    }
+  }
+  return -1;
+}
+
+std::string ControlAlphabet::SymbolName(const RegisterAutomaton& automaton,
+                                        int symbol) const {
+  return "(" + automaton.state_name(state_of(symbol)) + ", δ" +
+         std::to_string(symbol) + ")";
+}
+
+Nba BuildSControlNba(const RegisterAutomaton& automaton,
+                     const ControlAlphabet& alphabet) {
+  const int k = automaton.num_registers();
+  const int num_symbols = alphabet.size();
+
+  // Frontier compatibility between consecutive control symbols:
+  // consistency of δ|ȳ with δ'|x̄. For complete automata this coincides
+  // with the paper's condition (iii) (isomorphic restrictions: two
+  // complete equality types are conjoinable iff equal); for incomplete
+  // automata consistency is the sound over-approximation the bounded
+  // searches need.
+  std::vector<std::vector<bool>> compatible(
+      num_symbols, std::vector<bool>(num_symbols, false));
+  for (int s1 = 0; s1 < num_symbols; ++s1) {
+    Type frontier1 = RestrictToYAsX(alphabet.guard_of(s1), k);
+    for (int s2 = 0; s2 < num_symbols; ++s2) {
+      compatible[s1][s2] =
+          frontier1.Conjoin(RestrictToX(alphabet.guard_of(s2), k)).ok();
+    }
+  }
+
+  // NBA states: (automaton state, previous symbol or -1),
+  // id = q * (num_symbols + 1) + (prev + 1).
+  Nba nba(num_symbols);
+  const int width = num_symbols + 1;
+  for (int q = 0; q < automaton.num_states(); ++q) {
+    for (int p = 0; p < width; ++p) {
+      int id = nba.AddState();
+      RAV_CHECK_EQ(id, q * width + p);
+      if (automaton.IsFinal(q)) nba.SetAccepting(id);
+    }
+  }
+  for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
+    const RaTransition& t = automaton.transition(ti);
+    int symbol = alphabet.SymbolOfTransition(ti);
+    for (int prev = -1; prev < num_symbols; ++prev) {
+      if (prev >= 0 && !compatible[prev][symbol]) continue;
+      nba.AddTransition(t.from * width + (prev + 1), symbol,
+                        t.to * width + (symbol + 1));
+    }
+  }
+  for (StateId q : automaton.InitialStates()) {
+    nba.SetInitial(q * width + 0);
+  }
+  return nba;
+}
+
+Nba BuildStateTraceNba(const RegisterAutomaton& automaton,
+                       const ControlAlphabet& alphabet) {
+  Nba control = BuildSControlNba(automaton, alphabet);
+  Nba out(automaton.num_states());
+  for (int s = 0; s < control.num_states(); ++s) {
+    int id = out.AddState();
+    RAV_CHECK_EQ(id, s);
+    out.SetAccepting(id, control.IsAccepting(s));
+  }
+  for (int s = 0; s < control.num_states(); ++s) {
+    for (const auto& [symbol, to] : control.TransitionsFrom(s)) {
+      out.AddTransition(s, alphabet.state_of(symbol), to);
+    }
+  }
+  for (int s : control.initial()) out.SetInitial(s);
+  return out;
+}
+
+std::vector<int> ControlWordOfRun(const RegisterAutomaton& automaton,
+                                  const ControlAlphabet& alphabet,
+                                  const FiniteRun& run) {
+  (void)automaton;
+  std::vector<int> word;
+  word.reserve(run.transition_indices.size());
+  for (int ti : run.transition_indices) {
+    word.push_back(alphabet.SymbolOfTransition(ti));
+  }
+  return word;
+}
+
+LassoWord ControlWordOfLassoRun(const RegisterAutomaton& automaton,
+                                const ControlAlphabet& alphabet,
+                                const LassoRun& run) {
+  (void)automaton;
+  LassoWord word;
+  for (size_t n = 0; n < run.cycle_start; ++n) {
+    word.prefix.push_back(
+        alphabet.SymbolOfTransition(run.TransitionAt(n)));
+  }
+  for (size_t n = run.cycle_start; n < run.spine.length(); ++n) {
+    word.cycle.push_back(
+        alphabet.SymbolOfTransition(run.TransitionAt(n)));
+  }
+  return word;
+}
+
+}  // namespace rav

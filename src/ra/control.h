@@ -1,0 +1,67 @@
+#ifndef RAV_RA_CONTROL_H_
+#define RAV_RA_CONTROL_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/nba.h"
+#include "ra/register_automaton.h"
+#include "ra/run.h"
+
+namespace rav {
+
+// The finite alphabet of control symbols (q, δ) of a register automaton:
+// one symbol per distinct (source state, guard) pair occurring in Δ.
+// Control traces and symbolic control traces are ω-words over this
+// alphabet.
+class ControlAlphabet {
+ public:
+  explicit ControlAlphabet(const RegisterAutomaton& automaton);
+
+  int size() const { return static_cast<int>(symbols_.size()); }
+
+  StateId state_of(int symbol) const { return symbols_[symbol].first; }
+  const Type& guard_of(int symbol) const { return symbols_[symbol].second; }
+
+  // Symbol of (q, guard), or -1.
+  int SymbolOf(StateId q, const Type& guard) const;
+  // Symbol induced by a transition (its source state and guard).
+  int SymbolOfTransition(int transition_index) const {
+    return transition_symbol_[transition_index];
+  }
+
+  std::string SymbolName(const RegisterAutomaton& automaton,
+                         int symbol) const;
+
+ private:
+  std::vector<std::pair<StateId, Type>> symbols_;
+  std::vector<int> transition_symbol_;
+};
+
+// Builds the Büchi automaton recognizing SControl(A), the symbolic control
+// traces of A (Section 2): ω-words (q_n, δ_n) with q_0 initial, a final
+// state occurring infinitely often, (q_n, δ_n, q_{n+1}) ∈ Δ, and
+// consecutive types agreeing on the shared registers (frontier
+// compatibility). By the result of [19] (re-proved constructively in
+// Theorem 9), for complete automata SControl(A) = Control(A).
+Nba BuildSControlNba(const RegisterAutomaton& automaton,
+                     const ControlAlphabet& alphabet);
+
+// The state-trace Büchi automaton: the homomorphic image of SControl(A)
+// under (q, δ) ↦ q. Alphabet = automaton states.
+Nba BuildStateTraceNba(const RegisterAutomaton& automaton,
+                       const ControlAlphabet& alphabet);
+
+// Control word (sequence of control symbols) of a finite run.
+std::vector<int> ControlWordOfRun(const RegisterAutomaton& automaton,
+                                  const ControlAlphabet& alphabet,
+                                  const FiniteRun& run);
+
+// Control word of a lasso run, as a lasso over control symbols.
+LassoWord ControlWordOfLassoRun(const RegisterAutomaton& automaton,
+                                const ControlAlphabet& alphabet,
+                                const LassoRun& run);
+
+}  // namespace rav
+
+#endif  // RAV_RA_CONTROL_H_

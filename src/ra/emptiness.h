@@ -1,0 +1,63 @@
+#ifndef RAV_RA_EMPTINESS_H_
+#define RAV_RA_EMPTINESS_H_
+
+#include <optional>
+
+#include "automata/lasso.h"
+#include "base/status.h"
+#include "ra/control.h"
+#include "ra/register_automaton.h"
+#include "ra/run.h"
+#include "relational/database.h"
+
+namespace rav {
+
+// Decides whether a *complete* register automaton has an infinite
+// accepting run over some finite database, by Büchi emptiness of the
+// SControl(A) automaton (sound and complete since Control = SControl for
+// complete automata, [19] / Theorem 9 stage one). Returns the witness
+// symbolic control lasso, or nullopt.
+std::optional<LassoWord> FindSymbolicControlLasso(
+    const RegisterAutomaton& automaton, const ControlAlphabet& alphabet);
+
+// Convenience: completes the automaton if necessary, then decides
+// emptiness. ResourceExhausted if completion blows up.
+Result<bool> HasSomeRun(const RegisterAutomaton& automaton);
+
+// A concrete witness produced from a symbolic control lasso.
+struct RunWitness {
+  Database db;
+  FiniteRun run;
+};
+
+// The constructive content of Theorem 9 (stage one): realizes a symbolic
+// control lasso of a complete automaton as a finite database plus a
+// concrete run prefix of `length` positions following the lasso. The
+// construction mirrors the guarded chase of Ψ_A: one fresh value per
+// equivalence class of register/constant nodes, positive atoms inserted
+// into the database. Fails (InvalidArgument) when the word is not
+// realizable, which cannot happen for complete frontier-compatible words.
+Result<RunWitness> RealizeWitness(const RegisterAutomaton& automaton,
+                                  const ControlAlphabet& alphabet,
+                                  const LassoWord& control_word,
+                                  size_t length);
+
+// Statistics of the fixed-database emptiness decision below.
+struct FixedDbStats {
+  size_t num_configurations = 0;
+  size_t num_edges = 0;
+};
+
+// Decides whether `automaton` has an infinite accepting run over the
+// *given* database, via the exact region abstraction: a configuration is
+// (state, abstract register assignment) where each register holds either
+// a specific active-domain value or an equality class of non-active-domain
+// values. The abstraction is exact because transition types only test
+// (in)equality and membership of register values in relations, and every
+// run leaves infinitely many values unused.
+bool HasRunOverDatabase(const RegisterAutomaton& automaton, const Database& db,
+                        FixedDbStats* stats = nullptr);
+
+}  // namespace rav
+
+#endif  // RAV_RA_EMPTINESS_H_

@@ -1,0 +1,73 @@
+#include "ra/intersect.h"
+
+#include <map>
+#include <queue>
+#include <tuple>
+
+namespace rav {
+
+Result<RegisterAutomaton> IntersectWithStateNba(
+    const RegisterAutomaton& automaton, const Nba& state_nba) {
+  if (state_nba.alphabet_size() != automaton.num_states()) {
+    return Status::InvalidArgument(
+        "IntersectWithStateNba: the NBA's alphabet must be the automaton's "
+        "state set");
+  }
+
+  RegisterAutomaton out(automaton.num_registers(), automaton.schema());
+
+  // Product states (q, s, i): automaton state q, NBA state s having
+  // already read q, degeneralization counter i ∈ {0, 1}. The counter
+  // advances past 0 on automaton-final states and past 1 on
+  // NBA-accepting states; (·, ·, 0) with q final is accepting.
+  using Key = std::tuple<StateId, int, int>;
+  std::map<Key, StateId> ids;
+  std::vector<Key> keys;
+  std::queue<StateId> work;
+  auto intern = [&](StateId q, int s, int i) {
+    Key key{q, s, i};
+    auto it = ids.find(key);
+    if (it != ids.end()) return it->second;
+    StateId id = out.AddState(automaton.state_name(q) + "&" +
+                              std::to_string(s) + "." + std::to_string(i));
+    ids.emplace(key, id);
+    keys.push_back(key);
+    out.SetInitial(id, false);
+    out.SetFinal(id, i == 0 && automaton.IsFinal(q));
+    work.push(id);
+    return id;
+  };
+
+  // Initial: q0 ∈ I, s ∈ δ_NBA(init, q0), counter 0.
+  for (StateId q0 : automaton.InitialStates()) {
+    for (int s0 : state_nba.initial()) {
+      for (const auto& [symbol, s] : state_nba.TransitionsFrom(s0)) {
+        if (symbol != q0) continue;
+        StateId id = intern(q0, s, 0);
+        out.SetInitial(id, true);
+      }
+    }
+  }
+
+  while (!work.empty()) {
+    StateId from_id = work.front();
+    work.pop();
+    auto [q, s, i] = keys[from_id];
+    // Counter advance: past 0 when q is automaton-final, past 1 when s is
+    // NBA-accepting.
+    int next_i = i;
+    if (i == 0 && automaton.IsFinal(q)) next_i = 1;
+    if (next_i == 1 && state_nba.IsAccepting(s)) next_i = 0;
+    for (int ti : automaton.TransitionsFrom(q)) {
+      const RaTransition& t = automaton.transition(ti);
+      for (const auto& [symbol, s2] : state_nba.TransitionsFrom(s)) {
+        if (symbol != t.to) continue;
+        StateId to_id = intern(t.to, s2, next_i);
+        out.AddTransition(from_id, t.guard, to_id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rav

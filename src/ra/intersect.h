@@ -1,0 +1,25 @@
+#ifndef RAV_RA_INTERSECT_H_
+#define RAV_RA_INTERSECT_H_
+
+#include "automata/nba.h"
+#include "base/status.h"
+#include "ra/register_automaton.h"
+
+namespace rav {
+
+// Restricts a register automaton by an ω-regular condition on its *state
+// trace*: the result's runs are exactly the runs of `automaton` whose
+// state trace lies in L(state_nba). The paper uses this operation inside
+// the proof of Theorem 13 ("intersect A with a Büchi automaton that
+// accepts the [consistent] control traces"); it is also how ad-hoc
+// fairness or protocol constraints are imposed on a workflow.
+//
+// The product carries (automaton state, NBA state after reading it, and
+// a 2-counter for the conjunction of the two Büchi conditions); the NBA
+// must be over the alphabet {0, ..., num_states-1}.
+Result<RegisterAutomaton> IntersectWithStateNba(
+    const RegisterAutomaton& automaton, const Nba& state_nba);
+
+}  // namespace rav
+
+#endif  // RAV_RA_INTERSECT_H_

@@ -1,0 +1,36 @@
+#include "ra/lasso_search.h"
+
+#include "ra/simulate.h"
+
+namespace rav {
+
+std::optional<LassoRun> FindLassoRunByEnumeration(
+    const RegisterAutomaton& automaton, const Database& db, size_t max_length,
+    const std::vector<DataValue>& value_pool) {
+  std::optional<LassoRun> found;
+  for (size_t length = 2; length <= max_length && !found.has_value();
+       ++length) {
+    EnumerateRuns(automaton, db, length, value_pool,
+                  [&](const FiniteRun& run) {
+                    // Try every cycle start whose state matches a wrap
+                    // transition from the last position.
+                    for (size_t cs = 0; cs + 1 < run.length(); ++cs) {
+                      for (int ti :
+                           automaton.TransitionsFrom(run.states.back())) {
+                        if (automaton.transition(ti).to != run.states[cs]) {
+                          continue;
+                        }
+                        LassoRun candidate{run, cs, ti};
+                        if (ValidateLassoRun(automaton, db, candidate).ok()) {
+                          found = std::move(candidate);
+                          return false;
+                        }
+                      }
+                    }
+                    return true;
+                  });
+  }
+  return found;
+}
+
+}  // namespace rav

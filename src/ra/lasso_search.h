@@ -1,0 +1,28 @@
+#ifndef RAV_RA_LASSO_SEARCH_H_
+#define RAV_RA_LASSO_SEARCH_H_
+
+#include <optional>
+
+#include "ra/register_automaton.h"
+#include "ra/run.h"
+#include "relational/database.h"
+
+namespace rav {
+
+// Searches for a concrete accepting lasso run of `automaton` over `db` by
+// enumerating run prefixes up to `max_length` positions over `value_pool`
+// and trying to close each prefix suffix into a value-periodic cycle
+// containing a final state. Returns the first hit.
+//
+// This is a brute-force *witness finder* (exponential in max_length), the
+// concrete counterpart of the symbolic emptiness machinery: a returned
+// lasso is a real run certificate, validated before returning. Note that
+// some nonempty automata have no value-periodic lasso over a small pool
+// (e.g. all-values-distinct behaviors); absence of a hit is not emptiness.
+std::optional<LassoRun> FindLassoRunByEnumeration(
+    const RegisterAutomaton& automaton, const Database& db, size_t max_length,
+    const std::vector<DataValue>& value_pool);
+
+}  // namespace rav
+
+#endif  // RAV_RA_LASSO_SEARCH_H_

@@ -1,0 +1,33 @@
+#ifndef RAV_RA_RANDOM_H_
+#define RAV_RA_RANDOM_H_
+
+#include <random>
+
+#include "ra/register_automaton.h"
+
+namespace rav {
+
+// Random register automata for property testing and fuzzing. The
+// generated automaton always has at least one initial and one final
+// state, every guard is satisfiable, and every state has at least one
+// outgoing transition (so infinite runs are not blocked by dead ends).
+struct RandomAutomatonOptions {
+  int num_registers = 2;
+  int num_states = 3;
+  int num_transitions = 5;
+  // Random equality/disequality literals attempted per guard (contradictory
+  // picks are discarded).
+  int literal_attempts = 3;
+  // Schema (relations are used in guards when present).
+  Schema schema;
+  // Probability (x1000) that a generated literal is relational, when the
+  // schema has relations.
+  int relational_literal_permille = 300;
+};
+
+RegisterAutomaton RandomAutomaton(std::mt19937& rng,
+                                  const RandomAutomatonOptions& options = {});
+
+}  // namespace rav
+
+#endif  // RAV_RA_RANDOM_H_

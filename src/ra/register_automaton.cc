@@ -1,0 +1,124 @@
+#include "ra/register_automaton.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace rav {
+
+RegisterAutomaton::RegisterAutomaton(int num_registers, Schema schema)
+    : num_registers_(num_registers), schema_(std::move(schema)) {
+  RAV_CHECK_GE(num_registers, 0);
+}
+
+StateId RegisterAutomaton::AddState(const std::string& name) {
+  RAV_CHECK(FindState(name) < 0);
+  state_names_.push_back(name);
+  initial_.push_back(false);
+  final_.push_back(false);
+  transitions_from_.emplace_back();
+  return num_states() - 1;
+}
+
+void RegisterAutomaton::SetInitial(StateId state, bool initial) {
+  RAV_CHECK_GE(state, 0);
+  RAV_CHECK_LT(state, num_states());
+  initial_[state] = initial;
+}
+
+void RegisterAutomaton::SetFinal(StateId state, bool final_state) {
+  RAV_CHECK_GE(state, 0);
+  RAV_CHECK_LT(state, num_states());
+  final_[state] = final_state;
+}
+
+void RegisterAutomaton::AddTransition(StateId from, Type guard, StateId to) {
+  RAV_CHECK_GE(from, 0);
+  RAV_CHECK_LT(from, num_states());
+  RAV_CHECK_GE(to, 0);
+  RAV_CHECK_LT(to, num_states());
+  RAV_CHECK_EQ(guard.num_vars(), 2 * num_registers_);
+  RAV_CHECK_EQ(guard.num_constants(), schema_.num_constants());
+  transitions_from_[from].push_back(num_transitions());
+  transitions_.push_back(RaTransition{from, std::move(guard), to});
+}
+
+const std::string& RegisterAutomaton::state_name(StateId s) const {
+  RAV_CHECK_GE(s, 0);
+  RAV_CHECK_LT(s, num_states());
+  return state_names_[s];
+}
+
+StateId RegisterAutomaton::FindState(const std::string& name) const {
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (state_names_[s] == name) return s;
+  }
+  return -1;
+}
+
+std::vector<StateId> RegisterAutomaton::InitialStates() const {
+  std::vector<StateId> out;
+  for (StateId s = 0; s < num_states(); ++s) {
+    if (initial_[s]) out.push_back(s);
+  }
+  return out;
+}
+
+const RaTransition& RegisterAutomaton::transition(int index) const {
+  RAV_CHECK_GE(index, 0);
+  RAV_CHECK_LT(index, num_transitions());
+  return transitions_[index];
+}
+
+bool RegisterAutomaton::IsStateDriven() const {
+  for (StateId s = 0; s < num_states(); ++s) {
+    const std::vector<int>& out = transitions_from_[s];
+    for (size_t i = 1; i < out.size(); ++i) {
+      if (!(transitions_[out[i]].guard == transitions_[out[0]].guard)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool RegisterAutomaton::IsComplete() const {
+  for (const RaTransition& t : transitions_) {
+    if (!t.guard.IsComplete(schema_)) return false;
+  }
+  return true;
+}
+
+std::vector<Type> RegisterAutomaton::DistinctGuards() const {
+  std::vector<Type> guards;
+  for (const RaTransition& t : transitions_) {
+    bool seen = false;
+    for (const Type& g : guards) {
+      if (g == t.guard) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) guards.push_back(t.guard);
+  }
+  return guards;
+}
+
+std::string RegisterAutomaton::ToString() const {
+  std::ostringstream out;
+  out << "RegisterAutomaton(k=" << num_registers_ << ", "
+      << schema_.ToString() << ")\n";
+  for (StateId s = 0; s < num_states(); ++s) {
+    out << "  state " << state_names_[s];
+    if (initial_[s]) out << " [initial]";
+    if (final_[s]) out << " [final]";
+    out << "\n";
+  }
+  for (const RaTransition& t : transitions_) {
+    out << "  " << state_names_[t.from] << " --{"
+        << t.guard.ToString(schema_, num_registers_) << "}--> "
+        << state_names_[t.to] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace rav

@@ -1,0 +1,262 @@
+#include "ra/transform.h"
+
+#include <algorithm>
+
+#include "types/completion.h"
+
+namespace rav {
+
+Result<RegisterAutomaton> Completed(const RegisterAutomaton& automaton,
+                                    size_t max_transitions) {
+  RegisterAutomaton out(automaton.num_registers(), automaton.schema());
+  for (StateId s = 0; s < automaton.num_states(); ++s) {
+    StateId id = out.AddState(automaton.state_name(s));
+    RAV_CHECK_EQ(id, s);
+    out.SetInitial(s, automaton.IsInitial(s));
+    out.SetFinal(s, automaton.IsFinal(s));
+  }
+  bool overflow = false;
+  for (int ti = 0; ti < automaton.num_transitions() && !overflow; ++ti) {
+    const RaTransition& t = automaton.transition(ti);
+    EnumerateCompletions(t.guard, automaton.schema(), [&](const Type& full) {
+      if (static_cast<size_t>(out.num_transitions()) >= max_transitions) {
+        overflow = true;
+        return false;
+      }
+      out.AddTransition(t.from, full, t.to);
+      return true;
+    });
+  }
+  if (overflow) {
+    return Status::ResourceExhausted(
+        "Completed: transition budget exceeded (" +
+        std::to_string(max_transitions) + ")");
+  }
+  return out;
+}
+
+RegisterAutomaton MakeStateDriven(const RegisterAutomaton& automaton,
+                                  std::vector<StateId>* origin_of) {
+  // States of the result: pairs (q, g) where guard g occurs on some
+  // transition leaving q. States with no outgoing transition are kept as
+  // bare copies so the construction never loses states (they are dead ends
+  // for infinite runs either way).
+  const std::vector<Type> guards = automaton.DistinctGuards();
+  auto guard_index = [&](const Type& g) {
+    for (size_t i = 0; i < guards.size(); ++i) {
+      if (guards[i] == g) return static_cast<int>(i);
+    }
+    RAV_CHECK(false);
+    return -1;
+  };
+
+  RegisterAutomaton out(automaton.num_registers(), automaton.schema());
+  // pair_state[q][gi] = new state id or -1.
+  std::vector<std::vector<StateId>> pair_state(
+      automaton.num_states(), std::vector<StateId>(guards.size(), -1));
+  for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
+    const RaTransition& t = automaton.transition(ti);
+    int gi = guard_index(t.guard);
+    if (pair_state[t.from][gi] < 0) {
+      // The guard index is appended with a regex-identifier-safe
+      // separator so state names remain usable in constraint expressions.
+      StateId s = out.AddState(automaton.state_name(t.from) + "_g" +
+                               std::to_string(gi));
+      pair_state[t.from][gi] = s;
+      out.SetInitial(s, automaton.IsInitial(t.from));
+      out.SetFinal(s, automaton.IsFinal(t.from));
+      if (origin_of != nullptr) {
+        origin_of->resize(s + 1, -1);
+        (*origin_of)[s] = t.from;
+      }
+    }
+  }
+  // Transitions ((p, δ), δ, (q, δ')) for (p, δ, q) ∈ Δ and δ' fired from q.
+  for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
+    const RaTransition& t = automaton.transition(ti);
+    int gi = guard_index(t.guard);
+    StateId from = pair_state[t.from][gi];
+    for (size_t gj = 0; gj < guards.size(); ++gj) {
+      StateId to = pair_state[t.to][gj];
+      if (to >= 0) out.AddTransition(from, t.guard, to);
+    }
+  }
+  return out;
+}
+
+RegisterAutomaton TrimToLiveStates(const RegisterAutomaton& automaton) {
+  const int n = automaton.num_states();
+  // Forward reachability from the initial states.
+  std::vector<bool> reachable(n, false);
+  {
+    std::vector<StateId> stack = automaton.InitialStates();
+    for (StateId s : stack) reachable[s] = true;
+    while (!stack.empty()) {
+      StateId s = stack.back();
+      stack.pop_back();
+      for (int ti : automaton.TransitionsFrom(s)) {
+        StateId t = automaton.transition(ti).to;
+        if (!reachable[t]) {
+          reachable[t] = true;
+          stack.push_back(t);
+        }
+      }
+    }
+  }
+  // Final states on a (reachable) cycle: f is "live" iff f reaches f in
+  // one or more steps within the reachable subgraph.
+  auto reaches = [&](StateId from, StateId target) {
+    std::vector<bool> seen(n, false);
+    std::vector<StateId> stack;
+    for (int ti : automaton.TransitionsFrom(from)) {
+      StateId t = automaton.transition(ti).to;
+      if (reachable[t] && !seen[t]) {
+        seen[t] = true;
+        stack.push_back(t);
+      }
+    }
+    while (!stack.empty()) {
+      StateId s = stack.back();
+      stack.pop_back();
+      if (s == target) return true;
+      for (int ti : automaton.TransitionsFrom(s)) {
+        StateId t = automaton.transition(ti).to;
+        if (reachable[t] && !seen[t]) {
+          seen[t] = true;
+          stack.push_back(t);
+        }
+      }
+    }
+    return false;
+  };
+  std::vector<bool> live_final(n, false);
+  for (StateId f = 0; f < n; ++f) {
+    if (reachable[f] && automaton.IsFinal(f)) live_final[f] = reaches(f, f);
+  }
+  // Backward reachability to a live final state.
+  std::vector<std::vector<StateId>> reverse(n);
+  for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
+    const RaTransition& t = automaton.transition(ti);
+    reverse[t.to].push_back(t.from);
+  }
+  std::vector<bool> coreachable(n, false);
+  {
+    std::vector<StateId> stack;
+    for (StateId f = 0; f < n; ++f) {
+      if (live_final[f]) {
+        coreachable[f] = true;
+        stack.push_back(f);
+      }
+    }
+    while (!stack.empty()) {
+      StateId s = stack.back();
+      stack.pop_back();
+      for (StateId p : reverse[s]) {
+        if (!coreachable[p]) {
+          coreachable[p] = true;
+          stack.push_back(p);
+        }
+      }
+    }
+  }
+
+  RegisterAutomaton out(automaton.num_registers(), automaton.schema());
+  std::vector<StateId> new_id(n, -1);
+  for (StateId s = 0; s < n; ++s) {
+    if (!reachable[s] || !coreachable[s]) continue;
+    new_id[s] = out.AddState(automaton.state_name(s));
+    out.SetInitial(new_id[s], automaton.IsInitial(s));
+    out.SetFinal(new_id[s], automaton.IsFinal(s));
+  }
+  for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
+    const RaTransition& t = automaton.transition(ti);
+    if (new_id[t.from] >= 0 && new_id[t.to] >= 0) {
+      out.AddTransition(new_id[t.from], t.guard, new_id[t.to]);
+    }
+  }
+  return out;
+}
+
+RegisterAutomaton PruneFrontierIncompatibleTransitions(
+    const RegisterAutomaton& state_driven) {
+  RAV_CHECK(state_driven.IsStateDriven());
+  const int k = state_driven.num_registers();
+  // The unique guard fired from each state (states with no outgoing
+  // transitions accept any incoming frontier).
+  std::vector<const Type*> guard_of(state_driven.num_states(), nullptr);
+  for (int ti = 0; ti < state_driven.num_transitions(); ++ti) {
+    guard_of[state_driven.transition(ti).from] =
+        &state_driven.transition(ti).guard;
+  }
+  RegisterAutomaton out(k, state_driven.schema());
+  for (StateId s = 0; s < state_driven.num_states(); ++s) {
+    StateId id = out.AddState(state_driven.state_name(s));
+    RAV_CHECK_EQ(id, s);
+    out.SetInitial(s, state_driven.IsInitial(s));
+    out.SetFinal(s, state_driven.IsFinal(s));
+  }
+  for (int ti = 0; ti < state_driven.num_transitions(); ++ti) {
+    const RaTransition& t = state_driven.transition(ti);
+    if (guard_of[t.to] != nullptr) {
+      Type frontier = RestrictToYAsX(t.guard, k);
+      Type next_x = RestrictToX(*guard_of[t.to], k);
+      if (!frontier.Conjoin(next_x).ok()) continue;  // dead transition
+    }
+    out.AddTransition(t.from, t.guard, t.to);
+  }
+  return out;
+}
+
+RegisterAutomaton PermuteRegisters(const RegisterAutomaton& automaton,
+                                   const std::vector<int>& permutation) {
+  const int k = automaton.num_registers();
+  RAV_CHECK_EQ(static_cast<int>(permutation.size()), k);
+  {
+    std::vector<int> sorted = permutation;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < k; ++i) RAV_CHECK_EQ(sorted[i], i);
+  }
+  // Old register r appears at new index inverse[r].
+  std::vector<int> inverse(k);
+  for (int i = 0; i < k; ++i) inverse[permutation[i]] = i;
+
+  RegisterAutomaton out(k, automaton.schema());
+  for (StateId s = 0; s < automaton.num_states(); ++s) {
+    StateId id = out.AddState(automaton.state_name(s));
+    RAV_CHECK_EQ(id, s);
+    out.SetInitial(s, automaton.IsInitial(s));
+    out.SetFinal(s, automaton.IsFinal(s));
+  }
+  auto map_element = [&](int e) {
+    if (e < k) return inverse[e];
+    if (e < 2 * k) return k + inverse[e - k];
+    return e;  // constants keep their ids
+  };
+  for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
+    const RaTransition& t = automaton.transition(ti);
+    TypeBuilder builder(2 * k, automaton.schema().num_constants());
+    std::vector<int> rep(t.guard.num_classes(), -1);
+    for (int e = 0; e < t.guard.num_elements(); ++e) {
+      int c = t.guard.ClassOf(e);
+      if (rep[c] < 0) {
+        rep[c] = e;
+      } else {
+        builder.AddEq(map_element(rep[c]), map_element(e));
+      }
+    }
+    for (const auto& [c1, c2] : t.guard.disequalities()) {
+      builder.AddNeq(map_element(rep[c1]), map_element(rep[c2]));
+    }
+    for (const TypeAtom& atom : t.guard.atoms()) {
+      std::vector<int> elems;
+      for (int c : atom.args) elems.push_back(map_element(rep[c]));
+      builder.AddAtom(atom.relation, std::move(elems), atom.positive);
+    }
+    Result<Type> guard = builder.Build();
+    RAV_CHECK(guard.ok());
+    out.AddTransition(t.from, std::move(guard).value(), t.to);
+  }
+  return out;
+}
+
+}  // namespace rav

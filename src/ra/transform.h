@@ -1,0 +1,51 @@
+#ifndef RAV_RA_TRANSFORM_H_
+#define RAV_RA_TRANSFORM_H_
+
+#include "base/status.h"
+#include "ra/register_automaton.h"
+
+namespace rav {
+
+// Completion (Example 2 of the paper): replaces every transition guard
+// with all of its complete extensions over the schema. Preserves the run
+// set exactly; worst-case exponential blow-up in transitions. Fails with
+// ResourceExhausted if more than `max_transitions` transitions would be
+// produced.
+Result<RegisterAutomaton> Completed(const RegisterAutomaton& automaton,
+                                    size_t max_transitions = 1u << 20);
+
+// The state-driven variant (Section 2): states become (q, δ) pairs so
+// that every state fires exactly one type; quadratic blow-up. Preserves
+// register traces. If `origin_of` is non-null it receives, per new state,
+// the original state it projects to (used to lift global constraints).
+RegisterAutomaton MakeStateDriven(const RegisterAutomaton& automaton,
+                                  std::vector<StateId>* origin_of = nullptr);
+
+// Büchi-aware trimming: keeps only the states that lie on some accepting
+// computation shape — reachable from an initial state AND able to reach a
+// final state that sits on a cycle. Infinite-run semantics are preserved
+// exactly; dead branches disappear (useful before the symbolic decision
+// procedures, whose lasso searches would otherwise wander dead regions).
+// The result may have no states at all (the automaton is then empty).
+RegisterAutomaton TrimToLiveStates(const RegisterAutomaton& automaton);
+
+// Removes the transitions of a state-driven automaton that no run can
+// ever fire: a transition into state q is useless when the ȳ-side of its
+// guard contradicts the x̄-side of q's own guard (the paper's assumption,
+// in the proof of Theorem 13, that "the (in)equality constraints are
+// consistent on all control traces" — enforced by intersecting with the
+// consistent-control-trace automaton). Must be applied before projecting:
+// restriction erases the hidden-register contradiction that made the
+// transition dead.
+RegisterAutomaton PruneFrontierIncompatibleTransitions(
+    const RegisterAutomaton& state_driven);
+
+// Register permutation: new register i holds what old register
+// permutation[i] held. Used to move the registers a view keeps to the
+// front, since all projection operators hide a suffix of the registers.
+RegisterAutomaton PermuteRegisters(const RegisterAutomaton& automaton,
+                                   const std::vector<int>& permutation);
+
+}  // namespace rav
+
+#endif  // RAV_RA_TRANSFORM_H_

@@ -1,0 +1,90 @@
+#include "relational/database.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace rav {
+
+Database::Database(Schema schema) : schema_(std::move(schema)) {
+  relations_.resize(schema_.num_relations());
+  constants_.resize(schema_.num_constants(), 0);
+  constant_bound_.resize(schema_.num_constants(), false);
+}
+
+void Database::Insert(RelationId r, ValueTuple tuple) {
+  RAV_CHECK_GE(r, 0);
+  RAV_CHECK_LT(r, schema_.num_relations());
+  RAV_CHECK_EQ(static_cast<int>(tuple.size()), schema_.arity(r));
+  relations_[r].insert(std::move(tuple));
+}
+
+bool Database::Erase(RelationId r, const ValueTuple& tuple) {
+  RAV_CHECK_GE(r, 0);
+  RAV_CHECK_LT(r, schema_.num_relations());
+  return relations_[r].erase(tuple) > 0;
+}
+
+bool Database::Contains(RelationId r, const ValueTuple& tuple) const {
+  RAV_CHECK_GE(r, 0);
+  RAV_CHECK_LT(r, schema_.num_relations());
+  return relations_[r].count(tuple) > 0;
+}
+
+size_t Database::NumFacts() const {
+  size_t n = 0;
+  for (const auto& rel : relations_) n += rel.size();
+  return n;
+}
+
+void Database::SetConstant(ConstantId c, DataValue v) {
+  RAV_CHECK_GE(c, 0);
+  RAV_CHECK_LT(c, schema_.num_constants());
+  constants_[c] = v;
+  constant_bound_[c] = true;
+}
+
+DataValue Database::constant(ConstantId c) const {
+  RAV_CHECK_GE(c, 0);
+  RAV_CHECK_LT(c, schema_.num_constants());
+  RAV_CHECK(constant_bound_[c]);
+  return constants_[c];
+}
+
+std::vector<DataValue> Database::ActiveDomain() const {
+  std::set<DataValue> dom;
+  for (const auto& rel : relations_) {
+    for (const auto& tuple : rel) {
+      dom.insert(tuple.begin(), tuple.end());
+    }
+  }
+  for (int c = 0; c < schema_.num_constants(); ++c) {
+    if (constant_bound_[c]) dom.insert(constants_[c]);
+  }
+  return std::vector<DataValue>(dom.begin(), dom.end());
+}
+
+std::string Database::ToString() const {
+  std::ostringstream out;
+  for (int r = 0; r < schema_.num_relations(); ++r) {
+    // Sort facts for deterministic output.
+    std::vector<ValueTuple> facts(relations_[r].begin(), relations_[r].end());
+    std::sort(facts.begin(), facts.end());
+    for (const auto& tuple : facts) {
+      out << schema_.relation_name(r) << "(";
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << tuple[i];
+      }
+      out << ")\n";
+    }
+  }
+  for (int c = 0; c < schema_.num_constants(); ++c) {
+    if (constant_bound_[c]) {
+      out << schema_.constant_name(c) << " = " << constants_[c] << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace rav

@@ -1,0 +1,64 @@
+#ifndef RAV_RELATIONAL_DATABASE_H_
+#define RAV_RELATIONAL_DATABASE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/status.h"
+#include "base/value.h"
+#include "relational/schema.h"
+
+namespace rav {
+
+// A finite database instance D over a Schema σ: one finite relation per
+// relation symbol, and an interpretation (a data value) for each constant
+// symbol. Matches the paper's Section 2 definition; the active domain is
+// every value occurring in some relation plus the constants.
+class Database {
+ public:
+  explicit Database(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  // Inserts a fact R(t̄). Checks the arity. Duplicate inserts are no-ops.
+  void Insert(RelationId r, ValueTuple tuple);
+
+  // Removes a fact if present; returns whether it was present.
+  bool Erase(RelationId r, const ValueTuple& tuple);
+
+  bool Contains(RelationId r, const ValueTuple& tuple) const;
+
+  // Number of facts in relation r.
+  size_t RelationSize(RelationId r) const { return relations_[r].size(); }
+  // Total number of facts.
+  size_t NumFacts() const;
+
+  const std::unordered_set<ValueTuple, VectorHash<DataValue>>& Relation(
+      RelationId r) const {
+    RAV_CHECK_GE(r, 0);
+    RAV_CHECK_LT(static_cast<size_t>(r), relations_.size());
+    return relations_[r];
+  }
+
+  // Binds constant symbol c to value v.
+  void SetConstant(ConstantId c, DataValue v);
+  DataValue constant(ConstantId c) const;
+
+  // All values occurring in relations, plus the constants. Sorted.
+  std::vector<DataValue> ActiveDomain() const;
+
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<std::unordered_set<ValueTuple, VectorHash<DataValue>>>
+      relations_;
+  std::vector<DataValue> constants_;
+  std::vector<bool> constant_bound_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_RELATIONAL_DATABASE_H_

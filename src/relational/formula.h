@@ -1,0 +1,101 @@
+#ifndef RAV_RELATIONAL_FORMULA_H_
+#define RAV_RELATIONAL_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/value.h"
+#include "relational/database.h"
+#include "relational/schema.h"
+
+namespace rav {
+
+// A term of a quantifier-free FO formula: either a variable (identified by
+// a dense index into a valuation vector) or a constant symbol of the
+// schema. The variable-index convention used throughout the library for
+// transition formulas over x̄ ∪ ȳ with k registers is:
+//   index i in [0, k)       — xᵢ₊₁ (registers before the transition)
+//   index i in [k, 2k)      — yᵢ₊₁₋ₖ (registers after the transition)
+//   index i ≥ 2k            — global variables (LTL-FO z̄)
+struct Term {
+  enum class Kind { kVariable, kConstant };
+
+  Kind kind = Kind::kVariable;
+  int index = 0;  // variable index, or ConstantId
+
+  static Term Var(int index) { return Term{Kind::kVariable, index}; }
+  static Term Const(ConstantId c) { return Term{Kind::kConstant, c}; }
+
+  bool is_variable() const { return kind == Kind::kVariable; }
+
+  bool operator==(const Term& o) const {
+    return kind == o.kind && index == o.index;
+  }
+};
+
+// Quantifier-free FO formula over a schema: equality atoms between terms,
+// relational atoms, and the boolean connectives. Immutable; shared
+// subtrees are fine. This is the formula language used to query the
+// database from transitions and as the FO components of LTL-FO.
+class Formula {
+ public:
+  enum class Op { kTrue, kFalse, kEq, kRel, kNot, kAnd, kOr };
+
+  // --- Factories ---
+  static Formula True();
+  static Formula False();
+  static Formula Eq(Term a, Term b);
+  static Formula Neq(Term a, Term b);  // sugar for Not(Eq(a, b))
+  static Formula Rel(RelationId rel, std::vector<Term> args);
+  static Formula NotRel(RelationId rel, std::vector<Term> args);
+  static Formula Not(Formula f);
+  static Formula And(Formula a, Formula b);
+  static Formula Or(Formula a, Formula b);
+  static Formula AndAll(const std::vector<Formula>& fs);
+  static Formula OrAll(const std::vector<Formula>& fs);
+
+  Op op() const { return node_->op; }
+  // For kEq: the two terms.
+  Term lhs() const { return node_->terms[0]; }
+  Term rhs() const { return node_->terms[1]; }
+  // For kRel: relation id and argument terms.
+  RelationId relation() const { return node_->relation; }
+  const std::vector<Term>& args() const { return node_->terms; }
+  // For kNot / kAnd / kOr: children.
+  const std::vector<Formula>& children() const { return node_->children; }
+
+  // Evaluates under `valuation` (indexed by variable index) against D.
+  // Constants are resolved through D. Variable indices out of range CHECK.
+  bool Eval(const Database& db, const ValueTuple& valuation) const;
+
+  // Evaluates a formula that uses no relational atoms and no constants
+  // (pure equality logic); does not need a database.
+  bool EvalEqualityOnly(const ValueTuple& valuation) const;
+
+  // Largest variable index mentioned, or -1 if none.
+  int MaxVariableIndex() const;
+
+  // Renders using names from `schema`; variables print as v<i> unless a
+  // register count k is supplied, in which case indices < 2k print as
+  // x1..xk / y1..yk.
+  std::string ToString(const Schema& schema, int num_registers = -1) const;
+
+ private:
+  struct Node {
+    Op op;
+    RelationId relation = -1;
+    std::vector<Term> terms;       // kEq: 2 terms; kRel: args
+    std::vector<Formula> children;  // kNot: 1; kAnd/kOr: 2+
+  };
+
+  explicit Formula(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_RELATIONAL_FORMULA_H_

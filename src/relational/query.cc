@@ -1,0 +1,107 @@
+#include "relational/query.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace rav {
+
+Result<ConjunctiveQuery> ConjunctiveQuery::Make(const Schema& schema,
+                                                int num_variables,
+                                                std::vector<QueryAtom> body,
+                                                std::vector<int> head) {
+  if (num_variables < 0) {
+    return Status::InvalidArgument("query: negative variable count");
+  }
+  for (const QueryAtom& atom : body) {
+    if (atom.relation < 0 || atom.relation >= schema.num_relations()) {
+      return Status::InvalidArgument("query: unknown relation in body");
+    }
+    if (schema.arity(atom.relation) != static_cast<int>(atom.args.size())) {
+      return Status::InvalidArgument("query: arity mismatch in body atom");
+    }
+    for (const QueryTerm& t : atom.args) {
+      if (t.kind == QueryTerm::Kind::kVariable &&
+          (t.variable < 0 || t.variable >= num_variables)) {
+        return Status::InvalidArgument("query: variable out of range");
+      }
+    }
+  }
+  for (int h : head) {
+    if (h < 0 || h >= num_variables) {
+      return Status::InvalidArgument("query: head variable out of range");
+    }
+  }
+  ConjunctiveQuery q;
+  q.num_variables_ = num_variables;
+  q.body_ = std::move(body);
+  q.head_ = std::move(head);
+  return q;
+}
+
+std::vector<ValueTuple> ConjunctiveQuery::Evaluate(const Database& db) const {
+  std::set<ValueTuple> results;
+  std::vector<DataValue> binding(num_variables_, 0);
+  std::vector<bool> bound(num_variables_, false);
+  std::vector<bool> used(body_.size(), false);
+
+  // Greedy atom order: at each step pick the unused atom with the most
+  // bound arguments (cheap selectivity heuristic).
+  std::function<void()> solve = [&]() {
+    // All atoms satisfied: emit the head binding (unbound head variables
+    // cannot occur: every head variable must appear in the body to be
+    // bound; if not, the query is unsafe and yields nothing).
+    size_t next = body_.size();
+    int best_bound = -1;
+    for (size_t i = 0; i < body_.size(); ++i) {
+      if (used[i]) continue;
+      int bound_count = 0;
+      for (const QueryTerm& t : body_[i].args) {
+        if (t.kind == QueryTerm::Kind::kLiteral || bound[t.variable]) {
+          ++bound_count;
+        }
+      }
+      if (bound_count > best_bound) {
+        best_bound = bound_count;
+        next = i;
+      }
+    }
+    if (next == body_.size()) {
+      ValueTuple out;
+      out.reserve(head_.size());
+      for (int h : head_) {
+        if (!bound[h]) return;  // unsafe query: head variable never bound
+        out.push_back(binding[h]);
+      }
+      results.insert(std::move(out));
+      return;
+    }
+
+    const QueryAtom& atom = body_[next];
+    used[next] = true;
+    for (const ValueTuple& fact : db.Relation(atom.relation)) {
+      // Try to unify the fact with the atom.
+      std::vector<int> newly_bound;
+      bool ok = true;
+      for (size_t i = 0; i < atom.args.size() && ok; ++i) {
+        const QueryTerm& t = atom.args[i];
+        if (t.kind == QueryTerm::Kind::kLiteral) {
+          ok = fact[i] == t.literal;
+        } else if (bound[t.variable]) {
+          ok = fact[i] == binding[t.variable];
+        } else {
+          bound[t.variable] = true;
+          binding[t.variable] = fact[i];
+          newly_bound.push_back(t.variable);
+        }
+      }
+      if (ok) solve();
+      for (int v : newly_bound) bound[v] = false;
+    }
+    used[next] = false;
+  };
+  solve();
+  return std::vector<ValueTuple>(results.begin(), results.end());
+}
+
+}  // namespace rav

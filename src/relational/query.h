@@ -1,0 +1,72 @@
+#ifndef RAV_RELATIONAL_QUERY_H_
+#define RAV_RELATIONAL_QUERY_H_
+
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+#include "relational/database.h"
+
+namespace rav {
+
+// A term of a conjunctive query: a variable (dense index) or a literal
+// data value.
+struct QueryTerm {
+  enum class Kind { kVariable, kLiteral };
+  Kind kind = Kind::kVariable;
+  int variable = 0;
+  DataValue literal = 0;
+
+  static QueryTerm Var(int v) {
+    QueryTerm t;
+    t.kind = Kind::kVariable;
+    t.variable = v;
+    return t;
+  }
+  static QueryTerm Lit(DataValue v) {
+    QueryTerm t;
+    t.kind = Kind::kLiteral;
+    t.literal = v;
+    return t;
+  }
+};
+
+// One positive atom R(t̄) of the query body.
+struct QueryAtom {
+  RelationId relation = -1;
+  std::vector<QueryTerm> args;
+};
+
+// A conjunctive query ans(head) :- body. The artifact-system literature
+// the paper builds on uses such queries to look up candidate register
+// values in the database; the library uses it for workflow tooling (e.g.
+// enumerating the eligible reviewers of a topic) and as a reference
+// evaluator in tests.
+class ConjunctiveQuery {
+ public:
+  // Validates arities against `schema`; head entries are variable indices.
+  static Result<ConjunctiveQuery> Make(const Schema& schema,
+                                       int num_variables,
+                                       std::vector<QueryAtom> body,
+                                       std::vector<int> head);
+
+  // All bindings of the head variables over `db`, deduplicated and
+  // sorted. Backtracking join, atoms reordered greedily by boundness.
+  std::vector<ValueTuple> Evaluate(const Database& db) const;
+
+  // Boolean query convenience (empty head): is the body satisfiable?
+  bool HoldsIn(const Database& db) const { return !Evaluate(db).empty(); }
+
+  int num_variables() const { return num_variables_; }
+
+ private:
+  ConjunctiveQuery() = default;
+
+  int num_variables_ = 0;
+  std::vector<QueryAtom> body_;
+  std::vector<int> head_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_RELATIONAL_QUERY_H_

@@ -1,0 +1,41 @@
+#include "relational/schema.h"
+
+#include <sstream>
+
+namespace rav {
+
+RelationId Schema::AddRelation(const std::string& name, int arity) {
+  RAV_CHECK_GE(arity, 0);
+  RAV_CHECK(relation_names_.Lookup(name) < 0);
+  RelationId id = relation_names_.Intern(name);
+  arities_.push_back(arity);
+  return id;
+}
+
+ConstantId Schema::AddConstant(const std::string& name) {
+  RAV_CHECK(constant_names_.Lookup(name) < 0);
+  ConstantId id = constant_names_.Intern(name);
+  ++num_constants_;
+  return id;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream out;
+  out << "schema{";
+  for (int r = 0; r < num_relations(); ++r) {
+    if (r > 0) out << ", ";
+    out << relation_name(r) << "/" << arity(r);
+  }
+  if (num_constants_ > 0) {
+    if (num_relations() > 0) out << "; ";
+    out << "constants: ";
+    for (int c = 0; c < num_constants_; ++c) {
+      if (c > 0) out << ", ";
+      out << constant_name(c);
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace rav

@@ -1,0 +1,74 @@
+#ifndef RAV_RELATIONAL_SCHEMA_H_
+#define RAV_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "base/interner.h"
+#include "base/status.h"
+
+namespace rav {
+
+// Dense id of a relation symbol within a Schema.
+using RelationId = int;
+// Dense id of a constant symbol within a Schema.
+using ConstantId = int;
+
+// A relational signature σ: finitely many relation symbols with arities,
+// plus finitely many constant symbols. The empty schema (no relations)
+// models the "no database" setting of Sections 4 and 5 of the paper.
+class Schema {
+ public:
+  Schema() = default;
+
+  // Adds a relation symbol; name must be unique among relations.
+  // Arity 0 is allowed (a propositional fact).
+  RelationId AddRelation(const std::string& name, int arity);
+
+  // Adds a constant symbol; name must be unique among constants.
+  ConstantId AddConstant(const std::string& name);
+
+  int num_relations() const { return static_cast<int>(arities_.size()); }
+  int num_constants() const { return num_constants_; }
+
+  bool empty() const { return num_relations() == 0 && num_constants() == 0; }
+
+  int arity(RelationId r) const {
+    RAV_CHECK_GE(r, 0);
+    RAV_CHECK_LT(r, num_relations());
+    return arities_[r];
+  }
+
+  const std::string& relation_name(RelationId r) const {
+    return relation_names_.Get(r);
+  }
+  const std::string& constant_name(ConstantId c) const {
+    return constant_names_.Get(c);
+  }
+
+  // Returns -1 if no such relation/constant.
+  RelationId FindRelation(const std::string& name) const {
+    return relation_names_.Lookup(name);
+  }
+  ConstantId FindConstant(const std::string& name) const {
+    return constant_names_.Lookup(name);
+  }
+
+  bool operator==(const Schema& other) const {
+    return arities_ == other.arities_ &&
+           relation_names_.values() == other.relation_names_.values() &&
+           constant_names_.values() == other.constant_names_.values();
+  }
+
+  std::string ToString() const;
+
+ private:
+  Interner<std::string> relation_names_;
+  Interner<std::string> constant_names_;
+  std::vector<int> arities_;
+  int num_constants_ = 0;
+};
+
+}  // namespace rav
+
+#endif  // RAV_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,232 @@
+#include "types/completion.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace rav {
+
+namespace {
+
+// Shared state of the equality-completion recursion. We enumerate
+// partitions of the classes of `t` (restricted-growth style), rejecting
+// groups that contain a disequality pair, and at each leaf rejecting
+// partitions with a group of two or more classes none of which contains a
+// variable (merging constants gratuitously is never required for
+// completeness, and skipping such partitions keeps the enumeration
+// canonical: distinct partitions yield distinct complete types).
+class EqualityCompletionEnumerator {
+ public:
+  EqualityCompletionEnumerator(const Type& t,
+                               const std::function<bool(const Type&)>& cb)
+      : t_(t), cb_(cb) {
+    int n = t.num_classes();
+    class_has_var_.assign(n, false);
+    for (int v = 0; v < t.num_vars(); ++v) {
+      class_has_var_[t.ClassOf(v)] = true;
+    }
+    // Disequality adjacency between original classes.
+    diseq_.assign(n, std::vector<bool>(n, false));
+    for (const auto& [c1, c2] : t.disequalities()) {
+      diseq_[c1][c2] = diseq_[c2][c1] = true;
+    }
+    // Representative element of each class.
+    rep_.assign(n, -1);
+    for (int e = 0; e < t.num_elements(); ++e) {
+      if (rep_[t.ClassOf(e)] < 0) rep_[t.ClassOf(e)] = e;
+    }
+  }
+
+  // Runs the enumeration; returns the number of completions delivered.
+  size_t Run() {
+    groups_.clear();
+    stopped_ = false;
+    count_ = 0;
+    Recurse(0);
+    return count_;
+  }
+
+ private:
+  void Recurse(int next_class) {
+    if (stopped_) return;
+    if (next_class == t_.num_classes()) {
+      EmitLeaf();
+      return;
+    }
+    // Join an existing group (if no disequality conflict) ...
+    for (size_t g = 0; g < groups_.size() && !stopped_; ++g) {
+      bool conflict = false;
+      for (int member : groups_[g]) {
+        if (diseq_[member][next_class]) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;
+      groups_[g].push_back(next_class);
+      Recurse(next_class + 1);
+      groups_[g].pop_back();
+    }
+    if (stopped_) return;
+    // ... or start a new group.
+    groups_.push_back({next_class});
+    Recurse(next_class + 1);
+    groups_.pop_back();
+  }
+
+  void EmitLeaf() {
+    // Reject groups of >= 2 classes with no variable anywhere.
+    for (const auto& group : groups_) {
+      if (group.size() < 2) continue;
+      bool any_var = false;
+      for (int c : group) any_var |= class_has_var_[c];
+      if (!any_var) return;
+    }
+    TypeBuilder builder(t_.num_vars(), t_.num_constants());
+    builder.AddAll(t_);
+    std::vector<bool> group_has_var(groups_.size(), false);
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      for (size_t i = 1; i < groups_[g].size(); ++i) {
+        builder.AddEq(rep_[groups_[g][0]], rep_[groups_[g][i]]);
+      }
+      for (int c : groups_[g]) group_has_var[g] = group_has_var[g] || class_has_var_[c];
+    }
+    // Disequalities between groups: required whenever a variable is
+    // involved on either side; constant-only pairs stay undecided.
+    for (size_t g1 = 0; g1 < groups_.size(); ++g1) {
+      for (size_t g2 = g1 + 1; g2 < groups_.size(); ++g2) {
+        if (!group_has_var[g1] && !group_has_var[g2]) continue;
+        builder.AddNeq(rep_[groups_[g1][0]], rep_[groups_[g2][0]]);
+      }
+    }
+    Result<Type> completed = builder.Build();
+    // Merges may have made relational atoms contradictory; such a partition
+    // admits no completion and is skipped.
+    if (!completed.ok()) return;
+    ++count_;
+    if (!cb_(completed.value())) stopped_ = true;
+  }
+
+  const Type& t_;
+  const std::function<bool(const Type&)>& cb_;
+  std::vector<bool> class_has_var_;
+  std::vector<std::vector<bool>> diseq_;
+  std::vector<int> rep_;
+  std::vector<std::vector<int>> groups_;
+  bool stopped_ = false;
+  size_t count_ = 0;
+};
+
+// Enumerates all tuples over [0, n) of the given arity, invoking f on each.
+// Returns false if f requested a stop.
+bool ForEachTuple(int n, int arity,
+                  const std::function<bool(const std::vector<int>&)>& f) {
+  std::vector<int> tuple(arity, 0);
+  if (arity == 0) return f(tuple);
+  if (n == 0) return true;  // no tuples
+  while (true) {
+    if (!f(tuple)) return false;
+    int i = arity - 1;
+    while (i >= 0 && tuple[i] == n - 1) {
+      tuple[i] = 0;
+      --i;
+    }
+    if (i < 0) return true;
+    ++tuple[i];
+  }
+}
+
+}  // namespace
+
+size_t EnumerateEqualityCompletions(
+    const Type& t, const std::function<bool(const Type&)>& cb) {
+  EqualityCompletionEnumerator e(t, cb);
+  return e.Run();
+}
+
+std::vector<Type> EqualityCompletions(const Type& t, size_t limit) {
+  std::vector<Type> out;
+  EnumerateEqualityCompletions(t, [&](const Type& c) {
+    out.push_back(c);
+    return out.size() < limit;
+  });
+  return out;
+}
+
+size_t CountEqualityCompletions(const Type& t) {
+  return EnumerateEqualityCompletions(t, [](const Type&) { return true; });
+}
+
+size_t EnumerateCompletions(const Type& t, const Schema& schema,
+                            const std::function<bool(const Type&)>& cb) {
+  size_t delivered = 0;
+  bool keep_going = true;
+  EnumerateEqualityCompletions(t, [&](const Type& eq_complete) {
+    // Collect the undetermined (relation, class-tuple) atoms.
+    struct Missing {
+      RelationId relation;
+      std::vector<int> args;  // class ids (== representative elements below)
+    };
+    std::vector<Missing> missing;
+    // Representative element per class of the completed type.
+    std::vector<int> rep(eq_complete.num_classes(), -1);
+    for (int e = 0; e < eq_complete.num_elements(); ++e) {
+      if (rep[eq_complete.ClassOf(e)] < 0) rep[eq_complete.ClassOf(e)] = e;
+    }
+    for (RelationId r = 0; r < schema.num_relations(); ++r) {
+      ForEachTuple(eq_complete.num_classes(), schema.arity(r),
+                   [&](const std::vector<int>& classes) {
+                     bool found = false;
+                     for (const TypeAtom& a : eq_complete.atoms()) {
+                       if (a.relation == r && a.args == classes) {
+                         found = true;
+                         break;
+                       }
+                     }
+                     if (!found) missing.push_back(Missing{r, classes});
+                     return true;
+                   });
+    }
+    // Odometer over sign assignments for the missing atoms.
+    std::vector<bool> signs(missing.size(), false);
+    while (true) {
+      TypeBuilder builder(t.num_vars(), t.num_constants());
+      builder.AddAll(eq_complete);
+      for (size_t i = 0; i < missing.size(); ++i) {
+        std::vector<int> elems;
+        elems.reserve(missing[i].args.size());
+        for (int c : missing[i].args) elems.push_back(rep[c]);
+        builder.AddAtom(missing[i].relation, std::move(elems), signs[i]);
+      }
+      Result<Type> full = builder.Build();
+      RAV_CHECK(full.ok());  // new atoms cannot conflict with existing ones
+      ++delivered;
+      if (!cb(full.value())) {
+        keep_going = false;
+        return false;
+      }
+      // Advance the odometer.
+      size_t i = 0;
+      while (i < signs.size() && signs[i]) {
+        signs[i] = false;
+        ++i;
+      }
+      if (i == signs.size()) break;
+      signs[i] = true;
+    }
+    return keep_going;
+  });
+  return delivered;
+}
+
+std::vector<Type> Completions(const Type& t, const Schema& schema,
+                              size_t limit) {
+  std::vector<Type> out;
+  EnumerateCompletions(t, schema, [&](const Type& c) {
+    out.push_back(c);
+    return out.size() < limit;
+  });
+  return out;
+}
+
+}  // namespace rav

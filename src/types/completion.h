@@ -1,0 +1,45 @@
+#ifndef RAV_TYPES_COMPLETION_H_
+#define RAV_TYPES_COMPLETION_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "types/type.h"
+
+namespace rav {
+
+// Enumeration of the complete extensions of a type (Example 2 of the
+// paper). Completion is worst-case exponential in the number of elements
+// and relations; callers supply either a callback (return false to stop
+// early) or a result cap.
+
+// Enumerates the equality completions of `t`: extensions whose equality
+// part decides every variable/variable and variable/constant pair. The
+// relational atoms of `t` are carried along (atoms that become
+// contradictory under a merge prune that branch). Returns the number of
+// completions delivered to `cb` before it returned false or enumeration
+// finished.
+size_t EnumerateEqualityCompletions(const Type& t,
+                                    const std::function<bool(const Type&)>& cb);
+
+// Convenience: materializes up to `limit` equality completions.
+std::vector<Type> EqualityCompletions(const Type& t, size_t limit = SIZE_MAX);
+
+// Enumerates the full completions of `t` over `schema`: equality
+// completions further extended with a sign for every relation atom over
+// every class tuple. Returns the number delivered.
+size_t EnumerateCompletions(const Type& t, const Schema& schema,
+                            const std::function<bool(const Type&)>& cb);
+
+// Convenience: materializes up to `limit` completions.
+std::vector<Type> Completions(const Type& t, const Schema& schema,
+                              size_t limit = SIZE_MAX);
+
+// Number of equality completions (full enumeration under the hood; intended
+// for tests and the completion-blow-up benchmark E1).
+size_t CountEqualityCompletions(const Type& t);
+
+}  // namespace rav
+
+#endif  // RAV_TYPES_COMPLETION_H_

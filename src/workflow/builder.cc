@@ -1,0 +1,186 @@
+#include "workflow/builder.h"
+
+namespace rav {
+
+WorkflowBuilder::WorkflowBuilder(Schema schema)
+    : schema_(std::move(schema)) {}
+
+int WorkflowBuilder::AddAttribute(const std::string& name) {
+  RAV_CHECK(!attributes_frozen_);
+  RAV_CHECK(AttributeIndex(name) < 0);
+  attribute_names_.push_back(name);
+  return num_attributes() - 1;
+}
+
+int WorkflowBuilder::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < attribute_names_.size(); ++i) {
+    if (attribute_names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void WorkflowBuilder::AddStage(const std::string& name, bool initial,
+                               bool accepting) {
+  RAV_CHECK(FindStage(name) < 0);
+  stages_.push_back(StageDef{name, initial, accepting});
+}
+
+int WorkflowBuilder::FindStage(const std::string& name) const {
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (stages_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+WorkflowBuilder::Guard WorkflowBuilder::NewGuard() {
+  attributes_frozen_ = true;
+  return Guard(this);
+}
+
+WorkflowBuilder::Guard::Guard(WorkflowBuilder* owner)
+    : owner_(owner),
+      builder_(2 * owner->num_attributes(),
+               owner->schema_.num_constants()) {}
+
+int WorkflowBuilder::Guard::Resolve(const std::string& ref) {
+  const int k = owner_->num_attributes();
+  if (!ref.empty() && ref[0] == '$') {
+    ConstantId c = owner_->schema_.FindConstant(ref.substr(1));
+    if (c < 0) {
+      deferred_error_ =
+          Status::NotFound("workflow guard: unknown constant " + ref);
+      return -1;
+    }
+    return 2 * k + c;
+  }
+  bool next = !ref.empty() && ref.back() == '+';
+  std::string name = next ? ref.substr(0, ref.size() - 1) : ref;
+  int attr = owner_->AttributeIndex(name);
+  if (attr < 0) {
+    deferred_error_ =
+        Status::NotFound("workflow guard: unknown attribute " + ref);
+    return -1;
+  }
+  return next ? k + attr : attr;
+}
+
+WorkflowBuilder::Guard& WorkflowBuilder::Guard::Keeps(
+    const std::string& attr) {
+  return Same(attr, attr + "+");
+}
+
+WorkflowBuilder::Guard& WorkflowBuilder::Guard::KeepsAllExcept(
+    const std::vector<std::string>& changing) {
+  for (const std::string& attr : owner_->attribute_names_) {
+    bool changes = false;
+    for (const std::string& c : changing) changes = changes || c == attr;
+    if (!changes) Keeps(attr);
+  }
+  return *this;
+}
+
+WorkflowBuilder::Guard& WorkflowBuilder::Guard::Changes(
+    const std::string& attr) {
+  return Different(attr, attr + "+");
+}
+
+WorkflowBuilder::Guard& WorkflowBuilder::Guard::Same(
+    const std::string& ref_a, const std::string& ref_b) {
+  int a = Resolve(ref_a);
+  int b = Resolve(ref_b);
+  if (a >= 0 && b >= 0) builder_.AddEq(a, b);
+  return *this;
+}
+
+WorkflowBuilder::Guard& WorkflowBuilder::Guard::Different(
+    const std::string& ref_a, const std::string& ref_b) {
+  int a = Resolve(ref_a);
+  int b = Resolve(ref_b);
+  if (a >= 0 && b >= 0) builder_.AddNeq(a, b);
+  return *this;
+}
+
+void WorkflowBuilder::Guard::AddAtom(const std::string& relation,
+                                     const std::vector<std::string>& refs,
+                                     bool positive) {
+  RelationId rel = owner_->schema_.FindRelation(relation);
+  if (rel < 0) {
+    deferred_error_ =
+        Status::NotFound("workflow guard: unknown relation " + relation);
+    return;
+  }
+  if (owner_->schema_.arity(rel) != static_cast<int>(refs.size())) {
+    deferred_error_ = Status::InvalidArgument(
+        "workflow guard: arity mismatch for relation " + relation);
+    return;
+  }
+  std::vector<int> elements;
+  for (const std::string& ref : refs) {
+    int e = Resolve(ref);
+    if (e < 0) return;
+    elements.push_back(e);
+  }
+  builder_.AddAtom(rel, std::move(elements), positive);
+}
+
+WorkflowBuilder::Guard& WorkflowBuilder::Guard::Holds(
+    const std::string& relation, const std::vector<std::string>& refs) {
+  AddAtom(relation, refs, /*positive=*/true);
+  return *this;
+}
+
+WorkflowBuilder::Guard& WorkflowBuilder::Guard::Fails(
+    const std::string& relation, const std::vector<std::string>& refs) {
+  AddAtom(relation, refs, /*positive=*/false);
+  return *this;
+}
+
+Status WorkflowBuilder::Guard::ConnectTransition(
+    const std::string& from_stage, const std::string& to_stage) {
+  if (!deferred_error_.ok()) {
+    owner_->first_error_ = deferred_error_;
+    return deferred_error_;
+  }
+  if (owner_->FindStage(from_stage) < 0 || owner_->FindStage(to_stage) < 0) {
+    Status s = Status::NotFound("workflow: unknown stage in transition " +
+                                from_stage + " -> " + to_stage);
+    owner_->first_error_ = s;
+    return s;
+  }
+  Result<Type> guard = builder_.Build();
+  if (!guard.ok()) {
+    owner_->first_error_ = guard.status();
+    return guard.status();
+  }
+  owner_->transitions_.push_back(
+      TransitionDef{from_stage, std::move(guard).value(), to_stage});
+  return Status::OK();
+}
+
+Result<RegisterAutomaton> WorkflowBuilder::Build() const {
+  if (!first_error_.ok()) return first_error_;
+  RegisterAutomaton automaton(num_attributes(), schema_);
+  bool any_initial = false;
+  bool any_accepting = false;
+  for (const StageDef& stage : stages_) {
+    StateId s = automaton.AddState(stage.name);
+    automaton.SetInitial(s, stage.initial);
+    automaton.SetFinal(s, stage.accepting);
+    any_initial = any_initial || stage.initial;
+    any_accepting = any_accepting || stage.accepting;
+  }
+  if (!any_initial) {
+    return Status::FailedPrecondition("workflow: no initial stage");
+  }
+  if (!any_accepting) {
+    return Status::FailedPrecondition(
+        "workflow: no accepting stage (Büchi acceptance needs one)");
+  }
+  for (const TransitionDef& t : transitions_) {
+    automaton.AddTransition(automaton.FindState(t.from), t.guard,
+                            automaton.FindState(t.to));
+  }
+  return automaton;
+}
+
+}  // namespace rav

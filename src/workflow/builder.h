@@ -1,0 +1,113 @@
+#ifndef RAV_WORKFLOW_BUILDER_H_
+#define RAV_WORKFLOW_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "ra/register_automaton.h"
+#include "relational/schema.h"
+#include "types/type.h"
+
+namespace rav {
+
+// A friendly construction layer for data-driven workflows in the style of
+// the paper's introduction (the manuscript-reviewing system): named
+// attributes become registers, named stages become Büchi states, and
+// guards are written against attribute names instead of register indices.
+//
+//   WorkflowBuilder wf(schema);
+//   wf.AddAttribute("paper");
+//   wf.AddAttribute("reviewer");
+//   wf.AddStage("submitted", /*initial=*/true);
+//   wf.AddStage("under_review");
+//   wf.NewGuard()
+//       .Keeps("paper")                                // x = y for paper
+//       .Holds("Prefers", {"reviewer+", "topic"})      // DB lookup on y
+//       .ConnectTransition("submitted", "under_review");
+//   RegisterAutomaton a = wf.Build().value();
+//
+// Attribute references in guards:
+//   "attr"  — the value before the transition (an x̄ variable)
+//   "attr+" — the value after the transition (a ȳ variable)
+//   "$name" — a constant symbol of the schema
+class WorkflowBuilder {
+ public:
+  explicit WorkflowBuilder(Schema schema = Schema());
+
+  // Attributes (registers); all attributes must be declared before the
+  // first guard is created. Returns the register index.
+  int AddAttribute(const std::string& name);
+  int AttributeIndex(const std::string& name) const;  // -1 if unknown
+  int num_attributes() const {
+    return static_cast<int>(attribute_names_.size());
+  }
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+
+  // Stages (states).
+  void AddStage(const std::string& name, bool initial = false,
+                bool accepting = false);
+
+  // Fluent guard assembly; finished by ConnectTransition.
+  class Guard {
+   public:
+    Guard& Keeps(const std::string& attr);
+    Guard& KeepsAllExcept(const std::vector<std::string>& changing);
+    Guard& Changes(const std::string& attr);
+    Guard& Same(const std::string& ref_a, const std::string& ref_b);
+    Guard& Different(const std::string& ref_a, const std::string& ref_b);
+    Guard& Holds(const std::string& relation,
+                 const std::vector<std::string>& refs);
+    Guard& Fails(const std::string& relation,
+                 const std::vector<std::string>& refs);
+
+    // Finishes the guard and records the transition.
+    Status ConnectTransition(const std::string& from_stage,
+                             const std::string& to_stage);
+
+   private:
+    friend class WorkflowBuilder;
+    explicit Guard(WorkflowBuilder* owner);
+
+    int Resolve(const std::string& ref);  // -1 + deferred error if unknown
+    void AddAtom(const std::string& relation,
+                 const std::vector<std::string>& refs, bool positive);
+
+    WorkflowBuilder* owner_;
+    TypeBuilder builder_;
+    Status deferred_error_;
+  };
+
+  Guard NewGuard();
+
+  // Assembles the automaton. Fails if a deferred guard error occurred, or
+  // no stage is initial / accepting.
+  Result<RegisterAutomaton> Build() const;
+
+ private:
+  struct StageDef {
+    std::string name;
+    bool initial = false;
+    bool accepting = false;
+  };
+  struct TransitionDef {
+    std::string from;
+    Type guard;
+    std::string to;
+  };
+
+  int FindStage(const std::string& name) const;
+
+  Schema schema_;
+  std::vector<std::string> attribute_names_;
+  std::vector<StageDef> stages_;
+  std::vector<TransitionDef> transitions_;
+  bool attributes_frozen_ = false;
+  Status first_error_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_WORKFLOW_BUILDER_H_

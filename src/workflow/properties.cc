@@ -1,0 +1,101 @@
+#include "workflow/properties.h"
+
+namespace rav {
+
+PropertyBuilder::PropertyBuilder(const RegisterAutomaton& automaton,
+                                 std::vector<std::string> attribute_names)
+    : automaton_(&automaton),
+      attribute_names_(std::move(attribute_names)) {
+  RAV_CHECK_EQ(static_cast<int>(attribute_names_.size()),
+               automaton.num_registers());
+}
+
+Result<Term> PropertyBuilder::Resolve(const std::string& ref) const {
+  const int k = automaton_->num_registers();
+  if (!ref.empty() && ref[0] == '$') {
+    ConstantId c = automaton_->schema().FindConstant(ref.substr(1));
+    if (c < 0) return Status::NotFound("unknown constant " + ref);
+    return Term::Const(c);
+  }
+  bool next = !ref.empty() && ref.back() == '+';
+  std::string name = next ? ref.substr(0, ref.size() - 1) : ref;
+  for (size_t i = 0; i < attribute_names_.size(); ++i) {
+    if (attribute_names_[i] == name) {
+      return Term::Var(static_cast<int>(i) + (next ? k : 0));
+    }
+  }
+  return Status::NotFound("unknown attribute " + ref);
+}
+
+Status PropertyBuilder::Define(const std::string& name, Formula formula) {
+  for (const std::string& existing : proposition_names_) {
+    if (existing == name) {
+      return Status::InvalidArgument("proposition '" + name +
+                                     "' already defined");
+    }
+  }
+  proposition_names_.push_back(name);
+  propositions_.push_back(std::move(formula));
+  return Status::OK();
+}
+
+Status PropertyBuilder::DefineKept(const std::string& name,
+                                   const std::string& attr) {
+  return DefineSame(name, attr, attr + "+");
+}
+
+Status PropertyBuilder::DefineSame(const std::string& name,
+                                   const std::string& ref_a,
+                                   const std::string& ref_b) {
+  auto a = Resolve(ref_a);
+  if (!a.ok()) return a.status();
+  auto b = Resolve(ref_b);
+  if (!b.ok()) return b.status();
+  return Define(name, Formula::Eq(*a, *b));
+}
+
+Status PropertyBuilder::DefineDifferent(const std::string& name,
+                                        const std::string& ref_a,
+                                        const std::string& ref_b) {
+  auto a = Resolve(ref_a);
+  if (!a.ok()) return a.status();
+  auto b = Resolve(ref_b);
+  if (!b.ok()) return b.status();
+  return Define(name, Formula::Neq(*a, *b));
+}
+
+Status PropertyBuilder::DefineHolds(const std::string& name,
+                                    const std::string& relation,
+                                    const std::vector<std::string>& refs) {
+  RelationId rel = automaton_->schema().FindRelation(relation);
+  if (rel < 0) return Status::NotFound("unknown relation " + relation);
+  if (automaton_->schema().arity(rel) != static_cast<int>(refs.size())) {
+    return Status::InvalidArgument("arity mismatch for " + relation);
+  }
+  std::vector<Term> args;
+  for (const std::string& ref : refs) {
+    auto t = Resolve(ref);
+    if (!t.ok()) return t.status();
+    args.push_back(*t);
+  }
+  return Define(name, Formula::Rel(rel, std::move(args)));
+}
+
+Result<LtlFoProperty> PropertyBuilder::Parse(
+    const std::string& ltl_text) const {
+  auto resolve = [this](const std::string& name) -> int {
+    for (size_t i = 0; i < proposition_names_.size(); ++i) {
+      if (proposition_names_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  RAV_ASSIGN_OR_RETURN(LtlFormula formula,
+                       LtlFormula::Parse(ltl_text, resolve));
+  LtlFoProperty property;
+  property.formula = std::move(formula);
+  property.propositions = propositions_;
+  property.proposition_names = proposition_names_;
+  return property;
+}
+
+}  // namespace rav

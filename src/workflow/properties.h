@@ -1,0 +1,55 @@
+#ifndef RAV_WORKFLOW_PROPERTIES_H_
+#define RAV_WORKFLOW_PROPERTIES_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "era/ltlfo.h"
+#include "ra/register_automaton.h"
+
+namespace rav {
+
+// LTL-FO property assembly against attribute names instead of register
+// indices: the workflow-level counterpart of Definition 11.
+//
+//   PropertyBuilder props(workflow, attribute_names);
+//   props.DefineKept("customer_kept", "customer");
+//   props.DefineSame("self_deal", "approver", "customer");
+//   auto property = props.Parse("G !self_deal & G customer_kept");
+//
+// Attribute references follow the WorkflowBuilder convention: "attr" is
+// the value before the transition, "attr+" after it.
+class PropertyBuilder {
+ public:
+  PropertyBuilder(const RegisterAutomaton& automaton,
+                  std::vector<std::string> attribute_names);
+
+  // Proposition: the attribute keeps its value across the step.
+  Status DefineKept(const std::string& name, const std::string& attr);
+  // Proposition: two references are equal (resp. distinct).
+  Status DefineSame(const std::string& name, const std::string& ref_a,
+                    const std::string& ref_b);
+  Status DefineDifferent(const std::string& name, const std::string& ref_a,
+                         const std::string& ref_b);
+  // Proposition: a relational lookup holds of the references.
+  Status DefineHolds(const std::string& name, const std::string& relation,
+                     const std::vector<std::string>& refs);
+
+  // Parses an LTL formula over the defined proposition names and bundles
+  // it with the interpretations.
+  Result<LtlFoProperty> Parse(const std::string& ltl_text) const;
+
+ private:
+  Result<Term> Resolve(const std::string& ref) const;
+  Status Define(const std::string& name, Formula formula);
+
+  const RegisterAutomaton* automaton_;
+  std::vector<std::string> attribute_names_;
+  std::vector<std::string> proposition_names_;
+  std::vector<Formula> propositions_;
+};
+
+}  // namespace rav
+
+#endif  // RAV_WORKFLOW_PROPERTIES_H_

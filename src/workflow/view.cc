@@ -1,0 +1,45 @@
+#include "workflow/view.h"
+
+#include <algorithm>
+
+#include "ra/transform.h"
+
+namespace rav {
+
+std::vector<int> VisibleFirstPermutation(int num_registers,
+                                         const std::vector<int>& visible) {
+  std::vector<int> permutation = visible;
+  std::vector<bool> taken(num_registers, false);
+  for (int r : visible) {
+    RAV_CHECK_GE(r, 0);
+    RAV_CHECK_LT(r, num_registers);
+    RAV_CHECK(!taken[r]);
+    taken[r] = true;
+  }
+  for (int r = 0; r < num_registers; ++r) {
+    if (!taken[r]) permutation.push_back(r);
+  }
+  return permutation;
+}
+
+Result<ExtendedAutomaton> MakeProjectionView(
+    const RegisterAutomaton& workflow,
+    const std::vector<int>& visible_registers, Prop20Stats* stats) {
+  RegisterAutomaton permuted = PermuteRegisters(
+      workflow,
+      VisibleFirstPermutation(workflow.num_registers(), visible_registers));
+  return ProjectRegisterAutomaton(
+      permuted, static_cast<int>(visible_registers.size()), stats);
+}
+
+Result<EnhancedAutomaton> MakeHiddenDatabaseView(
+    const RegisterAutomaton& workflow,
+    const std::vector<int>& visible_registers, Theorem24Stats* stats) {
+  RegisterAutomaton permuted = PermuteRegisters(
+      workflow,
+      VisibleFirstPermutation(workflow.num_registers(), visible_registers));
+  return ProjectWithHiddenDatabase(
+      permuted, static_cast<int>(visible_registers.size()), stats);
+}
+
+}  // namespace rav

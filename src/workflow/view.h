@@ -1,0 +1,46 @@
+#ifndef RAV_WORKFLOW_VIEW_H_
+#define RAV_WORKFLOW_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "enhanced/enhanced_automaton.h"
+#include "enhanced/theorem24.h"
+#include "era/extended_automaton.h"
+#include "projection/project_ra.h"
+#include "ra/register_automaton.h"
+
+namespace rav {
+
+// Projection views of workflows: the user-facing operation motivating the
+// paper. A view names the registers a class of users may see; everything
+// else (and possibly the database) is hidden, and the library synthesizes
+// a specification — an extended or enhanced automaton — of exactly the
+// visible behaviors.
+
+// A database-preserving view (Sections 4–5, so the workflow must have an
+// empty relational signature): hide all registers except
+// `visible_registers`. The result is an LR-bounded extended automaton
+// whose register traces are the projections of the workflow's runs, with
+// the visible registers re-ordered as given.
+Result<ExtendedAutomaton> MakeProjectionView(
+    const RegisterAutomaton& workflow,
+    const std::vector<int>& visible_registers, Prop20Stats* stats = nullptr);
+
+// A database-hiding view (Section 6, Theorem 24): hide the database and
+// all registers except `visible_registers`. The result is an enhanced
+// automaton (tuple-inequality + finiteness constraints).
+Result<EnhancedAutomaton> MakeHiddenDatabaseView(
+    const RegisterAutomaton& workflow,
+    const std::vector<int>& visible_registers,
+    Theorem24Stats* stats = nullptr);
+
+// Helper: the permutation moving `visible_registers` (in order) to the
+// front, followed by the hidden registers in ascending order.
+std::vector<int> VisibleFirstPermutation(int num_registers,
+                                         const std::vector<int>& visible);
+
+}  // namespace rav
+
+#endif  // RAV_WORKFLOW_VIEW_H_

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "base/arena.h"
+#include "base/bitset.h"
+#include "base/interner.h"
+#include "base/status.h"
+#include "base/union_find.h"
+#include "base/value.h"
+
+namespace rav {
+namespace {
+
+// --- Status / Result ---
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad regex");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad regex");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad regex");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubled(Result<int> in) {
+  RAV_ASSIGN_OR_RETURN(int v, in);
+  return 2 * v;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(Status::Internal("x")).ok());
+}
+
+// --- Arena ---
+
+TEST(ArenaTest, AllocatesAligned) {
+  Arena arena(128);
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(24, 8);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+  }
+  EXPECT_GE(arena.bytes_allocated(), 2400u);
+  EXPECT_GT(arena.num_blocks(), 1u);
+}
+
+TEST(ArenaTest, NewConstructsValues) {
+  Arena arena;
+  struct Node {
+    int a;
+    double b;
+  };
+  Node* n = arena.New<Node>(Node{7, 3.5});
+  EXPECT_EQ(n->a, 7);
+  EXPECT_EQ(n->b, 3.5);
+  int* xs = arena.NewArray<int>(16);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(xs[i], 0);
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnBlock) {
+  Arena arena(64);
+  void* p = arena.Allocate(4096);
+  ASSERT_NE(p, nullptr);
+}
+
+TEST(ArenaTest, ResetDropsEverything) {
+  Arena arena;
+  arena.Allocate(100);
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.num_blocks(), 0u);
+}
+
+// --- UnionFind ---
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumClasses(), 5u);
+  EXPECT_FALSE(uf.Same(0, 1));
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Same(0, 2));
+  EXPECT_FALSE(uf.Same(0, 3));
+  EXPECT_EQ(uf.NumClasses(), 4u);
+}
+
+TEST(UnionFindTest, AddGrows) {
+  UnionFind uf(2);
+  int id = uf.Add();
+  EXPECT_EQ(id, 2);
+  uf.Union(0, id);
+  EXPECT_TRUE(uf.Same(0, 2));
+}
+
+TEST(UnionFindTest, RepresentativesAreCanonical) {
+  UnionFind uf(4);
+  uf.Union(2, 3);
+  std::vector<int> reps = uf.Representatives();
+  EXPECT_EQ(reps.size(), 3u);
+}
+
+// --- Bitset ---
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset b(130);
+  EXPECT_TRUE(b.None());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, SetAlgebra) {
+  Bitset a(70), b(70);
+  a.Set(3);
+  a.Set(68);
+  b.Set(68);
+  EXPECT_TRUE(a.Intersects(b));
+  Bitset c = a;
+  c &= b;
+  EXPECT_EQ(c.Count(), 1u);
+  c |= a;
+  EXPECT_EQ(c.Count(), 2u);
+  EXPECT_TRUE(c == a);
+}
+
+TEST(BitsetTest, ForEachAscending) {
+  Bitset b(100);
+  b.Set(5);
+  b.Set(77);
+  std::vector<size_t> seen;
+  b.ForEach([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{5, 77}));
+}
+
+TEST(BitsetTest, HashDiffersOnContent) {
+  Bitset a(64), b(64);
+  b.Set(1);
+  Bitset::Hasher h;
+  EXPECT_NE(h(a), h(b));
+}
+
+// --- Interner ---
+
+TEST(InternerTest, InternsAndLooksUp) {
+  Interner<std::string> interner;
+  int a = interner.Intern("alpha");
+  int b = interner.Intern("beta");
+  EXPECT_EQ(interner.Intern("alpha"), a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.Lookup("gamma"), -1);
+  EXPECT_EQ(interner.Get(b), "beta");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+// --- FreshValueSource ---
+
+TEST(FreshValueSourceTest, AvoidsObservedValues) {
+  FreshValueSource fresh;
+  fresh.Observe(0);
+  fresh.Observe(1);
+  fresh.Observe(5);
+  DataValue v = fresh.Fresh();
+  EXPECT_NE(v, 0);
+  EXPECT_NE(v, 1);
+  EXPECT_NE(v, 5);
+  DataValue w = fresh.Fresh();
+  EXPECT_NE(v, w);
+}
+
+}  // namespace
+}  // namespace rav

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "types/completion.h"
+#include "types/type.h"
+
+namespace rav {
+namespace {
+
+// Bell numbers: the number of equality completions of the trivial type
+// over n variables (all partitions are allowed, every pair gets decided).
+TEST(CompletionTest, TrivialTypeCountsAreBellNumbers) {
+  EXPECT_EQ(CountEqualityCompletions(Type(1, 0)), 1u);
+  EXPECT_EQ(CountEqualityCompletions(Type(2, 0)), 2u);
+  EXPECT_EQ(CountEqualityCompletions(Type(3, 0)), 5u);
+  EXPECT_EQ(CountEqualityCompletions(Type(4, 0)), 15u);
+  EXPECT_EQ(CountEqualityCompletions(Type(5, 0)), 52u);
+}
+
+TEST(CompletionTest, ForcedEqualityReducesCount) {
+  TypeBuilder b(3, 0);
+  b.AddEq(0, 1);
+  // v0=v1 glued: partitions of {v0v1, v2} = 2.
+  EXPECT_EQ(CountEqualityCompletions(b.Build().value()), 2u);
+}
+
+TEST(CompletionTest, DisequalityPrunesPartitions) {
+  TypeBuilder b(3, 0);
+  b.AddNeq(0, 1);
+  // Partitions of 3 elements where 0,1 separated: 5 - 2 = ... partitions
+  // of {0,1,2}: {012},{01|2},{02|1},{0|12},{0|1|2}; excluded those merging
+  // 0,1: {012},{01|2} -> 3 remain.
+  EXPECT_EQ(CountEqualityCompletions(b.Build().value()), 3u);
+}
+
+TEST(CompletionTest, CompletionsAreEqualityComplete) {
+  TypeBuilder b(3, 0);
+  b.AddEq(0, 1);
+  for (const Type& c : EqualityCompletions(b.Build().value())) {
+    EXPECT_TRUE(c.IsEqualityComplete());
+    EXPECT_TRUE(c.AreEqual(0, 1));  // extension preserves original literals
+  }
+}
+
+TEST(CompletionTest, Example2CompletionOfDelta2) {
+  // Example 2: completing δ2 = (x2 = y2) of Example 1 (k = 2, 4 vars).
+  // Variables x1,x2,y1,y2 with x2=y2 glued: partitions of 3 groups
+  // {x1},{x2y2},{y1} = Bell(3) = 5 completions.
+  Schema s;
+  TypeBuilder b = TypeBuilder::ForTransition(2, s);
+  b.AddEq(b.X(1), b.Y(1));
+  EXPECT_EQ(CountEqualityCompletions(b.Build().value()), 5u);
+}
+
+TEST(CompletionTest, Example2CompletionOfDelta1) {
+  // δ1 = (x1 = x2 ∧ x2 = y2): groups {x1x2y2}, {y1} -> 2 completions, as
+  // the paper notes ("settling y1 vs y2 settles all other relationships").
+  Schema s;
+  TypeBuilder b = TypeBuilder::ForTransition(2, s);
+  b.AddEq(b.X(0), b.X(1)).AddEq(b.X(1), b.Y(1));
+  std::vector<Type> cs = EqualityCompletions(b.Build().value());
+  EXPECT_EQ(cs.size(), 2u);
+  bool saw_equal = false, saw_distinct = false;
+  for (const Type& c : cs) {
+    if (c.AreEqual(2, 3)) saw_equal = true;        // y1 = y2
+    if (c.AreDistinct(2, 3)) saw_distinct = true;  // y1 ≠ y2
+  }
+  EXPECT_TRUE(saw_equal);
+  EXPECT_TRUE(saw_distinct);
+}
+
+TEST(CompletionTest, ConstantsAnchorButConstPairsStayOpen) {
+  Schema s;
+  s.AddConstant("c1");
+  s.AddConstant("c2");
+  // One variable, two constants, no literals. The variable must be decided
+  // against both constants; the constants need not be decided against each
+  // other. Partitions: v alone; v=c1; v=c2; and v bridging c1=c2 (v=c1=c2).
+  Type t(1, 2);
+  EXPECT_EQ(CountEqualityCompletions(t), 4u);
+  for (const Type& c : EqualityCompletions(t)) {
+    EXPECT_TRUE(c.IsEqualityComplete());
+  }
+}
+
+TEST(CompletionTest, FullCompletionAddsAllAtoms) {
+  Schema s;
+  s.AddRelation("P", 1);
+  TypeBuilder b(2, 0);
+  b.AddNeq(0, 1);
+  // Equality part fixed (2 classes). Atoms: P on each class undecided:
+  // 2 classes -> 4 sign assignments.
+  std::vector<Type> cs = Completions(b.Build().value(), s);
+  EXPECT_EQ(cs.size(), 4u);
+  for (const Type& c : cs) EXPECT_TRUE(c.IsComplete(s));
+}
+
+TEST(CompletionTest, FullCompletionCountsMultiplyWithPartitions) {
+  Schema s;
+  s.AddRelation("P", 1);
+  // 2 free variables: partitions {v0v1} (1 class -> 2 sign choices) and
+  // {v0|v1} (2 classes -> 4 sign choices) = 6 total.
+  EXPECT_EQ(EnumerateCompletions(Type(2, 0), s,
+                                 [](const Type&) { return true; }),
+            6u);
+}
+
+TEST(CompletionTest, MergeRespectingAtomsPrunesContradictions) {
+  Schema s;
+  s.AddRelation("P", 1);
+  TypeBuilder b(2, 0);
+  b.AddAtom(0, {0}, true).AddAtom(0, {1}, false);
+  // P(v0) ∧ ¬P(v1) forbids merging v0, v1: only the separated partition
+  // survives, with all atoms already settled.
+  std::vector<Type> cs = Completions(b.Build().value(), s);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_TRUE(cs[0].AreDistinct(0, 1));
+}
+
+TEST(CompletionTest, EarlyStopViaCallback) {
+  size_t delivered = EnumerateEqualityCompletions(
+      Type(5, 0), [](const Type&) { return false; });
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(CompletionTest, BinaryRelationAtomCount) {
+  Schema s;
+  s.AddRelation("E", 2);
+  TypeBuilder b(2, 0);
+  b.AddNeq(0, 1);
+  // 2 classes, binary relation: 4 class tuples -> 16 completions.
+  std::vector<Type> cs = Completions(b.Build().value(), s);
+  EXPECT_EQ(cs.size(), 16u);
+  for (const Type& c : cs) {
+    EXPECT_EQ(c.atoms().size(), 4u);
+    EXPECT_TRUE(c.IsComplete(s));
+  }
+}
+
+}  // namespace
+}  // namespace rav

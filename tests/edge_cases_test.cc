@@ -1,0 +1,312 @@
+// Edge-case coverage across modules: arity-0 relations, constant
+// anchoring in Lemma 21, lasso accessors, enhanced-automaton validation,
+// simulator options, and miscellaneous accessors.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "enhanced/enhanced_automaton.h"
+#include "projection/lemma21.h"
+#include "ra/control.h"
+#include "ra/lasso_search.h"
+#include "ra/random.h"
+#include "ra/run.h"
+#include "ra/simulate.h"
+#include "ra/transform.h"
+#include "types/type.h"
+
+namespace rav {
+namespace {
+
+// --- Arity-0 relations (propositional facts) ---
+
+TEST(ArityZeroTest, DatabaseAndTypes) {
+  Schema s;
+  RelationId flag = s.AddRelation("Flag", 0);
+  Database db(s);
+  EXPECT_FALSE(db.Contains(flag, {}));
+  db.Insert(flag, {});
+  EXPECT_TRUE(db.Contains(flag, {}));
+
+  TypeBuilder b(2, 0);
+  b.AddAtom(flag, {}, true);
+  Type t = b.Build().value();
+  EXPECT_TRUE(t.HoldsIn(db, {5, 6}));
+  db.Erase(flag, {});
+  EXPECT_FALSE(t.HoldsIn(db, {5, 6}));
+}
+
+TEST(ArityZeroTest, GuardGatesTransitions) {
+  Schema s;
+  RelationId flag = s.AddRelation("Flag", 0);
+  RegisterAutomaton a(1, s);
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  TypeBuilder b = a.NewGuardBuilder();
+  b.AddAtom(flag, {}, true);
+  a.AddTransition(q, b.Build().value(), q);
+
+  Database without(s);
+  Database with(s);
+  with.Insert(flag, {});
+  std::mt19937 rng(1);
+  EXPECT_FALSE(SampleRun(a, without, 3, rng).has_value());
+  EXPECT_TRUE(SampleRun(a, with, 3, rng).has_value());
+}
+
+// --- Constant anchoring in Lemma 21 ---
+
+TEST(Lemma21ConstantsTest, EqualityThroughConstantIsNonContiguous) {
+  // Register 1 equals the constant c at every even position; Lemma 21
+  // must relate two even positions even though no register carries the
+  // value in between (the constant anchors it).
+  Schema s;
+  s.AddConstant("c");
+  RegisterAutomaton a(1, s);
+  StateId even = a.AddState("even");
+  StateId odd = a.AddState("odd");
+  a.SetInitial(even);
+  a.SetFinal(even);
+  TypeBuilder from_even = a.NewGuardBuilder();
+  from_even.AddEq(from_even.X(0), from_even.Const(0));   // x1 = c
+  from_even.AddNeq(from_even.Y(0), from_even.Const(0));  // y1 ≠ c
+  a.AddTransition(even, from_even.Build().value(), odd);
+  TypeBuilder from_odd = a.NewGuardBuilder();
+  from_odd.AddNeq(from_odd.X(0), from_odd.Const(0));
+  from_odd.AddEq(from_odd.Y(0), from_odd.Const(0));
+  a.AddTransition(odd, from_odd.Build().value(), even);
+
+  auto propagation = PropagationAutomata::Build(a);
+  ASSERT_TRUE(propagation.ok()) << propagation.status().ToString();
+  // Factor even odd even: positions 0 and 2 both equal c -> related.
+  EXPECT_TRUE(propagation->EqualityDfa(0, 0).Accepts({even, odd, even}));
+  // Factor even odd: position 0 = c, position 1 ≠ c -> forced distinct.
+  EXPECT_TRUE(propagation->InequalityDfa(0, 0).Accepts({even, odd}));
+  EXPECT_FALSE(propagation->EqualityDfa(0, 0).Accepts({even, odd}));
+}
+
+// --- LassoRun accessors ---
+
+TEST(LassoRunTest, AccessorsUnrollCorrectly) {
+  LassoRun lasso;
+  lasso.spine.values = {{10}, {20}, {30}};
+  lasso.spine.states = {0, 1, 2};
+  lasso.spine.transition_indices = {100, 101};
+  lasso.cycle_start = 1;
+  lasso.wrap_transition_index = 102;
+  EXPECT_EQ(lasso.period(), 2u);
+  EXPECT_EQ(lasso.ValuesAt(0), (ValueTuple{10}));
+  EXPECT_EQ(lasso.ValuesAt(3), (ValueTuple{20}));  // 1 + (3-1) % 2
+  EXPECT_EQ(lasso.ValuesAt(4), (ValueTuple{30}));
+  EXPECT_EQ(lasso.StateAt(5), 1);
+  EXPECT_EQ(lasso.TransitionAt(0), 100);
+  EXPECT_EQ(lasso.TransitionAt(1), 101);
+  EXPECT_EQ(lasso.TransitionAt(2), 102);  // wrap
+  EXPECT_EQ(lasso.TransitionAt(3), 101);
+  EXPECT_EQ(lasso.TransitionAt(4), 102);
+  EXPECT_EQ(lasso.PrefixValues().size(), 1u);
+  EXPECT_EQ(lasso.CycleValues().size(), 2u);
+}
+
+TEST(ProjectValuesTest, KeepsPrefixOfEachTuple) {
+  std::vector<ValueTuple> values = {{1, 2, 3}, {4, 5, 6}};
+  auto projected = ProjectValues(values, 2);
+  EXPECT_EQ(projected, (std::vector<ValueTuple>{{1, 2}, {4, 5}}));
+  EXPECT_TRUE(ProjectValues(values, 0)[0].empty());
+}
+
+// --- Enhanced automaton validation ---
+
+TEST(EnhancedValidationTest, RejectsBadInputs) {
+  RegisterAutomaton a(1, Schema());
+  a.AddState("q");
+  EnhancedAutomaton enhanced(a);
+  // Register out of range.
+  EXPECT_FALSE(enhanced.AddEqualityConstraint(0, 3, Dfa(1, 1, 0)).ok());
+  // Wrong alphabet.
+  EXPECT_FALSE(enhanced.AddEqualityConstraint(0, 0, Dfa(7, 1, 0)).ok());
+  // Tuple arity mismatch.
+  TupleInequalityConstraint c;
+  c.pair_dfa = Dfa(1, 1, 0);
+  c.regs_a = {0};
+  c.offs_a = {0, 1};
+  c.regs_b = {0};
+  c.offs_b = {0};
+  EXPECT_FALSE(enhanced.AddTupleConstraint(std::move(c)).ok());
+  // Finiteness with bad register.
+  FinitenessConstraint fc;
+  fc.reg = 5;
+  fc.selector = Dfa(1, 1, 0);
+  EXPECT_FALSE(enhanced.AddFinitenessConstraint(std::move(fc)).ok());
+}
+
+// --- Control alphabet details ---
+
+TEST(ControlAlphabetTest, SymbolLookupAndNames) {
+  RegisterAutomaton a(1, Schema());
+  StateId p = a.AddState("p");
+  StateId q = a.AddState("q");
+  a.SetInitial(p);
+  a.SetFinal(q);
+  Type empty = a.NewGuardBuilder().Build().value();
+  TypeBuilder b2 = a.NewGuardBuilder();
+  b2.AddEq(b2.X(0), b2.Y(0));
+  Type keep = b2.Build().value();
+  a.AddTransition(p, empty, q);
+  a.AddTransition(q, keep, p);
+  a.AddTransition(q, keep, q);  // same symbol as previous (same from+guard)
+  ControlAlphabet alphabet(a);
+  EXPECT_EQ(alphabet.size(), 2);
+  EXPECT_EQ(alphabet.SymbolOfTransition(1), alphabet.SymbolOfTransition(2));
+  EXPECT_GE(alphabet.SymbolOf(p, empty), 0);
+  EXPECT_EQ(alphabet.SymbolOf(p, keep), -1);
+  EXPECT_FALSE(alphabet.SymbolName(a, 0).empty());
+}
+
+TEST(ControlAlphabetTest, ControlWordOfRun) {
+  RegisterAutomaton a(1, Schema());
+  StateId p = a.AddState("p");
+  a.SetInitial(p);
+  a.SetFinal(p);
+  Type empty = a.NewGuardBuilder().Build().value();
+  a.AddTransition(p, empty, p);
+  ControlAlphabet alphabet(a);
+  FiniteRun run;
+  run.values = {{1}, {2}, {3}};
+  run.states = {p, p, p};
+  run.transition_indices = {0, 0};
+  std::vector<int> word = ControlWordOfRun(a, alphabet, run);
+  EXPECT_EQ(word, (std::vector<int>{0, 0}));
+}
+
+// --- Simulator options ---
+
+TEST(SimulateOptionsTest, ZeroLengthAndMissingInitial) {
+  RegisterAutomaton a(1, Schema());
+  StateId q = a.AddState("q");
+  a.SetFinal(q);  // no initial state
+  a.AddTransition(q, a.NewGuardBuilder().Build().value(), q);
+  Database db{Schema()};
+  std::mt19937 rng(1);
+  EXPECT_FALSE(SampleRun(a, db, 0, rng).has_value());
+  EXPECT_FALSE(SampleRun(a, db, 3, rng).has_value());
+}
+
+TEST(SimulateOptionsTest, GuidedSamplingHandlesChainedEqualities) {
+  // y1 = y2 = x1: the guided sampler must assign both successor registers
+  // the propagated value in one shot.
+  RegisterAutomaton a(2, Schema());
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  TypeBuilder b = a.NewGuardBuilder();
+  b.AddEq(b.Y(0), b.Y(1)).AddEq(b.Y(0), b.X(0));
+  a.AddTransition(q, b.Build().value(), q);
+  Database db{Schema()};
+  std::mt19937 rng(7);
+  auto run = SampleRun(a, db, 5, rng);
+  ASSERT_TRUE(run.has_value());
+  for (size_t n = 1; n < run->length(); ++n) {
+    EXPECT_EQ(run->values[n][0], run->values[n][1]);
+    EXPECT_EQ(run->values[n][0], run->values[0][0]);
+  }
+}
+
+// --- Random automaton generator sanity ---
+
+TEST(RandomAutomatonTest, GeneratedAutomataAreWellFormed) {
+  std::mt19937 rng(11);
+  for (int i = 0; i < 20; ++i) {
+    RegisterAutomaton a = RandomAutomaton(rng);
+    EXPECT_FALSE(a.InitialStates().empty());
+    bool any_final = false;
+    for (StateId s = 0; s < a.num_states(); ++s) {
+      any_final = any_final || a.IsFinal(s);
+      EXPECT_FALSE(a.TransitionsFrom(s).empty());
+    }
+    EXPECT_TRUE(any_final);
+  }
+}
+
+// --- Lasso-run search ---
+
+TEST(LassoSearchTest, FindsExample1Lasso) {
+  RegisterAutomaton a(1, Schema());
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  TypeBuilder b = a.NewGuardBuilder();
+  b.AddEq(b.X(0), b.Y(0));
+  a.AddTransition(q, b.Build().value(), q);
+  Database db{Schema()};
+  auto lasso = FindLassoRunByEnumeration(a, db, 4, {0, 1});
+  ASSERT_TRUE(lasso.has_value());
+  EXPECT_TRUE(ValidateLassoRun(a, db, *lasso).ok());
+}
+
+TEST(LassoSearchTest, NoLassoWhenFinalUnreachableOnCycle) {
+  RegisterAutomaton a(1, Schema());
+  StateId q0 = a.AddState("q0");
+  StateId q1 = a.AddState("q1");
+  a.SetInitial(q0);
+  a.SetFinal(q0);  // final state has no incoming transition
+  Type empty = a.NewGuardBuilder().Build().value();
+  a.AddTransition(q0, empty, q1);
+  a.AddTransition(q1, empty, q1);
+  Database db{Schema()};
+  EXPECT_FALSE(FindLassoRunByEnumeration(a, db, 5, {0, 1}).has_value());
+}
+
+// --- Lemma 25: non-adom value remapping preserves validity ---
+
+TEST(Lemma25Test, RemappedRunStaysValid) {
+  Schema s;
+  RelationId p = s.AddRelation("P", 1);
+  RegisterAutomaton a(2, s);
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  TypeBuilder b = a.NewGuardBuilder();
+  b.AddAtom(p, {b.X(0)}, true);      // register 1 in adom
+  b.AddNeq(b.X(1), b.Y(1));          // register 2 changes (free values)
+  a.AddTransition(q, b.Build().value(), q);
+
+  Database db(s);
+  db.Insert(p, {1});
+  FiniteRun run;
+  run.values = {{1, 100}, {1, 101}, {1, 102}};
+  run.states = {q, q, q};
+  run.transition_indices = {0, 0};
+  ASSERT_TRUE(ValidateRunPrefix(a, db, run).ok());
+
+  // Shift every non-adom value by 1000 (injective, avoids adom).
+  FiniteRun remapped = RemapNonActiveDomainValues(
+      run, db, [](DataValue v) { return v + 1000; });
+  EXPECT_EQ(remapped.values[0][1], 1100);
+  EXPECT_EQ(remapped.values[0][0], 1);  // adom value untouched
+  EXPECT_TRUE(ValidateRunPrefix(a, db, remapped).ok());
+
+  // A non-injective map can break validity — and validation catches it.
+  FiniteRun collapsed = RemapNonActiveDomainValues(
+      run, db, [](DataValue) { return 7777; });
+  EXPECT_FALSE(ValidateRunPrefix(a, db, collapsed).ok());
+}
+
+// --- DistinctGuards / ToString smoke ---
+
+TEST(AccessorTest, DistinctGuardsAndToString) {
+  RegisterAutomaton a(1, Schema());
+  StateId p = a.AddState("p");
+  a.SetInitial(p);
+  a.SetFinal(p);
+  Type empty = a.NewGuardBuilder().Build().value();
+  a.AddTransition(p, empty, p);
+  a.AddTransition(p, empty, p);
+  EXPECT_EQ(a.DistinctGuards().size(), 1u);
+  EXPECT_NE(a.ToString().find("p"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rav

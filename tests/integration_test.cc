@@ -1,0 +1,313 @@
+// Cross-module property tests: random automata are pushed through the
+// paper's constructions and the results cross-validated against
+// brute-force enumeration. Each suite is a parameterized sweep over RNG
+// seeds.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "era/emptiness.h"
+#include "era/run_check.h"
+#include "projection/project_era.h"
+#include "projection/project_ra.h"
+#include "ra/control.h"
+#include "ra/emptiness.h"
+#include "ra/random.h"
+#include "ra/simulate.h"
+#include "ra/transform.h"
+
+namespace rav {
+namespace {
+
+// Flattened value-trace sets of valid run prefixes.
+std::set<std::vector<DataValue>> Traces(const RegisterAutomaton& a,
+                                        const Database& db, size_t len,
+                                        const std::vector<DataValue>& pool) {
+  std::set<std::vector<DataValue>> out;
+  EnumerateRuns(a, db, len, pool, [&](const FiniteRun& run) {
+    std::vector<DataValue> flat;
+    for (const ValueTuple& v : run.values) {
+      flat.insert(flat.end(), v.begin(), v.end());
+    }
+    out.insert(std::move(flat));
+    return true;
+  });
+  return out;
+}
+
+std::set<std::vector<DataValue>> EraTraces(const ExtendedAutomaton& era,
+                                           size_t keep_len,
+                                           const std::vector<DataValue>& pool,
+                                           int m) {
+  std::set<std::vector<DataValue>> out;
+  Database db{era.automaton().schema()};
+  EnumerateRuns(era.automaton(), db, keep_len + 1, pool,
+                [&](const FiniteRun& run) {
+                  if (!CheckFiniteRunConstraints(era, run).ok()) return true;
+                  std::vector<DataValue> flat;
+                  for (size_t n = 0; n < keep_len; ++n) {
+                    flat.insert(flat.end(), run.values[n].begin(),
+                                run.values[n].begin() + m);
+                  }
+                  out.insert(std::move(flat));
+                  return true;
+                });
+  return out;
+}
+
+RandomAutomatonOptions SmallOptions() {
+  RandomAutomatonOptions options;
+  options.num_registers = 2;
+  options.num_states = 3;
+  options.num_transitions = 4;
+  return options;
+}
+
+class RandomAutomatonSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAutomatonSweep, CompletionPreservesTraces) {
+  std::mt19937 rng(GetParam());
+  RegisterAutomaton a = RandomAutomaton(rng, SmallOptions());
+  auto completed = Completed(a);
+  ASSERT_TRUE(completed.ok());
+  Database db{Schema()};
+  std::vector<DataValue> pool = {0, 1, 2};
+  EXPECT_EQ(Traces(a, db, 3, pool), Traces(*completed, db, 3, pool));
+}
+
+TEST_P(RandomAutomatonSweep, StateDrivenPreservesTraces) {
+  std::mt19937 rng(GetParam() + 1000);
+  RegisterAutomaton a = RandomAutomaton(rng, SmallOptions());
+  RegisterAutomaton sd = MakeStateDriven(a);
+  EXPECT_TRUE(sd.IsStateDriven());
+  Database db{Schema()};
+  std::vector<DataValue> pool = {0, 1, 2};
+  EXPECT_EQ(Traces(a, db, 3, pool), Traces(sd, db, 3, pool));
+}
+
+TEST_P(RandomAutomatonSweep, PermutationPreservesTraceCount) {
+  std::mt19937 rng(GetParam() + 2000);
+  RegisterAutomaton a = RandomAutomaton(rng, SmallOptions());
+  RegisterAutomaton swapped = PermuteRegisters(a, {1, 0});
+  Database db{Schema()};
+  std::vector<DataValue> pool = {0, 1};
+  auto t1 = Traces(a, db, 3, pool);
+  auto t2 = Traces(swapped, db, 3, pool);
+  ASSERT_EQ(t1.size(), t2.size());
+  // Each permuted trace is the register-swap of an original trace.
+  for (const auto& trace : t1) {
+    std::vector<DataValue> swapped_trace(trace.size());
+    for (size_t i = 0; i + 1 < trace.size(); i += 2) {
+      swapped_trace[i] = trace[i + 1];
+      swapped_trace[i + 1] = trace[i];
+    }
+    EXPECT_TRUE(t2.count(swapped_trace) > 0);
+  }
+}
+
+TEST_P(RandomAutomatonSweep, SControlAcceptsRealControlWords) {
+  std::mt19937 rng(GetParam() + 3000);
+  RegisterAutomaton a =
+      MakeStateDriven(Completed(RandomAutomaton(rng, SmallOptions())).value());
+  ControlAlphabet alphabet(a);
+  Nba scontrol = BuildSControlNba(a, alphabet);
+  Database db{Schema()};
+  size_t checked = 0;
+  EnumerateRuns(a, db, 3, {0, 1}, [&](const FiniteRun& run) {
+    for (int ti : a.TransitionsFrom(run.states.back())) {
+      const RaTransition& t = a.transition(ti);
+      if (t.to != run.states[0]) continue;
+      LassoRun lasso{run, 0, ti};
+      if (!ValidateLassoRun(a, db, lasso).ok()) continue;
+      EXPECT_TRUE(
+          scontrol.AcceptsLasso(ControlWordOfLassoRun(a, alphabet, lasso)));
+      ++checked;
+    }
+    return checked < 10;
+  });
+  // Some random automata admit no short lasso; that is fine.
+}
+
+TEST_P(RandomAutomatonSweep, SymbolicWitnessesRealize) {
+  std::mt19937 rng(GetParam() + 4000);
+  RegisterAutomaton a =
+      MakeStateDriven(Completed(RandomAutomaton(rng, SmallOptions())).value());
+  ControlAlphabet alphabet(a);
+  auto lasso = FindSymbolicControlLasso(a, alphabet);
+  if (!lasso.has_value()) return;  // empty automaton: nothing to realize
+  auto witness = RealizeWitness(a, alphabet, *lasso, 6);
+  ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+  EXPECT_TRUE(
+      ValidateRunPrefix(a, witness->db, witness->run, false).ok());
+}
+
+TEST_P(RandomAutomatonSweep, SymbolicAndRegionEmptinessAgree) {
+  std::mt19937 rng(GetParam() + 5000);
+  RegisterAutomaton a = RandomAutomaton(rng, SmallOptions());
+  auto symbolic = HasSomeRun(a);
+  ASSERT_TRUE(symbolic.ok());
+  Database empty_db{Schema()};
+  bool over_empty = HasRunOverDatabase(a, empty_db);
+  if (!*symbolic) {
+    // No run over any database implies none over the empty one.
+    EXPECT_FALSE(over_empty);
+  } else {
+    // With an empty schema the database is irrelevant: a run over some
+    // database is a run over the empty one (values are unconstrained).
+    EXPECT_TRUE(over_empty);
+  }
+}
+
+TEST_P(RandomAutomatonSweep, Prop20ProjectionMatchesBruteForce) {
+  std::mt19937 rng(GetParam() + 6000);
+  RandomAutomatonOptions options = SmallOptions();
+  options.num_states = 2;
+  options.num_transitions = 3;
+  RegisterAutomaton a = RandomAutomaton(rng, options);
+  auto projected = ProjectRegisterAutomaton(a, 1);
+  ASSERT_TRUE(projected.ok()) << projected.status().ToString();
+
+  const size_t keep_len = 3;
+  std::vector<DataValue> pool = {0, 1};
+  std::vector<DataValue> pool_big = {0, 1, 10, 11, 12, 13};
+  ExtendedAutomaton plain{PruneFrontierIncompatibleTransitions(
+      MakeStateDriven(Completed(a).value()))};
+  std::set<std::vector<DataValue>> truth;
+  for (auto& trace : EraTraces(plain, keep_len, pool_big, 1)) {
+    bool in_pool = true;
+    for (DataValue v : trace) in_pool = in_pool && (v == 0 || v == 1);
+    if (in_pool) truth.insert(trace);
+  }
+  EXPECT_EQ(truth, EraTraces(*projected, keep_len, pool, 1));
+}
+
+TEST_P(RandomAutomatonSweep, Theorem13AgreesWithProp20OnPlainAutomata) {
+  std::mt19937 rng(GetParam() + 7000);
+  RandomAutomatonOptions options = SmallOptions();
+  options.num_states = 2;
+  options.num_transitions = 3;
+  RegisterAutomaton a = RandomAutomaton(rng, options);
+  auto via_prop20 = ProjectRegisterAutomaton(a, 1);
+  ASSERT_TRUE(via_prop20.ok());
+  ExtendedAutomaton plain_era(PruneFrontierIncompatibleTransitions(
+      MakeStateDriven(Completed(a).value())));
+  auto via_thm13 = ProjectExtendedAutomaton(plain_era, 1);
+  ASSERT_TRUE(via_thm13.ok()) << via_thm13.status().ToString();
+
+  const size_t keep_len = 3;
+  std::vector<DataValue> pool = {0, 1};
+  EXPECT_EQ(EraTraces(*via_prop20, keep_len, pool, 1),
+            EraTraces(*via_thm13, keep_len, pool, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAutomatonSweep, ::testing::Range(1, 20));
+
+TEST_P(RandomAutomatonSweep, TrimPreservesLassoExistence) {
+  std::mt19937 rng(GetParam() + 8000);
+  RegisterAutomaton a = RandomAutomaton(rng, SmallOptions());
+  RegisterAutomaton trimmed = TrimToLiveStates(a);
+  EXPECT_LE(trimmed.num_states(), a.num_states());
+  // Emptiness agrees before and after trimming.
+  auto before = HasSomeRun(a);
+  auto after = HasSomeRun(trimmed);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*before, *after);
+  // And trimming is idempotent.
+  RegisterAutomaton twice = TrimToLiveStates(trimmed);
+  EXPECT_EQ(twice.num_states(), trimmed.num_states());
+}
+
+TEST_P(RandomAutomatonSweep, RandomEraEmptinessWitnessesValidate) {
+  std::mt19937 rng(GetParam() + 9000);
+  RandomAutomatonOptions options = SmallOptions();
+  options.num_states = 2;
+  options.num_transitions = 3;
+  RegisterAutomaton base = RandomAutomaton(rng, options);
+  auto completed = Completed(base);
+  ASSERT_TRUE(completed.ok());
+  ExtendedAutomaton era(std::move(completed).value());
+  // A random constraint: (in)equality at a random exact gap.
+  std::uniform_int_distribution<int> gap_dist(1, 3);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> reg(0, options.num_registers - 1);
+  std::string expr = ".";
+  int gap = gap_dist(rng);
+  for (int i = 0; i < gap; ++i) expr += " .";
+  ASSERT_TRUE(era.AddConstraintFromText(reg(rng), reg(rng), coin(rng) == 0,
+                                        expr)
+                  .ok());
+  ControlAlphabet alphabet(era.automaton());
+  EraEmptinessOptions emptiness;
+  emptiness.max_lasso_length = 8;
+  emptiness.max_lassos = 300;
+  auto result = CheckEraEmptiness(era, alphabet, emptiness);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  if (result->nonempty) {
+    // The witness realizes into a constraint-satisfying concrete run.
+    auto witness =
+        RealizeEraWitness(era, alphabet, result->control_word, 10);
+    ASSERT_TRUE(witness.ok()) << witness.status().ToString();
+    EXPECT_TRUE(
+        ValidateEraRunPrefix(era, witness->db, witness->run, false).ok());
+  }
+}
+
+// Sweeps with relations in the schema.
+class RandomRelationalSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomRelationalSweep, CompletionPreservesTracesOverDatabase) {
+  std::mt19937 rng(GetParam());
+  RandomAutomatonOptions options;
+  options.num_registers = 1;
+  options.num_states = 2;
+  options.num_transitions = 3;
+  options.schema.AddRelation("P", 1);
+  RegisterAutomaton a = RandomAutomaton(rng, options);
+  auto completed = Completed(a);
+  ASSERT_TRUE(completed.ok());
+  Database db(options.schema);
+  db.Insert(0, {1});
+  db.Insert(0, {2});
+  std::vector<DataValue> pool = {0, 1, 2};
+  EXPECT_EQ(Traces(a, db, 3, pool), Traces(*completed, db, 3, pool));
+}
+
+TEST_P(RandomRelationalSweep, RegionAbstractionMatchesEnumeration) {
+  // If HasRunOverDatabase says no, there must be no enumerable lasso run
+  // over the database's values (a weaker but meaningful check).
+  std::mt19937 rng(GetParam() + 500);
+  RandomAutomatonOptions options;
+  options.num_registers = 1;
+  options.num_states = 2;
+  options.num_transitions = 3;
+  options.schema.AddRelation("P", 1);
+  RegisterAutomaton a = RandomAutomaton(rng, options);
+  Database db(options.schema);
+  db.Insert(0, {1});
+  bool region = HasRunOverDatabase(a, db);
+  bool found_lasso = false;
+  EnumerateRuns(a, db, 4, {0, 1, 5}, [&](const FiniteRun& run) {
+    for (int ti : a.TransitionsFrom(run.states.back())) {
+      const RaTransition& t = a.transition(ti);
+      if (t.to != run.states[0]) continue;
+      LassoRun lasso{run, 0, ti};
+      if (ValidateLassoRun(a, db, lasso).ok()) {
+        found_lasso = true;
+        return false;
+      }
+    }
+    return true;
+  });
+  if (found_lasso) {
+    EXPECT_TRUE(region);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRelationalSweep,
+                         ::testing::Range(1, 15));
+
+}  // namespace
+}  // namespace rav

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "automata/regex.h"
+#include "ra/intersect.h"
+#include "ra/lasso_search.h"
+#include "ra/simulate.h"
+#include "test_util.h"
+
+namespace rav {
+namespace {
+
+using testing::MakeExample1;
+
+// NBA over Example 1's states accepting exactly (q1 q2 q2)^ω.
+Nba ThreePeriodic(const RegisterAutomaton& a) {
+  StateId q1 = a.FindState("q1");
+  StateId q2 = a.FindState("q2");
+  Nba nba(a.num_states());
+  int s0 = nba.AddState();
+  int s1 = nba.AddState();
+  int s2 = nba.AddState();
+  nba.AddTransition(s0, q1, s1);
+  nba.AddTransition(s1, q2, s2);
+  nba.AddTransition(s2, q2, s0);
+  nba.SetInitial(s0);
+  nba.SetAccepting(s0);
+  return nba;
+}
+
+TEST(IntersectTest, RejectsWrongAlphabet) {
+  RegisterAutomaton a = MakeExample1();
+  Nba wrong(5);
+  wrong.AddState();
+  wrong.SetInitial(0);
+  EXPECT_FALSE(IntersectWithStateNba(a, wrong).ok());
+}
+
+TEST(IntersectTest, RunsFollowTheStatePattern) {
+  RegisterAutomaton a = MakeExample1();
+  auto product = IntersectWithStateNba(a, ThreePeriodic(a));
+  ASSERT_TRUE(product.ok()) << product.status().ToString();
+
+  Database db{Schema()};
+  // Every enumerated product run projects to the state pattern
+  // q1 q2 q2 q1 q2 q2 ... (recovered via state names "<orig>&...").
+  size_t runs = 0;
+  EnumerateRuns(*product, db, 5, {0, 1}, [&](const FiniteRun& run) {
+    static const char* expected[] = {"q1", "q2", "q2", "q1", "q2"};
+    for (size_t n = 0; n < run.length(); ++n) {
+      std::string name = product->state_name(run.states[n]);
+      EXPECT_EQ(name.substr(0, 2), expected[n]);
+    }
+    ++runs;
+    return true;
+  });
+  EXPECT_GT(runs, 0u);
+
+  // And accepting lassos exist (the pattern is realizable).
+  auto lasso = FindLassoRunByEnumeration(*product, db, 7, {0, 1});
+  EXPECT_TRUE(lasso.has_value());
+}
+
+TEST(IntersectTest, EmptyWhenPatternUnrealizable) {
+  // Pattern q2^ω: Example 1 must start in q1 (the only initial state), so
+  // the intersection has no runs at all.
+  RegisterAutomaton a = MakeExample1();
+  StateId q2 = a.FindState("q2");
+  Nba nba(a.num_states());
+  int s = nba.AddState();
+  nba.AddTransition(s, q2, s);
+  nba.SetInitial(s);
+  nba.SetAccepting(s);
+  auto product = IntersectWithStateNba(a, nba);
+  ASSERT_TRUE(product.ok());
+  EXPECT_TRUE(product->InitialStates().empty());
+}
+
+TEST(IntersectTest, BuchiConjunctionRequiresBothConditions) {
+  // Automaton: two states, final state f; NBA accepting state traces that
+  // visit g infinitely often. The product's accepting lassos must visit
+  // both f and g infinitely often.
+  RegisterAutomaton a(1, Schema());
+  StateId f = a.AddState("f");
+  StateId g = a.AddState("g");
+  a.SetInitial(f);
+  a.SetFinal(f);
+  Type empty = a.NewGuardBuilder().Build().value();
+  a.AddTransition(f, empty, f);
+  a.AddTransition(f, empty, g);
+  a.AddTransition(g, empty, f);
+  a.AddTransition(g, empty, g);
+
+  // NBA: infinitely many g's.
+  Nba nba(a.num_states());
+  int s0 = nba.AddState();
+  int s1 = nba.AddState();
+  nba.AddTransition(s0, f, s0);
+  nba.AddTransition(s0, g, s1);
+  nba.AddTransition(s1, g, s1);
+  nba.AddTransition(s1, f, s0);
+  nba.SetInitial(s0);
+  nba.SetAccepting(s1);
+
+  auto product = IntersectWithStateNba(a, nba);
+  ASSERT_TRUE(product.ok());
+  Database db{Schema()};
+  auto lasso = FindLassoRunByEnumeration(*product, db, 6, {0});
+  ASSERT_TRUE(lasso.has_value());
+  // The accepting cycle must contain both an f-state and a g-state.
+  bool has_f = false, has_g = false;
+  for (size_t n = lasso->cycle_start; n < lasso->spine.length(); ++n) {
+    char c = product->state_name(lasso->spine.states[n])[0];
+    has_f = has_f || c == 'f';
+    has_g = has_g || c == 'g';
+  }
+  EXPECT_TRUE(has_f);
+  EXPECT_TRUE(has_g);
+}
+
+}  // namespace
+}  // namespace rav

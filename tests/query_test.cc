@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "era/run_check.h"
+#include "era/simulate_era.h"
+#include "io/text_format.h"
+#include "relational/query.h"
+#include "test_util.h"
+
+namespace rav {
+namespace {
+
+Schema GraphSchema() {
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("Color", 2);  // Color(node, color)
+  return s;
+}
+
+Database TriangleDb(const Schema& s) {
+  Database db(s);
+  RelationId e = s.FindRelation("E");
+  RelationId color = s.FindRelation("Color");
+  db.Insert(e, {1, 2});
+  db.Insert(e, {2, 3});
+  db.Insert(e, {3, 1});
+  db.Insert(color, {1, 10});
+  db.Insert(color, {2, 10});
+  db.Insert(color, {3, 20});
+  return db;
+}
+
+TEST(QueryTest, SingleAtomScan) {
+  Schema s = GraphSchema();
+  Database db = TriangleDb(s);
+  auto q = ConjunctiveQuery::Make(
+      s, 2, {{s.FindRelation("E"), {QueryTerm::Var(0), QueryTerm::Var(1)}}},
+      {0, 1});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Evaluate(db).size(), 3u);
+}
+
+TEST(QueryTest, JoinPathsOfLengthTwo) {
+  Schema s = GraphSchema();
+  Database db = TriangleDb(s);
+  RelationId e = s.FindRelation("E");
+  // ans(x, z) :- E(x, y), E(y, z).
+  auto q = ConjunctiveQuery::Make(
+      s, 3,
+      {{e, {QueryTerm::Var(0), QueryTerm::Var(1)}},
+       {e, {QueryTerm::Var(1), QueryTerm::Var(2)}}},
+      {0, 2});
+  ASSERT_TRUE(q.ok());
+  auto results = q->Evaluate(db);
+  // Triangle: paths 1->3, 2->1, 3->2.
+  EXPECT_EQ(results.size(), 3u);
+  EXPECT_TRUE(std::count(results.begin(), results.end(), ValueTuple{1, 3}));
+}
+
+TEST(QueryTest, LiteralSelection) {
+  Schema s = GraphSchema();
+  Database db = TriangleDb(s);
+  RelationId color = s.FindRelation("Color");
+  // ans(x) :- Color(x, 10).
+  auto q = ConjunctiveQuery::Make(
+      s, 1, {{color, {QueryTerm::Var(0), QueryTerm::Lit(10)}}}, {0});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Evaluate(db), (std::vector<ValueTuple>{{1}, {2}}));
+}
+
+TEST(QueryTest, JoinAcrossRelations) {
+  Schema s = GraphSchema();
+  Database db = TriangleDb(s);
+  // ans(x, y) :- E(x, y), Color(x, c), Color(y, c): monochromatic edges.
+  auto q = ConjunctiveQuery::Make(
+      s, 3,
+      {{s.FindRelation("E"), {QueryTerm::Var(0), QueryTerm::Var(1)}},
+       {s.FindRelation("Color"), {QueryTerm::Var(0), QueryTerm::Var(2)}},
+       {s.FindRelation("Color"), {QueryTerm::Var(1), QueryTerm::Var(2)}}},
+      {0, 1});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Evaluate(db), (std::vector<ValueTuple>{{1, 2}}));
+}
+
+TEST(QueryTest, BooleanQuery) {
+  Schema s = GraphSchema();
+  Database db = TriangleDb(s);
+  // Is there a monochromatic edge with color 20? No.
+  auto q = ConjunctiveQuery::Make(
+      s, 2,
+      {{s.FindRelation("E"), {QueryTerm::Var(0), QueryTerm::Var(1)}},
+       {s.FindRelation("Color"), {QueryTerm::Var(0), QueryTerm::Lit(20)}},
+       {s.FindRelation("Color"), {QueryTerm::Var(1), QueryTerm::Lit(20)}}},
+      {});
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->HoldsIn(db));
+}
+
+TEST(QueryTest, UnsafeHeadYieldsNothing) {
+  Schema s = GraphSchema();
+  Database db = TriangleDb(s);
+  // ans(z) :- E(x, y): z never bound.
+  auto q = ConjunctiveQuery::Make(
+      s, 3, {{s.FindRelation("E"), {QueryTerm::Var(0), QueryTerm::Var(1)}}},
+      {2});
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->Evaluate(db).empty());
+}
+
+TEST(QueryTest, ValidationErrors) {
+  Schema s = GraphSchema();
+  EXPECT_FALSE(ConjunctiveQuery::Make(s, 1, {{99, {}}}, {}).ok());
+  EXPECT_FALSE(ConjunctiveQuery::Make(
+                   s, 1, {{s.FindRelation("E"), {QueryTerm::Var(0)}}}, {})
+                   .ok());
+  EXPECT_FALSE(ConjunctiveQuery::Make(s, 1, {}, {5}).ok());
+}
+
+// --- ERA-aware sampling ---
+
+TEST(SampleEraRunTest, Example5SamplesSatisfyConstraint) {
+  ExtendedAutomaton era = rav::testing::MakeExample5();
+  Database db{Schema()};
+  std::mt19937 rng(3);
+  int produced = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto run = SampleEraRun(era, db, 6, rng);
+    if (!run.has_value()) continue;
+    ++produced;
+    EXPECT_TRUE(ValidateEraRunPrefix(era, db, *run).ok());
+  }
+  EXPECT_GT(produced, 0);
+}
+
+TEST(SampleEraRunTest, AllDistinctSamples) {
+  ExtendedAutomaton era = rav::testing::MakeAllDistinct();
+  Database db{Schema()};
+  std::mt19937 rng(5);
+  auto run = SampleEraRun(era, db, 4, rng);
+  ASSERT_TRUE(run.has_value());
+  for (size_t a = 0; a < run->length(); ++a) {
+    for (size_t b = a + 1; b < run->length(); ++b) {
+      EXPECT_NE(run->values[a][0], run->values[b][0]);
+    }
+  }
+}
+
+// --- Parser robustness fuzz ---
+
+TEST(ParserFuzzTest, RandomInputsNeverCrash) {
+  std::mt19937 rng(77);
+  const std::string alphabet =
+      "automaton registers state transition constraint schema {}()->=!x1y2 "
+      "\"\n#";
+  std::uniform_int_distribution<size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<int> len(0, 120);
+  for (int i = 0; i < 300; ++i) {
+    std::string input;
+    int n = len(rng);
+    for (int j = 0; j < n; ++j) input.push_back(alphabet[pick(rng)]);
+    // Must not crash; any Status outcome is fine.
+    auto result = ParseExtendedAutomaton(input);
+    (void)result;
+  }
+}
+
+TEST(ParserFuzzTest, MutatedValidInputsNeverCrash) {
+  std::string valid =
+      "automaton { registers 2 state q1 initial final state q2 "
+      "transition q1 -> q2 { x1 = x2  x2 = y2 } "
+      "transition q2 -> q1 { x2 = y2 } }";
+  std::mt19937 rng(88);
+  std::uniform_int_distribution<size_t> pos(0, valid.size() - 1);
+  std::uniform_int_distribution<int> ch(32, 126);
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = valid;
+    mutated[pos(rng)] = static_cast<char>(ch(rng));
+    auto result = ParseExtendedAutomaton(mutated);
+    (void)result;
+  }
+}
+
+}  // namespace
+}  // namespace rav

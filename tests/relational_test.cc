@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/formula.h"
+#include "relational/schema.h"
+
+namespace rav {
+namespace {
+
+Schema ReviewSchema() {
+  Schema s;
+  s.AddRelation("Topic", 2);     // Topic(paper, topic)
+  s.AddRelation("Prefers", 2);   // Prefers(reviewer, topic)
+  s.AddConstant("chair");
+  return s;
+}
+
+TEST(SchemaTest, NamesAndArities) {
+  Schema s = ReviewSchema();
+  EXPECT_EQ(s.num_relations(), 2);
+  EXPECT_EQ(s.num_constants(), 1);
+  EXPECT_EQ(s.arity(s.FindRelation("Topic")), 2);
+  EXPECT_EQ(s.FindRelation("Missing"), -1);
+  EXPECT_EQ(s.constant_name(0), "chair");
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(Schema().empty());
+}
+
+TEST(DatabaseTest, InsertContainsErase) {
+  Schema s = ReviewSchema();
+  RelationId topic = s.FindRelation("Topic");
+  Database db(s);
+  db.Insert(topic, {1, 10});
+  db.Insert(topic, {1, 10});  // duplicate: no-op
+  EXPECT_EQ(db.RelationSize(topic), 1u);
+  EXPECT_TRUE(db.Contains(topic, {1, 10}));
+  EXPECT_FALSE(db.Contains(topic, {10, 1}));
+  EXPECT_TRUE(db.Erase(topic, {1, 10}));
+  EXPECT_FALSE(db.Erase(topic, {1, 10}));
+}
+
+TEST(DatabaseTest, ActiveDomainIncludesConstants) {
+  Schema s = ReviewSchema();
+  Database db(s);
+  db.Insert(s.FindRelation("Topic"), {7, 3});
+  db.SetConstant(0, 99);
+  std::vector<DataValue> adom = db.ActiveDomain();
+  EXPECT_EQ(adom, (std::vector<DataValue>{3, 7, 99}));
+  EXPECT_EQ(db.constant(0), 99);
+}
+
+TEST(FormulaTest, EqualityEvaluation) {
+  Schema s;
+  Database db(s);
+  Formula f = Formula::And(Formula::Eq(Term::Var(0), Term::Var(1)),
+                           Formula::Neq(Term::Var(1), Term::Var(2)));
+  EXPECT_TRUE(f.Eval(db, {5, 5, 6}));
+  EXPECT_FALSE(f.Eval(db, {5, 5, 5}));
+  EXPECT_FALSE(f.Eval(db, {4, 5, 6}));
+  EXPECT_TRUE(f.EvalEqualityOnly({5, 5, 6}));
+}
+
+TEST(FormulaTest, RelationalEvaluation) {
+  Schema s = ReviewSchema();
+  RelationId prefers = s.FindRelation("Prefers");
+  Database db(s);
+  db.Insert(prefers, {8, 3});
+  Formula f = Formula::Rel(prefers, {Term::Var(0), Term::Var(1)});
+  EXPECT_TRUE(f.Eval(db, {8, 3}));
+  EXPECT_FALSE(f.Eval(db, {3, 8}));
+  Formula g = Formula::NotRel(prefers, {Term::Var(0), Term::Var(1)});
+  EXPECT_TRUE(g.Eval(db, {3, 8}));
+}
+
+TEST(FormulaTest, ConstantsResolveThroughDatabase) {
+  Schema s = ReviewSchema();
+  Database db(s);
+  db.SetConstant(0, 42);
+  Formula f = Formula::Eq(Term::Var(0), Term::Const(0));
+  EXPECT_TRUE(f.Eval(db, {42}));
+  EXPECT_FALSE(f.Eval(db, {41}));
+}
+
+TEST(FormulaTest, BooleanStructure) {
+  Schema s;
+  Database db(s);
+  Formula t = Formula::True();
+  Formula f = Formula::False();
+  EXPECT_TRUE(Formula::Or(f, t).Eval(db, {}));
+  EXPECT_FALSE(Formula::And(f, t).Eval(db, {}));
+  EXPECT_TRUE(Formula::Not(f).Eval(db, {}));
+  EXPECT_TRUE(Formula::OrAll({}).Eval(db, {}) == false);
+  EXPECT_TRUE(Formula::AndAll({}).Eval(db, {}));
+}
+
+TEST(FormulaTest, MaxVariableIndex) {
+  Formula f = Formula::And(Formula::Eq(Term::Var(0), Term::Var(7)),
+                           Formula::Eq(Term::Var(2), Term::Var(3)));
+  EXPECT_EQ(f.MaxVariableIndex(), 7);
+  EXPECT_EQ(Formula::True().MaxVariableIndex(), -1);
+}
+
+TEST(FormulaTest, ToStringRendersRegisters) {
+  Schema s = ReviewSchema();
+  Formula f = Formula::Eq(Term::Var(0), Term::Var(2));
+  // With k=2: var 0 is x1, var 2 is y1.
+  EXPECT_EQ(f.ToString(s, 2), "x1 = y1");
+}
+
+}  // namespace
+}  // namespace rav

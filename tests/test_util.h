@@ -1,0 +1,77 @@
+#ifndef RAV_TESTS_TEST_UTIL_H_
+#define RAV_TESTS_TEST_UTIL_H_
+
+#include "era/extended_automaton.h"
+#include "ra/register_automaton.h"
+#include "relational/schema.h"
+#include "types/type.h"
+
+namespace rav::testing {
+
+// Example 1 of the paper: the 2-register automaton with states q1, q2 and
+// types δ1 = (x1 = x2 ∧ x2 = y2), δ2 = (x2 = y2),
+// δ3 = (x2 = y2 ∧ y1 = y2); transitions (q1,δ1,q2), (q2,δ2,q2),
+// (q2,δ3,q1); q1 initial and final; no database.
+inline RegisterAutomaton MakeExample1() {
+  RegisterAutomaton a(2, Schema());
+  StateId q1 = a.AddState("q1");
+  StateId q2 = a.AddState("q2");
+  a.SetInitial(q1);
+  a.SetFinal(q1);
+
+  TypeBuilder d1 = a.NewGuardBuilder();
+  d1.AddEq(d1.X(0), d1.X(1)).AddEq(d1.X(1), d1.Y(1));
+  TypeBuilder d2 = a.NewGuardBuilder();
+  d2.AddEq(d2.X(1), d2.Y(1));
+  TypeBuilder d3 = a.NewGuardBuilder();
+  d3.AddEq(d3.X(1), d3.Y(1)).AddEq(d3.Y(0), d3.Y(1));
+
+  a.AddTransition(q1, d1.Build().value(), q2);
+  a.AddTransition(q2, d2.Build().value(), q2);
+  a.AddTransition(q2, d3.Build().value(), q1);
+  return a;
+}
+
+// Example 5: the 1-register extended automaton capturing the projection of
+// Example 1 on register 1: states p1 (initial, final), p2; both transitions
+// carry the empty type; constraint e=₁₁ = p1 p2* p1.
+inline ExtendedAutomaton MakeExample5() {
+  RegisterAutomaton b(1, Schema());
+  StateId p1 = b.AddState("p1");
+  StateId p2 = b.AddState("p2");
+  b.SetInitial(p1);
+  b.SetFinal(p1);
+  Type empty = b.NewGuardBuilder().Build().value();
+  b.AddTransition(p1, empty, p2);
+  b.AddTransition(p2, empty, p2);
+  b.AddTransition(p2, empty, p1);
+  ExtendedAutomaton era(std::move(b));
+  Status s = era.AddConstraintFromText(0, 0, /*is_equality=*/true,
+                                       "p1 p2* p1");
+  RAV_CHECK(s.ok());
+  return era;
+}
+
+// Example 7: one register, one state q (initial+final), trivial looping
+// transition, and the global constraint that all register values are
+// pairwise distinct: e≠₁₁ = q q* (every factor of length >= 2... the
+// constraint q+ also relates a position to itself; the paper's intent is
+// distinct positions, so we use q q* which still matches the length-1
+// factor... to relate *distinct* positions only we use q q+ = factors of
+// length >= 2).
+inline ExtendedAutomaton MakeAllDistinct() {
+  RegisterAutomaton b(1, Schema());
+  StateId q = b.AddState("q");
+  b.SetInitial(q);
+  b.SetFinal(q);
+  Type empty = b.NewGuardBuilder().Build().value();
+  b.AddTransition(q, empty, q);
+  ExtendedAutomaton era(std::move(b));
+  Status s = era.AddConstraintFromText(0, 0, /*is_equality=*/false, "q q+");
+  RAV_CHECK(s.ok());
+  return era;
+}
+
+}  // namespace rav::testing
+
+#endif  // RAV_TESTS_TEST_UTIL_H_

@@ -1,0 +1,104 @@
+// Exactness tests for the windowed checks on lasso runs: violations that
+// only materialize beyond the spine (in the unrolling) must be caught by
+// the documented window bound spine + 2·period·|dfa|.
+
+#include <gtest/gtest.h>
+
+#include "era/run_check.h"
+#include "test_util.h"
+
+namespace rav {
+namespace {
+
+// One state, free transition; constraint relating positions at distance
+// exactly `gap`.
+ExtendedAutomaton MakeGapEquality(int gap, bool equality) {
+  RegisterAutomaton a(1, Schema());
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  a.AddTransition(q, a.NewGuardBuilder().Build().value(), q);
+  ExtendedAutomaton era(std::move(a));
+  std::string expr = "q";
+  for (int i = 0; i < gap; ++i) expr += " q";
+  RAV_CHECK(era.AddConstraintFromText(0, 0, equality, expr).ok());
+  return era;
+}
+
+LassoRun CycleRun(std::vector<DataValue> values) {
+  LassoRun run;
+  for (DataValue v : values) {
+    run.spine.values.push_back({v});
+    run.spine.states.push_back(0);
+  }
+  run.spine.transition_indices.assign(values.size() - 1, 0);
+  run.cycle_start = 0;
+  run.wrap_transition_index = 0;
+  return run;
+}
+
+TEST(WindowTest, ViolationBeyondSpineIsCaught) {
+  // Constraint: positions at distance 3 are equal. Cycle (1 2): the
+  // unrolled run is 1 2 1 2 ...; positions 0 and 3 carry 1 and 2 —
+  // violated, but only visible when the factor wraps past the spine.
+  ExtendedAutomaton era = MakeGapEquality(3, /*equality=*/true);
+  LassoRun run = CycleRun({1, 2});
+  EXPECT_FALSE(CheckLassoRunConstraints(era, run).ok());
+  // Cycle (1): positions at distance 3 both carry 1 — satisfied.
+  EXPECT_TRUE(CheckLassoRunConstraints(era, CycleRun({1})).ok());
+}
+
+TEST(WindowTest, ParityInteraction) {
+  // Distance-2 equality on a period-3 cycle: unrolled values
+  // a b c a b c...; positions 0 and 2 carry a and c -> forced equal; by
+  // propagation around the cycle all three must coincide.
+  ExtendedAutomaton era = MakeGapEquality(2, /*equality=*/true);
+  EXPECT_FALSE(CheckLassoRunConstraints(era, CycleRun({1, 2, 3})).ok());
+  EXPECT_TRUE(CheckLassoRunConstraints(era, CycleRun({5, 5, 5})).ok());
+}
+
+TEST(WindowTest, InequalityAcrossWrap) {
+  // Distance-2 inequality on a period-2 cycle: positions 0 and 2 carry
+  // the same value — violated.
+  ExtendedAutomaton era = MakeGapEquality(2, /*equality=*/false);
+  EXPECT_FALSE(CheckLassoRunConstraints(era, CycleRun({1, 2})).ok());
+  // Period 2 can never satisfy distance-2 inequality (0 vs 2 same slot);
+  // but distance-1 inequality (consecutive) is satisfiable by (1 2).
+  ExtendedAutomaton consecutive = MakeGapEquality(1, /*equality=*/false);
+  EXPECT_TRUE(CheckLassoRunConstraints(consecutive, CycleRun({1, 2})).ok());
+  EXPECT_FALSE(CheckLassoRunConstraints(consecutive, CycleRun({1})).ok());
+}
+
+TEST(WindowTest, LongGapAgainstShortPeriod) {
+  // Distance-7 equality, period 3: 7 mod 3 = 1, so equality at distance 7
+  // forces equality at distance 1 around the cycle, collapsing all values.
+  ExtendedAutomaton era = MakeGapEquality(7, /*equality=*/true);
+  EXPECT_FALSE(CheckLassoRunConstraints(era, CycleRun({1, 2, 3})).ok());
+  EXPECT_TRUE(CheckLassoRunConstraints(era, CycleRun({4, 4, 4})).ok());
+}
+
+TEST(WindowTest, PrefixThenCycle) {
+  // Prefix positions participate too: spine 9 [1 2]^ω with distance-2
+  // equality: positions 0 (value 9) and 2 (value 2)... position 2 is the
+  // cycle's second slot. Violated.
+  ExtendedAutomaton era = MakeGapEquality(2, /*equality=*/true);
+  LassoRun run;
+  run.spine.values = {{9}, {1}, {2}};
+  run.spine.states = {0, 0, 0};
+  run.spine.transition_indices = {0, 0};
+  run.cycle_start = 1;
+  run.wrap_transition_index = 0;
+  EXPECT_FALSE(CheckLassoRunConstraints(era, run).ok());
+  // With the prefix matching the cycle slot two ahead, it is satisfied:
+  // 1 [1 1]: all values equal.
+  LassoRun ok;
+  ok.spine.values = {{1}, {1}, {1}};
+  ok.spine.states = {0, 0, 0};
+  ok.spine.transition_indices = {0, 0};
+  ok.cycle_start = 1;
+  ok.wrap_transition_index = 0;
+  EXPECT_TRUE(CheckLassoRunConstraints(era, ok).ok());
+}
+
+}  // namespace
+}  // namespace rav

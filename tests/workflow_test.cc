@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "ra/simulate.h"
+#include "ra/transform.h"
+#include "workflow/builder.h"
+#include "workflow/properties.h"
+#include "workflow/view.h"
+
+namespace rav {
+namespace {
+
+WorkflowBuilder MakeTwoStageWorkflow() {
+  Schema schema;
+  schema.AddRelation("Allowed", 1);
+  WorkflowBuilder wf(schema);
+  wf.AddAttribute("ticket");
+  wf.AddAttribute("agent");
+  wf.AddStage("open", /*initial=*/true);
+  wf.AddStage("closed", /*initial=*/false, /*accepting=*/true);
+  return wf;
+}
+
+TEST(WorkflowBuilderTest, BuildsAutomaton) {
+  WorkflowBuilder wf = MakeTwoStageWorkflow();
+  ASSERT_TRUE(wf.NewGuard()
+                  .Keeps("ticket")
+                  .Holds("Allowed", {"agent+"})
+                  .ConnectTransition("open", "closed")
+                  .ok());
+  ASSERT_TRUE(wf.NewGuard()
+                  .KeepsAllExcept({"ticket"})
+                  .Changes("ticket")
+                  .ConnectTransition("closed", "open")
+                  .ok());
+  auto a = wf.Build();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->num_registers(), 2);
+  EXPECT_EQ(a->num_states(), 2);
+  EXPECT_EQ(a->num_transitions(), 2);
+  // First guard: x_ticket = y_ticket and Allowed(y_agent).
+  const Type& g = a->transition(0).guard;
+  EXPECT_TRUE(g.AreEqual(0, 2));
+  EXPECT_EQ(g.atoms().size(), 1u);
+  // Second guard: agent kept, ticket changes.
+  const Type& g2 = a->transition(1).guard;
+  EXPECT_TRUE(g2.AreEqual(1, 3));
+  EXPECT_TRUE(g2.AreDistinct(0, 2));
+}
+
+TEST(WorkflowBuilderTest, UnknownNamesAreDeferredErrors) {
+  WorkflowBuilder wf = MakeTwoStageWorkflow();
+  EXPECT_FALSE(wf.NewGuard()
+                   .Keeps("nonexistent")
+                   .ConnectTransition("open", "closed")
+                   .ok());
+  EXPECT_FALSE(wf.Build().ok());  // the error sticks
+}
+
+TEST(WorkflowBuilderTest, UnknownStageRejected) {
+  WorkflowBuilder wf = MakeTwoStageWorkflow();
+  EXPECT_FALSE(
+      wf.NewGuard().Keeps("ticket").ConnectTransition("open", "nowhere").ok());
+}
+
+TEST(WorkflowBuilderTest, ContradictoryGuardRejected) {
+  WorkflowBuilder wf = MakeTwoStageWorkflow();
+  EXPECT_FALSE(wf.NewGuard()
+                   .Keeps("ticket")
+                   .Changes("ticket")
+                   .ConnectTransition("open", "closed")
+                   .ok());
+}
+
+TEST(WorkflowBuilderTest, RequiresInitialAndAccepting) {
+  Schema schema;
+  WorkflowBuilder wf(schema);
+  wf.AddAttribute("a");
+  wf.AddStage("only");  // neither initial nor accepting
+  EXPECT_FALSE(wf.Build().ok());
+}
+
+TEST(WorkflowBuilderTest, SimulatedRunsRespectGuards) {
+  WorkflowBuilder wf = MakeTwoStageWorkflow();
+  ASSERT_TRUE(wf.NewGuard()
+                  .Keeps("ticket")
+                  .Keeps("agent")
+                  .ConnectTransition("open", "closed")
+                  .ok());
+  ASSERT_TRUE(wf.NewGuard()
+                  .Keeps("agent")
+                  .Changes("ticket")
+                  .ConnectTransition("closed", "open")
+                  .ok());
+  auto a = wf.Build();
+  ASSERT_TRUE(a.ok());
+  Database db{a->schema()};
+  size_t runs = 0;
+  EnumerateRuns(*a, db, 4, {0, 1, 2}, [&](const FiniteRun& run) {
+    // agent constant throughout.
+    for (size_t n = 1; n < run.length(); ++n) {
+      EXPECT_EQ(run.values[n][1], run.values[0][1]);
+    }
+    ++runs;
+    return true;
+  });
+  EXPECT_GT(runs, 0u);
+}
+
+TEST(PropertyBuilderTest, VerifiesNamedProperties) {
+  Schema schema;
+  WorkflowBuilder wf(schema);
+  wf.AddAttribute("ticket");
+  wf.AddAttribute("agent");
+  wf.AddStage("open", true, true);
+  RAV_CHECK(wf.NewGuard()
+                .Keeps("agent")
+                .Changes("ticket")
+                .ConnectTransition("open", "open")
+                .ok());
+  auto a = wf.Build();
+  ASSERT_TRUE(a.ok());
+
+  PropertyBuilder props(*a, {"ticket", "agent"});
+  ASSERT_TRUE(props.DefineKept("agent_kept", "agent").ok());
+  ASSERT_TRUE(props.DefineKept("ticket_kept", "ticket").ok());
+  // Duplicate name rejected.
+  EXPECT_FALSE(props.DefineKept("agent_kept", "agent").ok());
+  // Unknown attribute rejected.
+  EXPECT_FALSE(props.DefineKept("x", "nope").ok());
+
+  ExtendedAutomaton era(*a);
+  auto holds = props.Parse("G agent_kept");
+  ASSERT_TRUE(holds.ok());
+  auto r1 = VerifyLtlFo(era, *holds);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_TRUE(r1->holds);
+
+  auto fails = props.Parse("F ticket_kept");
+  ASSERT_TRUE(fails.ok());
+  auto r2 = VerifyLtlFo(era, *fails);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->holds);
+
+  // Unknown proposition in the formula is a parse error.
+  EXPECT_FALSE(props.Parse("G nonexistent").ok());
+}
+
+TEST(ViewTest, VisibleFirstPermutation) {
+  EXPECT_EQ(VisibleFirstPermutation(4, {2, 0}),
+            (std::vector<int>{2, 0, 1, 3}));
+  EXPECT_EQ(VisibleFirstPermutation(3, {}), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ViewTest, PermuteRegistersPreservesSemantics) {
+  // Automaton where register 1 is kept and register 2 changes freely.
+  RegisterAutomaton a(2, Schema());
+  StateId q = a.AddState("q");
+  a.SetInitial(q);
+  a.SetFinal(q);
+  TypeBuilder b = a.NewGuardBuilder();
+  b.AddEq(b.X(0), b.Y(0));
+  a.AddTransition(q, b.Build().value(), q);
+
+  RegisterAutomaton swapped = PermuteRegisters(a, {1, 0});
+  // In the permuted automaton register *2* is the kept one.
+  const Type& guard = swapped.transition(0).guard;
+  EXPECT_TRUE(guard.AreEqual(1, 3));
+  EXPECT_FALSE(guard.AreEqual(0, 2));
+}
+
+TEST(ViewTest, ProjectionViewOfDatabaseFreeWorkflow) {
+  // Two attributes, the first kept forever; view onto the *second*
+  // attribute (the unconstrained one).
+  Schema schema;
+  WorkflowBuilder wf(schema);
+  wf.AddAttribute("fixed");
+  int attr_free = wf.AddAttribute("free");
+  wf.AddStage("s", true, true);
+  RAV_CHECK(wf.NewGuard().Keeps("fixed").ConnectTransition("s", "s").ok());
+  auto a = wf.Build();
+  ASSERT_TRUE(a.ok());
+  auto view = MakeProjectionView(*a, {attr_free});
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ(view->automaton().num_registers(), 1);
+}
+
+TEST(ViewTest, HiddenDatabaseViewOfWorkflow) {
+  Schema schema;
+  schema.AddRelation("Allowed", 1);
+  WorkflowBuilder wf(schema);
+  int attr_ticket = wf.AddAttribute("ticket");
+  wf.AddAttribute("agent");
+  wf.AddStage("open", true, true);
+  RAV_CHECK(wf.NewGuard()
+                .Keeps("ticket")
+                .Holds("Allowed", {"agent+"})
+                .ConnectTransition("open", "open")
+                .ok());
+  auto a = wf.Build();
+  ASSERT_TRUE(a.ok());
+  Theorem24Stats stats;
+  auto view = MakeHiddenDatabaseView(*a, {attr_ticket}, &stats);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_TRUE(view->automaton().schema().empty());
+  EXPECT_EQ(view->automaton().num_registers(), 1);
+}
+
+}  // namespace
+}  // namespace rav

@@ -1,0 +1,260 @@
+// rav_cli — command-line front end for the rav library.
+//
+// Usage:
+//   rav_cli info <file>                 print a summary of the automaton
+//   rav_cli print <file>                round-trip through the text format
+//   rav_cli dot <file>                  Graphviz rendering to stdout
+//   rav_cli empty <file>                emptiness over finite databases
+//   rav_cli project <file> <m>          projection onto registers 1..m
+//   rav_cli lrbound <file>              LR-boundedness estimation
+//   rav_cli simulate <file> <steps>     sample and print a run
+//   rav_cli verify <file> <ltl> <fo>... verify an LTL-FO property; <ltl>
+//                                       uses propositions p0, p1, ... and
+//                                       each <fo> is "xi=yj", "xi!=xj",
+//                                       etc. interpreting proposition pN.
+//
+// Automaton files use the text format of io/text_format.h.
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "era/emptiness.h"
+#include "era/ltlfo.h"
+#include "io/text_format.h"
+#include "projection/lr_bounded.h"
+#include "projection/project_era.h"
+#include "ra/simulate.h"
+#include "ra/transform.h"
+
+namespace rav {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "rav_cli: %s\n", message.c_str());
+  return 1;
+}
+
+Result<ExtendedAutomaton> Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseExtendedAutomaton(buffer.str());
+}
+
+// Parses a tiny FO-proposition syntax: "x1=y2", "x1!=x2", "x1=c" (constant
+// by name), "R(x1,y2)", "!R(x1)".
+Result<Formula> ParseProposition(const std::string& text,
+                                 const RegisterAutomaton& a) {
+  const int k = a.num_registers();
+  auto term = [&](const std::string& t) -> Result<Term> {
+    if (t.size() >= 2 && (t[0] == 'x' || t[0] == 'y') &&
+        isdigit(static_cast<unsigned char>(t[1]))) {
+      int index = std::stoi(t.substr(1)) - 1;
+      if (index < 0 || index >= k) {
+        return Status::InvalidArgument("register out of range: " + t);
+      }
+      return Term::Var(t[0] == 'x' ? index : k + index);
+    }
+    ConstantId c = a.schema().FindConstant(t);
+    if (c < 0) return Status::InvalidArgument("unknown term: " + t);
+    return Term::Const(c);
+  };
+
+  bool negated = false;
+  std::string body = text;
+  if (!body.empty() && body[0] == '!' && body.find('(') != std::string::npos) {
+    negated = true;
+    body = body.substr(1);
+  }
+  size_t lparen = body.find('(');
+  if (lparen != std::string::npos) {
+    std::string rel = body.substr(0, lparen);
+    RelationId r = a.schema().FindRelation(rel);
+    if (r < 0) return Status::InvalidArgument("unknown relation: " + rel);
+    size_t rparen = body.find(')');
+    if (rparen == std::string::npos) {
+      return Status::InvalidArgument("missing ')' in " + text);
+    }
+    std::vector<Term> args;
+    std::string inner = body.substr(lparen + 1, rparen - lparen - 1);
+    std::istringstream arg_stream(inner);
+    std::string arg;
+    while (std::getline(arg_stream, arg, ',')) {
+      // Trim whitespace.
+      size_t b = arg.find_first_not_of(' ');
+      size_t e = arg.find_last_not_of(' ');
+      RAV_ASSIGN_OR_RETURN(Term t, term(arg.substr(b, e - b + 1)));
+      args.push_back(t);
+    }
+    Formula atom = Formula::Rel(r, std::move(args));
+    return negated ? Formula::Not(atom) : atom;
+  }
+  size_t neq = body.find("!=");
+  size_t eq = body.find('=');
+  if (neq != std::string::npos) {
+    RAV_ASSIGN_OR_RETURN(Term lhs, term(body.substr(0, neq)));
+    RAV_ASSIGN_OR_RETURN(Term rhs, term(body.substr(neq + 2)));
+    return Formula::Neq(lhs, rhs);
+  }
+  if (eq != std::string::npos) {
+    RAV_ASSIGN_OR_RETURN(Term lhs, term(body.substr(0, eq)));
+    RAV_ASSIGN_OR_RETURN(Term rhs, term(body.substr(eq + 1)));
+    return Formula::Eq(lhs, rhs);
+  }
+  return Status::InvalidArgument("cannot parse proposition: " + text);
+}
+
+int CmdInfo(const ExtendedAutomaton& era) {
+  const RegisterAutomaton& a = era.automaton();
+  std::printf("registers:    %d\n", a.num_registers());
+  std::printf("schema:       %s\n", a.schema().ToString().c_str());
+  std::printf("states:       %d\n", a.num_states());
+  std::printf("transitions:  %d\n", a.num_transitions());
+  std::printf("constraints:  %zu\n", era.constraints().size());
+  std::printf("complete:     %s\n", a.IsComplete() ? "yes" : "no");
+  std::printf("state-driven: %s\n", a.IsStateDriven() ? "yes" : "no");
+  return 0;
+}
+
+int CmdEmpty(const ExtendedAutomaton& era) {
+  RegisterAutomaton completed = era.automaton();
+  if (!completed.IsComplete()) {
+    auto result = Completed(completed);
+    if (!result.ok()) return Fail(result.status().ToString());
+    completed = std::move(result).value();
+  }
+  ExtendedAutomaton subject(std::move(completed));
+  for (const GlobalConstraint& c : era.constraints()) {
+    Status s = subject.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa,
+                                        c.description);
+    if (!s.ok()) return Fail(s.ToString());
+  }
+  ControlAlphabet alphabet(subject.automaton());
+  auto result = CheckEraEmptiness(subject, alphabet);
+  if (!result.ok()) return Fail(result.status().ToString());
+  if (result->nonempty) {
+    std::printf("NONEMPTY — witness control lasso: %s\n",
+                result->control_word.ToString().c_str());
+  } else {
+    std::printf("EMPTY (within search bound; %zu lassos examined%s)\n",
+                result->lassos_tried,
+                result->search_truncated ? ", search truncated" : "");
+  }
+  return 0;
+}
+
+int CmdProject(const ExtendedAutomaton& era, int m) {
+  auto projected = ProjectExtendedAutomaton(era, m);
+  if (!projected.ok()) return Fail(projected.status().ToString());
+  std::printf("%s", ToTextFormat(*projected).c_str());
+  return 0;
+}
+
+int CmdLrBound(const ExtendedAutomaton& era) {
+  ControlAlphabet alphabet(era.automaton());
+  auto bound = EstimateLrBound(era, alphabet);
+  if (!bound.ok()) return Fail(bound.status().ToString());
+  std::printf("max vertex cover (sampled): %d\n", bound->max_cover);
+  std::printf("growth detected:            %s\n",
+              bound->growth_detected ? "yes (evidence of NOT LR-bounded)"
+                                     : "no");
+  std::printf("lassos examined:            %zu\n", bound->lassos_examined);
+  return 0;
+}
+
+int CmdSimulate(const ExtendedAutomaton& era, int steps) {
+  Database db{era.automaton().schema()};
+  std::random_device rd;
+  std::mt19937 rng(rd());
+  auto run = SampleRun(era.automaton(), db, static_cast<size_t>(steps), rng);
+  if (!run.has_value()) {
+    return Fail("sampler found no run of that length (over the empty "
+                "database)");
+  }
+  std::printf("%s\n", run->ToString(era.automaton()).c_str());
+  return 0;
+}
+
+int CmdVerify(const ExtendedAutomaton& era, const std::string& ltl_text,
+              const std::vector<std::string>& proposition_texts) {
+  LtlFoProperty property;
+  for (const std::string& text : proposition_texts) {
+    auto f = ParseProposition(text, era.automaton());
+    if (!f.ok()) return Fail(f.status().ToString());
+    property.propositions.push_back(std::move(f).value());
+    property.proposition_names.push_back(text);
+  }
+  auto resolve = [&](const std::string& name) -> int {
+    if (name.size() >= 2 && name[0] == 'p' &&
+        isdigit(static_cast<unsigned char>(name[1]))) {
+      int index = std::stoi(name.substr(1));
+      if (index < static_cast<int>(property.propositions.size())) {
+        return index;
+      }
+    }
+    return -1;
+  };
+  auto formula = LtlFormula::Parse(ltl_text, resolve);
+  if (!formula.ok()) return Fail(formula.status().ToString());
+  property.formula = std::move(formula).value();
+
+  auto result = VerifyLtlFo(era, property);
+  if (!result.ok()) return Fail(result.status().ToString());
+  if (result->holds) {
+    std::printf("HOLDS%s\n",
+                result->search_truncated ? " (bounded search)" : "");
+  } else {
+    std::printf("FAILS — counterexample control lasso: %s\n",
+                result->counterexample->ToString().c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: rav_cli "
+                 "<info|print|dot|empty|project|lrbound|simulate|verify> "
+                 "<file> [args...]\n");
+    return 2;
+  }
+  std::string command = argv[1];
+  auto era = Load(argv[2]);
+  if (!era.ok()) return Fail(era.status().ToString());
+
+  if (command == "info") return CmdInfo(*era);
+  if (command == "print") {
+    std::printf("%s", ToTextFormat(*era).c_str());
+    return 0;
+  }
+  if (command == "dot") {
+    std::printf("%s", ToGraphviz(era->automaton()).c_str());
+    return 0;
+  }
+  if (command == "empty") return CmdEmpty(*era);
+  if (command == "project") {
+    if (argc < 4) return Fail("project needs <m>");
+    return CmdProject(*era, std::atoi(argv[3]));
+  }
+  if (command == "lrbound") return CmdLrBound(*era);
+  if (command == "simulate") {
+    if (argc < 4) return Fail("simulate needs <steps>");
+    return CmdSimulate(*era, std::atoi(argv[3]));
+  }
+  if (command == "verify") {
+    if (argc < 5) return Fail("verify needs <ltl> and at least one <fo>");
+    std::vector<std::string> props;
+    for (int i = 4; i < argc; ++i) props.emplace_back(argv[i]);
+    return CmdVerify(*era, argv[3], props);
+  }
+  return Fail("unknown command '" + command + "'");
+}
+
+}  // namespace
+}  // namespace rav
+
+int main(int argc, char** argv) { return rav::Main(argc, argv); }
