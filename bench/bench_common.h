@@ -66,6 +66,32 @@ inline ExtendedAutomaton MakeExample5() {
   return era;
 }
 
+// A search-heavy shift-ring ERA for the parallel lasso-search benchmarks:
+// on top of the ring each state gets a skip transition to (s+2)%n with a
+// distinct guard (shift plus x1 = y1), so the accepting-lasso space is
+// exponential in the length bound. With `contradictory`, an equality and
+// an inequality constraint both span every s0...s0 factor of the trace:
+// every candidate lasso builds a full constraint closure and is rejected —
+// the all-reject workload the parallel engine distributes across workers.
+// Without it the ERA is nonempty and the search must return the same first
+// witness at any worker count.
+inline ExtendedAutomaton MakeShiftRingSearchEra(int k, int n,
+                                                bool contradictory) {
+  RegisterAutomaton a = MakeShiftRing(k, n);
+  for (int s = 0; s < n; ++s) {
+    TypeBuilder b = a.NewGuardBuilder();
+    for (int i = 0; i + 1 < k; ++i) b.AddEq(b.X(i), b.Y(i + 1));
+    b.AddEq(b.X(0), b.Y(0));
+    a.AddTransition(s, b.Build().value(), (s + 2) % n);
+  }
+  ExtendedAutomaton era(std::move(a));
+  if (contradictory) {
+    RAV_CHECK(era.AddConstraintFromText(0, 0, true, "s0 .* s0").ok());
+    RAV_CHECK(era.AddConstraintFromText(0, 0, false, "s0 .* s0").ok());
+  }
+  return era;
+}
+
 // Completes an ERA's automaton, carrying the constraints over.
 inline ExtendedAutomaton CompletedEra(const ExtendedAutomaton& era) {
   RegisterAutomaton completed = Completed(era.automaton()).value();

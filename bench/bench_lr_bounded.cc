@@ -3,7 +3,9 @@
 // pumps (Example 16: cover 1); the all-distinct automaton's cover grows
 // with the window (Example 17: not LR-bounded, hence not a projection of
 // any register automaton by Theorem 19).
-// Counters: max_cover, growth (1 = unbounded evidence), lassos.
+// Counters: max_cover, growth (1 = unbounded evidence), lassos,
+// stop_reason (SearchStopReason enum value: 1 exhausted, 2 length-bound,
+// 3 lasso-budget, 4 step-budget), workers.
 
 #include <benchmark/benchmark.h>
 
@@ -13,6 +15,13 @@
 
 namespace rav {
 namespace {
+
+void AddSearchCounters(benchmark::State& state, const SearchStats& stats) {
+  state.counters["stop_reason"] = static_cast<double>(stats.stop_reason);
+  state.counters["enumerated"] = static_cast<double>(stats.lassos_enumerated);
+  state.counters["closures"] = static_cast<double>(stats.closures_built);
+  state.counters["workers"] = static_cast<double>(stats.workers);
+}
 
 ExtendedAutomaton MakeDistinctWithin(int window) {
   // Values within distance `window` pairwise distinct: LR-bounded with
@@ -57,6 +66,48 @@ void BM_LrBoundWindowFamily(benchmark::State& state) {
 }
 BENCHMARK(BM_LrBoundWindowFamily)->DenseRange(1, 4);
 
+void BM_LrBoundShiftRingParallel(benchmark::State& state) {
+  // Cover sampling over the skip-edge shift ring with cross-position
+  // inequality constraints — enough per-lasso matching work for the
+  // worker pool to matter. Arg = worker count; the fold (max over
+  // covers, or over growth flags) is order-independent, and the result
+  // is checked identical to the serial reference on every run.
+  const int workers = static_cast<int>(state.range(0));
+  ExtendedAutomaton era = bench::MakeShiftRingSearchEra(4, 6, false);
+  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "s0 .* s3").ok());
+  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "s1 .* s4").ok());
+  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "s2 .* s5").ok());
+  ControlAlphabet alphabet(era.automaton());
+  LrBoundOptions options;
+  options.max_lassos = 64;
+  options.max_lasso_length = 10;
+  options.num_workers = workers;
+  LrBoundOptions serial = options;
+  serial.num_workers = 1;
+  auto reference = EstimateLrBound(era, alphabet, serial);
+  RAV_CHECK(reference.ok());
+  LrBoundResult last;
+  for (auto _ : state) {
+    auto bound = EstimateLrBound(era, alphabet, options);
+    RAV_CHECK(bound.ok());
+    last = *bound;
+    benchmark::DoNotOptimize(bound);
+  }
+  RAV_CHECK(last.max_cover == reference->max_cover);
+  RAV_CHECK(last.growth_detected == reference->growth_detected);
+  RAV_CHECK(last.stats.stop_reason == reference->stats.stop_reason);
+  state.counters["max_cover"] = last.max_cover;
+  state.counters["growth"] = last.growth_detected;
+  AddSearchCounters(state, last.stats);
+}
+BENCHMARK(BM_LrBoundShiftRingParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_LrBoundAllDistinct(benchmark::State& state) {
   RegisterAutomaton a(1, Schema());
   StateId q = a.AddState("q");
@@ -66,14 +117,15 @@ void BM_LrBoundAllDistinct(benchmark::State& state) {
   ExtendedAutomaton era(std::move(a));
   RAV_CHECK(era.AddConstraintFromText(0, 0, false, "q q+").ok());
   ControlAlphabet alphabet(era.automaton());
-  bool growth = false;
+  LrBoundResult last;
   for (auto _ : state) {
     auto bound = EstimateLrBound(era, alphabet);
     RAV_CHECK(bound.ok());
-    growth = bound->growth_detected;
+    last = *bound;
     benchmark::DoNotOptimize(bound);
   }
-  state.counters["growth"] = growth;  // expected 1
+  state.counters["growth"] = last.growth_detected;  // expected 1
+  AddSearchCounters(state, last.stats);
 }
 BENCHMARK(BM_LrBoundAllDistinct);
 

@@ -2,7 +2,9 @@
 // Claim: verification is decidable via ¬φ-NBA × SControl product plus
 // constraint-consistent lasso search; the LTL tableau is exponential in
 // the closure.
-// Counters: closure, ltl_nba_states, product_states, lassos, holds.
+// Counters: closure, ltl_nba_states, product_states, lassos, holds,
+// stop_reason (SearchStopReason enum value: 0 witness-found, 1 exhausted,
+// 2 length-bound, 3 lasso-budget, 4 step-budget).
 
 #include <benchmark/benchmark.h>
 
@@ -11,6 +13,13 @@
 
 namespace rav {
 namespace {
+
+void AddSearchCounters(benchmark::State& state, const SearchStats& stats) {
+  state.counters["stop_reason"] = static_cast<double>(stats.stop_reason);
+  state.counters["enumerated"] = static_cast<double>(stats.lassos_enumerated);
+  state.counters["closures"] = static_cast<double>(stats.closures_built);
+  state.counters["truncated"] = stats.truncated();
+}
 
 RegisterAutomaton MakeOrderWorkflow() {
   RegisterAutomaton a(2, Schema());
@@ -60,6 +69,7 @@ void BM_VerifyNestedGf(benchmark::State& state) {
   state.counters["product_states"] = last.product_states;
   state.counters["lassos"] = static_cast<double>(last.lassos_tried);
   state.counters["holds"] = last.holds;
+  AddSearchCounters(state, last.search_stats);
 }
 BENCHMARK(BM_VerifyNestedGf)->DenseRange(1, 3);
 
@@ -84,6 +94,7 @@ void BM_VerifyWithConstraints(benchmark::State& state) {
   state.counters["holds"] = last.holds;
   state.counters["lassos"] = static_cast<double>(last.lassos_tried);
   state.counters["product_states"] = last.product_states;
+  AddSearchCounters(state, last.search_stats);
 }
 BENCHMARK(BM_VerifyWithConstraints);
 

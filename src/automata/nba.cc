@@ -155,78 +155,148 @@ Nba Nba::FromLassoWord(int alphabet_size, const LassoWord& word) {
   return nba;
 }
 
-namespace {
+const char* LassoEnumStopName(LassoEnumStop stop) {
+  switch (stop) {
+    case LassoEnumStop::kExhausted:
+      return "exhausted";
+    case LassoEnumStop::kLengthClipped:
+      return "length-clipped";
+    case LassoEnumStop::kMaxCount:
+      return "lasso-budget";
+    case LassoEnumStop::kMaxSteps:
+      return "step-budget";
+    case LassoEnumStop::kCallbackStopped:
+      return "callback-stopped";
+  }
+  return "unknown";
+}
 
-// DFS state for EnumerateAcceptingLassos.
-struct LassoSearch {
-  const Nba& nba;
-  size_t max_length;
-  size_t max_count;
-  const std::function<bool(const LassoWord&)>& callback;
-  size_t max_steps;
-  std::vector<int> path_states;
-  std::vector<int> path_symbols;
-  size_t count = 0;
-  size_t steps = 0;
-  bool stopped = false;
+LassoEnumerator::LassoEnumerator(const Nba& nba, size_t max_length,
+                                 size_t max_count, size_t max_steps)
+    : nba_(nba),
+      max_length_(max_length),
+      max_count_(max_count),
+      max_steps_(max_steps) {}
 
-  void Visit(int state) {
-    if (stopped) return;
-    if (++steps > max_steps) {
-      stopped = true;
+bool LassoEnumerator::EnterNode(int state) {
+  if (++steps_ > max_steps_) {
+    steps_capped_ = true;
+    done_ = true;
+    return false;
+  }
+  // Close the lasso at every earlier occurrence of `state` that has an
+  // accepting state inside the cycle.
+  for (size_t t = 0; t + 1 <= path_states_.size(); ++t) {
+    if (path_states_[t] != state) continue;
+    bool accepting_in_cycle = false;
+    for (size_t p = t; p < path_states_.size(); ++p) {
+      accepting_in_cycle =
+          accepting_in_cycle || nba_.IsAccepting(path_states_[p]);
+    }
+    if (!accepting_in_cycle) continue;
+    LassoWord w;
+    w.prefix.assign(path_symbols_.begin(), path_symbols_.begin() + t);
+    w.cycle.assign(path_symbols_.begin() + t, path_symbols_.end());
+    if (w.cycle.empty()) continue;
+    pending_.push_back(std::move(w));
+  }
+  if (path_symbols_.size() >= max_length_) {
+    // Paths cut here could have closed longer lassos: the enumeration is
+    // no longer exhaustive (unless the node is a dead end anyway).
+    if (!nba_.TransitionsFrom(state).empty()) length_clipped_ = true;
+    return false;
+  }
+  // Prune: a state needs at most 3 visits on a path to expose every
+  // lasso shape up to the length bound (prefix pass + two cycle passes).
+  int occurrences = 0;
+  for (int s : path_states_) occurrences += (s == state);
+  if (occurrences >= 3) return false;
+  path_states_.push_back(state);
+  stack_.push_back(Frame{state, 0});
+  return true;
+}
+
+void LassoEnumerator::Step() {
+  if (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    const auto& edges = nba_.TransitionsFrom(frame.state);
+    if (frame.next_edge < edges.size()) {
+      auto [symbol, to] = edges[frame.next_edge++];
+      path_symbols_.push_back(symbol);
+      if (!EnterNode(to)) {
+        if (done_) return;  // step budget: freeze everything as-is
+        path_symbols_.pop_back();
+      }
       return;
     }
-    // Closing the lasso at any earlier occurrence of `state` that has an
-    // accepting state inside the cycle.
-    for (size_t t = 0; t + 1 <= path_states.size(); ++t) {
-      if (path_states[t] != state) continue;
-      bool accepting_in_cycle = false;
-      for (size_t p = t; p < path_states.size(); ++p) {
-        accepting_in_cycle =
-            accepting_in_cycle || nba.IsAccepting(path_states[p]);
-      }
-      if (!accepting_in_cycle) continue;
-      LassoWord w;
-      w.prefix.assign(path_symbols.begin(), path_symbols.begin() + t);
-      w.cycle.assign(path_symbols.begin() + t, path_symbols.end());
-      if (w.cycle.empty()) continue;
-      ++count;
-      if (!callback(w) || count >= max_count) {
-        stopped = true;
-        return;
-      }
-    }
-    if (path_symbols.size() >= max_length) return;
-    // Prune: a state needs at most 3 visits on a path to expose every
-    // lasso shape up to the length bound (prefix pass + two cycle passes).
-    int occurrences = 0;
-    for (int s : path_states) occurrences += (s == state);
-    if (occurrences >= 3) return;
-    path_states.push_back(state);
-    for (const auto& [symbol, to] : nba.TransitionsFrom(state)) {
-      if (stopped) break;
-      path_symbols.push_back(symbol);
-      Visit(to);
-      path_symbols.pop_back();
-    }
-    path_states.pop_back();
+    stack_.pop_back();
+    path_states_.pop_back();
+    // Pop the symbol of the edge that led here (roots have none).
+    if (!stack_.empty()) path_symbols_.pop_back();
+    return;
   }
-};
+  if (init_index_ < nba_.initial().size()) {
+    EnterNode(nba_.initial()[init_index_++]);
+    return;
+  }
+  done_ = true;
+}
 
-}  // namespace
+bool LassoEnumerator::Next(LassoWord* out, size_t* index) {
+  if (delivered_ >= max_count_) return false;
+  while (pending_head_ >= pending_.size() && !done_) Step();
+  if (pending_head_ >= pending_.size()) return false;
+  *out = std::move(pending_[pending_head_++]);
+  *index = delivered_++;
+  if (pending_head_ >= pending_.size()) {
+    pending_.clear();
+    pending_head_ = 0;
+  }
+  if (delivered_ >= max_count_) {
+    // Count cap reached; unless the DFS had already finished cleanly with
+    // nothing left pending, more candidates may exist.
+    if (!(done_ && !steps_capped_ && pending_.empty())) count_capped_ = true;
+    done_ = true;
+  }
+  return true;
+}
+
+LassoEnumStop LassoEnumerator::stop() const {
+  if (steps_capped_) return LassoEnumStop::kMaxSteps;
+  if (count_capped_) return LassoEnumStop::kMaxCount;
+  if (length_clipped_) return LassoEnumStop::kLengthClipped;
+  return LassoEnumStop::kExhausted;
+}
 
 size_t Nba::EnumerateAcceptingLassos(
     size_t max_length, size_t max_count,
     const std::function<bool(const LassoWord&)>& callback,
     size_t max_steps) const {
-  LassoSearch search{*this,     max_length, max_count, callback,
-                     max_steps, {},         {},        0,
-                     0,         false};
-  for (int q0 : initial_) {
-    if (search.stopped) break;
-    search.Visit(q0);
+  return EnumerateAcceptingLassosEx(max_length, max_count, callback,
+                                    max_steps)
+      .delivered;
+}
+
+Nba::EnumerationStats Nba::EnumerateAcceptingLassosEx(
+    size_t max_length, size_t max_count,
+    const std::function<bool(const LassoWord&)>& callback,
+    size_t max_steps) const {
+  LassoEnumerator enumerator(*this, max_length, max_count, max_steps);
+  EnumerationStats stats;
+  LassoWord word;
+  size_t index = 0;
+  bool callback_stopped = false;
+  while (enumerator.Next(&word, &index)) {
+    if (!callback(word)) {
+      callback_stopped = true;
+      break;
+    }
   }
-  return search.count;
+  stats.delivered = enumerator.delivered();
+  stats.steps = enumerator.steps();
+  stats.stop =
+      callback_stopped ? LassoEnumStop::kCallbackStopped : enumerator.stop();
+  return stats;
 }
 
 Nba Nba::Intersect(const Nba& other) const {

@@ -11,6 +11,20 @@
 
 namespace rav {
 
+// Why a bounded lasso enumeration ended. Only kExhausted makes a negative
+// result ("no enumerated lasso satisfied the caller") definitive; every
+// other reason means candidates may exist beyond the point reached.
+enum class LassoEnumStop {
+  kExhausted = 0,      // full space within the bounds explored, nothing cut
+  kLengthClipped = 1,  // some DFS paths were cut at the length bound
+  kMaxCount = 2,       // stopped after delivering max_count lassos
+  kMaxSteps = 3,       // stopped by the step budget
+  kCallbackStopped = 4,  // the callback requested a stop (witness found)
+};
+
+// Stable human-readable name ("exhausted", "length-clipped", ...).
+const char* LassoEnumStopName(LassoEnumStop stop);
+
 // Nondeterministic Büchi automaton over a dense integer alphabet, with
 // state-based acceptance: a run is accepting iff it visits an accepting
 // state infinitely often. NBAs represent the ω-regular envelopes the paper
@@ -73,11 +87,76 @@ class Nba {
       const std::function<bool(const LassoWord&)>& callback,
       size_t max_steps = 2000000) const;
 
+  // As above, but also reports why the enumeration stopped — callers that
+  // turn "no lasso passed" into a verdict must distinguish an exhausted
+  // space (definitive) from an exhausted budget (bound-relative).
+  struct EnumerationStats {
+    size_t delivered = 0;
+    size_t steps = 0;
+    LassoEnumStop stop = LassoEnumStop::kExhausted;
+  };
+  EnumerationStats EnumerateAcceptingLassosEx(
+      size_t max_length, size_t max_count,
+      const std::function<bool(const LassoWord&)>& callback,
+      size_t max_steps = 2000000) const;
+
  private:
   int alphabet_size_;
   std::vector<std::vector<std::pair<int, int>>> transitions_;
   std::vector<bool> accepting_;
   std::vector<int> initial_;
+};
+
+// Resumable, pull-style counterpart of Nba::EnumerateAcceptingLassos: the
+// same bounded DFS, paused between lassos so a consumer (in particular the
+// parallel lasso-search engine) can drain candidates in batches. Each
+// delivered lasso carries its 0-based enumeration rank; ranks are the
+// deterministic tie-breaker of the parallel search. The enumerator borrows
+// `nba`, which must outlive it.
+class LassoEnumerator {
+ public:
+  LassoEnumerator(const Nba& nba, size_t max_length, size_t max_count,
+                  size_t max_steps);
+
+  // Produces the next accepting lasso and its enumeration rank. Returns
+  // false when the enumeration has ended; `stop()` then says why.
+  bool Next(LassoWord* out, size_t* index);
+
+  // Why the enumeration ended (meaningful once Next returned false; while
+  // lassos are still being produced it reflects the state so far).
+  LassoEnumStop stop() const;
+
+  size_t delivered() const { return delivered_; }
+  size_t steps() const { return steps_; }
+
+ private:
+  struct Frame {
+    int state;
+    size_t next_edge;
+  };
+
+  // Runs one DFS micro-step (node entry or frame retirement).
+  void Step();
+  // Entry processing of `state`: charges a step, emits cycle closings into
+  // pending_, and either opens a frame (returns true) or prunes.
+  bool EnterNode(int state);
+
+  const Nba& nba_;
+  size_t max_length_;
+  size_t max_count_;
+  size_t max_steps_;
+  std::vector<Frame> stack_;
+  std::vector<int> path_states_;
+  std::vector<int> path_symbols_;
+  std::vector<LassoWord> pending_;  // closings of the current node, FIFO
+  size_t pending_head_ = 0;
+  size_t init_index_ = 0;
+  size_t delivered_ = 0;
+  size_t steps_ = 0;
+  bool done_ = false;
+  bool steps_capped_ = false;
+  bool count_capped_ = false;
+  bool length_clipped_ = false;
 };
 
 // Generalized Büchi automaton: acceptance requires visiting each of

@@ -1,0 +1,39 @@
+#include "base/numbers.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <limits>
+
+namespace rav {
+
+Result<long long> ParseInt64(const std::string& text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("'' is not a valid integer");
+  }
+  // strtoll skips leading whitespace; the strict grammar does not.
+  if (std::isspace(static_cast<unsigned char>(text[0]))) {
+    return Status::InvalidArgument("'" + text + "' is not a valid integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size() || end == text.c_str()) {
+    return Status::InvalidArgument("'" + text + "' is not a valid integer");
+  }
+  if (errno == ERANGE) {
+    return Status::InvalidArgument("'" + text + "' is out of range");
+  }
+  return value;
+}
+
+Result<int> ParseInt32(const std::string& text) {
+  RAV_ASSIGN_OR_RETURN(long long value, ParseInt64(text));
+  if (value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument("'" + text + "' is out of range");
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace rav

@@ -1,0 +1,20 @@
+#ifndef RAV_BASE_NUMBERS_H_
+#define RAV_BASE_NUMBERS_H_
+
+#include <string>
+
+#include "base/status.h"
+
+namespace rav {
+
+// Strict decimal integer parsing for user-supplied input (CLI arguments,
+// text formats). Unlike std::stoi/std::atoi, these never throw and never
+// silently return 0: the whole string must be a decimal integer (an
+// optional sign, then digits), and the value must fit the target type —
+// anything else is an InvalidArgument carrying the offending text.
+Result<long long> ParseInt64(const std::string& text);
+Result<int> ParseInt32(const std::string& text);
+
+}  // namespace rav
+
+#endif  // RAV_BASE_NUMBERS_H_

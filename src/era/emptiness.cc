@@ -157,38 +157,53 @@ EraEmptinessResult SearchConsistentLasso(const ExtendedAutomaton& era,
   const bool has_database =
       era.automaton().schema().num_relations() > 0;
 
+  // The per-candidate check, run on the engine's workers. It only reads
+  // era/alphabet (both const) and builds its closures locally, so it is
+  // safe to run concurrently.
+  auto evaluate = [&](const LassoCandidate& candidate,
+                      LassoWorkerCounters& counters) -> LassoVerdict {
+    const LassoWord& lasso = candidate.word;
+    const size_t window = WindowLength(lasso, pump);
+    ++counters.closures_built;
+    ConstraintClosure closure(era, alphabet, lasso, window);
+    if (!closure.consistent()) return LassoVerdict::kInconsistent;
+    if (has_database && options.check_unbounded_adom) {
+      // Example 8 guard: if one more cycle strictly grows the largest
+      // clique of G_w, no finite database can support the infinite
+      // run; reject the lasso.
+      ++counters.closures_built;
+      ConstraintClosure wider(era, alphabet, lasso,
+                              window + lasso.cycle.size());
+      int clique_now = closure.AdomCliqueNumber(options.clique_max_nodes);
+      int clique_wider = wider.AdomCliqueNumber(options.clique_max_nodes);
+      if (clique_now >= 0 && clique_wider >= 0 &&
+          clique_wider > clique_now) {
+        return LassoVerdict::kReject;
+      }
+    }
+    // Validate by realizing a concrete witness on the window.
+    ++counters.closures_built;
+    Result<RunWitness> witness = RealizeEraWitness(era, alphabet, lasso, window);
+    if (!witness.ok()) return LassoVerdict::kReject;
+    return LassoVerdict::kWitness;
+  };
+
+  LassoSearchOptions search_options;
+  search_options.max_lasso_length = options.max_lasso_length;
+  search_options.max_lassos = options.max_lassos;
+  search_options.max_search_steps = options.max_search_steps;
+  search_options.num_workers = options.num_workers;
+  search_options.batch_size = options.batch_size;
+  LassoSearchOutcome outcome = SearchLassos(nba, search_options, evaluate);
+
   EraEmptinessResult result;
-  size_t enumerated = nba.EnumerateAcceptingLassos(
-      options.max_lasso_length, options.max_lassos,
-      [&](const LassoWord& lasso) {
-        ++result.lassos_tried;
-        const size_t window = WindowLength(lasso, pump);
-        ConstraintClosure closure(era, alphabet, lasso, window);
-        if (!closure.consistent()) return true;  // try the next lasso
-        if (has_database && options.check_unbounded_adom) {
-          // Example 8 guard: if one more cycle strictly grows the largest
-          // clique of G_w, no finite database can support the infinite
-          // run; reject the lasso.
-          ConstraintClosure wider(era, alphabet, lasso,
-                                  window + lasso.cycle.size());
-          int clique_now = closure.AdomCliqueNumber(options.clique_max_nodes);
-          int clique_wider = wider.AdomCliqueNumber(options.clique_max_nodes);
-          if (clique_now >= 0 && clique_wider >= 0 &&
-              clique_wider > clique_now) {
-            return true;
-          }
-        }
-        // Validate by realizing a concrete witness on the window.
-        Result<RunWitness> witness =
-            RealizeEraWitness(era, alphabet, lasso, window);
-        if (!witness.ok()) return true;
-        result.nonempty = true;
-        result.control_word = lasso;
-        return false;  // stop: witness found
-      },
-      options.max_search_steps);
-  result.search_truncated =
-      !result.nonempty && enumerated >= options.max_lassos;
+  result.nonempty = outcome.witness.has_value();
+  if (outcome.witness.has_value()) {
+    result.control_word = std::move(outcome.witness->word);
+  }
+  result.lassos_tried = outcome.stats.lassos_checked;
+  result.stats = outcome.stats;
+  result.search_truncated = outcome.stats.truncated();
   return result;
 }
 

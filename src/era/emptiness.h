@@ -6,6 +6,7 @@
 #include "base/status.h"
 #include "era/constraint_graph.h"
 #include "era/extended_automaton.h"
+#include "era/parallel_search.h"
 #include "ra/emptiness.h"
 
 namespace rav {
@@ -25,6 +26,12 @@ struct EraEmptinessOptions {
   bool check_unbounded_adom = true;
   // Node cap for the exact clique computation.
   int clique_max_nodes = 64;
+  // Worker threads for the candidate checks (<= 1 = inline serial, 0 =
+  // all hardware threads). Verdict and witness are identical for every
+  // setting; only wall time and the checked counts vary.
+  int num_workers = 1;
+  // Candidates handed to the worker queue per producer push.
+  size_t batch_size = 16;
 };
 
 // Outcome of the emptiness search.
@@ -34,9 +41,14 @@ struct EraEmptinessResult {
   bool nonempty = false;
   LassoWord control_word;  // meaningful iff nonempty
   size_t lassos_tried = 0;
-  // True if the bounded enumeration was truncated, in which case a
-  // negative answer is relative to the search bound.
+  // True iff the answer is negative AND the enumeration stopped on a
+  // budget (steps, lasso count, or length clipping) rather than after
+  // exhausting the bounded search space — the negative answer is then
+  // relative to the bound, never definitive. Derived from
+  // stats.stop_reason; kept as a field for ergonomic access.
   bool search_truncated = false;
+  // Full instrumentation, including the precise stop reason.
+  SearchStats stats;
 };
 
 // Decides (boundedly) whether the extended automaton has a run over some

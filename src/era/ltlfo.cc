@@ -228,6 +228,7 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
   out.ltl_nba_states = neg.nba.num_states();
   out.product_states = product_nba.num_states();
   out.lassos_tried = search.lassos_tried;
+  out.search_stats = search.stats;
   return out;
 }
 

@@ -37,6 +37,9 @@ struct VerificationResult {
   // The property holds on every run (within the counterexample search
   // bound when search_truncated is set).
   bool holds = false;
+  // True iff no counterexample was found AND the search stopped on a
+  // budget rather than exhausting its bounded space — "holds" is then
+  // relative to the bound. Derived from search_stats.stop_reason.
   bool search_truncated = false;
   // When the property fails: a counterexample control lasso of the
   // completed automaton.
@@ -46,6 +49,9 @@ struct VerificationResult {
   int ltl_nba_states = 0;
   int product_states = 0;
   size_t lassos_tried = 0;
+  // Instrumentation of the counterexample lasso search, including the
+  // precise stop reason and worker count.
+  SearchStats search_stats;
 };
 
 // Theorem 12: decides 𝒜 ⊨ φ_f for an extended automaton. The procedure

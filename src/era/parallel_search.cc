@@ -1,0 +1,236 @@
+#include "era/parallel_search.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace rav {
+
+namespace {
+
+constexpr size_t kNoWitness = static_cast<size_t>(-1);
+
+SearchStopReason FromEnumStop(LassoEnumStop stop) {
+  switch (stop) {
+    case LassoEnumStop::kExhausted:
+      return SearchStopReason::kExhausted;
+    case LassoEnumStop::kLengthClipped:
+      return SearchStopReason::kLengthBound;
+    case LassoEnumStop::kMaxCount:
+      return SearchStopReason::kLassoBudget;
+    case LassoEnumStop::kMaxSteps:
+      return SearchStopReason::kStepBudget;
+    case LassoEnumStop::kCallbackStopped:
+      return SearchStopReason::kWitnessFound;
+  }
+  return SearchStopReason::kExhausted;
+}
+
+// Per-worker tallies, one slot per thread — no synchronization needed
+// while the worker runs; merged after the join.
+struct WorkerTally {
+  size_t checked = 0;
+  size_t inconsistent = 0;
+  LassoWorkerCounters counters;
+};
+
+// Evaluates candidates inline on the calling thread, in enumeration
+// order — the serial reference path (num_workers <= 1).
+LassoSearchOutcome SearchInline(const Nba& nba,
+                                const LassoSearchOptions& options,
+                                const LassoEvaluator& evaluate) {
+  LassoSearchOutcome outcome;
+  LassoEnumerator enumerator(nba, options.max_lasso_length,
+                             options.max_lassos, options.max_search_steps);
+  WorkerTally tally;
+  LassoCandidate candidate;
+  while (enumerator.Next(&candidate.word, &candidate.index)) {
+    ++tally.checked;
+    LassoVerdict verdict = evaluate(candidate, tally.counters);
+    if (verdict == LassoVerdict::kInconsistent) ++tally.inconsistent;
+    if (verdict == LassoVerdict::kWitness) {
+      outcome.witness = std::move(candidate);
+      break;
+    }
+  }
+  outcome.stats.lassos_enumerated = enumerator.delivered();
+  outcome.stats.lassos_checked = tally.checked;
+  outcome.stats.inconsistent_closures = tally.inconsistent;
+  outcome.stats.closures_built = tally.counters.closures_built;
+  outcome.stats.enumeration_steps = enumerator.steps();
+  outcome.stats.workers = 1;
+  outcome.stats.stop_reason = outcome.witness.has_value()
+                                  ? SearchStopReason::kWitnessFound
+                                  : FromEnumStop(enumerator.stop());
+  return outcome;
+}
+
+// The producer/worker state shared across threads. All fields are guarded
+// by `mu`; candidates are heavy enough (a constraint closure each) that
+// one lock round-trip per candidate is noise.
+struct SharedState {
+  std::mutex mu;
+  std::condition_variable work_ready;
+  std::condition_variable space_ready;
+  std::deque<LassoCandidate> queue;
+  bool producer_done = false;
+  size_t best_index = kNoWitness;
+  LassoWord best_word;
+};
+
+void WorkerLoop(SharedState& shared, const LassoEvaluator& evaluate,
+                WorkerTally& tally) {
+  for (;;) {
+    LassoCandidate candidate;
+    bool cancelled;
+    {
+      std::unique_lock<std::mutex> lock(shared.mu);
+      shared.work_ready.wait(lock, [&] {
+        return !shared.queue.empty() || shared.producer_done;
+      });
+      if (shared.queue.empty()) return;
+      candidate = std::move(shared.queue.front());
+      shared.queue.pop_front();
+      // A witness of lower rank already won; ranks above it are moot.
+      cancelled = candidate.index > shared.best_index;
+      shared.space_ready.notify_one();
+    }
+    if (cancelled) continue;
+    ++tally.checked;
+    LassoVerdict verdict = evaluate(candidate, tally.counters);
+    if (verdict == LassoVerdict::kInconsistent) ++tally.inconsistent;
+    if (verdict == LassoVerdict::kWitness) {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      if (candidate.index < shared.best_index) {
+        shared.best_index = candidate.index;
+        shared.best_word = std::move(candidate.word);
+      }
+      // Wake the producer (to stop enumerating) and any waiting workers.
+      shared.space_ready.notify_all();
+    }
+  }
+}
+
+LassoSearchOutcome SearchParallel(const Nba& nba,
+                                  const LassoSearchOptions& options,
+                                  const LassoEvaluator& evaluate,
+                                  int num_workers) {
+  SharedState shared;
+  const size_t batch = options.batch_size > 0 ? options.batch_size : 16;
+  const size_t capacity = batch * static_cast<size_t>(num_workers) * 2;
+
+  std::vector<WorkerTally> tallies(num_workers);
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    workers.emplace_back(
+        [&shared, &evaluate, &tallies, w] {
+          WorkerLoop(shared, evaluate, tallies[w]);
+        });
+  }
+
+  // The calling thread is the producer: it drains the enumerator in
+  // batches and stops as soon as any witness exists (all candidates it
+  // would still produce have higher ranks and cannot win).
+  LassoEnumerator enumerator(nba, options.max_lasso_length,
+                             options.max_lassos, options.max_search_steps);
+  std::vector<LassoCandidate> staged;
+  staged.reserve(batch);
+  bool witness_seen = false;
+  while (!witness_seen) {
+    staged.clear();
+    LassoCandidate candidate;
+    while (staged.size() < batch &&
+           enumerator.Next(&candidate.word, &candidate.index)) {
+      staged.push_back(std::move(candidate));
+    }
+    if (staged.empty()) break;
+    std::unique_lock<std::mutex> lock(shared.mu);
+    shared.space_ready.wait(lock, [&] {
+      return shared.queue.size() < capacity ||
+             shared.best_index != kNoWitness;
+    });
+    if (shared.best_index != kNoWitness) {
+      witness_seen = true;
+      break;
+    }
+    for (LassoCandidate& c : staged) shared.queue.push_back(std::move(c));
+    shared.work_ready.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    shared.producer_done = true;
+  }
+  shared.work_ready.notify_all();
+  for (std::thread& t : workers) t.join();
+
+  LassoSearchOutcome outcome;
+  if (shared.best_index != kNoWitness) {
+    outcome.witness =
+        LassoCandidate{shared.best_index, std::move(shared.best_word)};
+  }
+  for (const WorkerTally& tally : tallies) {
+    outcome.stats.lassos_checked += tally.checked;
+    outcome.stats.inconsistent_closures += tally.inconsistent;
+    outcome.stats.closures_built += tally.counters.closures_built;
+  }
+  outcome.stats.lassos_enumerated = enumerator.delivered();
+  outcome.stats.enumeration_steps = enumerator.steps();
+  outcome.stats.workers = num_workers;
+  outcome.stats.stop_reason = outcome.witness.has_value()
+                                  ? SearchStopReason::kWitnessFound
+                                  : FromEnumStop(enumerator.stop());
+  return outcome;
+}
+
+}  // namespace
+
+const char* SearchStopReasonName(SearchStopReason reason) {
+  switch (reason) {
+    case SearchStopReason::kWitnessFound:
+      return "witness-found";
+    case SearchStopReason::kExhausted:
+      return "exhausted";
+    case SearchStopReason::kLengthBound:
+      return "length-bound";
+    case SearchStopReason::kLassoBudget:
+      return "lasso-budget";
+    case SearchStopReason::kStepBudget:
+      return "step-budget";
+  }
+  return "unknown";
+}
+
+std::string SearchStats::ToString() const {
+  std::ostringstream out;
+  out << "stop=" << SearchStopReasonName(stop_reason)
+      << " enumerated=" << lassos_enumerated << " checked=" << lassos_checked
+      << " closures=" << closures_built
+      << " inconsistent=" << inconsistent_closures
+      << " steps=" << enumeration_steps << " workers=" << workers
+      << " wall_ms=" << wall_seconds * 1e3;
+  return out.str();
+}
+
+LassoSearchOutcome SearchLassos(const Nba& nba,
+                                const LassoSearchOptions& options,
+                                const LassoEvaluator& evaluate) {
+  const auto start = std::chrono::steady_clock::now();
+  int num_workers = options.num_workers;
+  if (num_workers == 0) {
+    num_workers = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  LassoSearchOutcome outcome =
+      num_workers <= 1 ? SearchInline(nba, options, evaluate)
+                       : SearchParallel(nba, options, evaluate, num_workers);
+  outcome.stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return outcome;
+}
+
+}  // namespace rav

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 
 namespace rav {
 
@@ -135,21 +136,46 @@ Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
   }
   if (pump_large == 0) pump_large = 2 * pump_small;
 
+  // Per-lasso cover measurement, run on the engine's workers. The
+  // aggregation (max over covers, or over growth flags) is commutative and
+  // associative, so the verdict is identical for any worker count; the
+  // mutex only orders the cheap folds, not the cover computations.
+  std::mutex fold_mu;
+  int max_cover = 0;
+  bool growth_detected = false;
+  auto evaluate = [&](const LassoCandidate& candidate,
+                      LassoWorkerCounters& counters) -> LassoVerdict {
+    const LassoWord& lasso = candidate.word;
+    size_t w_small = lasso.prefix.size() + lasso.cycle.size() * pump_small;
+    size_t w_large = lasso.prefix.size() + lasso.cycle.size() * pump_large;
+    ++counters.closures_built;
+    int cover_small = MaxCutVertexCover(era, alphabet, lasso, w_small);
+    if (cover_small < 0) return LassoVerdict::kInconsistent;
+    ++counters.closures_built;
+    int cover_large = MaxCutVertexCover(era, alphabet, lasso, w_large);
+    {
+      std::lock_guard<std::mutex> lock(fold_mu);
+      max_cover = std::max(max_cover, cover_small);
+      if (cover_large > cover_small) growth_detected = true;
+    }
+    return LassoVerdict::kReject;  // aggregate-only: never a witness
+  };
+
+  LassoSearchOptions search_options;
+  search_options.max_lasso_length = options.max_lasso_length;
+  search_options.max_lassos = options.max_lassos;
+  search_options.max_search_steps = options.max_search_steps;
+  search_options.num_workers = options.num_workers;
+  search_options.batch_size = options.batch_size;
+  LassoSearchOutcome outcome =
+      SearchLassos(scontrol, search_options, evaluate);
+
   LrBoundResult result;
-  scontrol.EnumerateAcceptingLassos(
-      options.max_lasso_length, options.max_lassos,
-      [&](const LassoWord& lasso) {
-        ++result.lassos_examined;
-        size_t w_small = lasso.prefix.size() + lasso.cycle.size() * pump_small;
-        size_t w_large = lasso.prefix.size() + lasso.cycle.size() * pump_large;
-        int cover_small = MaxCutVertexCover(era, alphabet, lasso, w_small);
-        if (cover_small < 0) return true;  // inconsistent lasso: skip
-        int cover_large = MaxCutVertexCover(era, alphabet, lasso, w_large);
-        result.max_cover = std::max(result.max_cover, cover_small);
-        if (cover_large > cover_small) result.growth_detected = true;
-        return true;
-      },
-      options.max_search_steps);
+  result.max_cover = max_cover;
+  result.growth_detected = growth_detected;
+  result.lassos_examined = outcome.stats.lassos_checked;
+  result.stats = outcome.stats;
+  result.search_truncated = outcome.stats.truncated();
   return result;
 }
 

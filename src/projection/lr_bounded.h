@@ -6,6 +6,7 @@
 #include "base/status.h"
 #include "era/constraint_graph.h"
 #include "era/extended_automaton.h"
+#include "era/parallel_search.h"
 #include "ra/control.h"
 
 namespace rav {
@@ -33,6 +34,11 @@ struct LrBoundOptions {
   // span fits inside the smaller window).
   size_t pump_small = 0;
   size_t pump_large = 0;
+  // Worker threads measuring lasso covers (<= 1 = inline serial, 0 = all
+  // hardware threads). The per-lasso aggregation (max / or) is
+  // commutative, so the result is identical for every setting.
+  int num_workers = 1;
+  size_t batch_size = 16;
 };
 
 struct LrBoundResult {
@@ -43,6 +49,12 @@ struct LrBoundResult {
   // sizes: evidence that no N exists.
   bool growth_detected = false;
   size_t lassos_examined = 0;
+  // True iff the lasso sampling stopped on a budget rather than after
+  // exhausting its bounded space: the verdict then covers only the
+  // sampled lassos. Derived from stats.stop_reason.
+  bool search_truncated = false;
+  // Instrumentation of the lasso sampling, including the stop reason.
+  SearchStats stats;
 };
 
 // Samples control lassos of the automaton (consistent ones only) and

@@ -4,7 +4,9 @@
 //   rav_cli info <file>                 print a summary of the automaton
 //   rav_cli print <file>                round-trip through the text format
 //   rav_cli dot <file>                  Graphviz rendering to stdout
-//   rav_cli empty <file>                emptiness over finite databases
+//   rav_cli empty <file> [--threads N]  emptiness over finite databases;
+//                                       N > 1 checks candidate lassos on a
+//                                       worker pool (same verdict/witness)
 //   rav_cli project <file> <m>          projection onto registers 1..m
 //   rav_cli lrbound <file>              LR-boundedness estimation
 //   rav_cli simulate <file> <steps>     sample and print a run
@@ -21,6 +23,7 @@
 #include <sstream>
 #include <string>
 
+#include "base/numbers.h"
 #include "era/emptiness.h"
 #include "era/ltlfo.h"
 #include "io/text_format.h"
@@ -35,6 +38,17 @@ namespace {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "rav_cli: %s\n", message.c_str());
   return 1;
+}
+
+// Checked numeric argument: `what` names the argument in the error. Never
+// throws and never silently yields 0 (unlike std::stoi / std::atoi).
+Result<int> ParseIntArg(const std::string& what, const std::string& text) {
+  Result<int> value = ParseInt32(text);
+  if (!value.ok()) {
+    return Status::InvalidArgument(what + ": " + value.status().message() +
+                                   " — expected a decimal integer");
+  }
+  return value;
 }
 
 Result<ExtendedAutomaton> Load(const std::string& path) {
@@ -53,7 +67,9 @@ Result<Formula> ParseProposition(const std::string& text,
   auto term = [&](const std::string& t) -> Result<Term> {
     if (t.size() >= 2 && (t[0] == 'x' || t[0] == 'y') &&
         isdigit(static_cast<unsigned char>(t[1]))) {
-      int index = std::stoi(t.substr(1)) - 1;
+      Result<int> parsed = ParseIntArg("register index", t.substr(1));
+      if (!parsed.ok()) return parsed.status();
+      int index = *parsed - 1;
       if (index < 0 || index >= k) {
         return Status::InvalidArgument("register out of range: " + t);
       }
@@ -120,7 +136,8 @@ int CmdInfo(const ExtendedAutomaton& era) {
   return 0;
 }
 
-int CmdEmpty(const ExtendedAutomaton& era) {
+int CmdEmpty(const ExtendedAutomaton& era,
+             const EraEmptinessOptions& options) {
   RegisterAutomaton completed = era.automaton();
   if (!completed.IsComplete()) {
     auto result = Completed(completed);
@@ -134,16 +151,18 @@ int CmdEmpty(const ExtendedAutomaton& era) {
     if (!s.ok()) return Fail(s.ToString());
   }
   ControlAlphabet alphabet(subject.automaton());
-  auto result = CheckEraEmptiness(subject, alphabet);
+  auto result = CheckEraEmptiness(subject, alphabet, options);
   if (!result.ok()) return Fail(result.status().ToString());
   if (result->nonempty) {
     std::printf("NONEMPTY — witness control lasso: %s\n",
                 result->control_word.ToString().c_str());
+  } else if (result->search_truncated) {
+    std::printf("EMPTY within search bound (stopped: %s) — not definitive\n",
+                SearchStopReasonName(result->stats.stop_reason));
   } else {
-    std::printf("EMPTY (within search bound; %zu lassos examined%s)\n",
-                result->lassos_tried,
-                result->search_truncated ? ", search truncated" : "");
+    std::printf("EMPTY (search space exhausted)\n");
   }
+  std::printf("search: %s\n", result->stats.ToString().c_str());
   return 0;
 }
 
@@ -163,6 +182,10 @@ int CmdLrBound(const ExtendedAutomaton& era) {
               bound->growth_detected ? "yes (evidence of NOT LR-bounded)"
                                      : "no");
   std::printf("lassos examined:            %zu\n", bound->lassos_examined);
+  std::printf("sampling stopped:           %s%s\n",
+              SearchStopReasonName(bound->stats.stop_reason),
+              bound->search_truncated ? " (verdict covers sampled lassos only)"
+                                      : "");
   return 0;
 }
 
@@ -191,9 +214,10 @@ int CmdVerify(const ExtendedAutomaton& era, const std::string& ltl_text,
   auto resolve = [&](const std::string& name) -> int {
     if (name.size() >= 2 && name[0] == 'p' &&
         isdigit(static_cast<unsigned char>(name[1]))) {
-      int index = std::stoi(name.substr(1));
-      if (index < static_cast<int>(property.propositions.size())) {
-        return index;
+      Result<int> index = ParseInt32(name.substr(1));
+      if (index.ok() &&
+          *index < static_cast<int>(property.propositions.size())) {
+        return *index;
       }
     }
     return -1;
@@ -205,8 +229,13 @@ int CmdVerify(const ExtendedAutomaton& era, const std::string& ltl_text,
   auto result = VerifyLtlFo(era, property);
   if (!result.ok()) return Fail(result.status().ToString());
   if (result->holds) {
-    std::printf("HOLDS%s\n",
-                result->search_truncated ? " (bounded search)" : "");
+    if (result->search_truncated) {
+      std::printf(
+          "HOLDS within search bound (stopped: %s) — not definitive\n",
+          SearchStopReasonName(result->search_stats.stop_reason));
+    } else {
+      std::printf("HOLDS\n");
+    }
   } else {
     std::printf("FAILS — counterexample control lasso: %s\n",
                 result->counterexample->ToString().c_str());
@@ -223,6 +252,38 @@ int Main(int argc, char** argv) {
     return 2;
   }
   std::string command = argv[1];
+
+  // Numeric arguments are validated before any file I/O, so a malformed
+  // invocation fails fast with a usage message.
+  int project_m = 0;
+  int simulate_steps = 0;
+  EraEmptinessOptions empty_options;
+  if (command == "project") {
+    if (argc < 4) return Fail("project needs <m>");
+    auto m = ParseIntArg("project <m>", argv[3]);
+    if (!m.ok()) return Fail(m.status().message());
+    project_m = *m;
+  } else if (command == "simulate") {
+    if (argc < 4) return Fail("simulate needs <steps>");
+    auto steps = ParseIntArg("simulate <steps>", argv[3]);
+    if (!steps.ok()) return Fail(steps.status().message());
+    if (*steps < 0) return Fail("simulate <steps> must be >= 0");
+    simulate_steps = *steps;
+  } else if (command == "empty") {
+    for (int i = 3; i < argc; ++i) {
+      if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+        auto threads = ParseIntArg("--threads", argv[i + 1]);
+        if (!threads.ok()) return Fail(threads.status().message());
+        if (*threads < 0) return Fail("--threads must be >= 0");
+        empty_options.num_workers = *threads;
+        ++i;
+      } else {
+        return Fail("empty: unknown argument '" + std::string(argv[i]) +
+                    "' (supported: --threads N)");
+      }
+    }
+  }
+
   auto era = Load(argv[2]);
   if (!era.ok()) return Fail(era.status().ToString());
 
@@ -235,16 +296,10 @@ int Main(int argc, char** argv) {
     std::printf("%s", ToGraphviz(era->automaton()).c_str());
     return 0;
   }
-  if (command == "empty") return CmdEmpty(*era);
-  if (command == "project") {
-    if (argc < 4) return Fail("project needs <m>");
-    return CmdProject(*era, std::atoi(argv[3]));
-  }
+  if (command == "empty") return CmdEmpty(*era, empty_options);
+  if (command == "project") return CmdProject(*era, project_m);
   if (command == "lrbound") return CmdLrBound(*era);
-  if (command == "simulate") {
-    if (argc < 4) return Fail("simulate needs <steps>");
-    return CmdSimulate(*era, std::atoi(argv[3]));
-  }
+  if (command == "simulate") return CmdSimulate(*era, simulate_steps);
   if (command == "verify") {
     if (argc < 5) return Fail("verify needs <ltl> and at least one <fo>");
     std::vector<std::string> props;
