@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pump.dir/bench_ablation_pump.cc.o"
+  "CMakeFiles/bench_ablation_pump.dir/bench_ablation_pump.cc.o.d"
+  "bench_ablation_pump"
+  "bench_ablation_pump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enhanced.dir/bench_enhanced.cc.o"
+  "CMakeFiles/bench_enhanced.dir/bench_enhanced.cc.o.d"
+  "bench_enhanced"
+  "bench_enhanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enhanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

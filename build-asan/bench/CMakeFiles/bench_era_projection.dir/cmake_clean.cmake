@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_era_projection.dir/bench_era_projection.cc.o"
+  "CMakeFiles/bench_era_projection.dir/bench_era_projection.cc.o.d"
+  "bench_era_projection"
+  "bench_era_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_era_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma21.dir/bench_lemma21.cc.o"
+  "CMakeFiles/bench_lemma21.dir/bench_lemma21.cc.o.d"
+  "bench_lemma21"
+  "bench_lemma21.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma21.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

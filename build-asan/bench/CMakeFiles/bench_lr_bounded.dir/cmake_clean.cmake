@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lr_bounded.dir/bench_lr_bounded.cc.o"
+  "CMakeFiles/bench_lr_bounded.dir/bench_lr_bounded.cc.o.d"
+  "bench_lr_bounded"
+  "bench_lr_bounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lr_bounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ltlfo.dir/bench_ltlfo.cc.o"
+  "CMakeFiles/bench_ltlfo.dir/bench_ltlfo.cc.o.d"
+  "bench_ltlfo"
+  "bench_ltlfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ltlfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_projection_closure.dir/bench_projection_closure.cc.o"
+  "CMakeFiles/bench_projection_closure.dir/bench_projection_closure.cc.o.d"
+  "bench_projection_closure"
+  "bench_projection_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_projection_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop22.dir/bench_prop22.cc.o"
+  "CMakeFiles/bench_prop22.dir/bench_prop22.cc.o.d"
+  "bench_prop22"
+  "bench_prop22.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop22.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop6.dir/bench_prop6.cc.o"
+  "CMakeFiles/bench_prop6.dir/bench_prop6.cc.o.d"
+  "bench_prop6"
+  "bench_prop6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

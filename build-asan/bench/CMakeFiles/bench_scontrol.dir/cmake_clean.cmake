@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scontrol.dir/bench_scontrol.cc.o"
+  "CMakeFiles/bench_scontrol.dir/bench_scontrol.cc.o.d"
+  "bench_scontrol"
+  "bench_scontrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_driven.dir/bench_state_driven.cc.o"
+  "CMakeFiles/bench_state_driven.dir/bench_state_driven.cc.o.d"
+  "bench_state_driven"
+  "bench_state_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

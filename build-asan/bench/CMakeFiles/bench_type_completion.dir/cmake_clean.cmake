@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_type_completion.dir/bench_type_completion.cc.o"
+  "CMakeFiles/bench_type_completion.dir/bench_type_completion.cc.o.d"
+  "bench_type_completion"
+  "bench_type_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_type_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

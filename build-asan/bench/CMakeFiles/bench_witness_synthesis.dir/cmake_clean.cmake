@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_witness_synthesis.dir/bench_witness_synthesis.cc.o"
+  "CMakeFiles/bench_witness_synthesis.dir/bench_witness_synthesis.cc.o.d"
+  "bench_witness_synthesis"
+  "bench_witness_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_witness_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_views.dir/database_views.cc.o"
+  "CMakeFiles/database_views.dir/database_views.cc.o.d"
+  "database_views"
+  "database_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_views.dir/projection_views.cc.o"
+  "CMakeFiles/projection_views.dir/projection_views.cc.o.d"
+  "projection_views"
+  "projection_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reviewing_workflow.dir/reviewing_workflow.cc.o"
+  "CMakeFiles/reviewing_workflow.dir/reviewing_workflow.cc.o.d"
+  "reviewing_workflow"
+  "reviewing_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reviewing_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verification.dir/verification.cc.o"
+  "CMakeFiles/verification.dir/verification.cc.o.d"
+  "verification"
+  "verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

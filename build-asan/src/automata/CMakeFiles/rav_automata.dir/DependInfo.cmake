@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/complement.cc" "src/automata/CMakeFiles/rav_automata.dir/complement.cc.o" "gcc" "src/automata/CMakeFiles/rav_automata.dir/complement.cc.o.d"
+  "/root/repo/src/automata/dfa.cc" "src/automata/CMakeFiles/rav_automata.dir/dfa.cc.o" "gcc" "src/automata/CMakeFiles/rav_automata.dir/dfa.cc.o.d"
+  "/root/repo/src/automata/dfa_to_regex.cc" "src/automata/CMakeFiles/rav_automata.dir/dfa_to_regex.cc.o" "gcc" "src/automata/CMakeFiles/rav_automata.dir/dfa_to_regex.cc.o.d"
+  "/root/repo/src/automata/lasso.cc" "src/automata/CMakeFiles/rav_automata.dir/lasso.cc.o" "gcc" "src/automata/CMakeFiles/rav_automata.dir/lasso.cc.o.d"
+  "/root/repo/src/automata/nba.cc" "src/automata/CMakeFiles/rav_automata.dir/nba.cc.o" "gcc" "src/automata/CMakeFiles/rav_automata.dir/nba.cc.o.d"
+  "/root/repo/src/automata/nfa.cc" "src/automata/CMakeFiles/rav_automata.dir/nfa.cc.o" "gcc" "src/automata/CMakeFiles/rav_automata.dir/nfa.cc.o.d"
+  "/root/repo/src/automata/regex.cc" "src/automata/CMakeFiles/rav_automata.dir/regex.cc.o" "gcc" "src/automata/CMakeFiles/rav_automata.dir/regex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/base/CMakeFiles/rav_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_automata.dir/complement.cc.o"
+  "CMakeFiles/rav_automata.dir/complement.cc.o.d"
+  "CMakeFiles/rav_automata.dir/dfa.cc.o"
+  "CMakeFiles/rav_automata.dir/dfa.cc.o.d"
+  "CMakeFiles/rav_automata.dir/dfa_to_regex.cc.o"
+  "CMakeFiles/rav_automata.dir/dfa_to_regex.cc.o.d"
+  "CMakeFiles/rav_automata.dir/lasso.cc.o"
+  "CMakeFiles/rav_automata.dir/lasso.cc.o.d"
+  "CMakeFiles/rav_automata.dir/nba.cc.o"
+  "CMakeFiles/rav_automata.dir/nba.cc.o.d"
+  "CMakeFiles/rav_automata.dir/nfa.cc.o"
+  "CMakeFiles/rav_automata.dir/nfa.cc.o.d"
+  "CMakeFiles/rav_automata.dir/regex.cc.o"
+  "CMakeFiles/rav_automata.dir/regex.cc.o.d"
+  "librav_automata.a"
+  "librav_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_base.dir/arena.cc.o"
+  "CMakeFiles/rav_base.dir/arena.cc.o.d"
+  "CMakeFiles/rav_base.dir/numbers.cc.o"
+  "CMakeFiles/rav_base.dir/numbers.cc.o.d"
+  "CMakeFiles/rav_base.dir/status.cc.o"
+  "CMakeFiles/rav_base.dir/status.cc.o.d"
+  "CMakeFiles/rav_base.dir/union_find.cc.o"
+  "CMakeFiles/rav_base.dir/union_find.cc.o.d"
+  "librav_base.a"
+  "librav_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

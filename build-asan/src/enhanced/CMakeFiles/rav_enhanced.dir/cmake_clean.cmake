@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_enhanced.dir/enhanced_automaton.cc.o"
+  "CMakeFiles/rav_enhanced.dir/enhanced_automaton.cc.o.d"
+  "CMakeFiles/rav_enhanced.dir/theorem24.cc.o"
+  "CMakeFiles/rav_enhanced.dir/theorem24.cc.o.d"
+  "librav_enhanced.a"
+  "librav_enhanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_enhanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_era.dir/constraint_graph.cc.o"
+  "CMakeFiles/rav_era.dir/constraint_graph.cc.o.d"
+  "CMakeFiles/rav_era.dir/emptiness.cc.o"
+  "CMakeFiles/rav_era.dir/emptiness.cc.o.d"
+  "CMakeFiles/rav_era.dir/extended_automaton.cc.o"
+  "CMakeFiles/rav_era.dir/extended_automaton.cc.o.d"
+  "CMakeFiles/rav_era.dir/ltlfo.cc.o"
+  "CMakeFiles/rav_era.dir/ltlfo.cc.o.d"
+  "CMakeFiles/rav_era.dir/parallel_search.cc.o"
+  "CMakeFiles/rav_era.dir/parallel_search.cc.o.d"
+  "CMakeFiles/rav_era.dir/prop6.cc.o"
+  "CMakeFiles/rav_era.dir/prop6.cc.o.d"
+  "CMakeFiles/rav_era.dir/quasi_regular.cc.o"
+  "CMakeFiles/rav_era.dir/quasi_regular.cc.o.d"
+  "CMakeFiles/rav_era.dir/run_check.cc.o"
+  "CMakeFiles/rav_era.dir/run_check.cc.o.d"
+  "CMakeFiles/rav_era.dir/simulate_era.cc.o"
+  "CMakeFiles/rav_era.dir/simulate_era.cc.o.d"
+  "librav_era.a"
+  "librav_era.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_era.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

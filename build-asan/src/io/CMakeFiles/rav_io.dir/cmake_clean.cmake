@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_io.dir/text_format.cc.o"
+  "CMakeFiles/rav_io.dir/text_format.cc.o.d"
+  "librav_io.a"
+  "librav_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ltl/ltl.cc" "src/ltl/CMakeFiles/rav_ltl.dir/ltl.cc.o" "gcc" "src/ltl/CMakeFiles/rav_ltl.dir/ltl.cc.o.d"
+  "/root/repo/src/ltl/tableau.cc" "src/ltl/CMakeFiles/rav_ltl.dir/tableau.cc.o" "gcc" "src/ltl/CMakeFiles/rav_ltl.dir/tableau.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/base/CMakeFiles/rav_base.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/automata/CMakeFiles/rav_automata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

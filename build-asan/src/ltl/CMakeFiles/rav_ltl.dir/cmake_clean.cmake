@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_ltl.dir/ltl.cc.o"
+  "CMakeFiles/rav_ltl.dir/ltl.cc.o.d"
+  "CMakeFiles/rav_ltl.dir/tableau.cc.o"
+  "CMakeFiles/rav_ltl.dir/tableau.cc.o.d"
+  "librav_ltl.a"
+  "librav_ltl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_ltl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

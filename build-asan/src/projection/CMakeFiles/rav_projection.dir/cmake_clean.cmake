@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_projection.dir/lemma21.cc.o"
+  "CMakeFiles/rav_projection.dir/lemma21.cc.o.d"
+  "CMakeFiles/rav_projection.dir/lr_bounded.cc.o"
+  "CMakeFiles/rav_projection.dir/lr_bounded.cc.o.d"
+  "CMakeFiles/rav_projection.dir/project_era.cc.o"
+  "CMakeFiles/rav_projection.dir/project_era.cc.o.d"
+  "CMakeFiles/rav_projection.dir/project_ra.cc.o"
+  "CMakeFiles/rav_projection.dir/project_ra.cc.o.d"
+  "CMakeFiles/rav_projection.dir/prop22.cc.o"
+  "CMakeFiles/rav_projection.dir/prop22.cc.o.d"
+  "librav_projection.a"
+  "librav_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ra/control.cc" "src/ra/CMakeFiles/rav_ra.dir/control.cc.o" "gcc" "src/ra/CMakeFiles/rav_ra.dir/control.cc.o.d"
+  "/root/repo/src/ra/emptiness.cc" "src/ra/CMakeFiles/rav_ra.dir/emptiness.cc.o" "gcc" "src/ra/CMakeFiles/rav_ra.dir/emptiness.cc.o.d"
+  "/root/repo/src/ra/intersect.cc" "src/ra/CMakeFiles/rav_ra.dir/intersect.cc.o" "gcc" "src/ra/CMakeFiles/rav_ra.dir/intersect.cc.o.d"
+  "/root/repo/src/ra/lasso_search.cc" "src/ra/CMakeFiles/rav_ra.dir/lasso_search.cc.o" "gcc" "src/ra/CMakeFiles/rav_ra.dir/lasso_search.cc.o.d"
+  "/root/repo/src/ra/random.cc" "src/ra/CMakeFiles/rav_ra.dir/random.cc.o" "gcc" "src/ra/CMakeFiles/rav_ra.dir/random.cc.o.d"
+  "/root/repo/src/ra/register_automaton.cc" "src/ra/CMakeFiles/rav_ra.dir/register_automaton.cc.o" "gcc" "src/ra/CMakeFiles/rav_ra.dir/register_automaton.cc.o.d"
+  "/root/repo/src/ra/run.cc" "src/ra/CMakeFiles/rav_ra.dir/run.cc.o" "gcc" "src/ra/CMakeFiles/rav_ra.dir/run.cc.o.d"
+  "/root/repo/src/ra/simulate.cc" "src/ra/CMakeFiles/rav_ra.dir/simulate.cc.o" "gcc" "src/ra/CMakeFiles/rav_ra.dir/simulate.cc.o.d"
+  "/root/repo/src/ra/transform.cc" "src/ra/CMakeFiles/rav_ra.dir/transform.cc.o" "gcc" "src/ra/CMakeFiles/rav_ra.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/base/CMakeFiles/rav_base.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/relational/CMakeFiles/rav_relational.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/types/CMakeFiles/rav_types.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/automata/CMakeFiles/rav_automata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

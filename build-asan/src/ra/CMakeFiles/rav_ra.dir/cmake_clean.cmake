@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_ra.dir/control.cc.o"
+  "CMakeFiles/rav_ra.dir/control.cc.o.d"
+  "CMakeFiles/rav_ra.dir/emptiness.cc.o"
+  "CMakeFiles/rav_ra.dir/emptiness.cc.o.d"
+  "CMakeFiles/rav_ra.dir/intersect.cc.o"
+  "CMakeFiles/rav_ra.dir/intersect.cc.o.d"
+  "CMakeFiles/rav_ra.dir/lasso_search.cc.o"
+  "CMakeFiles/rav_ra.dir/lasso_search.cc.o.d"
+  "CMakeFiles/rav_ra.dir/random.cc.o"
+  "CMakeFiles/rav_ra.dir/random.cc.o.d"
+  "CMakeFiles/rav_ra.dir/register_automaton.cc.o"
+  "CMakeFiles/rav_ra.dir/register_automaton.cc.o.d"
+  "CMakeFiles/rav_ra.dir/run.cc.o"
+  "CMakeFiles/rav_ra.dir/run.cc.o.d"
+  "CMakeFiles/rav_ra.dir/simulate.cc.o"
+  "CMakeFiles/rav_ra.dir/simulate.cc.o.d"
+  "CMakeFiles/rav_ra.dir/transform.cc.o"
+  "CMakeFiles/rav_ra.dir/transform.cc.o.d"
+  "librav_ra.a"
+  "librav_ra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_ra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/database.cc" "src/relational/CMakeFiles/rav_relational.dir/database.cc.o" "gcc" "src/relational/CMakeFiles/rav_relational.dir/database.cc.o.d"
+  "/root/repo/src/relational/formula.cc" "src/relational/CMakeFiles/rav_relational.dir/formula.cc.o" "gcc" "src/relational/CMakeFiles/rav_relational.dir/formula.cc.o.d"
+  "/root/repo/src/relational/query.cc" "src/relational/CMakeFiles/rav_relational.dir/query.cc.o" "gcc" "src/relational/CMakeFiles/rav_relational.dir/query.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/rav_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/rav_relational.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/base/CMakeFiles/rav_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_relational.dir/database.cc.o"
+  "CMakeFiles/rav_relational.dir/database.cc.o.d"
+  "CMakeFiles/rav_relational.dir/formula.cc.o"
+  "CMakeFiles/rav_relational.dir/formula.cc.o.d"
+  "CMakeFiles/rav_relational.dir/query.cc.o"
+  "CMakeFiles/rav_relational.dir/query.cc.o.d"
+  "CMakeFiles/rav_relational.dir/schema.cc.o"
+  "CMakeFiles/rav_relational.dir/schema.cc.o.d"
+  "librav_relational.a"
+  "librav_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

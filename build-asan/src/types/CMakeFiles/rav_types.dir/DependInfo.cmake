@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/types/completion.cc" "src/types/CMakeFiles/rav_types.dir/completion.cc.o" "gcc" "src/types/CMakeFiles/rav_types.dir/completion.cc.o.d"
+  "/root/repo/src/types/type.cc" "src/types/CMakeFiles/rav_types.dir/type.cc.o" "gcc" "src/types/CMakeFiles/rav_types.dir/type.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/base/CMakeFiles/rav_base.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/relational/CMakeFiles/rav_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_types.dir/completion.cc.o"
+  "CMakeFiles/rav_types.dir/completion.cc.o.d"
+  "CMakeFiles/rav_types.dir/type.cc.o"
+  "CMakeFiles/rav_types.dir/type.cc.o.d"
+  "librav_types.a"
+  "librav_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_workflow.dir/builder.cc.o"
+  "CMakeFiles/rav_workflow.dir/builder.cc.o.d"
+  "CMakeFiles/rav_workflow.dir/properties.cc.o"
+  "CMakeFiles/rav_workflow.dir/properties.cc.o.d"
+  "CMakeFiles/rav_workflow.dir/view.cc.o"
+  "CMakeFiles/rav_workflow.dir/view.cc.o.d"
+  "librav_workflow.a"
+  "librav_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/complement_test.cc" "tests/CMakeFiles/complement_test.dir/complement_test.cc.o" "gcc" "tests/CMakeFiles/complement_test.dir/complement_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/io/CMakeFiles/rav_io.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workflow/CMakeFiles/rav_workflow.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/enhanced/CMakeFiles/rav_enhanced.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/projection/CMakeFiles/rav_projection.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/era/CMakeFiles/rav_era.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ltl/CMakeFiles/rav_ltl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ra/CMakeFiles/rav_ra.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/types/CMakeFiles/rav_types.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/relational/CMakeFiles/rav_relational.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/automata/CMakeFiles/rav_automata.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/base/CMakeFiles/rav_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

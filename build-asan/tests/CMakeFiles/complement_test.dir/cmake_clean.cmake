@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complement_test.dir/complement_test.cc.o"
+  "CMakeFiles/complement_test.dir/complement_test.cc.o.d"
+  "complement_test"
+  "complement_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

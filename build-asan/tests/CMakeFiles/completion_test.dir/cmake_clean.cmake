@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/completion_test.dir/completion_test.cc.o"
+  "CMakeFiles/completion_test.dir/completion_test.cc.o.d"
+  "completion_test"
+  "completion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/completion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhanced_test.dir/enhanced_test.cc.o"
+  "CMakeFiles/enhanced_test.dir/enhanced_test.cc.o.d"
+  "enhanced_test"
+  "enhanced_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhanced_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

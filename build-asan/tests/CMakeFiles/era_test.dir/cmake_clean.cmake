@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/era_test.dir/era_test.cc.o"
+  "CMakeFiles/era_test.dir/era_test.cc.o.d"
+  "era_test"
+  "era_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/era_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

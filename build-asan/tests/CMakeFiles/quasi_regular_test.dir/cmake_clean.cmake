@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasi_regular_test.dir/quasi_regular_test.cc.o"
+  "CMakeFiles/quasi_regular_test.dir/quasi_regular_test.cc.o.d"
+  "quasi_regular_test"
+  "quasi_regular_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasi_regular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

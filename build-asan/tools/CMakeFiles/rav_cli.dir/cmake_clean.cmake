@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rav_cli.dir/rav_cli.cc.o"
+  "CMakeFiles/rav_cli.dir/rav_cli.cc.o.d"
+  "rav_cli"
+  "rav_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rav_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

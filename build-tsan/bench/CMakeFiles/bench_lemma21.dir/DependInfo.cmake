@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_lemma21.cc" "bench/CMakeFiles/bench_lemma21.dir/bench_lemma21.cc.o" "gcc" "bench/CMakeFiles/bench_lemma21.dir/bench_lemma21.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/io/CMakeFiles/rav_io.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workflow/CMakeFiles/rav_workflow.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/enhanced/CMakeFiles/rav_enhanced.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/projection/CMakeFiles/rav_projection.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/era/CMakeFiles/rav_era.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ltl/CMakeFiles/rav_ltl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ra/CMakeFiles/rav_ra.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/types/CMakeFiles/rav_types.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/relational/CMakeFiles/rav_relational.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/automata/CMakeFiles/rav_automata.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/base/CMakeFiles/rav_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("relational")
+subdirs("types")
+subdirs("automata")
+subdirs("ltl")
+subdirs("ra")
+subdirs("era")
+subdirs("io")
+subdirs("projection")
+subdirs("enhanced")
+subdirs("workflow")

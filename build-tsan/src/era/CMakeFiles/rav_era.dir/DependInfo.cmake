@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/era/constraint_graph.cc" "src/era/CMakeFiles/rav_era.dir/constraint_graph.cc.o" "gcc" "src/era/CMakeFiles/rav_era.dir/constraint_graph.cc.o.d"
+  "/root/repo/src/era/emptiness.cc" "src/era/CMakeFiles/rav_era.dir/emptiness.cc.o" "gcc" "src/era/CMakeFiles/rav_era.dir/emptiness.cc.o.d"
+  "/root/repo/src/era/extended_automaton.cc" "src/era/CMakeFiles/rav_era.dir/extended_automaton.cc.o" "gcc" "src/era/CMakeFiles/rav_era.dir/extended_automaton.cc.o.d"
+  "/root/repo/src/era/ltlfo.cc" "src/era/CMakeFiles/rav_era.dir/ltlfo.cc.o" "gcc" "src/era/CMakeFiles/rav_era.dir/ltlfo.cc.o.d"
+  "/root/repo/src/era/parallel_search.cc" "src/era/CMakeFiles/rav_era.dir/parallel_search.cc.o" "gcc" "src/era/CMakeFiles/rav_era.dir/parallel_search.cc.o.d"
+  "/root/repo/src/era/prop6.cc" "src/era/CMakeFiles/rav_era.dir/prop6.cc.o" "gcc" "src/era/CMakeFiles/rav_era.dir/prop6.cc.o.d"
+  "/root/repo/src/era/quasi_regular.cc" "src/era/CMakeFiles/rav_era.dir/quasi_regular.cc.o" "gcc" "src/era/CMakeFiles/rav_era.dir/quasi_regular.cc.o.d"
+  "/root/repo/src/era/run_check.cc" "src/era/CMakeFiles/rav_era.dir/run_check.cc.o" "gcc" "src/era/CMakeFiles/rav_era.dir/run_check.cc.o.d"
+  "/root/repo/src/era/simulate_era.cc" "src/era/CMakeFiles/rav_era.dir/simulate_era.cc.o" "gcc" "src/era/CMakeFiles/rav_era.dir/simulate_era.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ra/CMakeFiles/rav_ra.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ltl/CMakeFiles/rav_ltl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/types/CMakeFiles/rav_types.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/relational/CMakeFiles/rav_relational.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/automata/CMakeFiles/rav_automata.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/base/CMakeFiles/rav_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/projection/lemma21.cc" "src/projection/CMakeFiles/rav_projection.dir/lemma21.cc.o" "gcc" "src/projection/CMakeFiles/rav_projection.dir/lemma21.cc.o.d"
+  "/root/repo/src/projection/lr_bounded.cc" "src/projection/CMakeFiles/rav_projection.dir/lr_bounded.cc.o" "gcc" "src/projection/CMakeFiles/rav_projection.dir/lr_bounded.cc.o.d"
+  "/root/repo/src/projection/project_era.cc" "src/projection/CMakeFiles/rav_projection.dir/project_era.cc.o" "gcc" "src/projection/CMakeFiles/rav_projection.dir/project_era.cc.o.d"
+  "/root/repo/src/projection/project_ra.cc" "src/projection/CMakeFiles/rav_projection.dir/project_ra.cc.o" "gcc" "src/projection/CMakeFiles/rav_projection.dir/project_ra.cc.o.d"
+  "/root/repo/src/projection/prop22.cc" "src/projection/CMakeFiles/rav_projection.dir/prop22.cc.o" "gcc" "src/projection/CMakeFiles/rav_projection.dir/prop22.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/era/CMakeFiles/rav_era.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ra/CMakeFiles/rav_ra.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/types/CMakeFiles/rav_types.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/relational/CMakeFiles/rav_relational.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ltl/CMakeFiles/rav_ltl.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/automata/CMakeFiles/rav_automata.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/base/CMakeFiles/rav_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(rav_cli_bad_project_arg "/root/repo/build-tsan/tools/rav_cli" "project" "nonexistent.rav" "12x")
+set_tests_properties(rav_cli_bad_project_arg PROPERTIES  PASS_REGULAR_EXPRESSION "expected a decimal integer" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(rav_cli_bad_simulate_arg "/root/repo/build-tsan/tools/rav_cli" "simulate" "nonexistent.rav" "notanumber")
+set_tests_properties(rav_cli_bad_simulate_arg PROPERTIES  PASS_REGULAR_EXPRESSION "expected a decimal integer" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(rav_cli_bad_threads_arg "/root/repo/build-tsan/tools/rav_cli" "empty" "nonexistent.rav" "--threads" "9999999999999")
+set_tests_properties(rav_cli_bad_threads_arg PROPERTIES  PASS_REGULAR_EXPRESSION "expected a decimal integer" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(rav_cli_negative_threads_arg "/root/repo/build-tsan/tools/rav_cli" "empty" "nonexistent.rav" "--threads" "-1")
+set_tests_properties(rav_cli_negative_threads_arg PROPERTIES  PASS_REGULAR_EXPRESSION "--threads must be >= 0" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
