@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include <string>
 
 #include "era/constraint_graph.h"
@@ -85,3 +87,5 @@ BENCHMARK(BM_ClosureCostVsWindow)->RangeMultiplier(2)->Range(8, 256);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E15", "Ablation (DESIGN.md 5.1): the closure window pump must cover every constraint span; too-small pumps truncate contradictions into apparent consistency.")

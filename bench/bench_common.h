@@ -12,6 +12,17 @@
 
 namespace rav::bench {
 
+// The experiment a bench binary regenerates: its EXPERIMENTS.md id and
+// the paper claim it measures. Every bench .cc defines exactly one via
+// RAV_BENCH_EXPERIMENT below; the shared bench_main.cc embeds it in the
+// `--report` JSON (see docs/observability.md). A bench without the macro
+// fails to link — the report metadata is not optional.
+struct ExperimentInfo {
+  const char* id;     // "E6"
+  const char* claim;  // the paper's claim / expected shape, one sentence
+};
+ExperimentInfo GetExperimentInfo();
+
 // Example 1 of the paper (the running 2-register automaton).
 inline RegisterAutomaton MakeExample1() {
   RegisterAutomaton a(2, Schema());
@@ -105,5 +116,12 @@ inline ExtendedAutomaton CompletedEra(const ExtendedAutomaton& era) {
 }
 
 }  // namespace rav::bench
+
+#define RAV_BENCH_EXPERIMENT(experiment_id, experiment_claim)   \
+  namespace rav::bench {                                        \
+  ExperimentInfo GetExperimentInfo() {                          \
+    return ExperimentInfo{experiment_id, experiment_claim};     \
+  }                                                             \
+  }
 
 #endif  // RAV_BENCH_BENCH_COMMON_H_

@@ -175,3 +175,5 @@ BENCHMARK(BM_EmptinessShiftRingWitnessParallel)
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E6", "Theorem 9 / Corollary 10: emptiness of extended automata over finite databases is decidable; the closure checks parallelize with verdicts identical to the serial search.")

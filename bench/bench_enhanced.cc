@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "enhanced/theorem24.h"
 #include "ra/register_automaton.h"
 
@@ -84,3 +86,5 @@ BENCHMARK(BM_Theorem24PhaseCycle)->DenseRange(2, 8, 2);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E13", "Theorem 24: with the database hidden, enhanced automata (equality + tuple inequality + finiteness constraints) capture the projection views.")

@@ -88,3 +88,5 @@ BENCHMARK(BM_ProjectEraWithEquality);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E10", "Theorem 13: extended automata are closed under projection; hidden-register constraints surface on the visible registers.")

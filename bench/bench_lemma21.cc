@@ -65,3 +65,5 @@ BENCHMARK(BM_PropagationExample1);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E9", "Lemma 21: per-source-register propagation automata have at most ~4^k subset states and minimize to small per-pair DFAs.")

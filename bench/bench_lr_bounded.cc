@@ -153,3 +153,5 @@ BENCHMARK(BM_MaxCutVertexCoverScaling)->RangeMultiplier(2)->Range(4, 32);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E11", "Definition 15 / Theorem 18: LR-boundedness is detectable via max vertex covers of G^w_h; the all-distinct Example 17 shows unbounded growth.")

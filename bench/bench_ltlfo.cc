@@ -100,3 +100,5 @@ BENCHMARK(BM_VerifyWithConstraints);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E8", "Theorem 12: LTL-FO verification is decidable; the tableau is exponential in the formula while the product stays proportional to the refined automaton.")

@@ -1,0 +1,132 @@
+// Shared main for every benchmark binary: google-benchmark plus the
+// `--report <file>` flag of the observability layer (DESIGN.md,
+// docs/observability.md).
+//
+// Each bench .cc declares its experiment id and the paper claim it
+// measures with RAV_BENCH_EXPERIMENT("E6", "..."); this main strips
+// `--report` from argv before benchmark::Initialize sees it, runs the
+// suite with a collecting reporter, and writes a run report with the
+// stable schema of base/report.h: per-benchmark rows under
+// metrics.benchmarks, the process-wide counters/histograms under
+// metrics.process, and the aggregated trace spans.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/report.h"
+#include "bench_common.h"
+
+namespace rav::bench {
+
+namespace {
+
+// Wraps the console reporter and collects every per-iteration run row for
+// the JSON report.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      Json row = Json::Object();
+      row.Set("name", Json::String(run.benchmark_name()));
+      row.Set("iterations", Json::Number(static_cast<int64_t>(run.iterations)));
+      const double iters = run.iterations > 0
+                               ? static_cast<double>(run.iterations)
+                               : 1.0;
+      row.Set("real_ns_per_iter",
+              Json::Number(run.real_accumulated_time / iters * 1e9));
+      row.Set("cpu_ns_per_iter",
+              Json::Number(run.cpu_accumulated_time / iters * 1e9));
+      if (run.error_occurred) {
+        row.Set("error", Json::String(run.error_message));
+      }
+      Json counters = Json::Object();
+      for (const auto& [name, counter] : run.counters) {
+        counters.Set(name, Json::Number(static_cast<double>(counter.value)));
+      }
+      row.Set("counters", std::move(counters));
+      rows_.Append(std::move(row));
+      if (run.error_occurred) ++errors_;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  Json TakeRows() { return std::move(rows_); }
+  int errors() const { return errors_; }
+
+ private:
+  Json rows_ = Json::Array();
+  int errors_ = 0;
+};
+
+int Main(int argc, char** argv) {
+  // Strip --report <file> / --report=<file>; everything else goes to
+  // google-benchmark untouched.
+  std::string report_path;
+  std::vector<char*> passthrough;
+  Json args = Json::Array();
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+      continue;
+    }
+    args.Append(Json::String(arg));
+    passthrough.push_back(argv[i]);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+
+  const ExperimentInfo info = GetExperimentInfo();
+  CollectingReporter reporter;
+  const auto start = std::chrono::steady_clock::now();
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  benchmark::Shutdown();
+
+  if (!report_path.empty()) {
+    RunReport report;
+    report.experiment = info.id;
+    report.claim = info.claim;
+    report.params.Set("binary", Json::String(argv[0]));
+    report.params.Set("args", std::move(args));
+    Json metrics = Json::Object();
+    metrics.Set("benchmarks", reporter.TakeRows());
+    metrics.Set("process", CaptureProcessMetrics());
+    report.metrics = std::move(metrics);
+    report.spans = CaptureSpans();
+    // Benchmarks assert their expectations with RAV_CHECK (a violated
+    // expectation aborts before this point), so reaching the report
+    // with no per-run errors means the measured shape matched.
+    report.verdict = reporter.errors() == 0 ? "ok" : "error";
+    report.wall_ms = wall_ms;
+    Status written = WriteReportFile(report_path, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "--report: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+}  // namespace rav::bench
+
+int main(int argc, char** argv) { return rav::bench::Main(argc, argv); }

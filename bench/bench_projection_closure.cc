@@ -87,3 +87,5 @@ BENCHMARK(BM_Prop20Construction)->DenseRange(1, 3);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E4", "Example 4 / Proposition 20: projections of register automata need extended automata; the synthesized constraints reproduce the brute-force projected trace sets.")

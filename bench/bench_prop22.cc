@@ -49,3 +49,5 @@ BENCHMARK(BM_RealizeGapDistinct)->DenseRange(1, 5);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E12", "Proposition 22: an LR-bounded extended automaton is the projection of a register automaton within the ~2M^2+1 register budget.")

@@ -68,3 +68,5 @@ BENCHMARK(BM_EliminateExample5);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E5", "Proposition 6: equality constraints compile away with one extra register per DFA state of the constraint plus bookkeeping control state.")

@@ -72,3 +72,5 @@ BENCHMARK(BM_ControlWordsAccepted);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E3", "Control = SControl ([19] / Theorem 9 stage one): symbolic control traces are exactly the control traces; SControl is omega-regular.")

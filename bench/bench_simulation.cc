@@ -61,3 +61,5 @@ BENCHMARK(BM_FixedDbEmptiness)->DenseRange(1, 7, 2);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E14", "Substrate throughput sanity baseline: randomized run generation and the fixed-database region abstraction match their analytical sizes.")

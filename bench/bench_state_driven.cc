@@ -76,3 +76,5 @@ BENCHMARK(BM_CompletedExample1);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E2", "State-driven conversion (Example 3): quadratic blow-up, states become (state, guard) pairs and transitions grow with guards squared.")

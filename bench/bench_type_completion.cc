@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
+
 #include "types/completion.h"
 #include "types/type.h"
 
@@ -75,3 +77,5 @@ BENCHMARK(BM_FullCompletionsBinary)->DenseRange(1, 2);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E1", "Type completion blow-up (Section 2): equality completions of a free type over n variables are the Bell numbers; each relation multiplies by 2^(classes^arity).")

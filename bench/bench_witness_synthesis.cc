@@ -70,3 +70,5 @@ BENCHMARK(BM_ClosureAndColoring)->RangeMultiplier(2)->Range(4, 32);
 
 }  // namespace
 }  // namespace rav
+
+RAV_BENCH_EXPERIMENT("E7", "Theorem 9 witness synthesis: a finite database plus run is constructed from every consistent symbolic trace; unbounded-clique growth signals non-realizability.")

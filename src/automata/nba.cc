@@ -5,6 +5,8 @@
 #include <queue>
 #include <tuple>
 
+#include "base/metrics.h"
+
 namespace rav {
 
 int Nba::num_transitions() const {
@@ -334,6 +336,8 @@ Nba Nba::Intersect(const Nba& other) const {
       }
     }
   }
+  RAV_METRIC_COUNT("automata/intersect/products", 1);
+  RAV_METRIC_RECORD("automata/intersect/product_states", product.num_states());
   return product.Degeneralize();
 }
 
@@ -417,6 +421,8 @@ Nba GeneralizedNba::Degeneralize() const {
     }
   }
   for (int q : initial_) out.SetInitial(q * k + 0);
+  RAV_METRIC_COUNT("automata/degeneralize/constructions", 1);
+  RAV_METRIC_RECORD("automata/degeneralize/states", out.num_states());
   return out;
 }
 

@@ -1,0 +1,251 @@
+#include "base/metrics.h"
+
+#ifndef RAV_NO_METRICS
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "base/logging.h"
+
+namespace rav::metrics {
+
+namespace {
+
+// Fixed shard capacity: a counter consumes one slot, a histogram
+// 2 + kHistogramBuckets slots. The cap exists so shards never grow (growth
+// would need a lock on the write path); hitting it is a programming error.
+constexpr int kMaxSlots = 4096;
+constexpr int kMaxGauges = 256;
+
+// The atomic cells one thread writes. Fixed-size, so the hot path is
+// `cells[slot].fetch_add` with no lock and no reallocation hazard.
+struct Shard {
+  std::atomic<uint64_t> cells[kMaxSlots] = {};
+};
+
+struct MetricInfo {
+  MetricKind kind;
+  int slot = -1;   // first shard slot (counters, histograms)
+  int index = -1;  // gauge / histogram ordinal
+};
+
+// Min/max cannot live in additive shards; one global atomic pair per
+// histogram, updated by relaxed CAS (contention is bounded by the number
+// of histogram call sites actually racing).
+struct HistogramExtrema {
+  std::atomic<uint64_t> min{UINT64_MAX};
+  std::atomic<uint64_t> max{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, MetricInfo, std::less<>> metrics;
+  int next_slot = 0;
+  std::vector<Shard*> live_shards;
+  // Totals of threads that have exited, folded per slot.
+  uint64_t retired[kMaxSlots] = {};
+  std::deque<std::atomic<int64_t>> gauges;
+  std::deque<HistogramExtrema> extrema;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives exiting threads
+  return *r;
+}
+
+// Thread-local shard, registered on first use and retired (folded into
+// Registry::retired) when the thread exits.
+struct ShardHandle {
+  Shard* shard;
+  ShardHandle() : shard(new Shard()) {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.live_shards.push_back(shard);
+  }
+  ~ShardHandle() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (int s = 0; s < kMaxSlots; ++s) {
+      r.retired[s] += shard->cells[s].load(std::memory_order_relaxed);
+    }
+    r.live_shards.erase(
+        std::find(r.live_shards.begin(), r.live_shards.end(), shard));
+    delete shard;
+  }
+};
+
+Shard& LocalShard() {
+  thread_local ShardHandle handle;
+  return *handle.shard;
+}
+
+MetricInfo& Register(std::string_view name, MetricKind kind, int slots) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.metrics.find(name);
+  if (it != r.metrics.end()) {
+    RAV_CHECK(it->second.kind == kind);  // one kind per name
+    return it->second;
+  }
+  MetricInfo info;
+  info.kind = kind;
+  if (slots > 0) {
+    RAV_CHECK_LE(r.next_slot + slots, kMaxSlots);
+    info.slot = r.next_slot;
+    r.next_slot += slots;
+  }
+  switch (kind) {
+    case MetricKind::kCounter:
+      break;
+    case MetricKind::kGauge:
+      RAV_CHECK_LT(static_cast<int>(r.gauges.size()), kMaxGauges);
+      info.index = static_cast<int>(r.gauges.size());
+      r.gauges.emplace_back(0);
+      break;
+    case MetricKind::kHistogram:
+      info.index = static_cast<int>(r.extrema.size());
+      r.extrema.emplace_back();
+      break;
+  }
+  return r.metrics.emplace(std::string(name), info).first->second;
+}
+
+int BucketOf(uint64_t value) {
+  // 0 -> bucket 0; otherwise floor(log2(v)) + 1, clamped.
+  int b = std::bit_width(value);
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+void UpdateExtrema(HistogramExtrema& e, uint64_t value) {
+  uint64_t seen = e.min.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !e.min.compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+  }
+  seen = e.max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !e.max.compare_exchange_weak(seen, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+// Sum of one slot across live shards and retired totals. Caller holds
+// the registry mutex.
+uint64_t SumSlot(const Registry& r, int slot) {
+  uint64_t total = r.retired[slot];
+  for (const Shard* shard : r.live_shards) {
+    total += shard->cells[slot].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void Counter::Add(uint64_t n) {
+  LocalShard().cells[slot_].fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::Set(int64_t value) {
+  Registry& r = registry();
+  r.gauges[index_].store(value, std::memory_order_relaxed);
+}
+
+void Histogram::Record(uint64_t value) {
+  Shard& shard = LocalShard();
+  // Layout: [count, sum, bucket 0 .. bucket N-1].
+  shard.cells[base_slot_].fetch_add(1, std::memory_order_relaxed);
+  shard.cells[base_slot_ + 1].fetch_add(value, std::memory_order_relaxed);
+  shard.cells[base_slot_ + 2 + BucketOf(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  UpdateExtrema(registry().extrema[index_], value);
+}
+
+Counter& GetCounter(std::string_view name) {
+  MetricInfo& info = Register(name, MetricKind::kCounter, 1);
+  // Handles are tiny and immutable; leak one per distinct call site name.
+  return *new Counter(info.slot);
+}
+
+Gauge& GetGauge(std::string_view name) {
+  MetricInfo& info = Register(name, MetricKind::kGauge, 0);
+  return *new Gauge(info.index);
+}
+
+Histogram& GetHistogram(std::string_view name) {
+  MetricInfo& info =
+      Register(name, MetricKind::kHistogram, 2 + kHistogramBuckets);
+  return *new Histogram(info.index, info.slot);
+}
+
+std::vector<MetricSnapshot> Snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<MetricSnapshot> out;
+  out.reserve(r.metrics.size());
+  for (const auto& [name, info] : r.metrics) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.kind = info.kind;
+    switch (info.kind) {
+      case MetricKind::kCounter:
+        snap.value = SumSlot(r, info.slot);
+        break;
+      case MetricKind::kGauge:
+        snap.value = static_cast<uint64_t>(
+            r.gauges[info.index].load(std::memory_order_relaxed));
+        break;
+      case MetricKind::kHistogram: {
+        snap.histogram.count = SumSlot(r, info.slot);
+        snap.histogram.sum = SumSlot(r, info.slot + 1);
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          snap.histogram.buckets[b] = SumSlot(r, info.slot + 2 + b);
+        }
+        if (snap.histogram.count > 0) {
+          snap.histogram.min =
+              r.extrema[info.index].min.load(std::memory_order_relaxed);
+          snap.histogram.max =
+              r.extrema[info.index].max.load(std::memory_order_relaxed);
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+void ResetForTest() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (int s = 0; s < kMaxSlots; ++s) r.retired[s] = 0;
+  for (Shard* shard : r.live_shards) {
+    for (int s = 0; s < kMaxSlots; ++s) {
+      shard->cells[s].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& g : r.gauges) g.store(0, std::memory_order_relaxed);
+  for (auto& e : r.extrema) {
+    e.min.store(UINT64_MAX, std::memory_order_relaxed);
+    e.max.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace rav::metrics
+
+#endif  // !RAV_NO_METRICS

@@ -1,0 +1,181 @@
+#ifndef RAV_BASE_METRICS_H_
+#define RAV_BASE_METRICS_H_
+
+// Process-wide named metrics: counters, gauges, and power-of-two
+// histograms, shared by every decision procedure, benchmark, and the CLI.
+//
+// Naming convention (docs/observability.md): `layer/procedure/quantity`,
+// e.g. "era/search/lassos_checked" or "projection/lr_bounded/covers".
+//
+// Write path: each thread owns a fixed-size shard of atomic cells; an
+// increment is one relaxed fetch_add on the caller's own shard — no lock,
+// no cross-thread cache-line contention. Readers (Snapshot) take the
+// registry mutex, walk the live shards plus the totals retired by exited
+// threads, and sum with relaxed loads; totals are exact once the writing
+// threads have been joined (the benchmarks and tests always join first).
+//
+// Defining RAV_NO_METRICS compiles the whole layer — handles, macros, and
+// snapshots — down to no-ops with zero code in the hot paths; see the
+// `rav_no_metrics_smoke` test target.
+//
+// Use the macros for instrumentation points (the handle lookup happens
+// once per call site):
+//
+//   RAV_METRIC_COUNT("era/search/lassos_checked", 1);
+//   RAV_METRIC_SET("era/search/workers", num_workers);
+//   RAV_METRIC_RECORD("era/closure/nodes", closure.num_nodes());
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rav::metrics {
+
+enum class MetricKind { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+// Stable name ("counter", "gauge", "histogram").
+const char* MetricKindName(MetricKind kind);
+
+// Histograms bucket by bit width: bucket 0 holds the value 0, bucket b
+// holds values in [2^(b-1), 2^b).
+inline constexpr int kHistogramBuckets = 33;
+
+struct HistogramData {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // meaningful iff count > 0
+  uint64_t max = 0;
+  uint64_t buckets[kHistogramBuckets] = {};
+};
+
+// One metric's merged-on-read view.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  // Counters: the total. Gauges: the last value set (bit cast of int64).
+  uint64_t value = 0;
+  HistogramData histogram;  // histograms only
+};
+
+#ifdef RAV_NO_METRICS
+
+class Counter {
+ public:
+  void Add(uint64_t = 1) {}
+};
+class Gauge {
+ public:
+  void Set(int64_t) {}
+};
+class Histogram {
+ public:
+  void Record(uint64_t) {}
+};
+
+inline Counter& GetCounter(std::string_view) {
+  static Counter counter;
+  return counter;
+}
+inline Gauge& GetGauge(std::string_view) {
+  static Gauge gauge;
+  return gauge;
+}
+inline Histogram& GetHistogram(std::string_view) {
+  static Histogram histogram;
+  return histogram;
+}
+inline std::vector<MetricSnapshot> Snapshot() { return {}; }
+inline void ResetForTest() {}
+
+#else  // !RAV_NO_METRICS
+
+// A counter handle. Cheap to copy around; Add is one relaxed fetch_add on
+// the calling thread's shard cell.
+class Counter {
+ public:
+  void Add(uint64_t n = 1);
+
+ private:
+  friend Counter& GetCounter(std::string_view);
+  explicit Counter(int slot) : slot_(slot) {}
+  int slot_;
+};
+
+// Last-writer-wins gauge (a single process-global atomic per gauge).
+class Gauge {
+ public:
+  void Set(int64_t value);
+
+ private:
+  friend Gauge& GetGauge(std::string_view);
+  explicit Gauge(int index) : index_(index) {}
+  int index_;
+};
+
+// Power-of-two histogram; Record is three shard increments plus two
+// relaxed CAS loops for min/max.
+class Histogram {
+ public:
+  void Record(uint64_t value);
+
+ private:
+  friend Histogram& GetHistogram(std::string_view);
+  Histogram(int index, int base_slot) : index_(index), base_slot_(base_slot) {}
+  int index_;
+  int base_slot_;
+};
+
+// Registers (or finds) the metric under `name`. Handles are stable for
+// the process lifetime; a call site should cache the reference (the
+// RAV_METRIC_* macros do) rather than re-resolve per operation. Names
+// must be used with one kind only — re-registering a name as a different
+// kind aborts.
+Counter& GetCounter(std::string_view name);
+Gauge& GetGauge(std::string_view name);
+Histogram& GetHistogram(std::string_view name);
+
+// Merged view of every registered metric, sorted by name.
+std::vector<MetricSnapshot> Snapshot();
+
+// Zeroes every metric (live shards, retired totals, gauges) without
+// invalidating handles. Tests only — racing writers are not torn, but the
+// reset is not atomic with respect to them.
+void ResetForTest();
+
+#endif  // RAV_NO_METRICS
+
+}  // namespace rav::metrics
+
+#ifdef RAV_NO_METRICS
+#define RAV_METRIC_COUNT(name, n) \
+  do {                            \
+  } while (0)
+#define RAV_METRIC_SET(name, v) \
+  do {                          \
+  } while (0)
+#define RAV_METRIC_RECORD(name, v) \
+  do {                             \
+  } while (0)
+#else
+#define RAV_METRIC_COUNT(name, n)                                       \
+  do {                                                                  \
+    static ::rav::metrics::Counter& rav_metric_counter_ =               \
+        ::rav::metrics::GetCounter(name);                               \
+    rav_metric_counter_.Add(static_cast<uint64_t>(n));                  \
+  } while (0)
+#define RAV_METRIC_SET(name, v)                                         \
+  do {                                                                  \
+    static ::rav::metrics::Gauge& rav_metric_gauge_ =                   \
+        ::rav::metrics::GetGauge(name);                                 \
+    rav_metric_gauge_.Set(static_cast<int64_t>(v));                     \
+  } while (0)
+#define RAV_METRIC_RECORD(name, v)                                      \
+  do {                                                                  \
+    static ::rav::metrics::Histogram& rav_metric_histogram_ =           \
+        ::rav::metrics::GetHistogram(name);                             \
+    rav_metric_histogram_.Record(static_cast<uint64_t>(v));             \
+  } while (0)
+#endif  // RAV_NO_METRICS
+
+#endif  // RAV_BASE_METRICS_H_

@@ -1,0 +1,135 @@
+#include "base/trace.h"
+
+#ifndef RAV_NO_METRICS
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+namespace rav::trace {
+
+namespace {
+
+struct SpanAgg {
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = UINT64_MAX;
+  uint64_t max_ns = 0;
+};
+
+// One per thread. The mutex is uncontended on the write path (only the
+// owning thread closes spans); readers take it briefly during Snapshot.
+struct ThreadSpans {
+  std::mutex mu;
+  std::map<std::string, SpanAgg> by_path;
+  std::string current_path;  // nesting prefix of the open spans
+};
+
+struct GlobalSpans {
+  std::mutex mu;
+  std::vector<ThreadSpans*> live;
+  std::map<std::string, SpanAgg> retired;
+};
+
+GlobalSpans& global() {
+  static GlobalSpans* g = new GlobalSpans();  // leaked: outlives threads
+  return *g;
+}
+
+void Merge(std::map<std::string, SpanAgg>& into,
+           const std::map<std::string, SpanAgg>& from) {
+  for (const auto& [path, agg] : from) {
+    SpanAgg& dst = into[path];
+    dst.count += agg.count;
+    dst.total_ns += agg.total_ns;
+    dst.min_ns = std::min(dst.min_ns, agg.min_ns);
+    dst.max_ns = std::max(dst.max_ns, agg.max_ns);
+  }
+}
+
+struct ThreadSpansHandle {
+  ThreadSpans* spans;
+  ThreadSpansHandle() : spans(new ThreadSpans()) {
+    GlobalSpans& g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    g.live.push_back(spans);
+  }
+  ~ThreadSpansHandle() {
+    GlobalSpans& g = global();
+    std::lock_guard<std::mutex> lock(g.mu);
+    Merge(g.retired, spans->by_path);
+    g.live.erase(std::find(g.live.begin(), g.live.end(), spans));
+    delete spans;
+  }
+};
+
+ThreadSpans& Local() {
+  thread_local ThreadSpansHandle handle;
+  return *handle.spans;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Span::Span(std::string_view name) {
+  ThreadSpans& t = Local();
+  parent_length_ = t.current_path.size();
+  if (!t.current_path.empty()) t.current_path += '/';
+  t.current_path += name;
+  start_ns_ = NowNs();
+}
+
+Span::~Span() {
+  const uint64_t elapsed = NowNs() - start_ns_;
+  ThreadSpans& t = Local();
+  {
+    std::lock_guard<std::mutex> lock(t.mu);
+    SpanAgg& agg = t.by_path[t.current_path];
+    ++agg.count;
+    agg.total_ns += elapsed;
+    agg.min_ns = std::min(agg.min_ns, elapsed);
+    agg.max_ns = std::max(agg.max_ns, elapsed);
+  }
+  t.current_path.resize(parent_length_);
+}
+
+std::vector<SpanSnapshot> Snapshot() {
+  GlobalSpans& g = global();
+  std::map<std::string, SpanAgg> merged;
+  {
+    std::lock_guard<std::mutex> lock(g.mu);
+    merged = g.retired;
+    for (ThreadSpans* t : g.live) {
+      std::lock_guard<std::mutex> tlock(t->mu);
+      Merge(merged, t->by_path);
+    }
+  }
+  std::vector<SpanSnapshot> out;
+  out.reserve(merged.size());
+  for (const auto& [path, agg] : merged) {
+    out.push_back(SpanSnapshot{path, agg.count, agg.total_ns, agg.min_ns,
+                               agg.max_ns});
+  }
+  return out;
+}
+
+void ResetForTest() {
+  GlobalSpans& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.retired.clear();
+  for (ThreadSpans* t : g.live) {
+    std::lock_guard<std::mutex> tlock(t->mu);
+    t->by_path.clear();
+  }
+}
+
+}  // namespace rav::trace
+
+#endif  // !RAV_NO_METRICS

@@ -1,0 +1,84 @@
+#ifndef RAV_BASE_TRACE_H_
+#define RAV_BASE_TRACE_H_
+
+// RAII phase spans with monotonic-clock timings and parent/child nesting,
+// the companion of base/metrics.h (same RAV_NO_METRICS kill switch, same
+// merged-on-read model).
+//
+//   {
+//     RAV_TRACE_SPAN("era/emptiness");
+//     ...
+//     {
+//       RAV_TRACE_SPAN("pump");   // aggregated as "era/emptiness/pump"
+//       ...
+//     }
+//   }
+//
+// A span's full path is its enclosing spans' path joined with '/', so the
+// aggregated snapshot is a tree keyed by path. Nesting is per thread
+// (thread-local span stack); spans opened on worker threads start a fresh
+// root there. Timings use std::chrono::steady_clock.
+//
+// Spans are aggregated, not logged: each (path) keeps count / total /
+// min / max nanoseconds, so a span inside a loop costs two clock reads
+// and one small map update, and snapshots are bounded by the number of
+// distinct paths, not the number of executions.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rav::trace {
+
+struct SpanSnapshot {
+  std::string path;  // slash-joined nesting path
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+#ifdef RAV_NO_METRICS
+
+class Span {
+ public:
+  explicit Span(std::string_view) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+inline std::vector<SpanSnapshot> Snapshot() { return {}; }
+inline void ResetForTest() {}
+
+#else  // !RAV_NO_METRICS
+
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  size_t parent_length_;  // length of the enclosing path, restored on exit
+  uint64_t start_ns_;
+};
+
+// Merged view across all threads (live and exited), sorted by path.
+std::vector<SpanSnapshot> Snapshot();
+
+// Clears all aggregated spans. Tests only; open spans still accumulate
+// into the cleared store when they close.
+void ResetForTest();
+
+#endif  // RAV_NO_METRICS
+
+}  // namespace rav::trace
+
+#define RAV_TRACE_CONCAT_INNER(a, b) a##b
+#define RAV_TRACE_CONCAT(a, b) RAV_TRACE_CONCAT_INNER(a, b)
+#define RAV_TRACE_SPAN(name) \
+  ::rav::trace::Span RAV_TRACE_CONCAT(rav_trace_span_, __COUNTER__)(name)
+
+#endif  // RAV_BASE_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "projection/lemma21.h"
 #include "ra/transform.h"
 
@@ -83,6 +85,8 @@ Dfa AnchoredFactorDfa(int num_states, const std::vector<bool>& first,
 Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
     const RegisterAutomaton& automaton, int m, Theorem24Stats* stats,
     const Theorem24Options& options) {
+  RAV_TRACE_SPAN("enhanced/theorem24");
+  RAV_METRIC_COUNT("enhanced/theorem24/projections", 1);
   const int k = automaton.num_registers();
   if (m < 0 || m > k) {
     return Status::InvalidArgument("ProjectWithHiddenDatabase: bad m");
@@ -323,6 +327,14 @@ Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
     }
   }
 
+  RAV_METRIC_COUNT("enhanced/theorem24/equality_constraints",
+                   local_stats.num_equality_constraints);
+  RAV_METRIC_COUNT("enhanced/theorem24/tuple_constraints",
+                   local_stats.num_tuple_constraints);
+  RAV_METRIC_COUNT("enhanced/theorem24/finiteness_constraints",
+                   local_stats.num_finiteness_constraints);
+  RAV_METRIC_COUNT("enhanced/theorem24/skipped_literal_pairs",
+                   local_stats.skipped_literal_pairs);
   if (stats != nullptr) *stats = local_stats;
   return enhanced;
 }

@@ -4,6 +4,8 @@
 #include <functional>
 #include <set>
 
+#include "base/metrics.h"
+
 namespace rav {
 
 ConstraintClosure::ConstraintClosure(const ExtendedAutomaton& era,
@@ -113,6 +115,12 @@ ConstraintClosure::ConstraintClosure(const ExtendedAutomaton& era,
     edges.emplace(std::min(ca, cb), std::max(ca, cb));
   }
   ineq_edges_.assign(edges.begin(), edges.end());
+
+  RAV_METRIC_COUNT("era/closure/built", 1);
+  RAV_METRIC_RECORD("era/closure/nodes", num_nodes());
+  RAV_METRIC_RECORD("era/closure/classes", num_classes_);
+  RAV_METRIC_RECORD("era/closure/ineq_edges", ineq_edges_.size());
+  if (!consistent_) RAV_METRIC_COUNT("era/closure/inconsistent", 1);
 }
 
 int ConstraintClosure::ClassOf(int node) const {

@@ -3,6 +3,8 @@
 #include <functional>
 #include <map>
 
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "era/run_check.h"
 #include "ra/run.h"
 
@@ -144,7 +146,13 @@ Result<EraEmptinessResult> CheckEraEmptiness(
     return Status::FailedPrecondition(
         "CheckEraEmptiness: automaton must be complete (use Completed())");
   }
-  Nba scontrol = BuildSControlNba(automaton, alphabet);
+  RAV_TRACE_SPAN("era/emptiness");
+  Nba scontrol = [&] {
+    RAV_TRACE_SPAN("scontrol");
+    Nba nba = BuildSControlNba(automaton, alphabet);
+    RAV_METRIC_RECORD("era/emptiness/scontrol_states", nba.num_states());
+    return nba;
+  }();
   return SearchConsistentLasso(era, alphabet, scontrol, options);
 }
 
@@ -178,13 +186,18 @@ EraEmptinessResult SearchConsistentLasso(const ExtendedAutomaton& era,
       int clique_wider = wider.AdomCliqueNumber(options.clique_max_nodes);
       if (clique_now >= 0 && clique_wider >= 0 &&
           clique_wider > clique_now) {
+        RAV_METRIC_COUNT("era/emptiness/clique_rejections", 1);
         return LassoVerdict::kReject;
       }
     }
     // Validate by realizing a concrete witness on the window.
     ++counters.closures_built;
     Result<RunWitness> witness = RealizeEraWitness(era, alphabet, lasso, window);
-    if (!witness.ok()) return LassoVerdict::kReject;
+    if (!witness.ok()) {
+      RAV_METRIC_COUNT("era/emptiness/witness_rejections", 1);
+      return LassoVerdict::kReject;
+    }
+    RAV_METRIC_COUNT("era/emptiness/witnesses_realized", 1);
     return LassoVerdict::kWitness;
   };
 

@@ -3,6 +3,8 @@
 #include <map>
 #include <queue>
 
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "ltl/tableau.h"
 #include "ra/transform.h"
 
@@ -150,10 +152,15 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
                                        const LtlFoProperty& property,
                                        const VerificationOptions& options) {
   (void)options.max_completed_transitions;
+  RAV_TRACE_SPAN("era/ltlfo");
+  RAV_METRIC_COUNT("era/ltlfo/verifications", 1);
   // 1. Refine the automaton so each control symbol decides every
   //    proposition (targeted splitting instead of full completion).
-  RAV_ASSIGN_OR_RETURN(ExtendedAutomaton refined,
-                       RefineForPropositions(era, property.propositions));
+  Result<ExtendedAutomaton> refined_result = [&] {
+    RAV_TRACE_SPAN("refine");
+    return RefineForPropositions(era, property.propositions);
+  }();
+  RAV_ASSIGN_OR_RETURN(ExtendedAutomaton refined, std::move(refined_result));
   const ExtendedAutomaton* subject = &refined;
   const RegisterAutomaton& a = subject->automaton();
   ControlAlphabet alphabet(a);
@@ -176,49 +183,58 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
   }
 
   // 3. Büchi automaton of ¬φ over AP valuations.
-  RAV_ASSIGN_OR_RETURN(
-      LtlAutomaton neg,
-      LtlToNba(LtlFormula::Not(property.formula), num_props));
+  Result<LtlAutomaton> neg_result = [&] {
+    RAV_TRACE_SPAN("tableau");
+    return LtlToNba(LtlFormula::Not(property.formula), num_props);
+  }();
+  RAV_ASSIGN_OR_RETURN(LtlAutomaton neg, std::move(neg_result));
+  RAV_METRIC_RECORD("era/ltlfo/nba_states", neg.nba.num_states());
 
   // 4. Product with SControl over the control alphabet.
-  Nba scontrol = BuildSControlNba(a, alphabet);
-  GeneralizedNba product(alphabet.size(), 2);
-  std::map<std::pair<int, int>, int> ids;
-  std::vector<std::pair<int, int>> pairs;
-  std::queue<int> work;
-  auto intern = [&](int sc, int lt) {
-    auto key = std::make_pair(sc, lt);
-    auto it = ids.find(key);
-    if (it != ids.end()) return it->second;
-    int id = product.AddState();
-    ids.emplace(key, id);
-    pairs.push_back(key);
-    if (scontrol.IsAccepting(sc)) product.AddToAcceptSet(0, id);
-    if (neg.nba.IsAccepting(lt)) product.AddToAcceptSet(1, id);
-    work.push(id);
-    return id;
-  };
-  for (int sc : scontrol.initial()) {
-    for (int lt : neg.nba.initial()) {
-      product.SetInitial(intern(sc, lt));
-    }
-  }
-  while (!work.empty()) {
-    int id = work.front();
-    work.pop();
-    auto [sc, lt] = pairs[id];
-    for (const auto& [symbol, sc2] : scontrol.TransitionsFrom(sc)) {
-      for (const auto& [ap, lt2] : neg.nba.TransitionsFrom(lt)) {
-        if (static_cast<uint32_t>(ap) != ap_mask[symbol]) continue;
-        product.AddTransition(id, symbol, intern(sc2, lt2));
+  Nba product_nba = [&] {
+    RAV_TRACE_SPAN("product");
+    Nba scontrol = BuildSControlNba(a, alphabet);
+    GeneralizedNba product(alphabet.size(), 2);
+    std::map<std::pair<int, int>, int> ids;
+    std::vector<std::pair<int, int>> pairs;
+    std::queue<int> work;
+    auto intern = [&](int sc, int lt) {
+      auto key = std::make_pair(sc, lt);
+      auto it = ids.find(key);
+      if (it != ids.end()) return it->second;
+      int id = product.AddState();
+      ids.emplace(key, id);
+      pairs.push_back(key);
+      if (scontrol.IsAccepting(sc)) product.AddToAcceptSet(0, id);
+      if (neg.nba.IsAccepting(lt)) product.AddToAcceptSet(1, id);
+      work.push(id);
+      return id;
+    };
+    for (int sc : scontrol.initial()) {
+      for (int lt : neg.nba.initial()) {
+        product.SetInitial(intern(sc, lt));
       }
     }
-  }
-  Nba product_nba = product.Degeneralize();
+    while (!work.empty()) {
+      int id = work.front();
+      work.pop();
+      auto [sc, lt] = pairs[id];
+      for (const auto& [symbol, sc2] : scontrol.TransitionsFrom(sc)) {
+        for (const auto& [ap, lt2] : neg.nba.TransitionsFrom(lt)) {
+          if (static_cast<uint32_t>(ap) != ap_mask[symbol]) continue;
+          product.AddTransition(id, symbol, intern(sc2, lt2));
+        }
+      }
+    }
+    return product.Degeneralize();
+  }();
+  RAV_METRIC_RECORD("era/ltlfo/product_states", product_nba.num_states());
 
   // 5. Search for a constraint-consistent counterexample lasso.
   EraEmptinessResult search = SearchConsistentLasso(
       *subject, alphabet, product_nba, options.emptiness);
+
+  if (search.nonempty) RAV_METRIC_COUNT("era/ltlfo/counterexamples", 1);
 
   VerificationResult out;
   out.holds = !search.nonempty;

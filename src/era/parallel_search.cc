@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "base/metrics.h"
+#include "base/trace.h"
+
 namespace rav {
 
 namespace {
@@ -35,8 +38,17 @@ SearchStopReason FromEnumStop(LassoEnumStop stop) {
 struct WorkerTally {
   size_t checked = 0;
   size_t inconsistent = 0;
+  size_t cancelled = 0;
+  uint64_t busy_ns = 0;  // time spent inside the evaluator
   LassoWorkerCounters counters;
 };
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Evaluates candidates inline on the calling thread, in enumeration
 // order — the serial reference path (num_workers <= 1).
@@ -99,9 +111,14 @@ void WorkerLoop(SharedState& shared, const LassoEvaluator& evaluate,
       cancelled = candidate.index > shared.best_index;
       shared.space_ready.notify_one();
     }
-    if (cancelled) continue;
+    if (cancelled) {
+      ++tally.cancelled;
+      continue;
+    }
     ++tally.checked;
+    const uint64_t eval_start = NowNs();
     LassoVerdict verdict = evaluate(candidate, tally.counters);
+    tally.busy_ns += NowNs() - eval_start;
     if (verdict == LassoVerdict::kInconsistent) ++tally.inconsistent;
     if (verdict == LassoVerdict::kWitness) {
       std::lock_guard<std::mutex> lock(shared.mu);
@@ -119,6 +136,7 @@ LassoSearchOutcome SearchParallel(const Nba& nba,
                                   const LassoSearchOptions& options,
                                   const LassoEvaluator& evaluate,
                                   int num_workers) {
+  const uint64_t pool_start_ns = NowNs();
   SharedState shared;
   const size_t batch = options.batch_size > 0 ? options.batch_size : 16;
   const size_t capacity = batch * static_cast<size_t>(num_workers) * 2;
@@ -159,6 +177,7 @@ LassoSearchOutcome SearchParallel(const Nba& nba,
       break;
     }
     for (LassoCandidate& c : staged) shared.queue.push_back(std::move(c));
+    RAV_METRIC_RECORD("era/search/queue_depth", shared.queue.size());
     shared.work_ready.notify_all();
   }
   {
@@ -173,10 +192,18 @@ LassoSearchOutcome SearchParallel(const Nba& nba,
     outcome.witness =
         LassoCandidate{shared.best_index, std::move(shared.best_word)};
   }
+  const uint64_t pool_ns = NowNs() - pool_start_ns;
   for (const WorkerTally& tally : tallies) {
     outcome.stats.lassos_checked += tally.checked;
     outcome.stats.inconsistent_closures += tally.inconsistent;
     outcome.stats.closures_built += tally.counters.closures_built;
+    RAV_METRIC_COUNT("era/search/candidates_cancelled", tally.cancelled);
+    RAV_METRIC_COUNT("era/search/worker_busy_ns", tally.busy_ns);
+    // Fraction of the pool's lifetime each worker spent evaluating.
+    if (pool_ns > 0) {
+      RAV_METRIC_RECORD("era/search/worker_utilization_pct",
+                        tally.busy_ns * 100 / pool_ns);
+    }
   }
   outcome.stats.lassos_enumerated = enumerator.delivered();
   outcome.stats.enumeration_steps = enumerator.steps();
@@ -219,6 +246,7 @@ std::string SearchStats::ToString() const {
 LassoSearchOutcome SearchLassos(const Nba& nba,
                                 const LassoSearchOptions& options,
                                 const LassoEvaluator& evaluate) {
+  RAV_TRACE_SPAN("era/search");
   const auto start = std::chrono::steady_clock::now();
   int num_workers = options.num_workers;
   if (num_workers == 0) {
@@ -230,6 +258,18 @@ LassoSearchOutcome SearchLassos(const Nba& nba,
   outcome.stats.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  RAV_METRIC_COUNT("era/search/searches", 1);
+  RAV_METRIC_COUNT("era/search/lassos_enumerated",
+                   outcome.stats.lassos_enumerated);
+  RAV_METRIC_COUNT("era/search/lassos_checked", outcome.stats.lassos_checked);
+  RAV_METRIC_COUNT("era/search/enumeration_steps",
+                   outcome.stats.enumeration_steps);
+  RAV_METRIC_COUNT("era/search/inconsistent_closures",
+                   outcome.stats.inconsistent_closures);
+  if (outcome.witness.has_value()) {
+    RAV_METRIC_COUNT("era/search/witnesses_found", 1);
+  }
+  RAV_METRIC_SET("era/search/last_workers", outcome.stats.workers);
   return outcome;
 }
 

@@ -5,6 +5,9 @@
 #include <tuple>
 #include <vector>
 
+#include "base/metrics.h"
+#include "base/trace.h"
+
 namespace rav {
 
 namespace {
@@ -24,6 +27,8 @@ struct Wavefront {
 
 Result<PropagationAutomata> PropagationAutomata::Build(
     const RegisterAutomaton& a) {
+  RAV_TRACE_SPAN("projection/lemma21");
+  RAV_METRIC_COUNT("projection/lemma21/builds", 1);
   // Note: a non-empty relational signature is allowed — the propagation
   // only consults equality literals. (Lemma 21 is stated for automata
   // without a database; Theorem 24 reuses the same equality expressions
@@ -157,8 +162,14 @@ Result<PropagationAutomata> PropagationAutomata::Build(
       }
       out.eq_dfas_.push_back(eq.Minimize());
       out.neq_dfas_.push_back(neq.Minimize());
+      RAV_METRIC_RECORD("projection/lemma21/minimized_states",
+                        out.eq_dfas_.back().num_states());
+      RAV_METRIC_RECORD("projection/lemma21/minimized_states",
+                        out.neq_dfas_.back().num_states());
     }
   }
+  RAV_METRIC_RECORD("projection/lemma21/raw_subset_states",
+                    out.raw_states_per_source_);
   return out;
 }
 

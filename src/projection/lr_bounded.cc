@@ -4,6 +4,9 @@
 #include <map>
 #include <mutex>
 
+#include "base/metrics.h"
+#include "base/trace.h"
+
 namespace rav {
 
 namespace {
@@ -56,6 +59,7 @@ int BipartiteMinVertexCover(int n_left, int n_right,
 int MaxCutVertexCover(const ExtendedAutomaton& era,
                       const ControlAlphabet& alphabet, const LassoWord& lasso,
                       size_t window) {
+  RAV_METRIC_COUNT("projection/lr_bounded/cover_computations", 1);
   const int k = era.automaton().num_registers();
   ConstraintClosure closure(era, alphabet, lasso, window);
   if (!closure.consistent()) return -1;
@@ -120,6 +124,8 @@ int MaxCutVertexCover(const ExtendedAutomaton& era,
 Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
                                       const ControlAlphabet& alphabet,
                                       const LrBoundOptions& options) {
+  RAV_TRACE_SPAN("projection/lr_bounded");
+  RAV_METRIC_COUNT("projection/lr_bounded/estimations", 1);
   if (era.automaton().schema().num_relations() > 0) {
     return Status::InvalidArgument(
         "EstimateLrBound: LR-boundedness is defined for automata without a "
@@ -169,6 +175,11 @@ Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
   search_options.batch_size = options.batch_size;
   LassoSearchOutcome outcome =
       SearchLassos(scontrol, search_options, evaluate);
+
+  RAV_METRIC_RECORD("projection/lr_bounded/max_cover", max_cover);
+  if (growth_detected) {
+    RAV_METRIC_COUNT("projection/lr_bounded/growth_detected", 1);
+  }
 
   LrBoundResult result;
   result.max_cover = max_cover;

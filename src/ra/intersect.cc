@@ -4,6 +4,8 @@
 #include <queue>
 #include <tuple>
 
+#include "base/metrics.h"
+
 namespace rav {
 
 Result<RegisterAutomaton> IntersectWithStateNba(
@@ -67,6 +69,8 @@ Result<RegisterAutomaton> IntersectWithStateNba(
       }
     }
   }
+  RAV_METRIC_COUNT("ra/intersect/products", 1);
+  RAV_METRIC_RECORD("ra/intersect/product_states", out.num_states());
   return out;
 }
 

@@ -1,0 +1,31 @@
+// Compiled with RAV_NO_METRICS (see tests/CMakeLists.txt): proves the
+// observability headers are self-contained no-op stubs under the kill
+// switch — every macro and API compiles, snapshots are empty, and the TU
+// links without the metrics/trace implementation (their .cc bodies are
+// compiled out entirely).
+
+#ifndef RAV_NO_METRICS
+#error "this smoke test must be compiled with -DRAV_NO_METRICS"
+#endif
+
+#include <cstdio>
+
+#include "base/metrics.h"
+#include "base/trace.h"
+
+int main() {
+  RAV_METRIC_COUNT("smoke/counter", 1);
+  RAV_METRIC_SET("smoke/gauge", 42);
+  RAV_METRIC_RECORD("smoke/histogram", 7);
+  rav::metrics::GetCounter("smoke/handle").Add(3);
+  {
+    RAV_TRACE_SPAN("smoke/outer");
+    RAV_TRACE_SPAN("inner");
+  }
+  if (!rav::metrics::Snapshot().empty() || !rav::trace::Snapshot().empty()) {
+    std::fprintf(stderr, "no-op build produced metrics\n");
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}

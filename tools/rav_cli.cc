@@ -16,7 +16,14 @@
 //                                       etc. interpreting proposition pN.
 //
 // Automaton files use the text format of io/text_format.h.
+//
+// Every command also accepts `--report <file>` (anywhere on the line):
+// the run's verdict, process metrics, and trace spans are written as a
+// JSON run report with the schema of base/report.h — the same schema the
+// bench binaries emit, so tools/report_merge can combine CLI runs and
+// benchmark runs into one file. See docs/observability.md.
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <random>
@@ -24,6 +31,7 @@
 #include <string>
 
 #include "base/numbers.h"
+#include "base/report.h"
 #include "era/emptiness.h"
 #include "era/ltlfo.h"
 #include "io/text_format.h"
@@ -34,6 +42,10 @@
 
 namespace rav {
 namespace {
+
+// Commands overwrite this with their domain verdict ("NONEMPTY",
+// "HOLDS", ...) for the `--report` JSON; it defaults from the exit code.
+std::string g_verdict;
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "rav_cli: %s\n", message.c_str());
@@ -154,12 +166,15 @@ int CmdEmpty(const ExtendedAutomaton& era,
   auto result = CheckEraEmptiness(subject, alphabet, options);
   if (!result.ok()) return Fail(result.status().ToString());
   if (result->nonempty) {
+    g_verdict = "NONEMPTY";
     std::printf("NONEMPTY — witness control lasso: %s\n",
                 result->control_word.ToString().c_str());
   } else if (result->search_truncated) {
+    g_verdict = "EMPTY (search truncated, not definitive)";
     std::printf("EMPTY within search bound (stopped: %s) — not definitive\n",
                 SearchStopReasonName(result->stats.stop_reason));
   } else {
+    g_verdict = "EMPTY";
     std::printf("EMPTY (search space exhausted)\n");
   }
   std::printf("search: %s\n", result->stats.ToString().c_str());
@@ -177,6 +192,8 @@ int CmdLrBound(const ExtendedAutomaton& era) {
   ControlAlphabet alphabet(era.automaton());
   auto bound = EstimateLrBound(era, alphabet);
   if (!bound.ok()) return Fail(bound.status().ToString());
+  g_verdict = bound->growth_detected ? "growth detected (not LR-bounded)"
+                                     : "no growth detected";
   std::printf("max vertex cover (sampled): %d\n", bound->max_cover);
   std::printf("growth detected:            %s\n",
               bound->growth_detected ? "yes (evidence of NOT LR-bounded)"
@@ -230,25 +247,32 @@ int CmdVerify(const ExtendedAutomaton& era, const std::string& ltl_text,
   if (!result.ok()) return Fail(result.status().ToString());
   if (result->holds) {
     if (result->search_truncated) {
+      g_verdict = "HOLDS (search truncated, not definitive)";
       std::printf(
           "HOLDS within search bound (stopped: %s) — not definitive\n",
           SearchStopReasonName(result->search_stats.stop_reason));
     } else {
+      g_verdict = "HOLDS";
       std::printf("HOLDS\n");
     }
   } else {
+    g_verdict = "FAILS";
     std::printf("FAILS — counterexample control lasso: %s\n",
                 result->counterexample->ToString().c_str());
   }
   return 0;
 }
 
-int Main(int argc, char** argv) {
+int RunCommand(const std::vector<std::string>& args) {
+  const int argc = static_cast<int>(args.size());
+  std::vector<const char*> ptrs;
+  for (const std::string& a : args) ptrs.push_back(a.c_str());
+  const char* const* argv = ptrs.data();
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: rav_cli "
                  "<info|print|dot|empty|project|lrbound|simulate|verify> "
-                 "<file> [args...]\n");
+                 "<file> [args...] [--report <json>]\n");
     return 2;
   }
   std::string command = argv[1];
@@ -307,6 +331,57 @@ int Main(int argc, char** argv) {
     return CmdVerify(*era, argv[3], props);
   }
   return Fail("unknown command '" + command + "'");
+}
+
+int Main(int argc, char** argv) {
+  // Strip --report <file> / --report=<file> before command parsing so the
+  // flag works uniformly across commands and positions.
+  std::string report_path;
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+      continue;
+    }
+    args.push_back(std::move(arg));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  int exit_code = RunCommand(args);
+  if (report_path.empty()) return exit_code;
+
+  RunReport report;
+  report.experiment = "cli/" + (args.size() > 1 ? args[1] : std::string("?"));
+  report.claim = "rav_cli invocation (docs/observability.md)";
+  report.params.Set("command",
+                    Json::String(args.size() > 1 ? args[1] : ""));
+  report.params.Set("file", Json::String(args.size() > 2 ? args[2] : ""));
+  Json extra = Json::Array();
+  for (size_t i = 3; i < args.size(); ++i) {
+    extra.Append(Json::String(args[i]));
+  }
+  report.params.Set("args", std::move(extra));
+  report.params.Set("exit_code", Json::Number(exit_code));
+  Json metrics = Json::Object();
+  metrics.Set("process", CaptureProcessMetrics());
+  report.metrics = std::move(metrics);
+  report.spans = CaptureSpans();
+  report.verdict =
+      !g_verdict.empty() ? g_verdict : (exit_code == 0 ? "ok" : "error");
+  report.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  Status written = WriteReportFile(report_path, report);
+  if (!written.ok()) {
+    std::fprintf(stderr, "--report: %s\n", written.ToString().c_str());
+    return exit_code != 0 ? exit_code : 1;
+  }
+  return exit_code;
 }
 
 }  // namespace

@@ -1,0 +1,89 @@
+// report_merge — combines per-run JSON reports into one results file.
+//
+// Usage:
+//   report_merge <output.json> <input.json>...
+//
+// Each input must be a run report with the schema of base/report.h (the
+// files written by `bench_* --report` and `rav_cli ... --report`). Every
+// input is validated against kReportRequiredKeys; any schema violation is
+// reported with its file name and the merge fails without writing output.
+// The output is `{"schema_version": 1, "reports": [...]}` with the inputs
+// in command-line order — this is how BENCH_RESULTS.json is produced (see
+// docs/observability.md and tools/run_ci.sh).
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/report.h"
+
+namespace rav {
+namespace {
+
+int Main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: report_merge <output.json> <input.json>...\n");
+    return 2;
+  }
+
+  Json merged = Json::Object();
+  merged.Set("schema_version", Json::Number(1));
+  Json reports = Json::Array();
+  int bad_inputs = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "report_merge: cannot open %s\n", path.c_str());
+      ++bad_inputs;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Result<Json> parsed = Json::Parse(buffer.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "report_merge: %s: %s\n", path.c_str(),
+                   parsed.status().ToString().c_str());
+      ++bad_inputs;
+      continue;
+    }
+    Status valid = ValidateReportJson(*parsed);
+    if (!valid.ok()) {
+      std::fprintf(stderr, "report_merge: %s: %s\n", path.c_str(),
+                   valid.ToString().c_str());
+      ++bad_inputs;
+      continue;
+    }
+    Json entry = std::move(parsed).value();
+    entry.Set("source_file", Json::String(path));
+    reports.Append(std::move(entry));
+  }
+  if (bad_inputs > 0) {
+    std::fprintf(stderr, "report_merge: %d invalid input(s), not writing %s\n",
+                 bad_inputs, argv[1]);
+    return 1;
+  }
+  merged.Set("reports", std::move(reports));
+
+  std::ofstream out(argv[1]);
+  if (!out) {
+    std::fprintf(stderr, "report_merge: cannot write %s\n", argv[1]);
+    return 1;
+  }
+  out << merged.Dump(2) << "\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "report_merge: write to %s failed\n", argv[1]);
+    return 1;
+  }
+  std::printf("report_merge: wrote %zu report(s) to %s\n",
+              static_cast<size_t>(argc - 2), argv[1]);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rav
+
+int main(int argc, char** argv) { return rav::Main(argc, argv); }

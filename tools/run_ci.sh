@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# run_ci.sh — build, test, and produce BENCH_RESULTS.json in one command.
+#
+#   tools/run_ci.sh [output.json]
+#
+# Pipeline (docs/observability.md):
+#   1. configure + build the default preset (build/)
+#   2. ctest (the tier-1 suite)
+#   3. every bench binary with `--report reports/<bench>.json`
+#   4. report_merge -> BENCH_RESULTS.json (validates every report's
+#      schema; a missing key fails the merge and therefore the CI run)
+#   5. consistency: every bench_* name mentioned in EXPERIMENTS.md must be
+#      a real benchmark target, and every report must carry a verdict
+#
+# Environment knobs:
+#   RAV_BENCH_MIN_TIME  google-benchmark min time per benchmark, seconds
+#                       (default 0.05 — the full suite in a few minutes;
+#                       raise for publication-quality numbers)
+#   RAV_BENCH_FILTER    --benchmark_filter regex passed to every bench
+#   RAV_JOBS            parallel build jobs (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_RESULTS.json}"
+MIN_TIME="${RAV_BENCH_MIN_TIME:-0.05}"
+FILTER="${RAV_BENCH_FILTER:-}"
+JOBS="${RAV_JOBS:-$(nproc)}"
+
+echo "== configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== benches (--report) =="
+mkdir -p build/reports
+reports=()
+for bench in build/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  report="build/reports/${name}.json"
+  args=(--benchmark_min_time="$MIN_TIME" --report "$report")
+  if [ -n "$FILTER" ]; then
+    args+=(--benchmark_filter="$FILTER")
+  fi
+  echo "-- $name"
+  "$bench" "${args[@]}" >/dev/null
+  reports+=("$report")
+done
+
+echo "== merge =="
+# report_merge validates each report against the schema of base/report.h
+# and refuses to write the merged file if any key is missing.
+build/tools/report_merge "$OUT" "${reports[@]}"
+
+echo "== consistency checks =="
+fail=0
+# Every bench mentioned in EXPERIMENTS.md must exist as a benchmark.
+for name in $(grep -o 'bench_[a-z0-9_]*' EXPERIMENTS.md | sort -u); do
+  if [ ! -f "bench/${name}.cc" ]; then
+    echo "EXPERIMENTS.md references nonexistent benchmark: $name" >&2
+    fail=1
+  fi
+done
+# Every merged report must have reached a verdict.
+python3 - "$OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    merged = json.load(f)
+bad = [r["source_file"] for r in merged["reports"] if not r.get("verdict")]
+if bad:
+    print(f"reports without a verdict: {bad}", file=sys.stderr)
+    sys.exit(1)
+print(f"{len(merged['reports'])} reports merged, all verdicts present")
+EOF
+[ "$fail" -eq 0 ] || exit 1
+
+echo "== done: $OUT =="
