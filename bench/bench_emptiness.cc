@@ -20,6 +20,7 @@ void AddSearchCounters(benchmark::State& state, const SearchStats& stats) {
   state.counters["stop_reason"] = static_cast<double>(stats.stop_reason);
   state.counters["enumerated"] = static_cast<double>(stats.lassos_enumerated);
   state.counters["closures"] = static_cast<double>(stats.closures_built);
+  state.counters["extended"] = static_cast<double>(stats.closures_extended);
   state.counters["inconsistent"] =
       static_cast<double>(stats.inconsistent_closures);
   state.counters["workers"] = static_cast<double>(stats.workers);

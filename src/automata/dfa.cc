@@ -146,6 +146,35 @@ bool Dfa::IsEmptyLanguage() const {
   return true;
 }
 
+std::vector<bool> Dfa::CoreachableStates() const {
+  // Reverse BFS from the accepting states.
+  std::vector<std::vector<int>> reverse(num_states());
+  for (int s = 0; s < num_states(); ++s) {
+    for (int symbol = 0; symbol < alphabet_size_; ++symbol) {
+      reverse[next_[s][symbol]].push_back(s);
+    }
+  }
+  std::vector<bool> coreachable(num_states(), false);
+  std::queue<int> q;
+  for (int s = 0; s < num_states(); ++s) {
+    if (accepting_[s]) {
+      coreachable[s] = true;
+      q.push(s);
+    }
+  }
+  while (!q.empty()) {
+    int s = q.front();
+    q.pop();
+    for (int p : reverse[s]) {
+      if (!coreachable[p]) {
+        coreachable[p] = true;
+        q.push(p);
+      }
+    }
+  }
+  return coreachable;
+}
+
 bool Dfa::EquivalentTo(const Dfa& other) const {
   RAV_CHECK_EQ(alphabet_size_, other.alphabet_size_);
   // L1 \ L2 and L2 \ L1 both empty.

@@ -38,6 +38,9 @@ class Dfa {
     RAV_CHECK_LT(symbol, alphabet_size_);
     return next_[state][symbol];
   }
+  // Unchecked transition row of `state` (`alphabet_size()` entries), for
+  // loops that have validated their symbols up front.
+  const int* NextRow(int state) const { return next_[state].data(); }
 
   void SetAccepting(int state, bool accepting = true) {
     accepting_[state] = accepting;
@@ -62,6 +65,12 @@ class Dfa {
 
   // True iff the language is empty.
   bool IsEmptyLanguage() const;
+
+  // Per-state coreachability: entry s is true iff an accepting state is
+  // reachable from s (including s itself). A run entering a non-coreachable
+  // state can never accept again — the constraint-closure sweep uses this
+  // to drop dead DFA runs early.
+  std::vector<bool> CoreachableStates() const;
 
   // True iff both DFAs accept the same language (via minimized product
   // difference check).

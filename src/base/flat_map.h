@@ -1,0 +1,77 @@
+#ifndef RAV_BASE_FLAT_MAP_H_
+#define RAV_BASE_FLAT_MAP_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "base/hash.h"
+
+namespace rav {
+
+// Open-addressing key → dense-id interner for the subset/product
+// constructions: keys are interned in insertion order and receive the ids
+// 0, 1, 2, ..., matching the sequential state ids the constructions
+// allocate. Replaces the std::map-keyed tables on the hot paths (one
+// allocation-free probe per lookup instead of a log-depth pointer chase).
+//
+// Hash is a functor over Key (see base/hash.h for the common ones);
+// equality is Key::operator==. Keys are stored once, in a dense vector
+// the caller can also iterate (Keys() is stable: ids index into it).
+template <typename Key, typename Hash>
+class FlatIdMap {
+ public:
+  FlatIdMap() : slots_(kInitialCapacity, -1) {}
+
+  // The id of `key`, or -1 if not interned.
+  int Find(const Key& key) const {
+    size_t mask = slots_.size() - 1;
+    size_t i = Hash{}(key)&mask;
+    while (slots_[i] >= 0) {
+      if (keys_[slots_[i]] == key) return slots_[i];
+      i = (i + 1) & mask;
+    }
+    return -1;
+  }
+
+  // The id of `key`, interning it with the next dense id if absent.
+  // Returns {id, inserted}.
+  std::pair<int, bool> Intern(const Key& key) {
+    if ((keys_.size() + 1) * 10 >= slots_.size() * 7) Grow();
+    size_t mask = slots_.size() - 1;
+    size_t i = Hash{}(key)&mask;
+    while (slots_[i] >= 0) {
+      if (keys_[slots_[i]] == key) return {slots_[i], false};
+      i = (i + 1) & mask;
+    }
+    int id = static_cast<int>(keys_.size());
+    keys_.push_back(key);
+    slots_[i] = id;
+    return {id, true};
+  }
+
+  size_t size() const { return keys_.size(); }
+  const Key& KeyOf(int id) const { return keys_[id]; }
+  const std::vector<Key>& Keys() const { return keys_; }
+
+ private:
+  static constexpr size_t kInitialCapacity = 64;  // power of two
+
+  void Grow() {
+    std::vector<int> grown(slots_.size() * 2, -1);
+    size_t mask = grown.size() - 1;
+    for (int id = 0; id < static_cast<int>(keys_.size()); ++id) {
+      size_t i = Hash{}(keys_[id]) & mask;
+      while (grown[i] >= 0) i = (i + 1) & mask;
+      grown[i] = id;
+    }
+    slots_.swap(grown);
+  }
+
+  std::vector<int> slots_;  // slot -> id, -1 empty; load kept under 0.7
+  std::vector<Key> keys_;   // id -> key (insertion order)
+};
+
+}  // namespace rav
+
+#endif  // RAV_BASE_FLAT_MAP_H_

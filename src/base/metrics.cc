@@ -7,6 +7,7 @@
 #include <bit>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "base/logging.h"
@@ -176,21 +177,37 @@ void Histogram::Record(uint64_t value) {
   UpdateExtrema(registry().extrema[index_], value);
 }
 
+namespace {
+
+// Handles are tiny, immutable, and live for the whole process; a static
+// registry owns them (one per distinct call site name) so they stay
+// reachable — never freed, but not a leak.
+template <typename T>
+T& OwnHandle(T* handle) {
+  static std::mutex mu;
+  static std::deque<std::unique_ptr<T>>* owned =
+      new std::deque<std::unique_ptr<T>>();
+  std::lock_guard<std::mutex> lock(mu);
+  owned->emplace_back(handle);
+  return *handle;
+}
+
+}  // namespace
+
 Counter& GetCounter(std::string_view name) {
   MetricInfo& info = Register(name, MetricKind::kCounter, 1);
-  // Handles are tiny and immutable; leak one per distinct call site name.
-  return *new Counter(info.slot);
+  return OwnHandle(new Counter(info.slot));
 }
 
 Gauge& GetGauge(std::string_view name) {
   MetricInfo& info = Register(name, MetricKind::kGauge, 0);
-  return *new Gauge(info.index);
+  return OwnHandle(new Gauge(info.index));
 }
 
 Histogram& GetHistogram(std::string_view name) {
   MetricInfo& info =
       Register(name, MetricKind::kHistogram, 2 + kHistogramBuckets);
-  return *new Histogram(info.index, info.slot);
+  return OwnHandle(new Histogram(info.index, info.slot));
 }
 
 std::vector<MetricSnapshot> Snapshot() {

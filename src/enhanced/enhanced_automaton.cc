@@ -17,7 +17,10 @@ Status EnhancedAutomaton::AddEqualityConstraint(int i, int j, Dfa dfa,
   }
   eq_constraints_.push_back(GlobalConstraint{i, j, /*is_equality=*/true,
                                              std::move(dfa),
-                                             std::move(description)});
+                                             std::move(description),
+                                             /*coreachable=*/{}});
+  eq_constraints_.back().coreachable =
+      eq_constraints_.back().dfa.CoreachableStates();
   return Status::OK();
 }
 

@@ -1,82 +1,397 @@
 #include "era/constraint_graph.h"
 
 #include <algorithm>
-#include <functional>
-#include <set>
 
 #include "base/metrics.h"
 
 namespace rav {
 
+namespace {
+
+// Callers that don't thread a ClosureScratch (one-off closures, the
+// containment checks) fall back to a per-thread instance so they still
+// amortize the sweep buffers instead of reallocating them per closure.
+ClosureScratch& ThreadLocalClosureScratch() {
+  thread_local ClosureScratch scratch;
+  return scratch;
+}
+
+// Sequential reader of a lasso word's symbols from a start position: one
+// modulo at construction instead of one per SymbolAt call. Reading past
+// the prefix of a cycle-less word is the caller's error (as with
+// SymbolAt).
+class SymbolCursor {
+ public:
+  SymbolCursor(const LassoWord& w, size_t pos) : w_(w), pos_(pos) {
+    if (pos_ >= w.prefix.size() && !w.cycle.empty()) {
+      cyc_ = (pos_ - w.prefix.size()) % w.cycle.size();
+    }
+  }
+
+  int Next() {
+    if (pos_ < w_.prefix.size()) {
+      return w_.prefix[pos_++];
+    }
+    ++pos_;
+    const int s = w_.cycle[cyc_];
+    if (++cyc_ == w_.cycle.size()) cyc_ = 0;
+    return s;
+  }
+
+ private:
+  const LassoWord& w_;
+  size_t pos_;
+  size_t cyc_ = 0;
+};
+
+}  // namespace
+
 ConstraintClosure::ConstraintClosure(const ExtendedAutomaton& era,
                                      const ControlAlphabet& alphabet,
                                      const LassoWord& control_word,
-                                     size_t window)
-    : k_(era.automaton().num_registers()),
+                                     size_t window, ClosureScratch* scratch,
+                                     ClosureEngine engine)
+    : era_(&era),
+      alphabet_(&alphabet),
+      word_(control_word),
+      k_(era.automaton().num_registers()),
       num_constants_(era.automaton().schema().num_constants()),
-      window_(window) {
+      window_(window),
+      engine_(engine) {
   RAV_CHECK_GE(window, 1u);
+  if (engine_ == ClosureEngine::kAuto) {
+    // The linear sweep's per-constraint setup (coreachable/accept tables,
+    // start-state map, group buffers) only pays off once the window dwarfs
+    // the constraint DFAs; below that the reference restarts are cheaper.
+    auto_engine_ = true;
+    int max_states = 0;
+    for (const auto& c : era.constraints()) {
+      max_states = std::max(max_states, c.dfa.num_states());
+    }
+    engine_ = window_ >= 2 * static_cast<size_t>(max_states)
+                  ? ClosureEngine::kLinear
+                  : ClosureEngine::kReference;
+  }
   uf_.Reset(num_nodes());
-
-  std::vector<bool> node_in_adom(num_nodes(), false);
+  node_in_adom_.assign(num_nodes(), false);
   // Constants are part of the active domain by definition.
   for (int c = 0; c < num_constants_; ++c) {
-    node_in_adom[ConstantNode(c)] = true;
+    node_in_adom_[ConstantNode(c)] = true;
   }
 
-  // Raw inequality edges between nodes; converted to class edges at the
-  // end.
-  std::vector<std::pair<int, int>> raw_ineq;
+  ClosureScratch& s =
+      scratch != nullptr ? *scratch : ThreadLocalClosureScratch();
+  ApplyTypes(0, s);
+  if (engine_ == ClosureEngine::kLinear) {
+    SweepConstraints(0, s);
+  } else {
+    ReferenceSweep();
+  }
+  Finalize(s);
 
-  // --- Local structure from the transition types ---
-  // Maps an element of a 2k-var type at step n to a node.
-  auto element_node = [&](size_t n, int element) -> int {
-    if (element < k_) return NodeOf(n, element);
-    if (element < 2 * k_) return NodeOf(n + 1, element - k_);
-    return ConstantNode(element - 2 * k_);
-  };
-  // Same for an element of a k-var restricted type at the last position.
-  auto last_element_node = [&](int element) -> int {
-    if (element < k_) return NodeOf(window_ - 1, element);
-    return ConstantNode(element - k_);
-  };
+  RAV_METRIC_COUNT("era/closure/built", 1);
+  RAV_METRIC_RECORD("era/closure/nodes", num_nodes());
+  RAV_METRIC_RECORD("era/closure/classes", num_classes_);
+  RAV_METRIC_RECORD("era/closure/ineq_edges", ineq_edges_.size());
+  if (!consistent_) RAV_METRIC_COUNT("era/closure/inconsistent", 1);
+}
 
-  auto apply_type = [&](const Type& t,
-                        const std::function<int(int)>& node_of) {
-    std::vector<int> rep(t.num_classes(), -1);
-    for (int e = 0; e < t.num_elements(); ++e) {
-      int c = t.ClassOf(e);
-      if (rep[c] < 0) {
-        rep[c] = e;
-      } else {
-        uf_.Union(node_of(rep[c]), node_of(e));
+ConstraintClosure ConstraintClosure::ExtendedBy(size_t extra_cycles,
+                                                ClosureScratch* scratch) const {
+  const size_t extra = extra_cycles * word_.cycle.size();
+  if (engine_ == ClosureEngine::kReference) {
+    // The reference engine keeps no sweep state; rebuild at the larger
+    // window (an auto-picked reference closure re-resolves there, so a
+    // small window extended into a large one gets the linear engine).
+    return ConstraintClosure(
+        *era_, *alphabet_, word_, window_ + extra, scratch,
+        auto_engine_ ? ClosureEngine::kAuto : ClosureEngine::kReference);
+  }
+  ConstraintClosure out(*this);
+  if (extra == 0) return out;
+
+  ClosureScratch& s =
+      scratch != nullptr ? *scratch : ThreadLocalClosureScratch();
+  const size_t old_window = out.window_;
+  out.window_ += extra;
+  out.node_in_adom_.resize(out.num_nodes(), false);
+  for (int v = 0; v < static_cast<int>(extra) * out.k_; ++v) out.uf_.Add();
+
+  // The old last position was applied x̄-restricted; now that it has a
+  // successor, re-apply its full type (a superset of the restriction, so
+  // re-application only adds the constraints a from-scratch closure over
+  // the larger window would have).
+  out.ApplyTypes(old_window - 1, s);
+  out.SweepConstraints(old_window, s);
+  out.Finalize(s);
+
+  RAV_METRIC_COUNT("era/closure/extended", 1);
+  RAV_METRIC_RECORD("era/closure/extended_positions", extra);
+  if (!out.consistent_) RAV_METRIC_COUNT("era/closure/inconsistent", 1);
+  return out;
+}
+
+void ConstraintClosure::ApplyOneType(const Type& t, const int* element_to_node,
+                                     ClosureScratch& scratch) {
+  std::vector<int>& rep = scratch.type_rep_;
+  rep.assign(t.num_classes(), -1);
+  for (int e = 0; e < t.num_elements(); ++e) {
+    int c = t.ClassOf(e);
+    if (rep[c] < 0) {
+      rep[c] = e;
+    } else {
+      uf_.Union(element_to_node[rep[c]], element_to_node[e]);
+    }
+  }
+  for (const auto& [c1, c2] : t.disequalities()) {
+    raw_ineq_.emplace_back(element_to_node[rep[c1]], element_to_node[rep[c2]]);
+  }
+  for (const TypeAtom& a : t.atoms()) {
+    if (!a.positive) continue;
+    for (int c : a.args) node_in_adom_[element_to_node[rep[c]]] = true;
+  }
+}
+
+void ConstraintClosure::CompileType(const Type& t, ClosureScratch& scratch,
+                                    ClosureScratch::TypeProgram& program) {
+  std::vector<int>& rep = scratch.type_rep_;
+  rep.assign(t.num_classes(), -1);
+  for (int e = 0; e < t.num_elements(); ++e) {
+    int c = t.ClassOf(e);
+    if (rep[c] < 0) {
+      rep[c] = e;
+    } else {
+      program.unions.emplace_back(rep[c], e);
+    }
+  }
+  for (const auto& [c1, c2] : t.disequalities()) {
+    program.diseqs.emplace_back(rep[c1], rep[c2]);
+  }
+  for (const TypeAtom& a : t.atoms()) {
+    if (!a.positive) continue;
+    for (int c : a.args) program.adom.push_back(rep[c]);
+  }
+}
+
+void ConstraintClosure::ReferenceApplyTypes(size_t from_pos,
+                                            ClosureScratch& scratch) {
+  // The original per-position path: every position re-derives class
+  // representatives from the Type object, and the last position's
+  // restriction is recomputed per closure.
+  std::vector<int>& nodes = scratch.element_nodes_;
+  for (size_t n = from_pos; n + 1 < window_; ++n) {
+    nodes.clear();
+    for (int i = 0; i < k_; ++i) nodes.push_back(NodeOf(n, i));
+    for (int i = 0; i < k_; ++i) nodes.push_back(NodeOf(n + 1, i));
+    for (int c = 0; c < num_constants_; ++c) nodes.push_back(ConstantNode(c));
+    ApplyOneType(alphabet_->guard_of(word_.SymbolAt(n)), nodes.data(),
+                 scratch);
+  }
+  Type last =
+      RestrictToX(alphabet_->guard_of(word_.SymbolAt(window_ - 1)), k_);
+  nodes.clear();
+  for (int i = 0; i < k_; ++i) nodes.push_back(NodeOf(window_ - 1, i));
+  for (int c = 0; c < num_constants_; ++c) nodes.push_back(ConstantNode(c));
+  ApplyOneType(last, nodes.data(), scratch);
+}
+
+void ConstraintClosure::ApplyTypes(size_t from_pos, ClosureScratch& scratch) {
+  if (engine_ == ClosureEngine::kReference) {
+    ReferenceApplyTypes(from_pos, scratch);
+    return;
+  }
+  std::vector<int>& nodes = scratch.element_nodes_;
+  // Full types of positions with a successor inside the window. The 2k-var
+  // type's elements map to (x̄ at n, ȳ at n+1, constants); since
+  // NodeOf(n + 1, e - k) == NodeOf(n, e) for k <= e < 2k, element e maps
+  // to num_constants_ + n·k + e for e < 2k and to constant e - 2k after.
+  // Each distinct symbol is compiled once, then replayed per position.
+  constexpr int kUncompiled = -1;
+  constexpr int kEmptyProgram = -2;  // trivial guard: nothing to replay
+  scratch.program_of_symbol_.assign(alphabet_->size(), kUncompiled);
+  scratch.programs_used_ = 0;
+  SymbolCursor cursor(word_, from_pos);
+  for (size_t n = from_pos; n + 1 < window_; ++n) {
+    const int sym = cursor.Next();
+    int pi = scratch.program_of_symbol_[sym];
+    if (pi == kEmptyProgram) continue;
+    if (pi == kUncompiled) {
+      pi = scratch.programs_used_;
+      if (static_cast<size_t>(pi) == scratch.programs_.size()) {
+        scratch.programs_.emplace_back();
       }
+      ClosureScratch::TypeProgram& fresh = scratch.programs_[pi];
+      fresh.unions.clear();
+      fresh.diseqs.clear();
+      fresh.adom.clear();
+      CompileType(alphabet_->guard_of(sym), scratch, fresh);
+      if (fresh.unions.empty() && fresh.diseqs.empty() &&
+          fresh.adom.empty()) {
+        scratch.program_of_symbol_[sym] = kEmptyProgram;
+        continue;
+      }
+      ++scratch.programs_used_;
+      scratch.program_of_symbol_[sym] = pi;
     }
-    for (const auto& [c1, c2] : t.disequalities()) {
-      raw_ineq.emplace_back(node_of(rep[c1]), node_of(rep[c2]));
+    const ClosureScratch::TypeProgram& p = scratch.programs_[pi];
+    const int base = num_constants_ + static_cast<int>(n) * k_;
+    const int two_k = 2 * k_;
+    auto node = [&](int e) { return e < two_k ? base + e : e - two_k; };
+    for (const auto& [a, b] : p.unions) uf_.Union(node(a), node(b));
+    for (const auto& [a, b] : p.diseqs) {
+      raw_ineq_.emplace_back(node(a), node(b));
     }
-    for (const TypeAtom& a : t.atoms()) {
-      if (!a.positive) continue;
-      for (int c : a.args) node_in_adom[node_of(rep[c])] = true;
-    }
-  };
-
-  for (size_t n = 0; n + 1 < window_; ++n) {
-    const Type& t = alphabet.guard_of(control_word.SymbolAt(n));
-    apply_type(t, [&](int e) { return element_node(n, e); });
+    for (int e : p.adom) node_in_adom_[node(e)] = true;
   }
-  {
-    Type last = RestrictToX(
-        alphabet.guard_of(control_word.SymbolAt(window_ - 1)), k_);
-    apply_type(last, [&](int e) { return last_element_node(e); });
+  // The last position contributes only its x̄-part (precomputed per
+  // symbol by the alphabet).
+  const Type& last =
+      alphabet_->x_restricted_guard_of(word_.SymbolAt(window_ - 1));
+  nodes.clear();
+  for (int i = 0; i < k_; ++i) nodes.push_back(NodeOf(window_ - 1, i));
+  for (int c = 0; c < num_constants_; ++c) nodes.push_back(ConstantNode(c));
+  ApplyOneType(last, nodes.data(), scratch);
+}
+
+void ConstraintClosure::SweepConstraints(size_t from_pos,
+                                         ClosureScratch& scratch) {
+  const std::vector<GlobalConstraint>& constraints = era_->constraints();
+  if (from_pos >= window_ || constraints.empty()) return;
+  // Control states read at positions [from_pos, window_), resolved once
+  // and shared by every constraint's sweep.
+  std::vector<int>& qs = scratch.states_at_;
+  qs.clear();
+  SymbolCursor cursor(word_, from_pos);
+  for (size_t m = from_pos; m < window_; ++m) {
+    qs.push_back(alphabet_->state_of(cursor.Next()));
   }
 
-  // --- Global constraints ---
-  for (const GlobalConstraint& c : era.constraints()) {
+  int max_q = 0;
+  for (int q : qs) max_q = std::max(max_q, q);
+
+  // New parked state is staged in scratch (reading the old state as we
+  // go) and assigned to the closure in one shot afterwards.
+  std::vector<ClosureSweepGroup>& next_groups = scratch.parked_groups_tmp_;
+  std::vector<int>& next_starts = scratch.parked_starts_tmp_;
+  next_groups.clear();
+  next_starts.clear();
+  size_t gi = 0;  // cursor over sweep_groups_ (ordered by constraint)
+
+  for (size_t ci = 0; ci < constraints.size(); ++ci) {
+    const GlobalConstraint& c = constraints[ci];
+    const Dfa& dfa = c.dfa;
+    const int num_dfa_states = dfa.num_states();
+    // Flat per-constraint tables: byte copies of the accepting and
+    // coreachable bitsets, and the state a run starting on control state
+    // q is in after one step (-1 if it can never reach an accept).
+    // Constraints added through AddConstraintDfa always carry the
+    // precomputed coreachable set; treat a missing one as all-live.
+    const bool have_coreach =
+        c.coreachable.size() == static_cast<size_t>(num_dfa_states);
+    std::vector<char>& live = scratch.live_;
+    std::vector<char>& accept = scratch.accept_;
+    live.resize(num_dfa_states);
+    accept.resize(num_dfa_states);
+    for (int s = 0; s < num_dfa_states; ++s) {
+      live[s] = !have_coreach || c.coreachable[s];
+      accept[s] = dfa.IsAccepting(s);
+    }
+    std::vector<int>& start_state = scratch.start_state_of_q_;
+    start_state.assign(max_q + 1, -1);
+    const int* initial_row = dfa.NextRow(dfa.initial());
+    for (int q : qs) {
+      const int s0 = initial_row[q];
+      start_state[q] = live[s0] ? s0 : -1;
+    }
+    scratch.EnsureStateBuffers(num_dfa_states);
+    int cur = 0;
+    for (; gi < sweep_groups_.size() &&
+           sweep_groups_[gi].constraint == static_cast<int>(ci);
+         ++gi) {
+      const ClosureSweepGroup& g = sweep_groups_[gi];
+      scratch.state_starts_[cur][g.dfa_state].assign(
+          sweep_starts_.begin() + g.begin, sweep_starts_.begin() + g.end);
+      scratch.occupied_[cur].push_back(g.dfa_state);
+    }
+
+    for (size_t t = 0; t < qs.size(); ++t) {
+      const int m = static_cast<int>(from_pos + t);
+      const int q = qs[t];
+      const int nxt = cur ^ 1;
+      std::vector<std::vector<int>>& from_side = scratch.state_starts_[cur];
+      std::vector<std::vector<int>>& to_side = scratch.state_starts_[nxt];
+      std::vector<int>& occ_nxt = scratch.occupied_[nxt];
+      // Advance every live run by the state read at position m. Runs
+      // converging on the same DFA state merge into one group (smaller
+      // start list spliced into the larger); runs entering a state from
+      // which no accepting state is reachable are dropped — they can
+      // never emit another edge.
+      for (int s : scratch.occupied_[cur]) {
+        std::vector<int>& src = from_side[s];
+        const int to = dfa.NextRow(s)[q];
+        if (!live[to]) {
+          src.clear();
+          continue;
+        }
+        std::vector<int>& dst = to_side[to];
+        if (dst.empty()) {
+          dst.swap(src);
+          occ_nxt.push_back(to);
+        } else {
+          if (src.size() > dst.size()) src.swap(dst);
+          dst.insert(dst.end(), src.begin(), src.end());
+          src.clear();
+        }
+      }
+      scratch.occupied_[cur].clear();
+      // A new run starts at position m (the factor q_m...).
+      const int s0 = start_state[q];
+      if (s0 >= 0) {
+        std::vector<int>& dst = to_side[s0];
+        if (dst.empty()) occ_nxt.push_back(s0);
+        dst.push_back(m);
+      }
+      // Accepting groups emit their edges against position m. For an
+      // equality constraint every start is merged into one class, so the
+      // group collapses to a single representative.
+      for (int s : occ_nxt) {
+        if (!accept[s]) continue;
+        const int b = NodeOf(m, c.j);
+        std::vector<int>& starts = to_side[s];
+        if (c.is_equality) {
+          for (int n : starts) uf_.Union(NodeOf(n, c.i), b);
+          starts.resize(1);
+        } else {
+          for (int n : starts) raw_ineq_.emplace_back(NodeOf(n, c.i), b);
+        }
+      }
+      cur = nxt;
+    }
+
+    // Park the final groups (for ExtendedBy) and restore the all-empty
+    // buffer invariant for the next constraint.
+    for (int s : scratch.occupied_[cur]) {
+      std::vector<int>& starts = scratch.state_starts_[cur][s];
+      const int begin = static_cast<int>(next_starts.size());
+      next_starts.insert(next_starts.end(), starts.begin(), starts.end());
+      next_groups.push_back(ClosureSweepGroup{
+          static_cast<int>(ci), s, begin,
+          static_cast<int>(next_starts.size())});
+      starts.clear();
+    }
+    scratch.occupied_[cur].clear();
+  }
+
+  sweep_groups_ = next_groups;
+  sweep_starts_ = next_starts;
+}
+
+void ConstraintClosure::ReferenceSweep() {
+  for (const GlobalConstraint& c : era_->constraints()) {
     for (size_t n = 0; n < window_; ++n) {
       int dfa_state = c.dfa.initial();
       for (size_t m = n; m < window_; ++m) {
-        int q = alphabet.state_of(control_word.SymbolAt(m));
+        int q = alphabet_->state_of(word_.SymbolAt(m));
         dfa_state = c.dfa.Next(dfa_state, q);
         if (!c.dfa.IsAccepting(dfa_state)) continue;
         int a = NodeOf(n, c.i);
@@ -84,15 +399,21 @@ ConstraintClosure::ConstraintClosure(const ExtendedAutomaton& era,
         if (c.is_equality) {
           uf_.Union(a, b);
         } else {
-          raw_ineq.emplace_back(a, b);
+          raw_ineq_.emplace_back(a, b);
         }
       }
     }
   }
+}
 
-  // --- Canonicalize classes ---
+void ConstraintClosure::Finalize(ClosureScratch& scratch) {
+  // Canonicalize classes: dense ids in smallest-node order, so the
+  // assignment depends only on the partition (identical across engines
+  // and across build-vs-extend).
   class_of_node_.assign(num_nodes(), -1);
-  std::vector<int> root_to_class(num_nodes(), -1);
+  std::vector<int>& root_to_class = scratch.root_to_class_;
+  root_to_class.assign(num_nodes(), -1);
+  num_classes_ = 0;
   for (int v = 0; v < num_nodes(); ++v) {
     int root = uf_.Find(v);
     if (root_to_class[root] < 0) root_to_class[root] = num_classes_++;
@@ -100,27 +421,26 @@ ConstraintClosure::ConstraintClosure(const ExtendedAutomaton& era,
   }
   class_in_adom_.assign(num_classes_, false);
   for (int v = 0; v < num_nodes(); ++v) {
-    if (node_in_adom[v]) class_in_adom_[class_of_node_[v]] = true;
+    if (node_in_adom_[v]) class_in_adom_[class_of_node_[v]] = true;
   }
 
-  // --- Inequality edges; consistency ---
-  std::set<std::pair<int, int>> edges;
-  for (const auto& [a, b] : raw_ineq) {
+  // Inequality edges at class level, deduplicated; an edge inside one
+  // class is a genuine contradiction.
+  consistent_ = true;
+  ineq_edges_.clear();
+  ineq_edges_.reserve(raw_ineq_.size());
+  for (const auto& [a, b] : raw_ineq_) {
     int ca = class_of_node_[a];
     int cb = class_of_node_[b];
     if (ca == cb) {
       consistent_ = false;
       continue;
     }
-    edges.emplace(std::min(ca, cb), std::max(ca, cb));
+    ineq_edges_.emplace_back(std::min(ca, cb), std::max(ca, cb));
   }
-  ineq_edges_.assign(edges.begin(), edges.end());
-
-  RAV_METRIC_COUNT("era/closure/built", 1);
-  RAV_METRIC_RECORD("era/closure/nodes", num_nodes());
-  RAV_METRIC_RECORD("era/closure/classes", num_classes_);
-  RAV_METRIC_RECORD("era/closure/ineq_edges", ineq_edges_.size());
-  if (!consistent_) RAV_METRIC_COUNT("era/closure/inconsistent", 1);
+  std::sort(ineq_edges_.begin(), ineq_edges_.end());
+  ineq_edges_.erase(std::unique(ineq_edges_.begin(), ineq_edges_.end()),
+                    ineq_edges_.end());
 }
 
 int ConstraintClosure::ClassOf(int node) const {

@@ -1,6 +1,7 @@
 #ifndef RAV_ERA_CONSTRAINT_GRAPH_H_
 #define RAV_ERA_CONSTRAINT_GRAPH_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -11,41 +12,150 @@
 
 namespace rav {
 
+// Which global-constraint engine a closure is built with. The linear
+// engine is the production path for pumped windows; the reference engine
+// keeps the original per-start-position DFA restarts (O(window² · |Σ|))
+// for differential testing — both must produce identical classes, edges,
+// and verdicts. The default kAuto picks the linear sweep once the window
+// is large enough to amortize its per-constraint setup
+// (window ≥ 2 · max |Q_dfa|) and the plain restarts below that, where
+// the quadratic term is smaller than the setup cost.
+enum class ClosureEngine {
+  kAuto,
+  kLinear,
+  kReference,
+};
+
+// One live set of constraint-DFA runs parked between sweeps: every start
+// position in [begin, end) of the flat start array has driven constraint
+// `constraint`'s DFA to `dfa_state` on the factor read so far. For
+// equality constraints the range collapses to a single representative
+// once the positions have been merged. Flat (indices into one shared
+// start array) so parking a closure's sweep state costs two allocations,
+// not one per group.
+struct ClosureSweepGroup {
+  int constraint = 0;
+  int dfa_state = 0;
+  int begin = 0;
+  int end = 0;
+};
+
+// Reusable per-thread scratch for closure construction. One instance per
+// search worker (it lives inside LassoWorkerCounters) amortizes the
+// per-candidate allocations of the sweep and canonicalization across the
+// whole search. Not thread-safe: each worker owns its own.
+class ClosureScratch {
+ public:
+  ClosureScratch() = default;
+
+ private:
+  friend class ConstraintClosure;
+
+  // Double-buffered per-DFA-state start lists for the sweep's inner loop.
+  // Invariant between uses: every list is empty (a live group always has
+  // at least one start, so emptiness doubles as the occupancy test). The
+  // buffers keep their capacity across positions, constraints, and
+  // closures, so a warmed-up sweep allocates nothing per position.
+  void EnsureStateBuffers(int num_states) {
+    if (static_cast<size_t>(num_states) > state_starts_[0].size()) {
+      state_starts_[0].resize(num_states);
+      state_starts_[1].resize(num_states);
+    }
+  }
+
+  std::vector<std::vector<int>> state_starts_[2];
+  std::vector<int> occupied_[2];  // states with a group, insertion order
+  std::vector<int> states_at_;    // control states of the sweep's positions
+  std::vector<char> live_;        // per-constraint coreachable, as bytes
+  std::vector<char> accept_;      // per-constraint accepting set, as bytes
+  std::vector<int> start_state_of_q_;  // control state -> post-start state
+
+  // A transition type compiled to the node-level operations it induces at
+  // a position: union pairs, disequality pairs, and adom marks, all as
+  // type-element indices. A pumped window reads the same few symbols over
+  // and over, so each symbol is compiled once per ApplyTypes pass and the
+  // per-position work collapses to replaying the (usually tiny) program.
+  struct TypeProgram {
+    std::vector<std::pair<int, int>> unions;
+    std::vector<std::pair<int, int>> diseqs;
+    std::vector<int> adom;
+  };
+  std::vector<int> program_of_symbol_;  // symbol -> index, -1 uncompiled
+  std::vector<TypeProgram> programs_;   // pooled, reused across passes
+  int programs_used_ = 0;
+
+  std::vector<int> root_to_class_;
+  std::vector<int> type_rep_;
+  std::vector<int> element_nodes_;
+
+  // Staging area for the sweep state being parked (the closure's own
+  // copy is assigned from these in one shot at the end of the sweep).
+  std::vector<ClosureSweepGroup> parked_groups_tmp_;
+  std::vector<int> parked_starts_tmp_;
+};
+
 // The equivalence relation ~_w of Section 3 computed over a finite window
 // of a symbolic control word, together with the induced inequality
 // structure — the machinery behind Theorem 9 (quasi-regularity and
 // witness synthesis), Corollary 10 (emptiness), and the projection
 // constructions.
 //
-// Nodes are the register occurrences (position n < window, register i)
-// plus one node per constant symbol (a constant anchors equality across
-// the whole run). The closure merges
+// Nodes are one node per constant symbol (a constant anchors equality
+// across the whole run) followed by the register occurrences
+// (position n < window, register i). The closure merges
 //   * the equalities of each transition type δ_n,
 //   * every Σ equality e=ᵢⱼ whose expression accepts q_n...q_m in the
 //     window,
 // and records inequality edges from the types' disequalities and from the
 // Σ inequality constraints.
 //
+// The global constraints are resolved by a single forward sweep: per
+// constraint, the live DFA runs are grouped by DFA state (start positions
+// whose factors lead to the same state advance together), groups at
+// states from which no accepting state is reachable are dropped, and an
+// accepting group emits its edges in one pass — O(window · |Q_dfa|) per
+// constraint instead of the reference engine's per-start restarts.
+//
 // The window is a finite under-approximation of the infinite unrolling:
 // any contradiction found is genuine; consistency is relative to the
 // window (pump the cycle more for higher confidence — see
-// SuggestedPumpCount).
+// SuggestedPumpCount). A closure can be grown in place of a rebuild with
+// ExtendedBy, which resumes the sweep after the last position.
 class ConstraintClosure {
  public:
+  // Builds the closure over the first `window` positions of
+  // `control_word`. `scratch` (optional) amortizes temporary allocations
+  // across closures — search workers pass their own; without one a
+  // per-thread instance is used. `era` and `alphabet` must outlive the
+  // closure.
   ConstraintClosure(const ExtendedAutomaton& era,
                     const ControlAlphabet& alphabet,
-                    const LassoWord& control_word, size_t window);
+                    const LassoWord& control_word, size_t window,
+                    ClosureScratch* scratch = nullptr,
+                    ClosureEngine engine = ClosureEngine::kAuto);
+
+  // The closure of the same word over window() + extra_cycles · period
+  // positions, computed by resuming this closure's sweep instead of
+  // rebuilding from position 0. Identical (classes, edges, consistency)
+  // to a from-scratch closure over the larger window.
+  ConstraintClosure ExtendedBy(size_t extra_cycles,
+                               ClosureScratch* scratch = nullptr) const;
 
   size_t window() const { return window_; }
   int num_registers() const { return k_; }
+  int num_constants() const { return num_constants_; }
+  // The engine the closure was actually built with (kAuto resolves to
+  // kLinear or kReference in the constructor).
+  ClosureEngine engine() const { return engine_; }
 
-  // Node ids.
+  // Node ids: constants first (stable under ExtendedBy), then the
+  // register occurrences in position-major order.
+  int ConstantNode(int c) const { return c; }
   int NodeOf(size_t pos, int reg) const {
-    return static_cast<int>(pos) * k_ + reg;
+    return num_constants_ + static_cast<int>(pos) * k_ + reg;
   }
-  int ConstantNode(int c) const { return static_cast<int>(window_) * k_ + c; }
   int num_nodes() const {
-    return static_cast<int>(window_) * k_ + num_constants_;
+    return num_constants_ + static_cast<int>(window_) * k_;
   }
 
   // True iff no forced-equal pair is forced-distinct within the window.
@@ -77,16 +187,58 @@ class ConstraintClosure {
   std::vector<int> GreedyAdomColoring(int* num_colors) const;
 
  private:
+  // Applies the transition types of positions [from_pos, window_): full
+  // types up to window_ - 2, the x̄-restricted type at the last position.
+  // The linear engine compiles each distinct symbol once and replays it;
+  // the reference engine re-derives every position from the Type objects,
+  // faithful to the original implementation's cost.
+  void ApplyTypes(size_t from_pos, ClosureScratch& scratch);
+  void ReferenceApplyTypes(size_t from_pos, ClosureScratch& scratch);
+  void ApplyOneType(const Type& type, const int* element_to_node,
+                    ClosureScratch& scratch);
+  // Compiles `type`'s per-position operations into element-index form.
+  void CompileType(const Type& type, ClosureScratch& scratch,
+                   ClosureScratch::TypeProgram& program);
+  // Advances every constraint sweep over positions [from_pos, window_).
+  void SweepConstraints(size_t from_pos, ClosureScratch& scratch);
+  // The original per-start-restart loop (reference engine only).
+  void ReferenceSweep();
+  // Recomputes classes, adom flags, deduplicated edges, and consistency
+  // from the union-find and the raw edge list.
+  void Finalize(ClosureScratch& scratch);
+
+  const ExtendedAutomaton* era_;
+  const ControlAlphabet* alphabet_;
+  LassoWord word_;
   int k_;
   int num_constants_;
   size_t window_;
+  ClosureEngine engine_;  // resolved engine; never kAuto after the ctor
+  bool auto_engine_ = false;  // engine_ was picked by the kAuto crossover
   UnionFind uf_;
   bool consistent_ = true;
   int num_classes_ = 0;
+  std::vector<char> node_in_adom_;
+  std::vector<std::pair<int, int>> raw_ineq_;  // node pairs, with duplicates
+  // Live sweep groups (linear engine), ordered by constraint, kept so
+  // ExtendedBy can resume after the last position. `sweep_starts_` is the
+  // flat start array the groups' [begin, end) ranges index into.
+  std::vector<ClosureSweepGroup> sweep_groups_;
+  std::vector<int> sweep_starts_;
   std::vector<int> class_of_node_;
   std::vector<bool> class_in_adom_;
   std::vector<std::pair<int, int>> ineq_edges_;  // class pairs, deduped
 };
+
+// The original O(window² · |Σ|) closure, for differential testing of the
+// linear engine (tests/closure_diff_test.cc, bench_closure).
+inline ConstraintClosure ReferenceConstraintClosure(
+    const ExtendedAutomaton& era, const ControlAlphabet& alphabet,
+    const LassoWord& control_word, size_t window,
+    ClosureScratch* scratch = nullptr) {
+  return ConstraintClosure(era, alphabet, control_word, window, scratch,
+                           ClosureEngine::kReference);
+}
 
 // A pump count sufficient to expose the periodic constraint structure of
 // the lasso: enough cycle repetitions that every constraint DFA re-enters

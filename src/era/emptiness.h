@@ -82,6 +82,14 @@ Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
                                      const LassoWord& control_word,
                                      size_t length);
 
+// Same, but reuses a prebuilt closure of `control_word` instead of paying
+// a rebuild; the realized prefix spans closure.window() positions. The
+// closure must have been built for this era/alphabet/word triple.
+Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
+                                     const ControlAlphabet& alphabet,
+                                     const LassoWord& control_word,
+                                     const ConstraintClosure& closure);
+
 }  // namespace rav
 
 #endif  // RAV_ERA_EMPTINESS_H_

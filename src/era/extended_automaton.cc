@@ -23,7 +23,9 @@ Status ExtendedAutomaton::AddConstraintDfa(int i, int j, bool is_equality,
         "constraint DFA alphabet must be the automaton's state set");
   }
   constraints_.push_back(GlobalConstraint{i, j, is_equality, std::move(dfa),
-                                          std::move(description)});
+                                          std::move(description),
+                                          /*coreachable=*/{}});
+  constraints_.back().coreachable = constraints_.back().dfa.CoreachableStates();
   return Status::OK();
 }
 

@@ -22,6 +22,10 @@ struct GlobalConstraint {
   bool is_equality = true; // e= vs e≠
   Dfa dfa;                 // compiled over the state alphabet Q
   std::string description; // original regex text, for display
+  // dfa.CoreachableStates(), precomputed once at AddConstraintDfa time so
+  // the constraint-closure sweep can drop dead DFA runs without paying a
+  // reverse reachability per closure.
+  std::vector<bool> coreachable;
 };
 
 // An extended register automaton 𝒜 = (A, Σ): a register automaton plus

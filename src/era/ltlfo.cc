@@ -1,8 +1,9 @@
 #include "era/ltlfo.h"
 
-#include <map>
 #include <queue>
 
+#include "base/flat_map.h"
+#include "base/hash.h"
 #include "base/metrics.h"
 #include "base/trace.h"
 #include "ltl/tableau.h"
@@ -195,16 +196,12 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
     RAV_TRACE_SPAN("product");
     Nba scontrol = BuildSControlNba(a, alphabet);
     GeneralizedNba product(alphabet.size(), 2);
-    std::map<std::pair<int, int>, int> ids;
-    std::vector<std::pair<int, int>> pairs;
+    FlatIdMap<std::pair<int, int>, PairHash<int, int>> ids;
     std::queue<int> work;
     auto intern = [&](int sc, int lt) {
-      auto key = std::make_pair(sc, lt);
-      auto it = ids.find(key);
-      if (it != ids.end()) return it->second;
-      int id = product.AddState();
-      ids.emplace(key, id);
-      pairs.push_back(key);
+      auto [id, inserted] = ids.Intern(std::make_pair(sc, lt));
+      if (!inserted) return id;
+      RAV_CHECK_EQ(product.AddState(), id);
       if (scontrol.IsAccepting(sc)) product.AddToAcceptSet(0, id);
       if (neg.nba.IsAccepting(lt)) product.AddToAcceptSet(1, id);
       work.push(id);
@@ -218,7 +215,7 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
     while (!work.empty()) {
       int id = work.front();
       work.pop();
-      auto [sc, lt] = pairs[id];
+      auto [sc, lt] = ids.KeyOf(id);
       for (const auto& [symbol, sc2] : scontrol.TransitionsFrom(sc)) {
         for (const auto& [ap, lt2] : neg.nba.TransitionsFrom(lt)) {
           if (static_cast<uint32_t>(ap) != ap_mask[symbol]) continue;

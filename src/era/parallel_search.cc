@@ -73,6 +73,7 @@ LassoSearchOutcome SearchInline(const Nba& nba,
   outcome.stats.lassos_checked = tally.checked;
   outcome.stats.inconsistent_closures = tally.inconsistent;
   outcome.stats.closures_built = tally.counters.closures_built;
+  outcome.stats.closures_extended = tally.counters.closures_extended;
   outcome.stats.enumeration_steps = enumerator.steps();
   outcome.stats.workers = 1;
   outcome.stats.stop_reason = outcome.witness.has_value()
@@ -197,6 +198,7 @@ LassoSearchOutcome SearchParallel(const Nba& nba,
     outcome.stats.lassos_checked += tally.checked;
     outcome.stats.inconsistent_closures += tally.inconsistent;
     outcome.stats.closures_built += tally.counters.closures_built;
+    outcome.stats.closures_extended += tally.counters.closures_extended;
     RAV_METRIC_COUNT("era/search/candidates_cancelled", tally.cancelled);
     RAV_METRIC_COUNT("era/search/worker_busy_ns", tally.busy_ns);
     // Fraction of the pool's lifetime each worker spent evaluating.
@@ -237,6 +239,7 @@ std::string SearchStats::ToString() const {
   out << "stop=" << SearchStopReasonName(stop_reason)
       << " enumerated=" << lassos_enumerated << " checked=" << lassos_checked
       << " closures=" << closures_built
+      << " extended=" << closures_extended
       << " inconsistent=" << inconsistent_closures
       << " steps=" << enumeration_steps << " workers=" << workers
       << " wall_ms=" << wall_seconds * 1e3;

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "automata/nba.h"
+#include "era/constraint_graph.h"
 
 namespace rav {
 
@@ -30,6 +31,7 @@ struct SearchStats {
   size_t lassos_enumerated = 0;    // candidates the enumerator produced
   size_t lassos_checked = 0;       // candidates a worker evaluated
   size_t closures_built = 0;       // ConstraintClosure constructions
+  size_t closures_extended = 0;    // closures grown via ExtendedBy
   size_t inconsistent_closures = 0;  // candidates rejected as inconsistent
   size_t enumeration_steps = 0;    // DFS node expansions spent
   int workers = 1;                 // worker threads that evaluated lassos
@@ -84,8 +86,12 @@ struct LassoSearchOutcome {
 
 // Per-worker counters an evaluator reports into; each worker owns one, so
 // evaluators update them without synchronization. Merged into SearchStats.
+// Carries the worker's closure scratch buffer, so every closure an
+// evaluator builds on this worker reuses the same temporaries.
 struct LassoWorkerCounters {
   size_t closures_built = 0;
+  size_t closures_extended = 0;
+  ClosureScratch scratch;
 };
 
 // Evaluates one candidate. Must be safe to call concurrently from several

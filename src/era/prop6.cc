@@ -1,9 +1,10 @@
 #include "era/prop6.h"
 
-#include <map>
 #include <queue>
 #include <vector>
 
+#include "base/flat_map.h"
+#include "base/hash.h"
 #include "types/type.h"
 
 namespace rav {
@@ -24,6 +25,18 @@ struct CompositeState {
   StateId q = -1;
   std::vector<Book> books;  // one per equality constraint
   auto operator<=>(const CompositeState&) const = default;
+};
+
+struct CompositeStateHash {
+  size_t operator()(const CompositeState& cs) const {
+    size_t seed = cs.books.size();
+    HashCombineValue(seed, cs.q);
+    for (const Book& b : cs.books) {
+      HashCombineValue(seed, b.on);
+      HashCombineValue(seed, b.dead);
+    }
+    return seed;
+  }
 };
 
 }  // namespace
@@ -58,13 +71,12 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
   RegisterAutomaton b(k_new, a.schema());
 
   // Interned composite states.
-  std::map<CompositeState, StateId> ids;
-  std::vector<CompositeState> composites;
+  FlatIdMap<CompositeState, CompositeStateHash> ids;
   std::queue<StateId> work;
   auto intern = [&](const CompositeState& cs) -> Result<StateId> {
-    auto it = ids.find(cs);
-    if (it != ids.end()) return it->second;
-    if (composites.size() >= options.max_states) {
+    auto [id, inserted] = ids.Intern(cs);
+    if (!inserted) return id;
+    if (static_cast<size_t>(id) >= options.max_states) {
       return Status::ResourceExhausted(
           "EliminateEqualityConstraints: state budget exceeded");
     }
@@ -72,11 +84,9 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
     for (const Book& book : cs.books) {
       name += "/" + std::to_string(book.on) + "." + std::to_string(book.dead);
     }
-    StateId id = b.AddState(name);
+    RAV_CHECK_EQ(b.AddState(name), id);
     b.SetInitial(id, false);  // initials set below
     b.SetFinal(id, a.IsFinal(cs.q));
-    ids.emplace(cs, id);
-    composites.push_back(cs);
     work.push(id);
     return id;
   };
@@ -96,7 +106,7 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
   while (!work.empty()) {
     StateId from_id = work.front();
     work.pop();
-    CompositeState from = composites[from_id];
+    CompositeState from = ids.KeyOf(from_id);
     const int q = from.q;
 
     for (int ti : a.TransitionsFrom(q)) {
@@ -229,7 +239,7 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
     for (int s = 0; s < c->dfa.num_states(); ++s) {
       lifted.SetAccepting(s, c->dfa.IsAccepting(s));
       for (StateId bs = 0; bs < b_ref.num_states(); ++bs) {
-        lifted.SetTransition(s, bs, c->dfa.Next(s, composites[bs].q));
+        lifted.SetTransition(s, bs, c->dfa.Next(s, ids.KeyOf(bs).q));
       }
     }
     RAV_RETURN_IF_ERROR(out.AddConstraintDfa(c->i, c->j, /*is_equality=*/false,

@@ -43,8 +43,7 @@ QuasiRegularControl::Verdict QuasiRegularControl::Contains(
     verdict.clique_bounded = true;
     return verdict;
   }
-  ConstraintClosure wider(*era_, *alphabet_, control_word,
-                          window + control_word.cycle.size());
+  ConstraintClosure wider = closure.ExtendedBy(1);
   int wider_clique = wider.AdomCliqueNumber();
   verdict.clique_bounded =
       verdict.clique < 0 || wider_clique < 0 || wider_clique <= verdict.clique;

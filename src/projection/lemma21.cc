@@ -1,10 +1,11 @@
 #include "projection/lemma21.h"
 
 #include <cstdint>
-#include <map>
 #include <tuple>
 #include <vector>
 
+#include "base/flat_map.h"
+#include "base/hash.h"
 #include "base/metrics.h"
 #include "base/trace.h"
 
@@ -21,6 +22,16 @@ struct Wavefront {
   uint64_t distinct = 0;
   int prev_state = -1;  // the symbol read at the previous position
   auto operator<=>(const Wavefront&) const = default;
+};
+
+struct WavefrontHash {
+  size_t operator()(const Wavefront& w) const {
+    size_t seed = 0;
+    HashCombineValue(seed, w.equal);
+    HashCombineValue(seed, w.distinct);
+    HashCombineValue(seed, w.prev_state);
+    return seed;
+  }
 };
 
 }  // namespace
@@ -67,18 +78,11 @@ Result<PropagationAutomata> PropagationAutomata::Build(
 
   for (int i = 0; i < k; ++i) {
     // Explore the reachable wavefront states for source register i.
-    std::map<Wavefront, int> ids;
-    std::vector<Wavefront> fronts;
-    // id 0 is the dedicated start state (before reading the first symbol).
+    // id 0 is the dedicated start state (before reading the first symbol),
+    // so interned ids shift by 1.
+    FlatIdMap<Wavefront, WavefrontHash> ids;
     std::vector<std::vector<int>> table;  // [id][symbol] -> id
-    auto intern = [&](const Wavefront& w) {
-      auto it = ids.find(w);
-      if (it != ids.end()) return it->second + 1;  // ids shift by 1 (start=0)
-      int id = static_cast<int>(fronts.size());
-      ids.emplace(w, id);
-      fronts.push_back(w);
-      return id + 1;
-    };
+    auto intern = [&](const Wavefront& w) { return ids.Intern(w).first + 1; };
 
     // Start transitions: reading the first symbol q at position a seeds S
     // and D from the x̄-part of q's type.
@@ -98,8 +102,8 @@ Result<PropagationAutomata> PropagationAutomata::Build(
     }
 
     // Saturate.
-    for (size_t front_index = 0; front_index < fronts.size(); ++front_index) {
-      Wavefront current = fronts[front_index];
+    for (size_t front_index = 0; front_index < ids.size(); ++front_index) {
+      Wavefront current = ids.KeyOf(static_cast<int>(front_index));
       std::vector<int> row(a.num_states());
       const Type& g = *guard_of[current.prev_state];
       for (StateId q = 0; q < a.num_states(); ++q) {
@@ -135,14 +139,14 @@ Result<PropagationAutomata> PropagationAutomata::Build(
         row[q] = intern(next);
       }
       table.push_back(std::move(row));
-      // `fronts` may have grown; the loop continues over new entries.
+      // `ids` may have grown; the loop continues over new entries.
     }
 
     out.raw_states_per_source_ =
-        std::max(out.raw_states_per_source_, static_cast<int>(fronts.size()));
+        std::max(out.raw_states_per_source_, static_cast<int>(ids.size()));
 
     // Materialize the per-(i, j) DFAs over the shared structure.
-    const int n = static_cast<int>(fronts.size()) + 1;
+    const int n = static_cast<int>(ids.size()) + 1;
     for (int j = 0; j < k; ++j) {
       Dfa eq(a.num_states(), n, 0);
       Dfa neq(a.num_states(), n, 0);
@@ -150,15 +154,14 @@ Result<PropagationAutomata> PropagationAutomata::Build(
         eq.SetTransition(0, q, start_row[q]);
         neq.SetTransition(0, q, start_row[q]);
       }
-      for (size_t s = 0; s < fronts.size(); ++s) {
+      for (size_t s = 0; s < ids.size(); ++s) {
+        const Wavefront& front = ids.KeyOf(static_cast<int>(s));
         for (StateId q = 0; q < a.num_states(); ++q) {
           eq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
           neq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
         }
-        eq.SetAccepting(static_cast<int>(s) + 1,
-                        (fronts[s].equal >> j) & 1);
-        neq.SetAccepting(static_cast<int>(s) + 1,
-                         (fronts[s].distinct >> j) & 1);
+        eq.SetAccepting(static_cast<int>(s) + 1, (front.equal >> j) & 1);
+        neq.SetAccepting(static_cast<int>(s) + 1, (front.distinct >> j) & 1);
       }
       out.eq_dfas_.push_back(eq.Minimize());
       out.neq_dfas_.push_back(neq.Minimize());

@@ -59,9 +59,14 @@ int BipartiteMinVertexCover(int n_left, int n_right,
 int MaxCutVertexCover(const ExtendedAutomaton& era,
                       const ControlAlphabet& alphabet, const LassoWord& lasso,
                       size_t window) {
-  RAV_METRIC_COUNT("projection/lr_bounded/cover_computations", 1);
-  const int k = era.automaton().num_registers();
   ConstraintClosure closure(era, alphabet, lasso, window);
+  return MaxCutVertexCoverOfClosure(closure);
+}
+
+int MaxCutVertexCoverOfClosure(const ConstraintClosure& closure) {
+  RAV_METRIC_COUNT("projection/lr_bounded/cover_computations", 1);
+  const int k = closure.num_registers();
+  const size_t window = closure.window();
   if (!closure.consistent()) return -1;
 
   // Span of each class: [min position, max position].
@@ -77,7 +82,7 @@ int MaxCutVertexCover(const ExtendedAutomaton& era,
   }
   // Constant classes span everything; treat them as straddling every cut
   // (they never participate in G^w_h edges).
-  for (int c = 0; c < era.automaton().schema().num_constants(); ++c) {
+  for (int c = 0; c < closure.num_constants(); ++c) {
     int cls = closure.ClassOf(closure.ConstantNode(c));
     min_pos[cls] = 0;
     max_pos[cls] = static_cast<int>(window) - 1;
@@ -141,6 +146,9 @@ Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
     pump_small = 2 * static_cast<size_t>(era.MaxConstraintDfaStates()) + 2;
   }
   if (pump_large == 0) pump_large = 2 * pump_small;
+  // Growth detection compares a window against a larger one; a smaller
+  // "large" pump would measure nothing.
+  if (pump_large < pump_small) pump_large = pump_small;
 
   // Per-lasso cover measurement, run on the engine's workers. The
   // aggregation (max over covers, or over growth flags) is commutative and
@@ -153,12 +161,17 @@ Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
                       LassoWorkerCounters& counters) -> LassoVerdict {
     const LassoWord& lasso = candidate.word;
     size_t w_small = lasso.prefix.size() + lasso.cycle.size() * pump_small;
-    size_t w_large = lasso.prefix.size() + lasso.cycle.size() * pump_large;
     ++counters.closures_built;
-    int cover_small = MaxCutVertexCover(era, alphabet, lasso, w_small);
+    ConstraintClosure small(era, alphabet, lasso, w_small,
+                            &counters.scratch);
+    int cover_small = MaxCutVertexCoverOfClosure(small);
     if (cover_small < 0) return LassoVerdict::kInconsistent;
-    ++counters.closures_built;
-    int cover_large = MaxCutVertexCover(era, alphabet, lasso, w_large);
+    // The large window shares the small one's prefix: grow the closure by
+    // the extra cycle pumps instead of rebuilding from position 0.
+    ++counters.closures_extended;
+    ConstraintClosure large =
+        small.ExtendedBy(pump_large - pump_small, &counters.scratch);
+    int cover_large = MaxCutVertexCoverOfClosure(large);
     {
       std::lock_guard<std::mutex> lock(fold_mu);
       max_cover = std::max(max_cover, cover_small);

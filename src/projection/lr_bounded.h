@@ -70,6 +70,12 @@ int MaxCutVertexCover(const ExtendedAutomaton& era,
                       const ControlAlphabet& alphabet, const LassoWord& lasso,
                       size_t window);
 
+// Same measurement on a prebuilt closure (window = closure.window()), so
+// callers comparing several window sizes of one lasso can grow a single
+// closure with ExtendedBy instead of rebuilding. Returns -1 if the
+// closure is inconsistent.
+int MaxCutVertexCoverOfClosure(const ConstraintClosure& closure);
+
 // Minimum vertex cover of a bipartite graph given as edges between left
 // ids [0, n_left) and right ids [0, n_right), via maximum matching
 // (König). Exposed for tests.

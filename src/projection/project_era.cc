@@ -1,10 +1,11 @@
 #include "projection/project_era.h"
 
 #include <cstdint>
-#include <map>
 #include <set>
 #include <vector>
 
+#include "base/flat_map.h"
+#include "base/hash.h"
 #include "era/prop6.h"
 #include "ra/transform.h"
 #include "types/type.h"
@@ -33,6 +34,24 @@ struct CompositionState {
   // Per constraint: pending case-B edges.
   std::vector<std::vector<PendingEdge>> case_b;
   auto operator<=>(const CompositionState&) const = default;
+};
+
+struct CompositionStateHash {
+  size_t operator()(const CompositionState& cs) const {
+    size_t seed = 0;
+    HashCombineValue(seed, cs.equal);
+    HashCombineValue(seed, cs.distinct);
+    HashCombineValue(seed, cs.prev_state);
+    for (uint32_t mask : cs.case_a) HashCombineValue(seed, mask);
+    for (const auto& edges : cs.case_b) {
+      HashCombine(seed, edges.size());
+      for (const PendingEdge& e : edges) {
+        HashCombineValue(seed, e.dfa_state);
+        HashCombineValue(seed, e.carriers);
+      }
+    }
+    return seed;
+  }
 };
 
 }  // namespace
@@ -261,19 +280,16 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
   std::vector<Dfa> neq_dfas;
   int max_dfa = 0;
   for (int i = 0; i < m; ++i) {
-    std::map<CompositionState, int> ids;
-    std::vector<CompositionState> explored;
+    // Interned composition states; ids shift by 1 (start state = 0).
+    FlatIdMap<CompositionState, CompositionStateHash> ids;
     std::vector<std::vector<int>> table;
     auto intern = [&](const CompositionState& cs) -> Result<int> {
-      auto it = ids.find(cs);
-      if (it != ids.end()) return it->second + 1;
-      if (explored.size() >= options.max_composition_states) {
+      auto [id, inserted] = ids.Intern(cs);
+      if (inserted &&
+          static_cast<size_t>(id) >= options.max_composition_states) {
         return Status::ResourceExhausted(
             "ProjectExtendedAutomaton: composition state budget exceeded");
       }
-      int id = static_cast<int>(explored.size());
-      ids.emplace(cs, id);
-      explored.push_back(cs);
       return id + 1;
     };
 
@@ -292,8 +308,8 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
       RAV_ASSIGN_OR_RETURN(int id, intern(st));
       start_row[q] = id;
     }
-    for (size_t index = 0; index < explored.size(); ++index) {
-      CompositionState current = explored[index];
+    for (size_t index = 0; index < ids.size(); ++index) {
+      CompositionState current = ids.KeyOf(static_cast<int>(index));
       std::vector<int> row(a.num_states());
       for (StateId q = 0; q < a.num_states(); ++q) {
         CompositionState st = step(&current, q);
@@ -304,7 +320,7 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
       table.push_back(std::move(row));
     }
 
-    const int n = static_cast<int>(explored.size()) + 1;
+    const int n = static_cast<int>(ids.size()) + 1;
     for (int j = 0; j < m; ++j) {
       Dfa eq(a.num_states(), n, 0);
       Dfa neq(a.num_states(), n, 0);
@@ -312,15 +328,14 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
         eq.SetTransition(0, q, start_row[q]);
         neq.SetTransition(0, q, start_row[q]);
       }
-      for (size_t s = 0; s < explored.size(); ++s) {
+      for (size_t s = 0; s < ids.size(); ++s) {
+        const CompositionState& state = ids.KeyOf(static_cast<int>(s));
         for (StateId q = 0; q < a.num_states(); ++q) {
           eq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
           neq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
         }
-        eq.SetAccepting(static_cast<int>(s) + 1,
-                        (explored[s].equal >> j) & 1);
-        neq.SetAccepting(static_cast<int>(s) + 1,
-                         (explored[s].distinct >> j) & 1);
+        eq.SetAccepting(static_cast<int>(s) + 1, (state.equal >> j) & 1);
+        neq.SetAccepting(static_cast<int>(s) + 1, (state.distinct >> j) & 1);
       }
       eq_dfas.push_back(eq.Minimize());
       neq_dfas.push_back(neq.Minimize());

@@ -1,9 +1,10 @@
 #include "projection/prop22.h"
 
 #include <functional>
-#include <map>
 #include <queue>
 
+#include "base/flat_map.h"
+#include "base/hash.h"
 #include "types/type.h"
 
 namespace rav {
@@ -144,17 +145,22 @@ Result<RegisterAutomaton> RealizeLrBoundedEra(const ExtendedAutomaton& era,
     std::vector<StateId> recent;
     auto operator<=>(const NewState&) const = default;
   };
-  std::map<NewState, StateId> ids;
-  std::vector<NewState> states;
+  struct NewStateHash {
+    size_t operator()(const NewState& ns) const {
+      size_t seed = ns.recent.size();
+      HashCombineValue(seed, ns.q);
+      for (StateId r : ns.recent) HashCombineValue(seed, r);
+      return seed;
+    }
+  };
+  FlatIdMap<NewState, NewStateHash> ids;
   std::queue<StateId> work;
   auto intern = [&](const NewState& ns) {
-    auto it = ids.find(ns);
-    if (it != ids.end()) return it->second;
+    auto [id, inserted] = ids.Intern(ns);
+    if (!inserted) return id;
     std::string name = b.state_name(ns.q);
     for (StateId r : ns.recent) name += "<" + b.state_name(r);
-    StateId id = out.AddState(name);
-    ids.emplace(ns, id);
-    states.push_back(ns);
+    RAV_CHECK_EQ(out.AddState(name), id);
     out.SetInitial(id, false);
     out.SetFinal(id, b.IsFinal(ns.q));
     work.push(id);
@@ -168,7 +174,7 @@ Result<RegisterAutomaton> RealizeLrBoundedEra(const ExtendedAutomaton& era,
   while (!work.empty()) {
     StateId from_id = work.front();
     work.pop();
-    NewState from = states[from_id];
+    NewState from = ids.KeyOf(from_id);
     for (int ti = 0; ti < b.num_transitions(); ++ti) {
       const RaTransition& t = b.transition(ti);
       if (t.from != from.q) continue;

@@ -13,6 +13,11 @@ ControlAlphabet::ControlAlphabet(const RegisterAutomaton& automaton) {
     }
     transition_symbol_[ti] = symbol;
   }
+  const int k = automaton.num_registers();
+  restricted_.reserve(symbols_.size());
+  for (const auto& [state, guard] : symbols_) {
+    restricted_.push_back(RestrictToX(guard, k));
+  }
 }
 
 int ControlAlphabet::SymbolOf(StateId q, const Type& guard) const {

@@ -22,6 +22,11 @@ class ControlAlphabet {
 
   StateId state_of(int symbol) const { return symbols_[symbol].first; }
   const Type& guard_of(int symbol) const { return symbols_[symbol].second; }
+  // guard_of(symbol) restricted to its x̄-part, precomputed once — the
+  // closure engine applies it at every window's last position.
+  const Type& x_restricted_guard_of(int symbol) const {
+    return restricted_[symbol];
+  }
 
   // Symbol of (q, guard), or -1.
   int SymbolOf(StateId q, const Type& guard) const;
@@ -35,6 +40,7 @@ class ControlAlphabet {
 
  private:
   std::vector<std::pair<StateId, Type>> symbols_;
+  std::vector<Type> restricted_;
   std::vector<int> transition_symbol_;
 };
 

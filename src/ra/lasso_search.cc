@@ -1,5 +1,7 @@
 #include "ra/lasso_search.h"
 
+#include <functional>
+
 #include "ra/simulate.h"
 
 namespace rav {
@@ -7,30 +9,96 @@ namespace rav {
 std::optional<LassoRun> FindLassoRunByEnumeration(
     const RegisterAutomaton& automaton, const Database& db, size_t max_length,
     const std::vector<DataValue>& value_pool) {
-  std::optional<LassoRun> found;
-  for (size_t length = 2; length <= max_length && !found.has_value();
-       ++length) {
-    EnumerateRuns(automaton, db, length, value_pool,
-                  [&](const FiniteRun& run) {
-                    // Try every cycle start whose state matches a wrap
-                    // transition from the last position.
-                    for (size_t cs = 0; cs + 1 < run.length(); ++cs) {
-                      for (int ti :
-                           automaton.TransitionsFrom(run.states.back())) {
-                        if (automaton.transition(ti).to != run.states[cs]) {
-                          continue;
-                        }
-                        LassoRun candidate{run, cs, ti};
-                        if (ValidateLassoRun(automaton, db, candidate).ok()) {
-                          found = std::move(candidate);
-                          return false;
-                        }
-                      }
-                    }
-                    return true;
-                  });
+  if (max_length < 2) return std::nullopt;
+  const int k = automaton.num_registers();
+
+  std::optional<LassoRun> best;
+  // A single DFS replaces the old per-length re-enumeration: every prefix
+  // is tested for cycle-closing at every depth >= 2 as it is first built.
+  // Once a lasso of length L validates, only strictly shorter ones can
+  // precede it in the shortest-first order, so the cap drops to L - 1 and
+  // the search continues over the remaining shorter prefixes only —
+  // within one length, DFS preorder equals the old enumeration order, so
+  // the returned witness is identical.
+  size_t depth_cap = max_length;
+  FiniteRun run;
+  bool done = false;
+
+  // Odometer over value_pool^k, in the EnumerateRuns tuple order.
+  auto for_each_tuple = [&](const std::function<bool(const ValueTuple&)>& f) {
+    ValueTuple tuple(k, value_pool.empty() ? 0 : value_pool[0]);
+    if (k == 0) return f(tuple);
+    if (value_pool.empty()) return true;
+    std::vector<size_t> idx(k, 0);
+    while (true) {
+      for (int i = 0; i < k; ++i) tuple[i] = value_pool[idx[i]];
+      if (!f(tuple)) return false;
+      int i = k - 1;
+      while (i >= 0 && idx[i] + 1 == value_pool.size()) {
+        idx[i] = 0;
+        --i;
+      }
+      if (i < 0) return true;
+      ++idx[i];
+    }
+  };
+
+  auto try_close = [&]() {
+    // Try every cycle start whose state matches a wrap transition from
+    // the last position.
+    for (size_t cs = 0; cs + 1 < run.length(); ++cs) {
+      for (int ti : automaton.TransitionsFrom(run.states.back())) {
+        if (automaton.transition(ti).to != run.states[cs]) continue;
+        LassoRun candidate{run, cs, ti};
+        if (ValidateLassoRun(automaton, db, candidate).ok()) {
+          best = std::move(candidate);
+          depth_cap = run.length() - 1;
+          if (depth_cap < 2) done = true;  // nothing shorter exists
+          return;
+        }
+      }
+    }
+  };
+
+  std::function<void()> extend = [&]() {
+    if (done) return;
+    if (run.length() >= 2) try_close();
+    if (done || run.length() >= depth_cap) return;
+    StateId q = run.states.back();
+    for (int ti : automaton.TransitionsFrom(q)) {
+      if (done) return;
+      const RaTransition& t = automaton.transition(ti);
+      for_each_tuple([&](const ValueTuple& next) {
+        ValueTuple xy;
+        xy.reserve(2 * next.size());
+        xy.insert(xy.end(), run.values.back().begin(),
+                  run.values.back().end());
+        xy.insert(xy.end(), next.begin(), next.end());
+        if (t.guard.HoldsIn(db, xy)) {
+          run.values.push_back(next);
+          run.states.push_back(t.to);
+          run.transition_indices.push_back(ti);
+          extend();
+          run.values.pop_back();
+          run.states.pop_back();
+          run.transition_indices.pop_back();
+        }
+        return !done;
+      });
+    }
+  };
+
+  for (StateId q0 : automaton.InitialStates()) {
+    if (done) break;
+    for_each_tuple([&](const ValueTuple& d0) {
+      run.values = {d0};
+      run.states = {q0};
+      run.transition_indices.clear();
+      extend();
+      return !done;
+    });
   }
-  return found;
+  return best;
 }
 
 }  // namespace rav

@@ -1,0 +1,206 @@
+// Differential tests of the linear-pass constraint-closure engine against
+// the reference per-start-restart engine, and of ExtendedBy against a
+// from-scratch rebuild. The two engines must agree on every observable:
+// consistency, the class assignment of every node, adom membership, and
+// the deduplicated inequality edge set.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "era/constraint_graph.h"
+#include "ra/control.h"
+#include "ra/random.h"
+
+namespace rav {
+namespace {
+
+Dfa RandomConstraintDfa(std::mt19937& rng, int alphabet_size) {
+  std::uniform_int_distribution<int> num_states_dist(1, 5);
+  const int n = num_states_dist(rng);
+  std::uniform_int_distribution<int> state_dist(0, n - 1);
+  Dfa dfa(alphabet_size, n, state_dist(rng));
+  std::uniform_int_distribution<int> accept_dist(0, 3);
+  for (int s = 0; s < n; ++s) {
+    for (int a = 0; a < alphabet_size; ++a) {
+      dfa.SetTransition(s, a, state_dist(rng));
+    }
+    dfa.SetAccepting(s, accept_dist(rng) == 0);
+  }
+  return dfa;
+}
+
+struct RandomInstance {
+  ExtendedAutomaton era;
+  ControlAlphabet alphabet;
+  LassoWord word;
+};
+
+RandomInstance MakeInstance(std::mt19937& rng) {
+  RandomAutomatonOptions options;
+  std::uniform_int_distribution<int> reg_dist(1, 3);
+  options.num_registers = reg_dist(rng);
+  std::uniform_int_distribution<int> state_dist(2, 4);
+  options.num_states = state_dist(rng);
+  options.num_transitions = 2 * options.num_states;
+  if (std::uniform_int_distribution<int>(0, 1)(rng) == 1) {
+    options.schema.AddConstant("c0");
+    if (std::uniform_int_distribution<int>(0, 1)(rng) == 1) {
+      options.schema.AddConstant("c1");
+    }
+  }
+  RegisterAutomaton a = RandomAutomaton(rng, options);
+  const int num_states = a.num_states();
+  const int k = a.num_registers();
+  ExtendedAutomaton era(std::move(a));
+  std::uniform_int_distribution<int> num_constraints_dist(1, 4);
+  std::uniform_int_distribution<int> reg_pick(0, k - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+  const int nc = num_constraints_dist(rng);
+  for (int c = 0; c < nc; ++c) {
+    EXPECT_TRUE(era.AddConstraintDfa(reg_pick(rng), reg_pick(rng),
+                                     /*is_equality=*/coin(rng) == 1,
+                                     RandomConstraintDfa(rng, num_states))
+                    .ok());
+  }
+  ControlAlphabet alphabet(era.automaton());
+  // The closure does not require the word to follow the transition
+  // relation, so any symbol sequence exercises it.
+  std::uniform_int_distribution<int> symbol_dist(0, alphabet.size() - 1);
+  LassoWord word;
+  std::uniform_int_distribution<int> prefix_len(0, 3);
+  std::uniform_int_distribution<int> cycle_len(1, 4);
+  const int np = prefix_len(rng);
+  const int nv = cycle_len(rng);
+  for (int i = 0; i < np; ++i) word.prefix.push_back(symbol_dist(rng));
+  for (int i = 0; i < nv; ++i) word.cycle.push_back(symbol_dist(rng));
+  return RandomInstance{std::move(era), std::move(alphabet),
+                        std::move(word)};
+}
+
+void ExpectSameClosure(const ConstraintClosure& got,
+                       const ConstraintClosure& want) {
+  ASSERT_EQ(got.window(), want.window());
+  ASSERT_EQ(got.num_nodes(), want.num_nodes());
+  EXPECT_EQ(got.consistent(), want.consistent());
+  ASSERT_EQ(got.num_classes(), want.num_classes());
+  for (int v = 0; v < got.num_nodes(); ++v) {
+    EXPECT_EQ(got.ClassOf(v), want.ClassOf(v)) << "node " << v;
+  }
+  for (int c = 0; c < got.num_classes(); ++c) {
+    EXPECT_EQ(got.ClassInAdom(c), want.ClassInAdom(c)) << "class " << c;
+  }
+  EXPECT_EQ(got.InequalityEdges(), want.InequalityEdges());
+  EXPECT_EQ(got.NumAdomClasses(), want.NumAdomClasses());
+}
+
+TEST(ClosureDiffTest, LinearMatchesReferenceOnRandomInstances) {
+  std::mt19937 rng(20260806);
+  ClosureScratch scratch;  // shared across iterations, like a search worker
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    RandomInstance inst = MakeInstance(rng);
+    std::uniform_int_distribution<size_t> window_dist(
+        inst.word.prefix.size() + inst.word.cycle.size(), 40);
+    const size_t window = window_dist(rng);
+    ConstraintClosure fast(inst.era, inst.alphabet, inst.word, window,
+                           &scratch, ClosureEngine::kLinear);
+    ConstraintClosure reference = ReferenceConstraintClosure(
+        inst.era, inst.alphabet, inst.word, window, &scratch);
+    ExpectSameClosure(fast, reference);
+    // The default kAuto engine must agree with both whichever way the
+    // window-size crossover resolves it.
+    ConstraintClosure auto_pick(inst.era, inst.alphabet, inst.word, window,
+                                &scratch);
+    ExpectSameClosure(auto_pick, reference);
+  }
+}
+
+TEST(ClosureDiffTest, ExtendedByMatchesRebuild) {
+  std::mt19937 rng(987654321);
+  ClosureScratch scratch;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    RandomInstance inst = MakeInstance(rng);
+    std::uniform_int_distribution<size_t> window_dist(
+        inst.word.prefix.size() + inst.word.cycle.size(), 25);
+    std::uniform_int_distribution<size_t> extra_dist(0, 4);
+    const size_t window = window_dist(rng);
+    const size_t extra_cycles = extra_dist(rng);
+    const size_t wider_window =
+        window + extra_cycles * inst.word.cycle.size();
+
+    ConstraintClosure base(inst.era, inst.alphabet, inst.word, window,
+                           &scratch, ClosureEngine::kLinear);
+    ConstraintClosure extended = base.ExtendedBy(extra_cycles, &scratch);
+    ConstraintClosure rebuilt(inst.era, inst.alphabet, inst.word,
+                              wider_window, &scratch,
+                              ClosureEngine::kLinear);
+    ExpectSameClosure(extended, rebuilt);
+    // And against the reference engine at the wider window.
+    ConstraintClosure reference = ReferenceConstraintClosure(
+        inst.era, inst.alphabet, inst.word, wider_window);
+    ExpectSameClosure(extended, reference);
+  }
+}
+
+TEST(ClosureDiffTest, ExtendingTwiceMatchesExtendingOnce) {
+  std::mt19937 rng(424242);
+  ClosureScratch scratch;
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    RandomInstance inst = MakeInstance(rng);
+    const size_t window =
+        inst.word.prefix.size() + 2 * inst.word.cycle.size();
+    ConstraintClosure base(inst.era, inst.alphabet, inst.word, window,
+                           &scratch, ClosureEngine::kLinear);
+    ConstraintClosure twice =
+        base.ExtendedBy(1, &scratch).ExtendedBy(2, &scratch);
+    ConstraintClosure once = base.ExtendedBy(3, &scratch);
+    ExpectSameClosure(twice, once);
+  }
+}
+
+TEST(ClosureDiffTest, ReferenceEngineExtendedByRebuilds) {
+  std::mt19937 rng(7);
+  RandomInstance inst = MakeInstance(rng);
+  const size_t window = inst.word.prefix.size() + inst.word.cycle.size();
+  ConstraintClosure reference = ReferenceConstraintClosure(
+      inst.era, inst.alphabet, inst.word, window);
+  ConstraintClosure wider = reference.ExtendedBy(2);
+  EXPECT_EQ(wider.window(), window + 2 * inst.word.cycle.size());
+  ConstraintClosure rebuilt = ReferenceConstraintClosure(
+      inst.era, inst.alphabet, inst.word, wider.window());
+  ExpectSameClosure(wider, rebuilt);
+}
+
+// kAuto picks the reference restarts below the crossover window and the
+// linear sweep above it, and an auto-picked small closure extended past
+// the crossover re-resolves to the linear engine.
+TEST(ClosureDiffTest, AutoEngineCrossesOverByWindowSize) {
+  std::mt19937 rng(20260807);
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    RandomInstance inst = MakeInstance(rng);
+    if (inst.era.constraints().empty()) continue;
+    int max_states = 0;
+    for (const auto& c : inst.era.constraints()) {
+      max_states = std::max(max_states, c.dfa.num_states());
+    }
+    const size_t crossover = 2 * static_cast<size_t>(max_states);
+    const size_t small = inst.word.prefix.size() + inst.word.cycle.size();
+    ConstraintClosure at_small(inst.era, inst.alphabet, inst.word, small);
+    EXPECT_EQ(at_small.engine(), small >= crossover
+                                     ? ClosureEngine::kLinear
+                                     : ClosureEngine::kReference);
+    // Extend well past the crossover: the result must re-resolve to the
+    // linear engine and still match a reference rebuild.
+    size_t cycles = 0;
+    while (small + cycles * inst.word.cycle.size() < crossover + 8) ++cycles;
+    ConstraintClosure wide = at_small.ExtendedBy(cycles);
+    EXPECT_EQ(wide.engine(), ClosureEngine::kLinear);
+    ConstraintClosure rebuilt = ReferenceConstraintClosure(
+        inst.era, inst.alphabet, inst.word, wide.window());
+    ExpectSameClosure(wide, rebuilt);
+  }
+}
+
+}  // namespace
+}  // namespace rav

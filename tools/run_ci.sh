@@ -12,12 +12,20 @@
 #   5. consistency: every bench_* name mentioned in EXPERIMENTS.md must be
 #      a real benchmark target, and every report must carry a verdict
 #
+# Pipeline continues:
+#   6. perf-regression gate: the hot benchmarks below are compared against
+#      the committed baseline (`git show HEAD:BENCH_RESULTS.json`); a
+#      >RAV_PERF_GATE_RATIO× cpu_ns_per_iter slowdown fails the run
+#
 # Environment knobs:
 #   RAV_BENCH_MIN_TIME  google-benchmark min time per benchmark, seconds
 #                       (default 0.05 — the full suite in a few minutes;
 #                       raise for publication-quality numbers)
 #   RAV_BENCH_FILTER    --benchmark_filter regex passed to every bench
 #   RAV_JOBS            parallel build jobs (default: nproc)
+#   RAV_PERF_GATE       "off" skips the perf-regression gate (noisy or
+#                       shared machines); default "on"
+#   RAV_PERF_GATE_RATIO slowdown factor that fails the gate (default 1.3)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -76,5 +84,67 @@ if bad:
 print(f"{len(merged['reports'])} reports merged, all verdicts present")
 EOF
 [ "$fail" -eq 0 ] || exit 1
+
+echo "== perf-regression gate =="
+# The hot benchmarks below guard the closure engine and the decision
+# procedures built on it. Their cpu_ns_per_iter is compared against the
+# committed baseline (the HEAD version of BENCH_RESULTS.json — the
+# working-tree file was just overwritten by this run). Benchmarks absent
+# from the baseline (new in this change) are skipped.
+if [ "${RAV_PERF_GATE:-on}" = "off" ]; then
+  echo "perf gate skipped (RAV_PERF_GATE=off)"
+elif ! git show HEAD:BENCH_RESULTS.json >build/reports/baseline.json \
+    2>/dev/null; then
+  echo "perf gate skipped (no committed BENCH_RESULTS.json baseline)"
+else
+  python3 - "$OUT" build/reports/baseline.json \
+      "${RAV_PERF_GATE_RATIO:-1.3}" <<'EOF'
+import json, sys
+
+HOT_PREFIXES = (
+    "BM_ClosureLinear/",
+    "BM_ClosureExtendOneCycle/",
+    "BM_EmptinessExample5/",
+    "BM_EmptinessContradictory/",
+    "BM_LrBoundWindowFamily/",
+    "BM_ClosureAndColoring/",
+    "BM_PumpSweep/",
+    "BM_RealizeWitness/",
+)
+
+def cpu_times(path):
+    with open(path) as f:
+        merged = json.load(f)
+    out = {}
+    for report in merged["reports"]:
+        for b in report["metrics"]["benchmarks"]:
+            name = b["name"]
+            if name.startswith(HOT_PREFIXES):
+                out[name] = b["cpu_ns_per_iter"]
+    return out
+
+current = cpu_times(sys.argv[1])
+baseline = cpu_times(sys.argv[2])
+ratio_limit = float(sys.argv[3])
+regressions, compared = [], 0
+for name, base_ns in sorted(baseline.items()):
+    if name not in current or base_ns <= 0:
+        continue
+    compared += 1
+    ratio = current[name] / base_ns
+    if ratio > ratio_limit:
+        regressions.append(f"  {name}: {base_ns:.0f} ns -> "
+                           f"{current[name]:.0f} ns ({ratio:.2f}x)")
+if regressions:
+    print(f"perf gate FAILED (> {ratio_limit}x on {len(regressions)} of "
+          f"{compared} hot benchmarks):", file=sys.stderr)
+    print("\n".join(regressions), file=sys.stderr)
+    print("override on a noisy machine with RAV_PERF_GATE=off",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"perf gate passed: {compared} hot benchmarks within "
+      f"{ratio_limit}x of the committed baseline")
+EOF
+fi
 
 echo "== done: $OUT =="
