@@ -1,0 +1,120 @@
+// E18 — Static analysis: lint cost and analyze-and-strip speedup.
+// Claim: the analysis/ passes are cheap relative to the decision
+// procedures they guard (lint is microseconds even with dead structure),
+// and AnalyzeAndStrip pays for itself: on specs carrying dead states,
+// dead transitions, and vacuous constraints, emptiness with stripping
+// (the default) beats the unstripped search by removing control symbols
+// and constraint sweeps the search would otherwise pay for on every
+// closure, at an identical bounded verdict.
+// Counters: diagnostics, states_removed, transitions_removed,
+// constraints_removed, nonempty, lassos_tried.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "analysis/lint.h"
+#include "bench_common.h"
+#include "era/emptiness.h"
+
+RAV_BENCH_EXPERIMENT(
+    "E18",
+    "lint passes cost microseconds and AnalyzeAndStrip speeds up "
+    "emptiness on specs with dead structure at an identical verdict")
+
+namespace rav {
+namespace {
+
+// Example 5's completed core plus `dead` units of removable structure:
+// each unit is a reachable dead-end state, an unreachable feeder state
+// (both with guards reused from the complete core, so the automaton
+// stays complete), and a vacuous constraint anchored at the feeder.
+ExtendedAutomaton SeededEra(int dead) {
+  ExtendedAutomaton core = bench::CompletedEra(bench::MakeExample5());
+  RegisterAutomaton a = core.automaton();
+  const RaTransition seed = a.transition(0);
+  for (int d = 0; d < dead; ++d) {
+    StateId sink = a.AddState("sink" + std::to_string(d));
+    StateId orphan = a.AddState("orphan" + std::to_string(d));
+    a.AddTransition(seed.from, seed.guard, sink);
+    a.AddTransition(orphan, seed.guard, seed.from);
+  }
+  ExtendedAutomaton era(std::move(a));
+  // The core constraints must be recompiled from their regex text: their
+  // DFAs were built over the smaller state alphabet.
+  for (const GlobalConstraint& c : core.constraints()) {
+    RAV_CHECK(
+        era.AddConstraintFromText(c.i, c.j, c.is_equality, c.description)
+            .ok());
+  }
+  for (int d = 0; d < dead; ++d) {
+    const std::string orphan = "orphan" + std::to_string(d);
+    RAV_CHECK(era.AddConstraintFromText(0, 0, /*is_equality=*/true,
+                                        orphan + " " + orphan)
+                  .ok());
+  }
+  return era;
+}
+
+void BM_Lint(benchmark::State& state) {
+  ExtendedAutomaton era = SeededEra(static_cast<int>(state.range(0)));
+  size_t diagnostics = 0;
+  for (auto _ : state) {
+    auto result = analysis::Lint(era);
+    diagnostics = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["diagnostics"] = static_cast<double>(diagnostics);
+}
+BENCHMARK(BM_Lint)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AnalyzeAndStrip(benchmark::State& state) {
+  ExtendedAutomaton era = SeededEra(static_cast<int>(state.range(0)));
+  analysis::StripResult last;
+  for (auto _ : state) {
+    auto result = analysis::AnalyzeAndStrip(era);
+    benchmark::DoNotOptimize(result);
+    last = std::move(result);
+  }
+  state.counters["states_removed"] = static_cast<double>(last.states_removed);
+  state.counters["transitions_removed"] =
+      static_cast<double>(last.transitions_removed);
+  state.counters["constraints_removed"] =
+      static_cast<double>(last.constraints_removed);
+}
+BENCHMARK(BM_AnalyzeAndStrip)->Arg(4)->Arg(16)->Arg(64);
+
+// Emptiness with and without stripping, same bounds: the gap is what the
+// dead structure costs the search. `pump` is pinned so both sides use
+// identical closure windows (the procedures pin it the same way
+// internally; see era/emptiness.cc).
+void EmptinessWithStrip(benchmark::State& state, bool strip) {
+  ExtendedAutomaton era = SeededEra(static_cast<int>(state.range(0)));
+  ControlAlphabet alphabet(era.automaton());
+  EraEmptinessOptions options;
+  options.analyze_and_strip = strip;
+  options.max_lasso_length = 6;
+  options.pump = SuggestedPumpCount(era);
+  EraEmptinessResult last;
+  for (auto _ : state) {
+    auto result = CheckEraEmptiness(era, alphabet, options);
+    RAV_CHECK(result.ok());
+    last = *result;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["nonempty"] = last.nonempty;
+  state.counters["lassos_tried"] = static_cast<double>(last.lassos_tried);
+}
+
+void BM_EmptinessStripOn(benchmark::State& state) {
+  EmptinessWithStrip(state, true);
+}
+BENCHMARK(BM_EmptinessStripOn)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EmptinessStripOff(benchmark::State& state) {
+  EmptinessWithStrip(state, false);
+}
+BENCHMARK(BM_EmptinessStripOff)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace rav

@@ -1,0 +1,59 @@
+#include "analysis/diagnostic.h"
+
+namespace rav::analysis {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic,
+                             const std::string& file) {
+  std::string out;
+  if (!file.empty()) out += file + ":";
+  if (diagnostic.loc.valid()) {
+    out += diagnostic.loc.ToString() + ":";
+  }
+  if (!out.empty()) out += " ";
+  out += SeverityName(diagnostic.severity);
+  out += ": ";
+  out += diagnostic.code;
+  out += ": ";
+  out += diagnostic.message;
+  return out;
+}
+
+Severity MaxSeverity(const std::vector<Diagnostic>& diagnostics) {
+  Severity max = Severity::kNote;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity > max) max = d.severity;
+  }
+  return max;
+}
+
+Json DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& file) {
+  Json doc = Json::Object();
+  doc.Set("file", Json::String(file));
+  Json rows = Json::Array();
+  for (const Diagnostic& d : diagnostics) {
+    Json row = Json::Object();
+    row.Set("code", Json::String(d.code));
+    row.Set("severity", Json::String(SeverityName(d.severity)));
+    row.Set("line", Json::Number(d.loc.line));
+    row.Set("column", Json::Number(d.loc.column));
+    row.Set("message", Json::String(d.message));
+    rows.Append(std::move(row));
+  }
+  doc.Set("diagnostics", std::move(rows));
+  return doc;
+}
+
+}  // namespace rav::analysis

@@ -1,0 +1,45 @@
+#ifndef RAV_ANALYSIS_DIAGNOSTIC_H_
+#define RAV_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "base/report.h"
+#include "base/source_location.h"
+
+namespace rav::analysis {
+
+// Severity ladder of a lint finding. kError means the spec cannot mean
+// what it says (e.g. a constraint no run can ever satisfy); kWarning
+// flags dead or redundant structure; kNote is advisory.
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+// Stable name ("note", "warning", "error").
+const char* SeverityName(Severity severity);
+
+// One lint finding. `code` is stable across releases (docs/linting.md
+// catalogs every code); messages are human-oriented and may change.
+struct Diagnostic {
+  std::string code;  // "RAV001" ... "RAV010"
+  Severity severity = Severity::kWarning;
+  std::string message;
+  SourceLocation loc;  // invalid for automaton-level findings
+};
+
+// "file:3:7: warning: RAV001: ..." — the file and location prefixes are
+// omitted when `file` is empty / the location is invalid.
+std::string FormatDiagnostic(const Diagnostic& diagnostic,
+                             const std::string& file = "");
+
+// Highest severity present; kNote when `diagnostics` is empty.
+Severity MaxSeverity(const std::vector<Diagnostic>& diagnostics);
+
+// {"file": ..., "diagnostics": [{"code", "severity", "line", "column",
+// "message"}, ...]} — the schema documented in docs/linting.md. Line and
+// column are 0 for automaton-level findings.
+Json DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& file);
+
+}  // namespace rav::analysis
+
+#endif  // RAV_ANALYSIS_DIAGNOSTIC_H_

@@ -1,0 +1,29 @@
+#ifndef RAV_BASE_SOURCE_LOCATION_H_
+#define RAV_BASE_SOURCE_LOCATION_H_
+
+#include <string>
+
+namespace rav {
+
+// Position of a declaration in an automaton spec file (1-based, like
+// compiler diagnostics). Automata built programmatically carry invalid
+// (all-zero) locations; io/text_format fills them in during parsing so
+// that analysis/ diagnostics can point at spec lines.
+struct SourceLocation {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+
+  // "12:3", or "" for an invalid location.
+  std::string ToString() const {
+    if (!valid()) return "";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  bool operator==(const SourceLocation&) const = default;
+};
+
+}  // namespace rav
+
+#endif  // RAV_BASE_SOURCE_LOCATION_H_

@@ -18,10 +18,18 @@ Status EnhancedAutomaton::AddEqualityConstraint(int i, int j, Dfa dfa,
   eq_constraints_.push_back(GlobalConstraint{i, j, /*is_equality=*/true,
                                              std::move(dfa),
                                              std::move(description),
-                                             /*coreachable=*/{}});
+                                             /*coreachable=*/{},
+                                             /*loc=*/{}});
   eq_constraints_.back().coreachable =
       eq_constraints_.back().dfa.CoreachableStates();
   return Status::OK();
+}
+
+void EnhancedAutomaton::SetEqualityConstraintLocation(int index,
+                                                      SourceLocation loc) {
+  RAV_CHECK_GE(index, 0);
+  RAV_CHECK_LT(index, static_cast<int>(eq_constraints_.size()));
+  eq_constraints_[index].loc = loc;
 }
 
 Status EnhancedAutomaton::AddTupleConstraint(

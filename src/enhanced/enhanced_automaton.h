@@ -61,6 +61,10 @@ class EnhancedAutomaton {
   Status AddTupleConstraint(TupleInequalityConstraint constraint);
   Status AddFinitenessConstraint(FinitenessConstraint constraint);
 
+  // Records the spec-file position of equality constraint `index` (the
+  // counterpart of ExtendedAutomaton::SetConstraintLocation).
+  void SetEqualityConstraintLocation(int index, SourceLocation loc);
+
   const std::vector<GlobalConstraint>& equality_constraints() const {
     return eq_constraints_;
   }

@@ -3,6 +3,7 @@
 #include <functional>
 #include <map>
 
+#include "analysis/lint.h"
 #include "base/metrics.h"
 #include "base/trace.h"
 #include "era/run_check.h"
@@ -15,6 +16,36 @@ namespace {
 // Window length for a pumped lasso.
 size_t WindowLength(const LassoWord& w, size_t pump) {
   return w.prefix.size() + w.cycle.size() * pump;
+}
+
+// Translates a witness found on the stripped automaton back into the
+// caller's alphabet: a stripped symbol (q', δ) maps to the original
+// symbol (q, δ) where q is the original state with q's name (states keep
+// their names and guards are copied verbatim by AnalyzeAndStrip).
+Status RemapLassoWord(LassoWord& word,
+                      const RegisterAutomaton& stripped_automaton,
+                      const ControlAlphabet& stripped_alphabet,
+                      const RegisterAutomaton& original_automaton,
+                      const ControlAlphabet& original_alphabet) {
+  auto remap = [&](std::vector<int>& symbols) -> Status {
+    for (int& symbol : symbols) {
+      const StateId stripped_state = stripped_alphabet.state_of(symbol);
+      const StateId original_state = original_automaton.FindState(
+          stripped_automaton.state_name(stripped_state));
+      if (original_state < 0) {
+        return Status::Internal("strip witness remap: state vanished");
+      }
+      const int original_symbol = original_alphabet.SymbolOf(
+          original_state, stripped_alphabet.guard_of(symbol));
+      if (original_symbol < 0) {
+        return Status::Internal("strip witness remap: symbol vanished");
+      }
+      symbol = original_symbol;
+    }
+    return Status::OK();
+  };
+  RAV_RETURN_IF_ERROR(remap(word.prefix));
+  return remap(word.cycle);
 }
 
 }  // namespace
@@ -155,6 +186,29 @@ Result<EraEmptinessResult> CheckEraEmptiness(
         "CheckEraEmptiness: automaton must be complete (use Completed())");
   }
   RAV_TRACE_SPAN("era/emptiness");
+  if (options.analyze_and_strip) {
+    analysis::StripResult stripped =
+        analysis::AnalyzeAndStrip(era, analysis::StripEffort::kFast);
+    if (stripped.changed()) {
+      RAV_METRIC_COUNT("era/emptiness/strips", 1);
+      ControlAlphabet stripped_alphabet(stripped.era->automaton());
+      EraEmptinessOptions inner = options;
+      inner.analyze_and_strip = false;
+      // Pin the automatic pump to the original automaton: the suggested
+      // count depends on the constraint list, which stripping may shrink,
+      // and the bounded verdict must be identical either way.
+      if (inner.pump == 0) inner.pump = SuggestedPumpCount(era);
+      RAV_ASSIGN_OR_RETURN(
+          EraEmptinessResult result,
+          CheckEraEmptiness(*stripped.era, stripped_alphabet, inner));
+      if (result.nonempty) {
+        RAV_RETURN_IF_ERROR(RemapLassoWord(
+            result.control_word, stripped.era->automaton(), stripped_alphabet,
+            automaton, alphabet));
+      }
+      return result;
+    }
+  }
   Nba scontrol = [&] {
     RAV_TRACE_SPAN("scontrol");
     Nba nba = BuildSControlNba(automaton, alphabet);

@@ -32,6 +32,11 @@ struct EraEmptinessOptions {
   int num_workers = 1;
   // Candidates handed to the worker queue per producer push.
   size_t batch_size = 16;
+  // Run analysis::AnalyzeAndStrip first and search the reduced automaton
+  // (dead states/transitions and vacuous constraints removed; verdict and
+  // witness are unchanged — the witness is remapped back to the caller's
+  // alphabet). Metrics appear under analysis/*.
+  bool analyze_and_strip = true;
 };
 
 // Outcome of the emptiness search.

@@ -24,9 +24,16 @@ Status ExtendedAutomaton::AddConstraintDfa(int i, int j, bool is_equality,
   }
   constraints_.push_back(GlobalConstraint{i, j, is_equality, std::move(dfa),
                                           std::move(description),
-                                          /*coreachable=*/{}});
+                                          /*coreachable=*/{},
+                                          /*loc=*/{}});
   constraints_.back().coreachable = constraints_.back().dfa.CoreachableStates();
   return Status::OK();
+}
+
+void ExtendedAutomaton::SetConstraintLocation(int index, SourceLocation loc) {
+  RAV_CHECK_GE(index, 0);
+  RAV_CHECK_LT(index, static_cast<int>(constraints_.size()));
+  constraints_[index].loc = loc;
 }
 
 Status ExtendedAutomaton::AddConstraintFromText(int i, int j, bool is_equality,

@@ -6,6 +6,7 @@
 
 #include "automata/dfa.h"
 #include "automata/regex.h"
+#include "base/source_location.h"
 #include "base/status.h"
 #include "ra/register_automaton.h"
 
@@ -26,6 +27,9 @@ struct GlobalConstraint {
   // the constraint-closure sweep can drop dead DFA runs without paying a
   // reverse reachability per closure.
   std::vector<bool> coreachable;
+  // Spec-file position of the declaration (io/text_format); invalid for
+  // programmatically added constraints.
+  SourceLocation loc;
 };
 
 // An extended register automaton 𝒜 = (A, Σ): a register automaton plus
@@ -61,6 +65,9 @@ class ExtendedAutomaton {
   // Parses `regex_text` with state names as symbols (see Regex syntax).
   Status AddConstraintFromText(int i, int j, bool is_equality,
                                const std::string& regex_text);
+
+  // Records the spec-file position of constraint `index` (io/text_format).
+  void SetConstraintLocation(int index, SourceLocation loc);
 
   // Largest number of DFA states among the constraints (the |Σ| parameter
   // of the LR-boundedness analysis), 0 if no constraints.

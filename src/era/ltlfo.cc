@@ -2,6 +2,7 @@
 
 #include <queue>
 
+#include "analysis/lint.h"
 #include "base/flat_map.h"
 #include "base/hash.h"
 #include "base/metrics.h"
@@ -155,6 +156,22 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
   (void)options.max_completed_transitions;
   RAV_TRACE_SPAN("era/ltlfo");
   RAV_METRIC_COUNT("era/ltlfo/verifications", 1);
+  if (options.analyze_and_strip) {
+    analysis::StripResult stripped =
+        analysis::AnalyzeAndStrip(era, analysis::StripEffort::kFast);
+    if (stripped.changed()) {
+      RAV_METRIC_COUNT("era/ltlfo/strips", 1);
+      VerificationOptions inner = options;
+      inner.analyze_and_strip = false;
+      // Pin the automatic pump to the original constraint list (guard
+      // refinement preserves constraints, so this matches the unstripped
+      // path exactly).
+      if (inner.emptiness.pump == 0) {
+        inner.emptiness.pump = SuggestedPumpCount(era);
+      }
+      return VerifyLtlFo(*stripped.era, property, inner);
+    }
+  }
   // 1. Refine the automaton so each control symbol decides every
   //    proposition (targeted splitting instead of full completion).
   Result<ExtendedAutomaton> refined_result = [&] {

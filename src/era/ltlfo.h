@@ -31,6 +31,11 @@ struct VerificationOptions {
   // automaton (it refines guards per proposition instead, which is
   // polynomial in the automaton for a fixed property).
   size_t max_completed_transitions = 1u << 20;
+  // Run analysis::AnalyzeAndStrip on the automaton before refinement.
+  // Dead structure admits no accepting run, so the verdict is unchanged;
+  // a counterexample lasso then refers to the stripped-and-refined
+  // automaton (the lasso was already internal to the refined one).
+  bool analyze_and_strip = true;
 };
 
 struct VerificationResult {

@@ -20,21 +20,32 @@ struct TfToken {
   };
   Kind kind;
   std::string text;
-  int line = 0;
+  SourceLocation loc;
 };
 
 Result<std::vector<TfToken>> Tokenize(const std::string& text) {
   std::vector<TfToken> tokens;
   int line = 1;
+  size_t line_start = 0;  // offset of the first character of `line`
   size_t i = 0;
+  auto here = [&]() {
+    return SourceLocation{line, static_cast<int>(i - line_start) + 1};
+  };
   auto push = [&](TfToken::Kind kind, std::string t) {
-    tokens.push_back(TfToken{kind, std::move(t), line});
+    // The caller positions `i` at the first character of the token when
+    // pushing single-character tokens; multi-character tokens pass their
+    // start column explicitly via push_at.
+    tokens.push_back(TfToken{kind, std::move(t), here()});
+  };
+  auto push_at = [&](TfToken::Kind kind, std::string t, SourceLocation loc) {
+    tokens.push_back(TfToken{kind, std::move(t), loc});
   };
   while (i < text.size()) {
     char c = text[i];
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -71,32 +82,41 @@ Result<std::vector<TfToken>> Tokenize(const std::string& text) {
       continue;
     }
     if (c == '"') {
+      const SourceLocation loc = here();
       size_t start = ++i;
-      while (i < text.size() && text[i] != '"') ++i;
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
+        ++i;
+      }
       if (i >= text.size()) {
         return Status::InvalidArgument("text format: unterminated string");
       }
-      push(TfToken::Kind::kString, text.substr(start, i - start));
+      push_at(TfToken::Kind::kString, text.substr(start, i - start), loc);
       ++i;
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
+      const SourceLocation loc = here();
       size_t start = i;
       while (i < text.size() &&
              std::isdigit(static_cast<unsigned char>(text[i]))) {
         ++i;
       }
-      push(TfToken::Kind::kNumber, text.substr(start, i - start));
+      push_at(TfToken::Kind::kNumber, text.substr(start, i - start), loc);
       continue;
     }
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const SourceLocation loc = here();
       size_t start = i;
       while (i < text.size() &&
              (std::isalnum(static_cast<unsigned char>(text[i])) ||
               text[i] == '_')) {
         ++i;
       }
-      push(TfToken::Kind::kIdent, text.substr(start, i - start));
+      push_at(TfToken::Kind::kIdent, text.substr(start, i - start), loc);
       continue;
     }
     return Status::InvalidArgument(
@@ -127,6 +147,7 @@ class TfParser {
       std::string name;
       bool initial = false;
       bool final_state = false;
+      SourceLocation loc;
     };
     std::vector<StateDecl> states;
     struct Literal {
@@ -139,17 +160,19 @@ class TfParser {
     struct TransitionDecl {
       std::string from, to;
       std::vector<Literal> literals;
+      SourceLocation loc;
     };
     std::vector<TransitionDecl> transitions;
     struct ConstraintDecl {
       bool equality;
       int i, j;
       std::string regex;
+      SourceLocation loc;
     };
     std::vector<ConstraintDecl> constraints;
 
     while (Peek().kind != TfToken::Kind::kRBrace) {
-      const int directive_line = Peek().line;
+      const SourceLocation directive_loc = Peek().loc;
       RAV_ASSIGN_OR_RETURN(std::string directive, Ident());
       if (directive == "registers") {
         RAV_ASSIGN_OR_RETURN(registers, Number());
@@ -172,6 +195,7 @@ class TfParser {
         RAV_RETURN_IF_ERROR(Expect(TfToken::Kind::kRBrace));
       } else if (directive == "state") {
         StateDecl decl;
+        decl.loc = directive_loc;
         RAV_ASSIGN_OR_RETURN(decl.name, Ident());
         while (Peek().kind == TfToken::Kind::kIdent &&
                (Peek().text == "initial" || Peek().text == "final")) {
@@ -182,6 +206,7 @@ class TfParser {
         states.push_back(std::move(decl));
       } else if (directive == "transition") {
         TransitionDecl decl;
+        decl.loc = directive_loc;
         RAV_ASSIGN_OR_RETURN(decl.from, Ident());
         RAV_RETURN_IF_ERROR(Expect(TfToken::Kind::kArrow));
         RAV_ASSIGN_OR_RETURN(decl.to, Ident());
@@ -225,6 +250,7 @@ class TfParser {
         transitions.push_back(std::move(decl));
       } else if (directive == "constraint") {
         ConstraintDecl decl;
+        decl.loc = directive_loc;
         RAV_ASSIGN_OR_RETURN(std::string kind, Ident());
         if (kind == "eq") {
           decl.equality = true;
@@ -243,7 +269,7 @@ class TfParser {
         constraints.push_back(std::move(decl));
       } else {
         return Status::InvalidArgument(
-            "text format (line " + std::to_string(directive_line) +
+            "text format (" + directive_loc.ToString() +
             "): unknown directive '" + directive + "'");
       }
     }
@@ -254,11 +280,13 @@ class TfParser {
     RegisterAutomaton automaton(registers, schema);
     for (const StateDecl& s : states) {
       if (automaton.FindState(s.name) >= 0) {
-        return Err("duplicate state '" + s.name + "'");
+        return Status::InvalidArgument("text format (" + s.loc.ToString() +
+                                       "): duplicate state '" + s.name + "'");
       }
       StateId id = automaton.AddState(s.name);
       automaton.SetInitial(id, s.initial);
       automaton.SetFinal(id, s.final_state);
+      automaton.SetStateLocation(id, s.loc);
     }
     const int k = registers;
     auto resolve_term = [&](const std::string& term) -> Result<int> {
@@ -282,7 +310,10 @@ class TfParser {
       StateId from = automaton.FindState(t.from);
       StateId to = automaton.FindState(t.to);
       if (from < 0 || to < 0) {
-        return Err("transition references unknown state");
+        return Status::InvalidArgument("text format (" + t.loc.ToString() +
+                                       "): transition references unknown "
+                                       "state '" +
+                                       (from < 0 ? t.from : t.to) + "'");
       }
       TypeBuilder builder(2 * k, schema.num_constants());
       for (const Literal& lit : t.literals) {
@@ -319,12 +350,15 @@ class TfParser {
       }
       RAV_ASSIGN_OR_RETURN(Type guard, builder.Build());
       automaton.AddTransition(from, std::move(guard), to);
+      automaton.SetTransitionLocation(automaton.num_transitions() - 1, t.loc);
     }
 
     ExtendedAutomaton era(std::move(automaton));
     for (const ConstraintDecl& c : constraints) {
       RAV_RETURN_IF_ERROR(era.AddConstraintFromText(c.i - 1, c.j - 1,
                                                     c.equality, c.regex));
+      era.SetConstraintLocation(
+          static_cast<int>(era.constraints().size()) - 1, c.loc);
     }
     return era;
   }
@@ -334,8 +368,7 @@ class TfParser {
   void Advance() { ++pos_; }
 
   Status Err(const std::string& message) const {
-    return Status::InvalidArgument("text format (line " +
-                                   std::to_string(Peek().line) +
+    return Status::InvalidArgument("text format (" + Peek().loc.ToString() +
                                    "): " + message);
   }
 

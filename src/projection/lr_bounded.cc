@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 
+#include "analysis/lint.h"
 #include "base/metrics.h"
 #include "base/trace.h"
 
@@ -135,6 +136,25 @@ Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
     return Status::InvalidArgument(
         "EstimateLrBound: LR-boundedness is defined for automata without a "
         "database (Section 5)");
+  }
+  if (options.analyze_and_strip) {
+    analysis::StripResult stripped =
+        analysis::AnalyzeAndStrip(era, analysis::StripEffort::kFast);
+    if (stripped.changed()) {
+      RAV_METRIC_COUNT("projection/lr_bounded/strips", 1);
+      ControlAlphabet stripped_alphabet(stripped.era->automaton());
+      LrBoundOptions inner = options;
+      inner.analyze_and_strip = false;
+      // Pin the automatic window sizes to the original constraint list
+      // (stripping may drop its largest DFA, and the estimate must be
+      // identical with and without stripping).
+      if (inner.pump_small == 0) {
+        inner.pump_small =
+            2 * static_cast<size_t>(era.MaxConstraintDfaStates()) + 2;
+      }
+      if (inner.pump_large == 0) inner.pump_large = 2 * inner.pump_small;
+      return EstimateLrBound(*stripped.era, stripped_alphabet, inner);
+    }
   }
   Nba scontrol = BuildSControlNba(era.automaton(), alphabet);
 

@@ -39,6 +39,10 @@ struct LrBoundOptions {
   // commutative, so the result is identical for every setting.
   int num_workers = 1;
   size_t batch_size = 16;
+  // Run analysis::AnalyzeAndStrip first and sample the reduced automaton.
+  // Dead structure carries no control lassos, so the estimate is
+  // unchanged; the sampler just stops wading through it.
+  bool analyze_and_strip = true;
 };
 
 struct LrBoundResult {

@@ -16,6 +16,7 @@ StateId RegisterAutomaton::AddState(const std::string& name) {
   initial_.push_back(false);
   final_.push_back(false);
   transitions_from_.emplace_back();
+  state_locations_.emplace_back();
   return num_states() - 1;
 }
 
@@ -40,6 +41,31 @@ void RegisterAutomaton::AddTransition(StateId from, Type guard, StateId to) {
   RAV_CHECK_EQ(guard.num_constants(), schema_.num_constants());
   transitions_from_[from].push_back(num_transitions());
   transitions_.push_back(RaTransition{from, std::move(guard), to});
+  transition_locations_.emplace_back();
+}
+
+void RegisterAutomaton::SetStateLocation(StateId state, SourceLocation loc) {
+  RAV_CHECK_GE(state, 0);
+  RAV_CHECK_LT(state, num_states());
+  state_locations_[state] = loc;
+}
+
+const SourceLocation& RegisterAutomaton::state_location(StateId state) const {
+  RAV_CHECK_GE(state, 0);
+  RAV_CHECK_LT(state, num_states());
+  return state_locations_[state];
+}
+
+void RegisterAutomaton::SetTransitionLocation(int index, SourceLocation loc) {
+  RAV_CHECK_GE(index, 0);
+  RAV_CHECK_LT(index, num_transitions());
+  transition_locations_[index] = loc;
+}
+
+const SourceLocation& RegisterAutomaton::transition_location(int index) const {
+  RAV_CHECK_GE(index, 0);
+  RAV_CHECK_LT(index, num_transitions());
+  return transition_locations_[index];
 }
 
 const std::string& RegisterAutomaton::state_name(StateId s) const {

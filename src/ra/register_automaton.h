@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "base/source_location.h"
 #include "base/status.h"
 #include "relational/schema.h"
 #include "types/type.h"
@@ -49,6 +50,14 @@ class RegisterAutomaton {
     return TypeBuilder::ForTransition(num_registers_, schema_);
   }
 
+  // Spec-file positions of declarations, recorded by io/text_format so
+  // analysis/ diagnostics can point at source lines. Default-invalid for
+  // programmatically built automata.
+  void SetStateLocation(StateId state, SourceLocation loc);
+  const SourceLocation& state_location(StateId state) const;
+  void SetTransitionLocation(int index, SourceLocation loc);
+  const SourceLocation& transition_location(int index) const;
+
   // --- inspection ---
   int num_states() const { return static_cast<int>(state_names_.size()); }
   int num_transitions() const { return static_cast<int>(transitions_.size()); }
@@ -81,6 +90,8 @@ class RegisterAutomaton {
   std::vector<bool> final_;
   std::vector<RaTransition> transitions_;
   std::vector<std::vector<int>> transitions_from_;
+  std::vector<SourceLocation> state_locations_;
+  std::vector<SourceLocation> transition_locations_;
 };
 
 }  // namespace rav

@@ -78,10 +78,30 @@ TEST(TextFormatTest, RejectsPlainParseWithConstraints) {
   EXPECT_FALSE(ParseRegisterAutomaton(kExample5).ok());
 }
 
-TEST(TextFormatTest, ErrorsCarryLineNumbers) {
+TEST(TextFormatTest, ErrorsCarryLineAndColumn) {
   auto bad = ParseRegisterAutomaton("automaton {\n  registers 1\n  bogus\n}");
   ASSERT_FALSE(bad.ok());
-  EXPECT_NE(bad.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("(3:3)"), std::string::npos);
+}
+
+TEST(TextFormatTest, RecordsDeclarationLocations) {
+  auto era = ParseExtendedAutomaton(
+      "automaton {\n"
+      "  registers 1\n"
+      "  state q1 initial final\n"
+      "  state q2\n"
+      "  transition q1 -> q2 { }\n"
+      "  transition q2 -> q1 { }\n"
+      "  constraint eq 1 1 \"q1 q2* q1\"\n"
+      "}\n");
+  ASSERT_TRUE(era.ok());
+  const RegisterAutomaton& a = era->automaton();
+  EXPECT_EQ(a.state_location(0), (SourceLocation{3, 3}));
+  EXPECT_EQ(a.state_location(1), (SourceLocation{4, 3}));
+  EXPECT_EQ(a.transition_location(0), (SourceLocation{5, 3}));
+  EXPECT_EQ(a.transition_location(1), (SourceLocation{6, 3}));
+  ASSERT_EQ(era->constraints().size(), 1u);
+  EXPECT_EQ(era->constraints()[0].loc, (SourceLocation{7, 3}));
 }
 
 TEST(TextFormatTest, RejectsBadRegisterIndex) {

@@ -14,6 +14,14 @@
 //                                       uses propositions p0, p1, ... and
 //                                       each <fo> is "xi=yj", "xi!=xj",
 //                                       etc. interpreting proposition pN.
+//   rav_cli lint <file>... [--json] [--werror]
+//                                       static analysis (docs/linting.md):
+//                                       prints RAV0xx diagnostics; exit
+//                                       code 2 on errors, 1 on warnings,
+//                                       0 when clean. --werror promotes
+//                                       warnings to errors; --json emits
+//                                       one machine-readable object per
+//                                       file.
 //
 // Automaton files use the text format of io/text_format.h.
 //
@@ -30,6 +38,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/lint.h"
 #include "base/numbers.h"
 #include "base/report.h"
 #include "era/emptiness.h"
@@ -134,6 +143,71 @@ Result<Formula> ParseProposition(const std::string& text,
     return Formula::Eq(lhs, rhs);
   }
   return Status::InvalidArgument("cannot parse proposition: " + text);
+}
+
+// `rav_cli lint`: every file is parsed and linted; a file that fails to
+// load contributes the pseudo-diagnostic RAV000 (error). Exit code is the
+// maximum severity seen (2 = error, 1 = warning, 0 = clean/notes);
+// --werror promotes every warning to an error before both rendering and
+// the exit code.
+int CmdLint(const std::vector<std::string>& files, bool as_json,
+            bool werror) {
+  using analysis::Diagnostic;
+  using analysis::Severity;
+  Severity worst = Severity::kNote;
+  int errors = 0;
+  int warnings = 0;
+  int notes = 0;
+  bool any = false;
+  Json json_files = Json::Array();
+  for (const std::string& path : files) {
+    std::vector<Diagnostic> diagnostics;
+    auto era = Load(path);
+    if (!era.ok()) {
+      diagnostics.push_back(Diagnostic{"RAV000", Severity::kError,
+                                       era.status().ToString(),
+                                       SourceLocation{}});
+    } else {
+      diagnostics = analysis::Lint(*era);
+    }
+    for (Diagnostic& d : diagnostics) {
+      if (werror && d.severity == Severity::kWarning) {
+        d.severity = Severity::kError;
+      }
+      if (d.severity > worst) worst = d.severity;
+      switch (d.severity) {
+        case Severity::kError:
+          ++errors;
+          break;
+        case Severity::kWarning:
+          ++warnings;
+          break;
+        case Severity::kNote:
+          ++notes;
+          break;
+      }
+      any = true;
+      if (!as_json) {
+        std::printf("%s\n", FormatDiagnostic(d, path).c_str());
+      }
+    }
+    if (as_json) {
+      json_files.Append(analysis::DiagnosticsToJson(diagnostics, path));
+    }
+  }
+  if (as_json) {
+    std::printf("%s\n", json_files.Dump(2).c_str());
+  } else if (any) {
+    std::printf("lint: %zu file(s), %d error(s), %d warning(s), %d note(s)\n",
+                files.size(), errors, warnings, notes);
+  }
+  g_verdict = !any                         ? "clean"
+              : worst == Severity::kError  ? "lint errors"
+              : worst == Severity::kWarning ? "lint warnings"
+                                            : "lint notes";
+  if (worst == Severity::kError) return 2;
+  if (worst == Severity::kWarning) return 1;
+  return 0;
 }
 
 int CmdInfo(const ExtendedAutomaton& era) {
@@ -271,11 +345,32 @@ int RunCommand(const std::vector<std::string>& args) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: rav_cli "
-                 "<info|print|dot|empty|project|lrbound|simulate|verify> "
+                 "<info|print|dot|empty|project|lrbound|simulate|verify|lint> "
                  "<file> [args...] [--report <json>]\n");
     return 2;
   }
   std::string command = argv[1];
+
+  if (command == "lint") {
+    bool as_json = false;
+    bool werror = false;
+    std::vector<std::string> files;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        as_json = true;
+      } else if (arg == "--werror") {
+        werror = true;
+      } else if (!arg.empty() && arg[0] == '-') {
+        return Fail("lint: unknown flag '" + arg +
+                    "' (supported: --json, --werror)");
+      } else {
+        files.push_back(arg);
+      }
+    }
+    if (files.empty()) return Fail("lint needs at least one <file>");
+    return CmdLint(files, as_json, werror);
+  }
 
   // Numeric arguments are validated before any file I/O, so a malformed
   // invocation fails fast with a usage message.
@@ -298,7 +393,7 @@ int RunCommand(const std::vector<std::string>& args) {
       if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
         auto threads = ParseIntArg("--threads", argv[i + 1]);
         if (!threads.ok()) return Fail(threads.status().message());
-        if (*threads < 0) return Fail("--threads must be >= 0");
+        if (*threads < 0) return Fail("empty --threads must be >= 0");
         empty_options.num_workers = *threads;
         ++i;
       } else {
@@ -309,7 +404,14 @@ int RunCommand(const std::vector<std::string>& args) {
   }
 
   auto era = Load(argv[2]);
-  if (!era.ok()) return Fail(era.status().ToString());
+  if (!era.ok()) {
+    return Fail("cannot load '" + std::string(argv[2]) + "': " +
+                era.status().ToString() +
+                "\n  usage: rav_cli " + command +
+                " <file> — <file> must be an automaton spec in the "
+                "io/text_format syntax (try `rav_cli lint " +
+                std::string(argv[2]) + "` for details)");
+  }
 
   if (command == "info") return CmdInfo(*era);
   if (command == "print") {

@@ -26,6 +26,9 @@
 #   RAV_PERF_GATE       "off" skips the perf-regression gate (noisy or
 #                       shared machines); default "on"
 #   RAV_PERF_GATE_RATIO slowdown factor that fails the gate (default 1.3)
+#   RAV_TIDY            "off" skips the clang-tidy gate; default "on"
+#                       (the gate also skips itself with a notice when
+#                       clang-tidy is not installed)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,6 +44,23 @@ cmake --build build -j "$JOBS"
 
 echo "== tests =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== clang-tidy =="
+# Static analysis over the library sources (.clang-tidy at the repo
+# root). Uses the compile_commands.json the configure step exported.
+# WarningsAsErrors is '*', so any finding fails the run.
+if [ "${RAV_TIDY:-on}" = "off" ]; then
+  echo "clang-tidy skipped (RAV_TIDY=off)"
+elif ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy skipped (not installed)"
+elif [ ! -f build/compile_commands.json ]; then
+  echo "clang-tidy skipped (no compile_commands.json — reconfigure build/)" >&2
+  exit 1
+else
+  find src -name '*.cc' -print0 \
+    | xargs -0 -n 4 -P "$JOBS" clang-tidy -p build --quiet
+  echo "clang-tidy passed"
+fi
 
 echo "== benches (--report) =="
 mkdir -p build/reports
