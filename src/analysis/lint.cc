@@ -23,6 +23,9 @@ struct Analysis {
   std::vector<Diagnostic> diagnostics;
   bool has_initial = false;
   bool has_final = false;
+  // The governor tripped mid-analysis: diagnostics are a prefix of the
+  // full list and liveness flags must not justify stripping.
+  bool tripped = false;
   bool degenerate() const { return !has_initial || !has_final; }
   std::vector<bool> live;             // reachable ∧ can reach accepting cycle
   std::vector<bool> drop_transition;  // RAV003-dead or RAV007-duplicate
@@ -452,7 +455,8 @@ void CheckConstraints(const RegisterAutomaton& a,
 
 Analysis Analyze(const RegisterAutomaton& a,
                  const std::vector<GlobalConstraint>* constraints,
-                 bool guard_passes = true) {
+                 bool guard_passes = true,
+                 const ExecutionGovernor* governor = nullptr) {
   Analysis analysis;
   const int n = a.num_states();
   analysis.live.assign(n, true);
@@ -499,12 +503,21 @@ Analysis Analyze(const RegisterAutomaton& a,
                "Büchi-accepting");
     }
   }
-  if (guard_passes) {
+  // Pass boundaries are the governor's safe points: the structural sweep
+  // above is linear and always completes; the guard and constraint passes
+  // are the expensive ones and are skipped wholesale after a trip, so the
+  // diagnostic list is a clean pass prefix.
+  analysis.tripped = GovernorCheck(governor) != GovernorTrip::kNone;
+  if (!analysis.tripped && guard_passes) {
     CheckTransitions(a, analysis);
     CheckRegisters(a, constraints, analysis);
+    analysis.tripped = GovernorCheck(governor) != GovernorTrip::kNone;
   }
-  if (constraints != nullptr) {
+  if (!analysis.tripped && constraints != nullptr) {
     CheckConstraints(a, *constraints, succ, analysis);
+  }
+  if (analysis.tripped) {
+    RAV_METRIC_COUNT("analysis/lint/governor_stops", 1);
   }
   return analysis;
 }
@@ -533,21 +546,27 @@ Dfa RemapConstraintDfa(const Dfa& dfa, const std::vector<int>& new_id,
 
 }  // namespace
 
-std::vector<Diagnostic> Lint(const RegisterAutomaton& automaton) {
-  Analysis analysis = Analyze(automaton, nullptr);
-  CountLint(analysis);
-  return std::move(analysis.diagnostics);
-}
-
-std::vector<Diagnostic> Lint(const ExtendedAutomaton& era) {
-  Analysis analysis = Analyze(era.automaton(), &era.constraints());
-  CountLint(analysis);
-  return std::move(analysis.diagnostics);
-}
-
-std::vector<Diagnostic> Lint(const EnhancedAutomaton& enhanced) {
+std::vector<Diagnostic> Lint(const RegisterAutomaton& automaton,
+                             const ExecutionGovernor* governor) {
   Analysis analysis =
-      Analyze(enhanced.automaton(), &enhanced.equality_constraints());
+      Analyze(automaton, nullptr, /*guard_passes=*/true, governor);
+  CountLint(analysis);
+  return std::move(analysis.diagnostics);
+}
+
+std::vector<Diagnostic> Lint(const ExtendedAutomaton& era,
+                             const ExecutionGovernor* governor) {
+  Analysis analysis = Analyze(era.automaton(), &era.constraints(),
+                              /*guard_passes=*/true, governor);
+  CountLint(analysis);
+  return std::move(analysis.diagnostics);
+}
+
+std::vector<Diagnostic> Lint(const EnhancedAutomaton& enhanced,
+                             const ExecutionGovernor* governor) {
+  Analysis analysis =
+      Analyze(enhanced.automaton(), &enhanced.equality_constraints(),
+              /*guard_passes=*/true, governor);
   for (size_t ci = 0; ci < enhanced.tuple_constraints().size(); ++ci) {
     const TupleInequalityConstraint& c = enhanced.tuple_constraints()[ci];
     if (c.pair_dfa.IsEmptyLanguage()) {
@@ -569,15 +588,20 @@ std::vector<Diagnostic> Lint(const EnhancedAutomaton& enhanced) {
   return std::move(analysis.diagnostics);
 }
 
-StripResult AnalyzeAndStrip(const ExtendedAutomaton& era,
-                            StripEffort effort) {
+StripResult AnalyzeAndStrip(const ExtendedAutomaton& era, StripEffort effort,
+                            const ExecutionGovernor* governor) {
   const RegisterAutomaton& a = era.automaton();
   Analysis analysis = Analyze(a, &era.constraints(),
-                              /*guard_passes=*/effort == StripEffort::kFull);
+                              /*guard_passes=*/effort == StripEffort::kFull,
+                              governor);
   CountLint(analysis);
   RAV_METRIC_COUNT("analysis/strip/calls", 1);
   StripResult out{std::nullopt, std::move(analysis.diagnostics), 0, 0, 0};
   if (analysis.degenerate()) return out;
+  // A tripped analysis is a prefix; its liveness flags are complete (the
+  // structural sweep always runs) but the skipped passes mean the
+  // cheapest safe answer is: keep the automaton untouched.
+  if (analysis.tripped) return out;
 
   const int n = a.num_states();
   int kept_states = 0;

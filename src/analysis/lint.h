@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "base/governor.h"
 #include "enhanced/enhanced_automaton.h"
 #include "era/extended_automaton.h"
 #include "ra/register_automaton.h"
@@ -32,10 +33,16 @@ namespace rav::analysis {
 //   RAV010  warning  no final state
 //
 // Diagnostics are emitted in pass order (global, states, transitions,
-// registers, constraints), deterministically.
-std::vector<Diagnostic> Lint(const RegisterAutomaton& automaton);
-std::vector<Diagnostic> Lint(const ExtendedAutomaton& era);
-std::vector<Diagnostic> Lint(const EnhancedAutomaton& enhanced);
+// registers, constraints), deterministically. A governor (nullptr =
+// unlimited) is polled at pass boundaries; a trip stops further passes
+// and returns the diagnostics found so far (a partial list, never a
+// wrong one).
+std::vector<Diagnostic> Lint(const RegisterAutomaton& automaton,
+                             const ExecutionGovernor* governor = nullptr);
+std::vector<Diagnostic> Lint(const ExtendedAutomaton& era,
+                             const ExecutionGovernor* governor = nullptr);
+std::vector<Diagnostic> Lint(const EnhancedAutomaton& enhanced,
+                             const ExecutionGovernor* governor = nullptr);
 
 // Outcome of AnalyzeAndStrip: the (possibly) reduced automaton plus the
 // full diagnostic list that justified the reductions.
@@ -75,9 +82,12 @@ enum class StripEffort {
 // preserved. The accepted run set — and hence every decision-procedure
 // verdict — is unchanged. Degenerate automata (no initial or no final
 // state) are never stripped, nor is an automaton whose live state set
-// is empty.
+// is empty. If the governor trips during analysis, no strip happens (a
+// partial analysis must never justify a removal) and the diagnostics
+// collected so far are returned.
 StripResult AnalyzeAndStrip(const ExtendedAutomaton& era,
-                            StripEffort effort = StripEffort::kFull);
+                            StripEffort effort = StripEffort::kFull,
+                            const ExecutionGovernor* governor = nullptr);
 
 }  // namespace rav::analysis
 

@@ -19,9 +19,16 @@ struct RankState {
 
 }  // namespace
 
-Result<Nba> ComplementNba(const Nba& nba, size_t max_states) {
+Result<Nba> ComplementNba(const Nba& nba, size_t max_states,
+                          const ExecutionGovernor* governor) {
   const int n = nba.num_states();
   const int max_rank = 2 * std::max(n, 1);
+  // Every interned rank-state stays charged until the construction
+  // returns — the interning map is where the exponential blowup lives.
+  ScopedMemoryCharge states_charge(governor);
+  const size_t bytes_per_state =
+      sizeof(RankState) + static_cast<size_t>(n) * (sizeof(int) + 1) +
+      64;  // map-node overhead, approximate
 
   // Successors per (state, symbol).
   std::vector<std::vector<std::vector<int>>> successors(
@@ -46,6 +53,7 @@ Result<Nba> ComplementNba(const Nba& nba, size_t max_states) {
     int id = out.AddState();
     ids.emplace(rs, id);
     states.push_back(rs);
+    states_charge.Add(bytes_per_state);
     // Accepting iff the owing set is empty (a breakpoint).
     bool owes = false;
     for (int s = 0; s < n; ++s) owes = owes || rs.owing[s];
@@ -69,6 +77,7 @@ Result<Nba> ComplementNba(const Nba& nba, size_t max_states) {
   // enumerate all "tight enough" successor rankings by assigning, per
   // alive successor, any allowed rank ≤ the max over its predecessors.
   while (!work.empty()) {
+    RAV_RETURN_IF_ERROR(GovernorCheckStatus(governor, "ComplementNba"));
     int from_id = work.front();
     work.pop();
     RankState current = states[from_id];
@@ -156,16 +165,19 @@ Result<Nba> ComplementNba(const Nba& nba, size_t max_states) {
 }
 
 Result<bool> NbaLanguageIncluded(const Nba& a, const Nba& b,
-                                 size_t max_states) {
-  RAV_ASSIGN_OR_RETURN(Nba not_b, ComplementNba(b, max_states));
+                                 size_t max_states,
+                                 const ExecutionGovernor* governor) {
+  RAV_ASSIGN_OR_RETURN(Nba not_b, ComplementNba(b, max_states, governor));
   return a.Intersect(not_b).IsEmpty();
 }
 
 Result<bool> NbaLanguageEquivalent(const Nba& a, const Nba& b,
-                                   size_t max_states) {
-  RAV_ASSIGN_OR_RETURN(bool ab, NbaLanguageIncluded(a, b, max_states));
+                                   size_t max_states,
+                                   const ExecutionGovernor* governor) {
+  RAV_ASSIGN_OR_RETURN(bool ab,
+                       NbaLanguageIncluded(a, b, max_states, governor));
   if (!ab) return false;
-  return NbaLanguageIncluded(b, a, max_states);
+  return NbaLanguageIncluded(b, a, max_states, governor);
 }
 
 }  // namespace rav

@@ -2,6 +2,7 @@
 #define RAV_AUTOMATA_COMPLEMENT_H_
 
 #include "automata/nba.h"
+#include "base/governor.h"
 #include "base/status.h"
 
 namespace rav {
@@ -16,15 +17,24 @@ namespace rav {
 // Used to decide ω-language inclusion and equivalence, e.g. to validate
 // that transformations (pruning, state-driven form) preserve the
 // SControl languages the paper's results are stated over.
-Result<Nba> ComplementNba(const Nba& nba, size_t max_states = 200000);
+//
+// The governor (nullptr = unlimited) is polled once per expanded
+// rank-state and charged the bytes of every interned one — the rank-state
+// set is exactly where the O((2n)^n) blowup lives — so a deadline, memory
+// budget, or cancellation stops the construction with ResourceExhausted
+// within one state expansion.
+Result<Nba> ComplementNba(const Nba& nba, size_t max_states = 200000,
+                          const ExecutionGovernor* governor = nullptr);
 
 // L(a) ⊆ L(b), via emptiness of a ∩ complement(b).
 Result<bool> NbaLanguageIncluded(const Nba& a, const Nba& b,
-                                 size_t max_states = 200000);
+                                 size_t max_states = 200000,
+                                 const ExecutionGovernor* governor = nullptr);
 
 // L(a) = L(b).
-Result<bool> NbaLanguageEquivalent(const Nba& a, const Nba& b,
-                                   size_t max_states = 200000);
+Result<bool> NbaLanguageEquivalent(
+    const Nba& a, const Nba& b, size_t max_states = 200000,
+    const ExecutionGovernor* governor = nullptr);
 
 }  // namespace rav
 

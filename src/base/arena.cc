@@ -2,7 +2,27 @@
 
 #include <algorithm>
 
+#include "base/failpoints.h"
+#include "base/governor.h"
+#include "base/metrics.h"
+
 namespace rav {
+
+Arena::~Arena() {
+  if (governor_ != nullptr && total_allocated_ > 0) {
+    governor_->ReleaseBytes(total_allocated_);
+  }
+}
+
+void Arena::set_governor(const ExecutionGovernor* governor) {
+  if (governor_ != nullptr && total_allocated_ > 0) {
+    governor_->ReleaseBytes(total_allocated_);
+  }
+  governor_ = governor;
+  if (governor_ != nullptr && total_allocated_ > 0) {
+    governor_->ChargeBytes(total_allocated_);
+  }
+}
 
 void* Arena::Allocate(size_t bytes, size_t alignment) {
   RAV_CHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
@@ -37,12 +57,33 @@ Arena::Block* Arena::AddBlock(size_t min_bytes) {
   block.size = size;
   block.used = 0;
   blocks_.push_back(std::move(block));
+  total_allocated_ += size;
+  if (governor_ != nullptr) {
+    governor_->ChargeBytes(size);
+    // Fault-injection site: models the OS refusing this block — the
+    // governor trips its memory budget, and the owning procedure stops
+    // cleanly at its next safe point.
+    if (RAV_FAILPOINT("base/arena/add_block")) {
+      governor_->ForceTrip(GovernorTrip::kMemoryBudget);
+    }
+  }
+  RAV_METRIC_COUNT("base/arena/blocks_allocated", 1);
+  RAV_METRIC_COUNT("base/arena/bytes_reserved", size);
+  // Histogram max doubles as the process-lifetime peak single-arena
+  // footprint (docs/observability.md).
+  RAV_METRIC_RECORD("base/arena/total_allocated_bytes", total_allocated_);
+  RAV_METRIC_SET("base/arena/last_block_count",
+                 static_cast<int64_t>(blocks_.size()));
   return &blocks_.back();
 }
 
 void Arena::Reset() {
+  if (governor_ != nullptr && total_allocated_ > 0) {
+    governor_->ReleaseBytes(total_allocated_);
+  }
   blocks_.clear();
   bytes_allocated_ = 0;
+  total_allocated_ = 0;
 }
 
 }  // namespace rav

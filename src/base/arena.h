@@ -19,6 +19,8 @@ namespace rav {
 // large blocks and frees them wholesale when the analysis object is
 // destroyed. Only trivially-destructible types may be allocated: the arena
 // never runs destructors.
+class ExecutionGovernor;
+
 class Arena {
  public:
   explicit Arena(size_t block_bytes = kDefaultBlockBytes)
@@ -26,6 +28,15 @@ class Arena {
 
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
+
+  ~Arena();
+
+  // Attaches a resource governor: every block the arena grows by is
+  // charged against the governor's memory budget (and released on Reset
+  // or destruction), so a budgeted procedure sees its arena footprint at
+  // the next safe-point check. Attach before allocating; already-held
+  // blocks are charged retroactively on attach.
+  void set_governor(const ExecutionGovernor* governor);
 
   // Allocates `bytes` with the given alignment. Never returns nullptr.
   void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t));
@@ -52,8 +63,13 @@ class Arena {
 
   // Total bytes handed out by Allocate (excludes block slack).
   size_t bytes_allocated() const { return bytes_allocated_; }
+  // Total bytes reserved from the system (block sizes, including slack) —
+  // the arena's true memory footprint, the quantity memory budgets and
+  // the `base/arena/*` gauges account.
+  size_t total_allocated() const { return total_allocated_; }
   // Number of underlying blocks.
   size_t num_blocks() const { return blocks_.size(); }
+  size_t block_count() const { return blocks_.size(); }
 
   // Frees all blocks. All pointers previously returned become invalid.
   void Reset();
@@ -71,6 +87,8 @@ class Arena {
 
   size_t block_bytes_;
   size_t bytes_allocated_ = 0;
+  size_t total_allocated_ = 0;
+  const ExecutionGovernor* governor_ = nullptr;
   std::vector<Block> blocks_;
 };
 

@@ -1,0 +1,109 @@
+#include "base/failpoints.h"
+
+#ifndef RAV_NO_FAILPOINTS
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "base/metrics.h"
+
+namespace rav::failpoints {
+
+namespace {
+
+struct Site {
+  uint64_t nth = 0;   // 0 = disarmed
+  uint64_t hits = 0;  // hits since arming
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site, std::less<>> sites;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+// Number of armed sites; the fast path checks this and bails before
+// touching the mutex, so un-armed processes pay one relaxed load per
+// RAV_FAILPOINT site execution.
+std::atomic<int> g_armed{0};
+
+void ArmImpl(std::string_view site, uint64_t nth) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.sites.try_emplace(std::string(site));
+  const bool was_armed = !inserted && it->second.nth != 0;
+  it->second.nth = nth;
+  it->second.hits = 0;
+  if (nth != 0 && !was_armed) g_armed.fetch_add(1, std::memory_order_relaxed);
+  if (nth == 0 && was_armed) g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// Parses RAV_FAILPOINTS ("site=N,site=N") once, before the first probe.
+void LoadFromEnvironment() {
+  const char* spec = std::getenv("RAV_FAILPOINTS");
+  if (spec == nullptr) return;
+  std::string_view rest(spec);
+  while (!rest.empty()) {
+    size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;  // malformed
+    uint64_t nth = 0;
+    bool valid = eq + 1 < entry.size();
+    for (size_t i = eq + 1; i < entry.size() && valid; ++i) {
+      char c = entry[i];
+      valid = c >= '0' && c <= '9' && nth < UINT64_MAX / 10;
+      if (valid) nth = nth * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (valid && nth > 0) ArmImpl(entry.substr(0, eq), nth);
+  }
+}
+
+std::once_flag g_env_once;
+
+}  // namespace
+
+bool AnyArmed() {
+  std::call_once(g_env_once, LoadFromEnvironment);
+  return g_armed.load(std::memory_order_relaxed) > 0;
+}
+
+bool Hit(std::string_view site) {
+  if (!AnyArmed()) return false;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end() || it->second.nth == 0) return false;
+  if (++it->second.hits != it->second.nth) return false;
+  it->second.nth = 0;  // fires once, then disarms
+  g_armed.fetch_sub(1, std::memory_order_relaxed);
+  RAV_METRIC_COUNT("failpoints/fired", 1);
+  return true;
+}
+
+void Arm(std::string_view site, uint64_t nth) {
+  std::call_once(g_env_once, LoadFromEnvironment);
+  ArmImpl(site, nth);
+}
+
+void DisarmAll() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& [name, site] : r.sites) {
+    if (site.nth != 0) g_armed.fetch_sub(1, std::memory_order_relaxed);
+    site.nth = 0;
+    site.hits = 0;
+  }
+}
+
+}  // namespace rav::failpoints
+
+#endif  // RAV_NO_FAILPOINTS

@@ -1,0 +1,62 @@
+#ifndef RAV_BASE_FAILPOINTS_H_
+#define RAV_BASE_FAILPOINTS_H_
+
+// Deterministic fault injection: named sites in fallible code paths that
+// can be armed to fire on their Nth hit, turning the site's normal
+// outcome into its failure outcome (an error Status, a simulated spawn
+// failure, a forced governor trip). Sites are cheap when nothing is
+// armed — one relaxed atomic load — and the whole layer compiles to a
+// constant `false` under RAV_NO_FAILPOINTS, like RAV_NO_METRICS.
+//
+// Arming, two ways:
+//   * programmatically (tests): failpoints::Arm("io/text_format/parse", 1);
+//   * environment (CI matrix):  RAV_FAILPOINTS="io/text_format/parse=1,
+//     era/search/worker_spawn=2" — parsed once on first use; each entry
+//     is site=N, firing on the Nth hit of that site (1-based).
+//
+// A site fires exactly once (on the Nth hit) and then disarms, so a
+// single armed run exercises one failure without cascading. Hit counts
+// are process-global and thread-safe. The catalog of sites lives in
+// docs/robustness.md.
+//
+// Usage at a site:
+//   if (RAV_FAILPOINT("io/text_format/parse")) {
+//     return Status::ResourceExhausted("failpoint ... fired");
+//   }
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rav::failpoints {
+
+#ifdef RAV_NO_FAILPOINTS
+
+inline bool Hit(std::string_view) { return false; }
+inline void Arm(std::string_view, uint64_t) {}
+inline void DisarmAll() {}
+inline bool AnyArmed() { return false; }
+
+#else  // !RAV_NO_FAILPOINTS
+
+// True iff this call is the armed Nth hit of `site` (the site then
+// disarms). One relaxed atomic load when nothing is armed anywhere.
+bool Hit(std::string_view site);
+
+// Arms `site` to fire on its `nth` next hit (1 = the very next). The
+// site's hit count restarts from zero. nth == 0 disarms the site.
+void Arm(std::string_view site, uint64_t nth);
+
+// Disarms every site and resets hit counts (tests).
+void DisarmAll();
+
+// True iff any site is armed (fast-path probe, exposed for tests).
+bool AnyArmed();
+
+#endif  // RAV_NO_FAILPOINTS
+
+}  // namespace rav::failpoints
+
+#define RAV_FAILPOINT(site) (::rav::failpoints::Hit(site))
+
+#endif  // RAV_BASE_FAILPOINTS_H_

@@ -1,0 +1,103 @@
+#include "base/governor.h"
+
+#include <string>
+
+#include "base/failpoints.h"
+#include "base/metrics.h"
+
+namespace rav {
+
+const char* GovernorTripName(GovernorTrip trip) {
+  switch (trip) {
+    case GovernorTrip::kNone:
+      return "none";
+    case GovernorTrip::kDeadline:
+      return "deadline";
+    case GovernorTrip::kMemoryBudget:
+      return "memory-budget";
+    case GovernorTrip::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+void ExecutionGovernor::ChargeBytes(size_t bytes) const {
+  if (bytes == 0) return;
+  const size_t live =
+      live_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Lock-free peak update; losing a race only under-reports by the width
+  // of the race, and the winner re-checks.
+  size_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (live > peak && !peak_bytes_.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+  // Record the over-budget moment here, not only in Check(): a transient
+  // charge (one candidate's closure, released before the next poll) must
+  // still trip — the budget bounds the high-water mark, not whatever
+  // happens to be live at a safe point. A pending cancellation still
+  // outranks the budget, as it does in Check().
+  if (live > memory_budget_.load(std::memory_order_relaxed)) {
+    RecordTrip(cancelled_.load(std::memory_order_relaxed)
+                   ? GovernorTrip::kCancelled
+                   : GovernorTrip::kMemoryBudget);
+  }
+}
+
+void ExecutionGovernor::ReleaseBytes(size_t bytes) const {
+  if (bytes == 0) return;
+  live_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void ExecutionGovernor::RecordTrip(GovernorTrip trip) const {
+  int expected = 0;
+  if (trip_.compare_exchange_strong(expected, static_cast<int>(trip),
+                                    std::memory_order_relaxed)) {
+    switch (trip) {
+      case GovernorTrip::kDeadline:
+        RAV_METRIC_COUNT("governor/deadline_trips", 1);
+        break;
+      case GovernorTrip::kMemoryBudget:
+        RAV_METRIC_COUNT("governor/memory_trips", 1);
+        break;
+      case GovernorTrip::kCancelled:
+        RAV_METRIC_COUNT("governor/cancellations", 1);
+        break;
+      case GovernorTrip::kNone:
+        break;
+    }
+  }
+}
+
+GovernorTrip ExecutionGovernor::Check() const {
+  RAV_METRIC_COUNT("governor/checks", 1);
+  GovernorTrip tripped = trip();
+  if (tripped != GovernorTrip::kNone) return tripped;
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    RecordTrip(GovernorTrip::kCancelled);
+    return trip();
+  }
+  const size_t budget = memory_budget_.load(std::memory_order_relaxed);
+  if (live_bytes_.load(std::memory_order_relaxed) > budget ||
+      RAV_FAILPOINT("governor/memory")) {
+    RecordTrip(GovernorTrip::kMemoryBudget);
+    return trip();
+  }
+  const int64_t deadline = deadline_.load(std::memory_order_relaxed);
+  if (deadline != kNoDeadline &&
+      (Clock::now().time_since_epoch().count() >= deadline ||
+       RAV_FAILPOINT("governor/deadline"))) {
+    RecordTrip(GovernorTrip::kDeadline);
+    return trip();
+  }
+  return GovernorTrip::kNone;
+}
+
+Status ExecutionGovernor::CheckStatus(const char* what) const {
+  const GovernorTrip tripped = Check();
+  if (tripped == GovernorTrip::kNone) return Status::OK();
+  return Status::ResourceExhausted(
+      std::string(what) + ": stopped by governor (" +
+      GovernorTripName(tripped) + ")");
+}
+
+}  // namespace rav

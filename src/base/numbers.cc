@@ -36,4 +36,83 @@ Result<int> ParseInt32(const std::string& text) {
   return static_cast<int>(value);
 }
 
+namespace {
+
+// Scales a parsed non-negative magnitude by a unit multiplier with an
+// overflow check, shared by the duration and byte-size grammars.
+Result<long long> ScaleChecked(const std::string& text, long long value,
+                               long long multiplier) {
+  if (value < 0) {
+    return Status::InvalidArgument("'" + text + "' must be non-negative");
+  }
+  if (value > std::numeric_limits<long long>::max() / multiplier) {
+    return Status::InvalidArgument("'" + text + "' is out of range");
+  }
+  return value * multiplier;
+}
+
+}  // namespace
+
+Result<long long> ParseDurationMs(const std::string& text) {
+  // Longest suffix first: "ms" before "m".
+  long long multiplier = 0;
+  size_t suffix_len = 0;
+  if (text.size() > 2 && text.compare(text.size() - 2, 2, "ms") == 0) {
+    multiplier = 1;
+    suffix_len = 2;
+  } else if (text.size() > 1 && text.back() == 's') {
+    multiplier = 1000;
+    suffix_len = 1;
+  } else if (text.size() > 1 && text.back() == 'm') {
+    multiplier = 60 * 1000;
+    suffix_len = 1;
+  } else {
+    return Status::InvalidArgument(
+        "'" + text + "' is not a valid duration — expected <n>ms, <n>s, "
+        "or <n>m (e.g. 250ms, 10s, 2m)");
+  }
+  Result<long long> value =
+      ParseInt64(text.substr(0, text.size() - suffix_len));
+  if (!value.ok()) {
+    return Status::InvalidArgument(
+        "'" + text + "' is not a valid duration — expected <n>ms, <n>s, "
+        "or <n>m (e.g. 250ms, 10s, 2m)");
+  }
+  return ScaleChecked(text, *value, multiplier);
+}
+
+Result<long long> ParseByteSize(const std::string& text) {
+  long long multiplier = 1;
+  size_t suffix_len = 0;
+  if (!text.empty()) {
+    switch (text.back()) {
+      case 'k':
+      case 'K':
+        multiplier = 1024;
+        suffix_len = 1;
+        break;
+      case 'm':
+      case 'M':
+        multiplier = 1024LL * 1024;
+        suffix_len = 1;
+        break;
+      case 'g':
+      case 'G':
+        multiplier = 1024LL * 1024 * 1024;
+        suffix_len = 1;
+        break;
+      default:
+        break;
+    }
+  }
+  Result<long long> value =
+      ParseInt64(text.substr(0, text.size() - suffix_len));
+  if (!value.ok()) {
+    return Status::InvalidArgument(
+        "'" + text + "' is not a valid byte size — expected <n> with an "
+        "optional k/m/g suffix (e.g. 1048576, 64k, 512m, 2g)");
+  }
+  return ScaleChecked(text, *value, multiplier);
+}
+
 }  // namespace rav

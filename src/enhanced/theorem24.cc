@@ -150,6 +150,8 @@ Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
   // --- Equality and inequality constraints (Lemma 21) ---
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < m; ++j) {
+      RAV_RETURN_IF_ERROR(GovernorCheckStatus(
+          options.governor, "ProjectWithHiddenDatabase: lemma21"));
       const Dfa& eq = propagation.EqualityDfa(i, j);
       if (!eq.IsEmptyLanguage()) {
         RAV_RETURN_IF_ERROR(enhanced.AddEqualityConstraint(
@@ -180,6 +182,10 @@ Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
   // the last two symbols: state 0 = start; 1 + q = one symbol read;
   // 1 + Q + prev*Q + cur = two or more symbols read.
   for (int i = 0; i < m; ++i) {
+    // The selector build below is cubic in the state count, so each
+    // register is one governor-checked unit of work.
+    RAV_RETURN_IF_ERROR(GovernorCheckStatus(
+        options.governor, "ProjectWithHiddenDatabase: finiteness"));
     bool any = false;
     for (StateId q = 0; q < num_states; ++q) {
       any = any || InPositiveLiteral(*guard_of[q], i) ||
@@ -254,6 +260,8 @@ Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
   for (const LiteralSite& neg : negatives) {
     for (const LiteralSite& pos : positives) {
       if (neg.atom->relation != pos.atom->relation) continue;
+      RAV_RETURN_IF_ERROR(GovernorCheckStatus(
+          options.governor, "ProjectWithHiddenDatabase: literal pairs"));
       // Resolve components on both sides.
       bool expressible = true;
       TupleInequalityConstraint forward;  // neg anchor first

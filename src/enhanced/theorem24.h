@@ -1,6 +1,7 @@
 #ifndef RAV_ENHANCED_THEOREM24_H_
 #define RAV_ENHANCED_THEOREM24_H_
 
+#include "base/governor.h"
 #include "base/status.h"
 #include "enhanced/enhanced_automaton.h"
 #include "ra/register_automaton.h"
@@ -17,6 +18,10 @@ struct Theorem24Options {
   // decide the literals the constraints need (as in Example 23).
   bool complete_first = false;
   size_t max_completed_transitions = 1u << 20;
+  // Resource governor (nullptr = unlimited): polled between constraint
+  // syntheses — per Lemma 21 register pair, per finiteness selector, per
+  // (¬R, R) literal pair. A trip aborts with ResourceExhausted.
+  const ExecutionGovernor* governor = nullptr;
 };
 
 struct Theorem24Stats {

@@ -186,6 +186,22 @@ class ConstraintClosure {
   // Returns the colors and sets *num_colors.
   std::vector<int> GreedyAdomColoring(int* num_colors) const;
 
+  // Approximate heap footprint of this closure, for governor memory
+  // accounting (the dominant per-node and per-edge containers; not exact
+  // malloc bookkeeping). Scales linearly with window · registers, so a
+  // memory budget trips after boundedly many windows of a given size.
+  size_t ApproxBytes() const {
+    return sizeof(*this) +
+           static_cast<size_t>(num_nodes()) * sizeof(int) +  // union-find
+           node_in_adom_.capacity() * sizeof(char) +
+           raw_ineq_.capacity() * sizeof(std::pair<int, int>) +
+           sweep_groups_.capacity() * sizeof(ClosureSweepGroup) +
+           sweep_starts_.capacity() * sizeof(int) +
+           class_of_node_.capacity() * sizeof(int) +
+           class_in_adom_.capacity() / 8 +
+           ineq_edges_.capacity() * sizeof(std::pair<int, int>);
+  }
+
  private:
   // Applies the transition types of positions [from_pos, window_): full
   // types up to window_ - 2, the x̄-restricted type at the last position.

@@ -187,8 +187,8 @@ Result<EraEmptinessResult> CheckEraEmptiness(
   }
   RAV_TRACE_SPAN("era/emptiness");
   if (options.analyze_and_strip) {
-    analysis::StripResult stripped =
-        analysis::AnalyzeAndStrip(era, analysis::StripEffort::kFast);
+    analysis::StripResult stripped = analysis::AnalyzeAndStrip(
+        era, analysis::StripEffort::kFast, options.governor);
     if (stripped.changed()) {
       RAV_METRIC_COUNT("era/emptiness/strips", 1);
       ControlAlphabet stripped_alphabet(stripped.era->automaton());
@@ -237,6 +237,11 @@ EraEmptinessResult SearchConsistentLasso(const ExtendedAutomaton& era,
     ++counters.closures_built;
     ConstraintClosure closure(era, alphabet, lasso, window,
                               &counters.scratch);
+    // Account this candidate's closure against the memory budget for as
+    // long as it is alive; the engine notices a trip before the next
+    // candidate is evaluated.
+    ScopedMemoryCharge closure_charge(options.governor,
+                                      closure.ApproxBytes());
     if (!closure.consistent()) return LassoVerdict::kInconsistent;
     if (has_database && options.check_unbounded_adom) {
       // Example 8 guard: if one more cycle strictly grows the largest
@@ -245,6 +250,7 @@ EraEmptinessResult SearchConsistentLasso(const ExtendedAutomaton& era,
       // one instead of rebuilt from scratch.
       ++counters.closures_extended;
       ConstraintClosure wider = closure.ExtendedBy(1, &counters.scratch);
+      closure_charge.Add(wider.ApproxBytes());
       int clique_now = closure.AdomCliqueNumber(options.clique_max_nodes);
       int clique_wider = wider.AdomCliqueNumber(options.clique_max_nodes);
       if (clique_now >= 0 && clique_wider >= 0 &&
@@ -271,6 +277,7 @@ EraEmptinessResult SearchConsistentLasso(const ExtendedAutomaton& era,
   search_options.max_search_steps = options.max_search_steps;
   search_options.num_workers = options.num_workers;
   search_options.batch_size = options.batch_size;
+  search_options.governor = options.governor;
   LassoSearchOutcome outcome = SearchLassos(nba, search_options, evaluate);
 
   EraEmptinessResult result;

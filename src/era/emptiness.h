@@ -37,6 +37,13 @@ struct EraEmptinessOptions {
   // witness are unchanged — the witness is remapped back to the caller's
   // alphabet). Metrics appear under analysis/*.
   bool analyze_and_strip = true;
+  // Resource governor (nullptr = unlimited): polled by the lasso engine
+  // at every safe point, charged the approximate bytes of each closure a
+  // candidate builds, and forwarded into the strip pre-pass. A trip turns
+  // the stop reason into deadline/memory-budget/cancelled and makes any
+  // negative verdict truncated. Results computed before the trip are
+  // preserved.
+  const ExecutionGovernor* governor = nullptr;
 };
 
 // Outcome of the emptiness search.
@@ -46,11 +53,12 @@ struct EraEmptinessResult {
   bool nonempty = false;
   LassoWord control_word;  // meaningful iff nonempty
   size_t lassos_tried = 0;
-  // True iff the answer is negative AND the enumeration stopped on a
-  // budget (steps, lasso count, or length clipping) rather than after
-  // exhausting the bounded search space — the negative answer is then
-  // relative to the bound, never definitive. Derived from
-  // stats.stop_reason; kept as a field for ergonomic access.
+  // True iff the answer is negative AND the search stopped on a budget
+  // (steps, lasso count, length clipping, or a governor trip — deadline,
+  // memory budget, cancellation) rather than after exhausting the bounded
+  // search space — the negative answer is then relative to the bound,
+  // never definitive. Derived from stats.stop_reason; kept as a field for
+  // ergonomic access.
   bool search_truncated = false;
   // Full instrumentation, including the precise stop reason.
   SearchStats stats;

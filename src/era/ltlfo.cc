@@ -78,7 +78,8 @@ Status AddFormulaAsLiterals(TypeBuilder& builder, const Formula& formula,
 // the consistent truth assignments. This is the cheap, targeted
 // alternative to full completion (which is exponential in the schema).
 Result<ExtendedAutomaton> RefineForPropositions(
-    const ExtendedAutomaton& era, const std::vector<Formula>& propositions) {
+    const ExtendedAutomaton& era, const std::vector<Formula>& propositions,
+    const ExecutionGovernor* governor) {
   const RegisterAutomaton& a = era.automaton();
   const int k = a.num_registers();
   RegisterAutomaton refined(k, a.schema());
@@ -90,6 +91,9 @@ Result<ExtendedAutomaton> RefineForPropositions(
   }
   const size_t num_props = propositions.size();
   for (int ti = 0; ti < a.num_transitions(); ++ti) {
+    // One transition may split into up to 2^16 refined guards, so the
+    // per-transition boundary is the safe point here.
+    RAV_RETURN_IF_ERROR(GovernorCheckStatus(governor, "VerifyLtlFo: refine"));
     const RaTransition& t = a.transition(ti);
     // Which propositions does the guard leave undetermined?
     std::vector<size_t> undetermined;
@@ -156,9 +160,10 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
   (void)options.max_completed_transitions;
   RAV_TRACE_SPAN("era/ltlfo");
   RAV_METRIC_COUNT("era/ltlfo/verifications", 1);
+  const ExecutionGovernor* governor = options.emptiness.governor;
   if (options.analyze_and_strip) {
-    analysis::StripResult stripped =
-        analysis::AnalyzeAndStrip(era, analysis::StripEffort::kFast);
+    analysis::StripResult stripped = analysis::AnalyzeAndStrip(
+        era, analysis::StripEffort::kFast, governor);
     if (stripped.changed()) {
       RAV_METRIC_COUNT("era/ltlfo/strips", 1);
       VerificationOptions inner = options;
@@ -176,7 +181,7 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
   //    proposition (targeted splitting instead of full completion).
   Result<ExtendedAutomaton> refined_result = [&] {
     RAV_TRACE_SPAN("refine");
-    return RefineForPropositions(era, property.propositions);
+    return RefineForPropositions(era, property.propositions, governor);
   }();
   RAV_ASSIGN_OR_RETURN(ExtendedAutomaton refined, std::move(refined_result));
   const ExtendedAutomaton* subject = &refined;
@@ -208,8 +213,11 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
   RAV_ASSIGN_OR_RETURN(LtlAutomaton neg, std::move(neg_result));
   RAV_METRIC_RECORD("era/ltlfo/nba_states", neg.nba.num_states());
 
-  // 4. Product with SControl over the control alphabet.
-  Nba product_nba = [&] {
+  // 4. Product with SControl over the control alphabet. Charged per
+  //    interned product state and polled per expanded one: the product is
+  //    where a hostile property formula blows up.
+  ScopedMemoryCharge product_charge(governor);
+  Result<Nba> product_result = [&]() -> Result<Nba> {
     RAV_TRACE_SPAN("product");
     Nba scontrol = BuildSControlNba(a, alphabet);
     GeneralizedNba product(alphabet.size(), 2);
@@ -219,6 +227,7 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
       auto [id, inserted] = ids.Intern(std::make_pair(sc, lt));
       if (!inserted) return id;
       RAV_CHECK_EQ(product.AddState(), id);
+      product_charge.Add(sizeof(std::pair<int, int>) + 48);
       if (scontrol.IsAccepting(sc)) product.AddToAcceptSet(0, id);
       if (neg.nba.IsAccepting(lt)) product.AddToAcceptSet(1, id);
       work.push(id);
@@ -230,6 +239,7 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
       }
     }
     while (!work.empty()) {
+      RAV_RETURN_IF_ERROR(GovernorCheckStatus(governor, "VerifyLtlFo: product"));
       int id = work.front();
       work.pop();
       auto [sc, lt] = ids.KeyOf(id);
@@ -242,6 +252,7 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
     }
     return product.Degeneralize();
   }();
+  RAV_ASSIGN_OR_RETURN(Nba product_nba, std::move(product_result));
   RAV_METRIC_RECORD("era/ltlfo/product_states", product_nba.num_states());
 
   // 5. Search for a constraint-consistent counterexample lasso.

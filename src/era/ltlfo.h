@@ -26,6 +26,10 @@ struct LtlFoProperty {
 };
 
 struct VerificationOptions {
+  // The counterexample search's options. Its `governor` field (if set)
+  // governs the whole verification: the strip pre-pass, guard refinement,
+  // and product construction poll it too — a trip there surfaces as
+  // ResourceExhausted, a trip during the search as a truncated verdict.
   EraEmptinessOptions emptiness;
   // Retained for compatibility; the verifier no longer completes the
   // automaton (it refines guards per proposition instead, which is

@@ -5,9 +5,11 @@
 #include <deque>
 #include <mutex>
 #include <sstream>
+#include <system_error>
 #include <thread>
 #include <vector>
 
+#include "base/failpoints.h"
 #include "base/metrics.h"
 #include "base/trace.h"
 
@@ -60,7 +62,10 @@ LassoSearchOutcome SearchInline(const Nba& nba,
                              options.max_lassos, options.max_search_steps);
   WorkerTally tally;
   LassoCandidate candidate;
+  GovernorTrip trip = GovernorTrip::kNone;
   while (enumerator.Next(&candidate.word, &candidate.index)) {
+    trip = GovernorCheck(options.governor);
+    if (trip != GovernorTrip::kNone) break;
     ++tally.checked;
     LassoVerdict verdict = evaluate(candidate, tally.counters);
     if (verdict == LassoVerdict::kInconsistent) ++tally.inconsistent;
@@ -76,8 +81,12 @@ LassoSearchOutcome SearchInline(const Nba& nba,
   outcome.stats.closures_extended = tally.counters.closures_extended;
   outcome.stats.enumeration_steps = enumerator.steps();
   outcome.stats.workers = 1;
+  // Precedence: a witness found before the trip is still a witness; an
+  // ungoverned stop falls through to the enumerator's reason.
   outcome.stats.stop_reason = outcome.witness.has_value()
                                   ? SearchStopReason::kWitnessFound
+                              : trip != GovernorTrip::kNone
+                                  ? StopReasonOfTrip(trip)
                                   : FromEnumStop(enumerator.stop());
   return outcome;
 }
@@ -96,7 +105,7 @@ struct SharedState {
 };
 
 void WorkerLoop(SharedState& shared, const LassoEvaluator& evaluate,
-                WorkerTally& tally) {
+                const ExecutionGovernor* governor, WorkerTally& tally) {
   for (;;) {
     LassoCandidate candidate;
     bool cancelled;
@@ -111,6 +120,11 @@ void WorkerLoop(SharedState& shared, const LassoEvaluator& evaluate,
       // A witness of lower rank already won; ranks above it are moot.
       cancelled = candidate.index > shared.best_index;
       shared.space_ready.notify_one();
+    }
+    // After a governor trip the queue is drained without evaluating, so
+    // the pool winds down within one candidate's evaluation per worker.
+    if (!cancelled && GovernorCheck(governor) != GovernorTrip::kNone) {
+      cancelled = true;
     }
     if (cancelled) {
       ++tally.cancelled;
@@ -146,11 +160,26 @@ LassoSearchOutcome SearchParallel(const Nba& nba,
   std::vector<std::thread> workers;
   workers.reserve(num_workers);
   for (int w = 0; w < num_workers; ++w) {
-    workers.emplace_back(
-        [&shared, &evaluate, &tallies, w] {
-          WorkerLoop(shared, evaluate, tallies[w]);
-        });
+    try {
+      if (RAV_FAILPOINT("era/search/worker_spawn")) {
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again),
+            "injected worker-spawn failure");
+      }
+      workers.emplace_back(
+          [&shared, &evaluate, &tallies, governor = options.governor, w] {
+            WorkerLoop(shared, evaluate, governor, tallies[w]);
+          });
+    } catch (const std::system_error&) {
+      // Thread creation failed (resource exhaustion or the injected
+      // fault): degrade to however many workers exist rather than
+      // crashing; with none, fall back to the serial path.
+      RAV_METRIC_COUNT("era/search/worker_spawn_failures", 1);
+      break;
+    }
   }
+  if (workers.empty()) return SearchInline(nba, options, evaluate);
+  num_workers = static_cast<int>(workers.size());
 
   // The calling thread is the producer: it drains the enumerator in
   // batches and stops as soon as any witness exists (all candidates it
@@ -161,6 +190,9 @@ LassoSearchOutcome SearchParallel(const Nba& nba,
   staged.reserve(batch);
   bool witness_seen = false;
   while (!witness_seen) {
+    // One governor poll per batch: a trip stops production, and the
+    // workers drain whatever is queued without evaluating it.
+    if (GovernorCheck(options.governor) != GovernorTrip::kNone) break;
     staged.clear();
     LassoCandidate candidate;
     while (staged.size() < batch &&
@@ -210,13 +242,32 @@ LassoSearchOutcome SearchParallel(const Nba& nba,
   outcome.stats.lassos_enumerated = enumerator.delivered();
   outcome.stats.enumeration_steps = enumerator.steps();
   outcome.stats.workers = num_workers;
+  const GovernorTrip trip = options.governor != nullptr
+                                ? options.governor->trip()
+                                : GovernorTrip::kNone;
   outcome.stats.stop_reason = outcome.witness.has_value()
                                   ? SearchStopReason::kWitnessFound
+                              : trip != GovernorTrip::kNone
+                                  ? StopReasonOfTrip(trip)
                                   : FromEnumStop(enumerator.stop());
   return outcome;
 }
 
 }  // namespace
+
+SearchStopReason StopReasonOfTrip(GovernorTrip trip) {
+  switch (trip) {
+    case GovernorTrip::kDeadline:
+      return SearchStopReason::kDeadline;
+    case GovernorTrip::kMemoryBudget:
+      return SearchStopReason::kMemoryBudget;
+    case GovernorTrip::kCancelled:
+      return SearchStopReason::kCancelled;
+    case GovernorTrip::kNone:
+      break;
+  }
+  return SearchStopReason::kExhausted;
+}
 
 const char* SearchStopReasonName(SearchStopReason reason) {
   switch (reason) {
@@ -230,6 +281,12 @@ const char* SearchStopReasonName(SearchStopReason reason) {
       return "lasso-budget";
     case SearchStopReason::kStepBudget:
       return "step-budget";
+    case SearchStopReason::kDeadline:
+      return "deadline";
+    case SearchStopReason::kMemoryBudget:
+      return "memory-budget";
+    case SearchStopReason::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

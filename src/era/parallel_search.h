@@ -6,21 +6,30 @@
 #include <string>
 
 #include "automata/nba.h"
+#include "base/governor.h"
 #include "era/constraint_graph.h"
 
 namespace rav {
 
 // Why a lasso search (the shared core of ERA emptiness, LTL-FO
 // verification, and LR-boundedness sampling) stopped. Only kExhausted
-// makes a negative verdict definitive; the three budget reasons make it
-// bound-relative, and procedures must report it as such.
+// makes a negative verdict definitive; the budget reasons (enumeration
+// bounds and governor trips alike) make it bound-relative, and
+// procedures must report it as such.
 enum class SearchStopReason {
   kWitnessFound = 0,  // the search accepted a lasso and stopped
   kExhausted = 1,     // every candidate within the bounds was examined
   kLengthBound = 2,   // enumeration clipped paths at max_lasso_length
   kLassoBudget = 3,   // enumeration stopped after max_lassos candidates
   kStepBudget = 4,    // enumeration stopped by max_search_steps
+  kDeadline = 5,      // the governor's wall-clock deadline passed
+  kMemoryBudget = 6,  // the governor's memory budget was exceeded
+  kCancelled = 7,     // cooperative cancellation was requested
 };
+
+// The search-level stop reason of a governor trip (kExhausted for
+// kNone — callers only map actual trips).
+SearchStopReason StopReasonOfTrip(GovernorTrip trip);
 
 // Stable human-readable name ("witness-found", "exhausted", ...).
 const char* SearchStopReasonName(SearchStopReason reason);
@@ -39,11 +48,16 @@ struct SearchStats {
   SearchStopReason stop_reason = SearchStopReason::kExhausted;
 
   // True iff a negative verdict is relative to a search bound rather than
-  // definitive: the search stopped because a budget ran out.
+  // definitive: the search stopped because a budget ran out — an
+  // enumeration bound or a governor limit (deadline, memory,
+  // cancellation).
   bool truncated() const {
     return stop_reason == SearchStopReason::kLengthBound ||
            stop_reason == SearchStopReason::kLassoBudget ||
-           stop_reason == SearchStopReason::kStepBudget;
+           stop_reason == SearchStopReason::kStepBudget ||
+           stop_reason == SearchStopReason::kDeadline ||
+           stop_reason == SearchStopReason::kMemoryBudget ||
+           stop_reason == SearchStopReason::kCancelled;
   }
 
   // One line: "stop=exhausted enumerated=12 checked=12 ...".
@@ -75,6 +89,13 @@ struct LassoSearchOptions {
   int num_workers = 1;
   // Candidates handed to the queue per producer push.
   size_t batch_size = 16;
+  // Resource governor (nullptr = unlimited). Polled at the engine's safe
+  // points — once per candidate on the inline path, per batch on the
+  // producer, per candidate on every worker — so a trip stops the search
+  // within one candidate's evaluation. A witness found before the trip
+  // still wins; otherwise the trip becomes the stop reason and the
+  // negative verdict is truncated (never silently definitive).
+  const ExecutionGovernor* governor = nullptr;
 };
 
 struct LassoSearchOutcome {

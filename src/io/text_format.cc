@@ -3,8 +3,11 @@
 #include "automata/dfa_to_regex.h"
 
 #include <cctype>
+#include <limits>
 #include <sstream>
 #include <vector>
+
+#include "base/failpoints.h"
 
 namespace rav {
 
@@ -184,9 +187,15 @@ class TfParser {
             RAV_ASSIGN_OR_RETURN(std::string name, Ident());
             RAV_RETURN_IF_ERROR(Expect(TfToken::Kind::kSlash));
             RAV_ASSIGN_OR_RETURN(int arity, Number());
+            if (schema.FindRelation(name) >= 0) {
+              return Err("duplicate relation '" + name + "'");
+            }
             schema.AddRelation(name, arity);
           } else if (kind == "constant") {
             RAV_ASSIGN_OR_RETURN(std::string name, Ident());
+            if (schema.FindConstant(name) >= 0) {
+              return Err("duplicate constant '" + name + "'");
+            }
             schema.AddConstant(name);
           } else {
             return Err("expected 'relation' or 'constant'");
@@ -399,9 +408,17 @@ class TfParser {
     if (Peek().kind != TfToken::Kind::kNumber) {
       return Err("expected a number, found '" + Peek().text + "'");
     }
-    int value = std::stoi(Peek().text);
+    // Not std::stoi: a fuzzed literal like "99999999999" must be a parse
+    // error, not an uncaught std::out_of_range.
+    long long value = 0;
+    for (char c : Peek().text) {
+      value = value * 10 + (c - '0');
+      if (value > std::numeric_limits<int>::max()) {
+        return Err("number out of range: '" + Peek().text + "'");
+      }
+    }
     Advance();
-    return value;
+    return static_cast<int>(value);
   }
 
   std::vector<TfToken> tokens_;
@@ -411,6 +428,13 @@ class TfParser {
 }  // namespace
 
 Result<ExtendedAutomaton> ParseExtendedAutomaton(const std::string& text) {
+  // Fault-injection site: models a corrupt or unreadable spec reaching
+  // the parser — callers must surface the error, never crash.
+  if (RAV_FAILPOINT("io/text_format/parse")) {
+    return Status::InvalidArgument(
+        "ParseExtendedAutomaton: injected parse failure (failpoint "
+        "io/text_format/parse)");
+  }
   RAV_ASSIGN_OR_RETURN(std::vector<TfToken> tokens, Tokenize(text));
   TfParser parser(std::move(tokens));
   return parser.Parse();

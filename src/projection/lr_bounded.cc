@@ -138,8 +138,8 @@ Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
         "database (Section 5)");
   }
   if (options.analyze_and_strip) {
-    analysis::StripResult stripped =
-        analysis::AnalyzeAndStrip(era, analysis::StripEffort::kFast);
+    analysis::StripResult stripped = analysis::AnalyzeAndStrip(
+        era, analysis::StripEffort::kFast, options.governor);
     if (stripped.changed()) {
       RAV_METRIC_COUNT("projection/lr_bounded/strips", 1);
       ControlAlphabet stripped_alphabet(stripped.era->automaton());
@@ -184,6 +184,7 @@ Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
     ++counters.closures_built;
     ConstraintClosure small(era, alphabet, lasso, w_small,
                             &counters.scratch);
+    ScopedMemoryCharge closure_charge(options.governor, small.ApproxBytes());
     int cover_small = MaxCutVertexCoverOfClosure(small);
     if (cover_small < 0) return LassoVerdict::kInconsistent;
     // The large window shares the small one's prefix: grow the closure by
@@ -191,6 +192,7 @@ Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
     ++counters.closures_extended;
     ConstraintClosure large =
         small.ExtendedBy(pump_large - pump_small, &counters.scratch);
+    closure_charge.Add(large.ApproxBytes());
     int cover_large = MaxCutVertexCoverOfClosure(large);
     {
       std::lock_guard<std::mutex> lock(fold_mu);
@@ -206,6 +208,7 @@ Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
   search_options.max_search_steps = options.max_search_steps;
   search_options.num_workers = options.num_workers;
   search_options.batch_size = options.batch_size;
+  search_options.governor = options.governor;
   LassoSearchOutcome outcome =
       SearchLassos(scontrol, search_options, evaluate);
 

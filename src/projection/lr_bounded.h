@@ -43,6 +43,11 @@ struct LrBoundOptions {
   // Dead structure carries no control lassos, so the estimate is
   // unchanged; the sampler just stops wading through it.
   bool analyze_and_strip = true;
+  // Resource governor (nullptr = unlimited): polled by the sampling
+  // engine per candidate and charged each candidate's closures. On a trip
+  // the estimate covers the lassos sampled so far and search_truncated is
+  // set.
+  const ExecutionGovernor* governor = nullptr;
 };
 
 struct LrBoundResult {

@@ -98,8 +98,9 @@ Result<int> LongestAcceptedWordLength(const Dfa& dfa) {
   return result;
 }
 
-Result<RegisterAutomaton> RealizeLrBoundedEra(const ExtendedAutomaton& era,
-                                              Prop22Stats* stats) {
+Result<RegisterAutomaton> RealizeLrBoundedEra(
+    const ExtendedAutomaton& era, Prop22Stats* stats,
+    const ExecutionGovernor* governor) {
   const RegisterAutomaton& b = era.automaton();
   const int m = b.num_registers();
   if (era.has_equality_constraints()) {
@@ -155,9 +156,12 @@ Result<RegisterAutomaton> RealizeLrBoundedEra(const ExtendedAutomaton& era,
   };
   FlatIdMap<NewState, NewStateHash> ids;
   std::queue<StateId> work;
+  ScopedMemoryCharge states_charge(governor);
   auto intern = [&](const NewState& ns) {
     auto [id, inserted] = ids.Intern(ns);
     if (!inserted) return id;
+    states_charge.Add(sizeof(NewState) +
+                      ns.recent.capacity() * sizeof(StateId) + 64);
     std::string name = b.state_name(ns.q);
     for (StateId r : ns.recent) name += "<" + b.state_name(r);
     RAV_CHECK_EQ(out.AddState(name), id);
@@ -172,6 +176,7 @@ Result<RegisterAutomaton> RealizeLrBoundedEra(const ExtendedAutomaton& era,
   }
 
   while (!work.empty()) {
+    RAV_RETURN_IF_ERROR(GovernorCheckStatus(governor, "RealizeLrBoundedEra"));
     StateId from_id = work.front();
     work.pop();
     NewState from = ids.KeyOf(from_id);

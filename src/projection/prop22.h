@@ -1,6 +1,7 @@
 #ifndef RAV_PROJECTION_PROP22_H_
 #define RAV_PROJECTION_PROP22_H_
 
+#include "base/governor.h"
 #include "base/status.h"
 #include "era/extended_automaton.h"
 #include "ra/register_automaton.h"
@@ -41,8 +42,13 @@ Result<int> LongestAcceptedWordLength(const Dfa& dfa);
 // constraints (e.g. the all-distinct automaton of Example 17, which is
 // not LR-bounded, but also genuinely LR-bounded ones needing the paper's
 // full budgeted-guessing construction) are rejected with Unimplemented.
-Result<RegisterAutomaton> RealizeLrBoundedEra(const ExtendedAutomaton& era,
-                                              Prop22Stats* stats = nullptr);
+//
+// The governor (nullptr = unlimited) is polled per expanded product
+// state and charged per interned one — the (state, recent-states) BFS is
+// where the m·L blowup lives; a trip aborts with ResourceExhausted.
+Result<RegisterAutomaton> RealizeLrBoundedEra(
+    const ExtendedAutomaton& era, Prop22Stats* stats = nullptr,
+    const ExecutionGovernor* governor = nullptr);
 
 }  // namespace rav
 

@@ -1,0 +1,40 @@
+// libFuzzer entry point for the io/text_format parser frontier.
+//
+// Build (Clang only; the target is skipped on other compilers — see
+// tests/CMakeLists.txt):
+//   cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ -DRAV_FUZZ=ON
+//   cmake --build build-fuzz --target fuzz_text_format -j
+//   ./build-fuzz/tests/fuzz_text_format tests/data corpus/
+//
+// The invariants it enforces are the same ones the ctest-wired
+// deterministic runner (tests/fuzz_smoke.cc) checks over its generated
+// corpus: parsing arbitrary bytes never crashes, and an accepted input
+// round-trips stably through ToTextFormat (print → parse → print is a
+// fixed point). See docs/robustness.md.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "io/text_format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  rav::Result<rav::ExtendedAutomaton> era = rav::ParseExtendedAutomaton(text);
+  if (!era.ok()) return 0;  // rejected inputs only need to not crash
+  const std::string printed = rav::ToTextFormat(*era);
+  rav::Result<rav::ExtendedAutomaton> again =
+      rav::ParseExtendedAutomaton(printed);
+  if (!again.ok()) {
+    std::fprintf(stderr, "round-trip reparse failed: %s\n",
+                 again.status().ToString().c_str());
+    std::abort();
+  }
+  if (rav::ToTextFormat(*again) != printed) {
+    std::fprintf(stderr, "round-trip not a fixed point\n");
+    std::abort();
+  }
+  return 0;
+}

@@ -118,6 +118,26 @@ TEST(TextFormatTest, RejectsUnknownState) {
   EXPECT_FALSE(bad.ok());
 }
 
+// Fuzz-found: these used to abort (RAV_CHECK / uncaught std::out_of_range)
+// instead of returning a parse error.
+TEST(TextFormatTest, RejectsDuplicateSchemaNames) {
+  auto dup_rel = ParseRegisterAutomaton(
+      "automaton { registers 1 schema { relation r/1 relation r/2 } "
+      "state q initial final transition q -> q { x1 = y1 } }");
+  EXPECT_FALSE(dup_rel.ok());
+  auto dup_const = ParseRegisterAutomaton(
+      "automaton { registers 1 schema { constant c constant c } "
+      "state q initial final transition q -> q { x1 = y1 } }");
+  EXPECT_FALSE(dup_const.ok());
+}
+
+TEST(TextFormatTest, RejectsOutOfRangeNumbers) {
+  auto bad = ParseRegisterAutomaton(
+      "automaton { registers 99999999999999999999 state q initial final "
+      "transition q -> q { x1 = y1 } }");
+  EXPECT_FALSE(bad.ok());
+}
+
 TEST(TextFormatTest, RejectsUnsatisfiableGuard) {
   auto bad = ParseRegisterAutomaton(
       "automaton { registers 1 state q initial final "

@@ -25,13 +25,31 @@
 //
 // Automaton files use the text format of io/text_format.h.
 //
-// Every command also accepts `--report <file>` (anywhere on the line):
-// the run's verdict, process metrics, and trace spans are written as a
-// JSON run report with the schema of base/report.h — the same schema the
-// bench binaries emit, so tools/report_merge can combine CLI runs and
-// benchmark runs into one file. See docs/observability.md.
+// Every command also accepts (anywhere on the line):
+//   --report <file>        write a JSON run report (schema of
+//                          base/report.h — mergeable with the bench
+//                          binaries' reports via tools/report_merge; see
+//                          docs/observability.md)
+//   --timeout <duration>   wall-clock deadline, e.g. 250ms, 10s, 2m
+//   --memory-limit <bytes> accounted-memory budget, e.g. 1048576, 64k,
+//                          512m, 2g
+// The limits (and Ctrl-C) stop the decision procedures cooperatively at
+// their safe points; partial results computed before the trip are still
+// printed. See docs/robustness.md.
+//
+// Exit codes (docs/robustness.md):
+//   0  success: property holds / language empty / lint clean (including
+//      verdicts truncated by the legacy enumeration bounds)
+//   1  runtime error (unloadable file, infeasible command) — and, for
+//      `lint`, warnings
+//   2  usage / bad arguments — and, for `lint`, errors
+//   3  property false: NONEMPTY witness, FAILS counterexample, or
+//      LR-bound growth detected
+//   4  stopped by the governor: --timeout or --memory-limit tripped
+//   5  cancelled (Ctrl-C / SIGINT)
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <random>
@@ -39,6 +57,7 @@
 #include <string>
 
 #include "analysis/lint.h"
+#include "base/governor.h"
 #include "base/numbers.h"
 #include "base/report.h"
 #include "era/emptiness.h"
@@ -52,6 +71,24 @@
 namespace rav {
 namespace {
 
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitPropertyFalse = 3;
+constexpr int kExitResourceExhausted = 4;
+constexpr int kExitCancelled = 5;
+
+// The process-wide governor: every command runs under it. Unlimited
+// unless --timeout / --memory-limit arm it; SIGINT always cancels it.
+ExecutionGovernor g_governor;
+
+extern "C" void HandleSigint(int) {
+  // First Ctrl-C: cooperative cancel (async-signal-safe — one relaxed
+  // atomic store). Second Ctrl-C: default disposition, i.e. kill.
+  g_governor.RequestCancel();
+  std::signal(SIGINT, SIG_DFL);
+}
+
 // Commands overwrite this with their domain verdict ("NONEMPTY",
 // "HOLDS", ...) for the `--report` JSON; it defaults from the exit code.
 std::string g_verdict;
@@ -59,6 +96,34 @@ std::string g_verdict;
 int Fail(const std::string& message) {
   std::fprintf(stderr, "rav_cli: %s\n", message.c_str());
   return 1;
+}
+
+// Failure exit for a Status: governor trips (surfaced as
+// ResourceExhausted by the library) get their dedicated exit codes so
+// scripts can tell "out of budget" from "broken input".
+int FailStatus(const Status& status) {
+  std::fprintf(stderr, "rav_cli: %s\n", status.ToString().c_str());
+  if (status.code() == StatusCode::kResourceExhausted) {
+    return g_governor.trip() == GovernorTrip::kCancelled
+               ? kExitCancelled
+               : kExitResourceExhausted;
+  }
+  return kExitError;
+}
+
+// Exit code of a run whose search stopped on a governor trip; kExitOk
+// for every non-governor stop (witness handling happens first, and the
+// legacy enumeration bounds keep their exit-0 truncated verdicts).
+int ExitForStop(SearchStopReason reason) {
+  switch (reason) {
+    case SearchStopReason::kDeadline:
+    case SearchStopReason::kMemoryBudget:
+      return kExitResourceExhausted;
+    case SearchStopReason::kCancelled:
+      return kExitCancelled;
+    default:
+      return kExitOk;
+  }
 }
 
 // Checked numeric argument: `what` names the argument in the error. Never
@@ -168,7 +233,7 @@ int CmdLint(const std::vector<std::string>& files, bool as_json,
                                        era.status().ToString(),
                                        SourceLocation{}});
     } else {
-      diagnostics = analysis::Lint(*era);
+      diagnostics = analysis::Lint(*era, &g_governor);
     }
     for (Diagnostic& d : diagnostics) {
       if (werror && d.severity == Severity::kWarning) {
@@ -200,6 +265,16 @@ int CmdLint(const std::vector<std::string>& files, bool as_json,
   } else if (any) {
     std::printf("lint: %zu file(s), %d error(s), %d warning(s), %d note(s)\n",
                 files.size(), errors, warnings, notes);
+  }
+  const GovernorTrip trip = g_governor.trip();
+  if (trip != GovernorTrip::kNone) {
+    std::fprintf(stderr,
+                 "rav_cli: lint stopped by governor (%s) — diagnostics "
+                 "above are partial\n",
+                 GovernorTripName(trip));
+    g_verdict = std::string("lint stopped (") + GovernorTripName(trip) + ")";
+    return trip == GovernorTrip::kCancelled ? kExitCancelled
+                                            : kExitResourceExhausted;
   }
   g_verdict = !any                         ? "clean"
               : worst == Severity::kError  ? "lint errors"
@@ -238,34 +313,39 @@ int CmdEmpty(const ExtendedAutomaton& era,
   }
   ControlAlphabet alphabet(subject.automaton());
   auto result = CheckEraEmptiness(subject, alphabet, options);
-  if (!result.ok()) return Fail(result.status().ToString());
+  if (!result.ok()) return FailStatus(result.status());
+  int exit_code = kExitOk;
   if (result->nonempty) {
     g_verdict = "NONEMPTY";
     std::printf("NONEMPTY — witness control lasso: %s\n",
                 result->control_word.ToString().c_str());
+    exit_code = kExitPropertyFalse;
   } else if (result->search_truncated) {
     g_verdict = "EMPTY (search truncated, not definitive)";
     std::printf("EMPTY within search bound (stopped: %s) — not definitive\n",
                 SearchStopReasonName(result->stats.stop_reason));
+    exit_code = ExitForStop(result->stats.stop_reason);
   } else {
     g_verdict = "EMPTY";
     std::printf("EMPTY (search space exhausted)\n");
   }
   std::printf("search: %s\n", result->stats.ToString().c_str());
-  return 0;
+  return exit_code;
 }
 
 int CmdProject(const ExtendedAutomaton& era, int m) {
   auto projected = ProjectExtendedAutomaton(era, m);
-  if (!projected.ok()) return Fail(projected.status().ToString());
+  if (!projected.ok()) return FailStatus(projected.status());
   std::printf("%s", ToTextFormat(*projected).c_str());
   return 0;
 }
 
 int CmdLrBound(const ExtendedAutomaton& era) {
   ControlAlphabet alphabet(era.automaton());
-  auto bound = EstimateLrBound(era, alphabet);
-  if (!bound.ok()) return Fail(bound.status().ToString());
+  LrBoundOptions options;
+  options.governor = &g_governor;
+  auto bound = EstimateLrBound(era, alphabet, options);
+  if (!bound.ok()) return FailStatus(bound.status());
   g_verdict = bound->growth_detected ? "growth detected (not LR-bounded)"
                                      : "no growth detected";
   std::printf("max vertex cover (sampled): %d\n", bound->max_cover);
@@ -277,7 +357,8 @@ int CmdLrBound(const ExtendedAutomaton& era) {
               SearchStopReasonName(bound->stats.stop_reason),
               bound->search_truncated ? " (verdict covers sampled lassos only)"
                                       : "");
-  return 0;
+  if (bound->growth_detected) return kExitPropertyFalse;
+  return ExitForStop(bound->stats.stop_reason);
 }
 
 int CmdSimulate(const ExtendedAutomaton& era, int steps) {
@@ -317,24 +398,26 @@ int CmdVerify(const ExtendedAutomaton& era, const std::string& ltl_text,
   if (!formula.ok()) return Fail(formula.status().ToString());
   property.formula = std::move(formula).value();
 
-  auto result = VerifyLtlFo(era, property);
-  if (!result.ok()) return Fail(result.status().ToString());
+  VerificationOptions options;
+  options.emptiness.governor = &g_governor;
+  auto result = VerifyLtlFo(era, property, options);
+  if (!result.ok()) return FailStatus(result.status());
   if (result->holds) {
     if (result->search_truncated) {
       g_verdict = "HOLDS (search truncated, not definitive)";
       std::printf(
           "HOLDS within search bound (stopped: %s) — not definitive\n",
           SearchStopReasonName(result->search_stats.stop_reason));
-    } else {
-      g_verdict = "HOLDS";
-      std::printf("HOLDS\n");
+      return ExitForStop(result->search_stats.stop_reason);
     }
-  } else {
-    g_verdict = "FAILS";
-    std::printf("FAILS — counterexample control lasso: %s\n",
-                result->counterexample->ToString().c_str());
+    g_verdict = "HOLDS";
+    std::printf("HOLDS\n");
+    return kExitOk;
   }
-  return 0;
+  g_verdict = "FAILS";
+  std::printf("FAILS — counterexample control lasso: %s\n",
+              result->counterexample->ToString().c_str());
+  return kExitPropertyFalse;
 }
 
 int RunCommand(const std::vector<std::string>& args) {
@@ -377,6 +460,7 @@ int RunCommand(const std::vector<std::string>& args) {
   int project_m = 0;
   int simulate_steps = 0;
   EraEmptinessOptions empty_options;
+  empty_options.governor = &g_governor;
   if (command == "project") {
     if (argc < 4) return Fail("project needs <m>");
     auto m = ParseIntArg("project <m>", argv[3]);
@@ -436,9 +520,11 @@ int RunCommand(const std::vector<std::string>& args) {
 }
 
 int Main(int argc, char** argv) {
-  // Strip --report <file> / --report=<file> before command parsing so the
-  // flag works uniformly across commands and positions.
+  // Strip the global flags (--report, --timeout, --memory-limit) before
+  // command parsing so they work uniformly across commands and positions.
   std::string report_path;
+  std::string timeout_text;
+  std::string memory_text;
   std::vector<std::string> args;
   for (int i = 0; i < argc; ++i) {
     std::string arg = argv[i];
@@ -450,8 +536,44 @@ int Main(int argc, char** argv) {
       report_path = arg.substr(9);
       continue;
     }
+    if (arg == "--timeout" && i + 1 < argc) {
+      timeout_text = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--timeout=", 0) == 0) {
+      timeout_text = arg.substr(10);
+      continue;
+    }
+    if (arg == "--memory-limit" && i + 1 < argc) {
+      memory_text = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--memory-limit=", 0) == 0) {
+      memory_text = arg.substr(15);
+      continue;
+    }
     args.push_back(std::move(arg));
   }
+
+  if (!timeout_text.empty()) {
+    Result<long long> ms = ParseDurationMs(timeout_text);
+    if (!ms.ok()) {
+      std::fprintf(stderr, "rav_cli: --timeout: %s\n",
+                   ms.status().message().c_str());
+      return kExitUsage;
+    }
+    g_governor.set_deadline_after(std::chrono::milliseconds(*ms));
+  }
+  if (!memory_text.empty()) {
+    Result<long long> bytes = ParseByteSize(memory_text);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "rav_cli: --memory-limit: %s\n",
+                   bytes.status().message().c_str());
+      return kExitUsage;
+    }
+    g_governor.set_memory_budget(static_cast<size_t>(*bytes));
+  }
+  std::signal(SIGINT, HandleSigint);
 
   const auto start = std::chrono::steady_clock::now();
   int exit_code = RunCommand(args);
@@ -469,6 +591,8 @@ int Main(int argc, char** argv) {
   }
   report.params.Set("args", std::move(extra));
   report.params.Set("exit_code", Json::Number(exit_code));
+  report.params.Set("governor_trip",
+                    Json::String(GovernorTripName(g_governor.trip())));
   Json metrics = Json::Object();
   metrics.Set("process", CaptureProcessMetrics());
   report.metrics = std::move(metrics);

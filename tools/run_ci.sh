@@ -13,7 +13,12 @@
 #      a real benchmark target, and every report must carry a verdict
 #
 # Pipeline continues:
-#   6. perf-regression gate: the hot benchmarks below are compared against
+#   6. fault-injection matrix: rav_cli under three RAV_FAILPOINTS
+#      configurations (base/failpoints.h) — each must degrade to a clean,
+#      documented status, never crash or hang (docs/robustness.md)
+#   7. fuzz corpus smoke: the deterministic text-format fuzz runner at
+#      a CI-sized input count
+#   8. perf-regression gate: the hot benchmarks below are compared against
 #      the committed baseline (`git show HEAD:BENCH_RESULTS.json`); a
 #      >RAV_PERF_GATE_RATIO× cpu_ns_per_iter slowdown fails the run
 #
@@ -22,6 +27,9 @@
 #                       (default 0.05 — the full suite in a few minutes;
 #                       raise for publication-quality numbers)
 #   RAV_BENCH_FILTER    --benchmark_filter regex passed to every bench
+#   RAV_BENCH_TIMEOUT   wall-clock cap per bench binary, seconds (default
+#                       600); a hung bench fails the run instead of
+#                       wedging it
 #   RAV_JOBS            parallel build jobs (default: nproc)
 #   RAV_PERF_GATE       "off" skips the perf-regression gate (noisy or
 #                       shared machines); default "on"
@@ -37,6 +45,7 @@ OUT="${1:-BENCH_RESULTS.json}"
 MIN_TIME="${RAV_BENCH_MIN_TIME:-0.05}"
 FILTER="${RAV_BENCH_FILTER:-}"
 JOBS="${RAV_JOBS:-$(nproc)}"
+BENCH_TIMEOUT="${RAV_BENCH_TIMEOUT:-600}"
 
 echo "== configure + build =="
 cmake -B build -S . >/dev/null
@@ -74,9 +83,46 @@ for bench in build/bench/bench_*; do
     args+=(--benchmark_filter="$FILTER")
   fi
   echo "-- $name"
-  "$bench" "${args[@]}" >/dev/null
+  # Benches run under a wall-clock cap: a hang (a regression the governor
+  # exists to prevent) fails the run with a message instead of wedging CI.
+  if ! timeout -k 10 "$BENCH_TIMEOUT" "$bench" "${args[@]}" >/dev/null; then
+    echo "bench $name failed or exceeded ${BENCH_TIMEOUT}s" >&2
+    exit 1
+  fi
   reports+=("$report")
 done
+
+echo "== fault-injection matrix =="
+# Each configuration arms one failpoint (base/failpoints.h, catalog in
+# docs/robustness.md) through the environment and asserts rav_cli lands
+# on the documented clean status — never a crash; `timeout` converts a
+# hang into a failure. ping_pong.rav is NONEMPTY, so the healthy exit
+# code is 3 (property false).
+mkdir -p build/reports
+run_failpoint() {  # <failpoints> <expected-exit> <description> [args...]
+  local fp="$1" want="$2" desc="$3"
+  shift 3
+  local got=0
+  RAV_FAILPOINTS="$fp" timeout 60 build/tools/rav_cli \
+      empty tests/data/ping_pong.rav "$@" \
+      >build/reports/failpoint.out 2>&1 || got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "fault injection '$fp' ($desc): exit $got, want $want" >&2
+    cat build/reports/failpoint.out >&2
+    exit 1
+  fi
+  echo "-- $fp -> exit $got ($desc)"
+}
+run_failpoint "io/text_format/parse=1" 1 \
+    "injected parse failure surfaces as a clean load error"
+run_failpoint "era/search/worker_spawn=1" 3 \
+    "worker-spawn failure degrades the pool, verdict unchanged" --threads 4
+run_failpoint "governor/memory=1" 4 \
+    "forced memory trip yields a truthful resource-exhausted stop"
+
+echo "== fuzz corpus smoke =="
+RAV_FUZZ_SMOKE_INPUTS=30000 timeout 300 build/tests/fuzz_smoke >/dev/null
+echo "fuzz smoke passed (30000 generated inputs)"
 
 echo "== merge =="
 # report_merge validates each report against the schema of base/report.h
