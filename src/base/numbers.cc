@@ -53,64 +53,105 @@ Result<long long> ScaleChecked(const std::string& text, long long value,
 
 }  // namespace
 
-Result<long long> ParseDurationMs(const std::string& text) {
-  // Longest suffix first: "ms" before "m".
-  long long multiplier = 0;
-  size_t suffix_len = 0;
-  if (text.size() > 2 && text.compare(text.size() - 2, 2, "ms") == 0) {
-    multiplier = 1;
-    suffix_len = 2;
-  } else if (text.size() > 1 && text.back() == 's') {
-    multiplier = 1000;
-    suffix_len = 1;
-  } else if (text.size() > 1 && text.back() == 'm') {
-    multiplier = 60 * 1000;
-    suffix_len = 1;
-  } else {
-    return Status::InvalidArgument(
-        "'" + text + "' is not a valid duration — expected <n>ms, <n>s, "
-        "or <n>m (e.g. 250ms, 10s, 2m)");
+namespace {
+
+// Splits `text` into a leading magnitude and a trailing alphabetic unit
+// suffix (lowercased), so that "250MS" -> ("250", "ms"). The suffix is
+// maximal: every trailing letter belongs to it, which makes "64kb" an
+// *unknown suffix* ("kb") instead of a bad integer ("64k"), and makes
+// suffix-only strings ("ms", "k") distinguishable from bare numbers.
+void SplitUnitSuffix(const std::string& text, std::string* magnitude,
+                     std::string* suffix) {
+  size_t cut = text.size();
+  while (cut > 0 &&
+         std::isalpha(static_cast<unsigned char>(text[cut - 1]))) {
+    --cut;
   }
-  Result<long long> value =
-      ParseInt64(text.substr(0, text.size() - suffix_len));
+  *magnitude = text.substr(0, cut);
+  *suffix = text.substr(cut);
+  for (char& c : *suffix) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+}
+
+}  // namespace
+
+Result<long long> ParseDurationMs(const std::string& text) {
+  static const char* const kValid =
+      "valid suffixes: ms, s, m (case-insensitive; e.g. 250ms, 10s, 2m)";
+  std::string magnitude;
+  std::string suffix;
+  SplitUnitSuffix(text, &magnitude, &suffix);
+  long long multiplier = 0;
+  if (suffix == "ms") {
+    multiplier = 1;
+  } else if (suffix == "s") {
+    multiplier = 1000;
+  } else if (suffix == "m") {
+    multiplier = 60 * 1000;
+  } else if (suffix.empty()) {
+    return Status::InvalidArgument("'" + text +
+                                   "' is not a valid duration: missing unit "
+                                   "suffix — " +
+                                   kValid);
+  } else {
+    return Status::InvalidArgument("'" + text +
+                                   "' is not a valid duration: unknown unit "
+                                   "suffix '" +
+                                   suffix + "' — " + kValid);
+  }
+  if (magnitude.empty()) {
+    return Status::InvalidArgument("'" + text +
+                                   "' is not a valid duration: missing a "
+                                   "number before the '" +
+                                   suffix + "' suffix — " + kValid);
+  }
+  Result<long long> value = ParseInt64(magnitude);
   if (!value.ok()) {
-    return Status::InvalidArgument(
-        "'" + text + "' is not a valid duration — expected <n>ms, <n>s, "
-        "or <n>m (e.g. 250ms, 10s, 2m)");
+    return Status::InvalidArgument("'" + text +
+                                   "' is not a valid duration: '" + magnitude +
+                                   "' is not a decimal integer — " + kValid);
   }
   return ScaleChecked(text, *value, multiplier);
 }
 
 Result<long long> ParseByteSize(const std::string& text) {
+  static const char* const kValid =
+      "valid suffixes: k, m, g (powers of 1024, case-insensitive), or no "
+      "suffix for bytes (e.g. 1048576, 64k, 512m, 2g)";
+  std::string magnitude;
+  std::string suffix;
+  SplitUnitSuffix(text, &magnitude, &suffix);
   long long multiplier = 1;
-  size_t suffix_len = 0;
-  if (!text.empty()) {
-    switch (text.back()) {
-      case 'k':
-      case 'K':
-        multiplier = 1024;
-        suffix_len = 1;
-        break;
-      case 'm':
-      case 'M':
-        multiplier = 1024LL * 1024;
-        suffix_len = 1;
-        break;
-      case 'g':
-      case 'G':
-        multiplier = 1024LL * 1024 * 1024;
-        suffix_len = 1;
-        break;
-      default:
-        break;
-    }
+  if (suffix == "k") {
+    multiplier = 1024;
+  } else if (suffix == "m") {
+    multiplier = 1024LL * 1024;
+  } else if (suffix == "g") {
+    multiplier = 1024LL * 1024 * 1024;
+  } else if (!suffix.empty()) {
+    return Status::InvalidArgument("'" + text +
+                                   "' is not a valid byte size: unknown unit "
+                                   "suffix '" +
+                                   suffix + "' — " + kValid);
   }
-  Result<long long> value =
-      ParseInt64(text.substr(0, text.size() - suffix_len));
+  if (magnitude.empty()) {
+    if (suffix.empty()) {
+      return Status::InvalidArgument(
+          "'' is not a valid byte size: expected a number — " +
+          std::string(kValid));
+    }
+    return Status::InvalidArgument("'" + text +
+                                   "' is not a valid byte size: missing a "
+                                   "number before the '" +
+                                   suffix + "' suffix — " + kValid);
+  }
+  Result<long long> value = ParseInt64(magnitude);
   if (!value.ok()) {
-    return Status::InvalidArgument(
-        "'" + text + "' is not a valid byte size — expected <n> with an "
-        "optional k/m/g suffix (e.g. 1048576, 64k, 512m, 2g)");
+    return Status::InvalidArgument("'" + text +
+                                   "' is not a valid byte size: '" +
+                                   magnitude + "' is not a decimal integer — " +
+                                   kValid);
   }
   return ScaleChecked(text, *value, multiplier);
 }

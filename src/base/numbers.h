@@ -16,15 +16,18 @@ Result<long long> ParseInt64(const std::string& text);
 Result<int> ParseInt32(const std::string& text);
 
 // A non-negative wall-clock duration with a required unit suffix, as the
-// CLI's --timeout takes it: "250ms", "10s", "2m". Returns milliseconds.
-// Rejects negatives, missing/unknown suffixes, and values that overflow
-// when scaled.
+// CLI's --timeout takes it: "250ms", "10s", "2m" (suffixes ms/s/m,
+// case-insensitive). Returns milliseconds. Rejects negatives, bare
+// numbers with no unit, suffix-only strings ("ms"), unknown suffixes,
+// and values that overflow when scaled — always with an error naming
+// the valid suffixes.
 Result<long long> ParseDurationMs(const std::string& text);
 
 // A non-negative byte count with an optional binary-unit suffix, as the
 // CLI's --memory-limit takes it: "1048576", "64k", "512m", "2g"
-// (multipliers 1024, 1024², 1024³; case-insensitive). Rejects negatives
-// and values that overflow when scaled.
+// (multipliers 1024, 1024², 1024³; case-insensitive). Rejects negatives,
+// suffix-only strings ("k"), unknown suffixes ("64kb"), and values that
+// overflow when scaled — always with an error naming the valid suffixes.
 Result<long long> ParseByteSize(const std::string& text);
 
 }  // namespace rav

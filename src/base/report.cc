@@ -443,6 +443,11 @@ Status WriteReportFile(const std::string& path, const RunReport& report) {
   std::ofstream out(path);
   if (!out) return Status::NotFound("cannot write report to " + path);
   out << json.Dump(2) << "\n";
+  // Flush before checking: a report smaller than the stream buffer would
+  // otherwise be written only by the destructor, whose failure (full
+  // disk, /dev/full) is silent — the caller would report success with
+  // the file missing or truncated.
+  out.flush();
   if (!out.good()) return Status::Internal("short write to " + path);
   return Status::OK();
 }

@@ -1,0 +1,107 @@
+#include "io/proposition.h"
+
+#include <cctype>
+#include <sstream>
+#include <utility>
+
+#include "base/numbers.h"
+
+namespace rav {
+
+Result<Formula> ParseProposition(const std::string& text,
+                                 const RegisterAutomaton& a) {
+  const int k = a.num_registers();
+  auto term = [&](const std::string& t) -> Result<Term> {
+    if (t.size() >= 2 && (t[0] == 'x' || t[0] == 'y') &&
+        isdigit(static_cast<unsigned char>(t[1]))) {
+      Result<int> parsed = ParseInt32(t.substr(1));
+      if (!parsed.ok()) {
+        return Status::InvalidArgument("register index: " +
+                                       parsed.status().message());
+      }
+      int index = *parsed - 1;
+      if (index < 0 || index >= k) {
+        return Status::InvalidArgument("register out of range: " + t);
+      }
+      return Term::Var(t[0] == 'x' ? index : k + index);
+    }
+    ConstantId c = a.schema().FindConstant(t);
+    if (c < 0) return Status::InvalidArgument("unknown term: " + t);
+    return Term::Const(c);
+  };
+
+  bool negated = false;
+  std::string body = text;
+  if (!body.empty() && body[0] == '!' && body.find('(') != std::string::npos) {
+    negated = true;
+    body = body.substr(1);
+  }
+  size_t lparen = body.find('(');
+  if (lparen != std::string::npos) {
+    std::string rel = body.substr(0, lparen);
+    RelationId r = a.schema().FindRelation(rel);
+    if (r < 0) return Status::InvalidArgument("unknown relation: " + rel);
+    size_t rparen = body.find(')');
+    if (rparen == std::string::npos) {
+      return Status::InvalidArgument("missing ')' in " + text);
+    }
+    std::vector<Term> args;
+    std::string inner = body.substr(lparen + 1, rparen - lparen - 1);
+    std::istringstream arg_stream(inner);
+    std::string arg;
+    while (std::getline(arg_stream, arg, ',')) {
+      // Trim whitespace.
+      size_t b = arg.find_first_not_of(' ');
+      size_t e = arg.find_last_not_of(' ');
+      if (b == std::string::npos) {
+        return Status::InvalidArgument("empty argument in " + text);
+      }
+      RAV_ASSIGN_OR_RETURN(Term t, term(arg.substr(b, e - b + 1)));
+      args.push_back(t);
+    }
+    Formula atom = Formula::Rel(r, std::move(args));
+    return negated ? Formula::Not(atom) : atom;
+  }
+  size_t neq = body.find("!=");
+  size_t eq = body.find('=');
+  if (neq != std::string::npos) {
+    RAV_ASSIGN_OR_RETURN(Term lhs, term(body.substr(0, neq)));
+    RAV_ASSIGN_OR_RETURN(Term rhs, term(body.substr(neq + 2)));
+    return Formula::Neq(lhs, rhs);
+  }
+  if (eq != std::string::npos) {
+    RAV_ASSIGN_OR_RETURN(Term lhs, term(body.substr(0, eq)));
+    RAV_ASSIGN_OR_RETURN(Term rhs, term(body.substr(eq + 1)));
+    return Formula::Eq(lhs, rhs);
+  }
+  return Status::InvalidArgument("cannot parse proposition: " + text);
+}
+
+Result<LtlFoProperty> ParseLtlFoProperty(
+    const std::string& ltl_text,
+    const std::vector<std::string>& proposition_texts,
+    const RegisterAutomaton& automaton) {
+  LtlFoProperty property;
+  for (const std::string& text : proposition_texts) {
+    RAV_ASSIGN_OR_RETURN(Formula f, ParseProposition(text, automaton));
+    property.propositions.push_back(std::move(f));
+    property.proposition_names.push_back(text);
+  }
+  auto resolve = [&](const std::string& name) -> int {
+    if (name.size() >= 2 && name[0] == 'p' &&
+        isdigit(static_cast<unsigned char>(name[1]))) {
+      Result<int> index = ParseInt32(name.substr(1));
+      if (index.ok() &&
+          *index < static_cast<int>(property.propositions.size())) {
+        return *index;
+      }
+    }
+    return -1;
+  };
+  RAV_ASSIGN_OR_RETURN(LtlFormula formula,
+                       LtlFormula::Parse(ltl_text, resolve));
+  property.formula = std::move(formula);
+  return property;
+}
+
+}  // namespace rav

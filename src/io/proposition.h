@@ -1,0 +1,40 @@
+#ifndef RAV_IO_PROPOSITION_H_
+#define RAV_IO_PROPOSITION_H_
+
+// The textual FO-proposition syntax shared by `rav_cli verify` and the
+// decision service's `verify` op (docs/serving.md):
+//
+//   x1=y2    x1!=x2    x1=c      register/constant (in)equalities;
+//                                x-variables are the automaton's own
+//                                registers, y-variables the projection
+//                                copies, constants by schema name
+//   R(x1,y2) !R(x1)    relation atoms, optionally negated
+//
+// LTL formulas over these use propositions p0, p1, ... referring to the
+// parsed list by position.
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "era/ltlfo.h"
+#include "ra/register_automaton.h"
+#include "relational/formula.h"
+
+namespace rav {
+
+// Parses one proposition against `automaton`'s schema and register
+// count. Errors name the offending token.
+Result<Formula> ParseProposition(const std::string& text,
+                                 const RegisterAutomaton& automaton);
+
+// Parses a whole LTL-FO property: each proposition text, then the LTL
+// formula with p0..pN resolved to the proposition list by index.
+Result<LtlFoProperty> ParseLtlFoProperty(
+    const std::string& ltl_text,
+    const std::vector<std::string>& proposition_texts,
+    const RegisterAutomaton& automaton);
+
+}  // namespace rav
+
+#endif  // RAV_IO_PROPOSITION_H_

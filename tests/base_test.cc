@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "base/arena.h"
 #include "base/bitset.h"
 #include "base/interner.h"
+#include "base/numbers.h"
 #include "base/status.h"
 #include "base/union_find.h"
 #include "base/value.h"
@@ -195,6 +197,106 @@ TEST(FreshValueSourceTest, AvoidsObservedValues) {
   EXPECT_NE(v, 5);
   DataValue w = fresh.Fresh();
   EXPECT_NE(v, w);
+}
+
+// --- Unit-suffix grammars (base/numbers.h) ---
+//
+// Edge-case regressions for the documented CLI help: --timeout requires
+// a unit suffix (ms/s/m), --memory-limit takes an optional one (k/m/g),
+// both case-insensitive, and every rejection names the valid suffixes.
+
+// Expects `result` to be an InvalidArgument whose message contains every
+// needle — in particular the "valid suffixes" enumeration, so a user who
+// typo'd a unit is told what the units are.
+void ExpectRejects(const Result<long long>& result,
+                   const std::vector<std::string>& needles) {
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  for (const std::string& needle : needles) {
+    EXPECT_NE(result.status().message().find(needle), std::string::npos)
+        << "message: " << result.status().message()
+        << "\nmissing: " << needle;
+  }
+}
+
+TEST(DurationGrammarTest, AcceptsEveryDocumentedSuffix) {
+  EXPECT_EQ(*ParseDurationMs("250ms"), 250);
+  EXPECT_EQ(*ParseDurationMs("10s"), 10000);
+  EXPECT_EQ(*ParseDurationMs("2m"), 120000);
+  EXPECT_EQ(*ParseDurationMs("0ms"), 0);
+  EXPECT_EQ(*ParseDurationMs("+5s"), 5000);
+}
+
+TEST(DurationGrammarTest, SuffixesAreCaseInsensitive) {
+  // The byte-size grammar always took 64K; durations rejected 10S. The
+  // two grammars now agree: unit suffixes are case-insensitive in both.
+  EXPECT_EQ(*ParseDurationMs("250MS"), 250);
+  EXPECT_EQ(*ParseDurationMs("250Ms"), 250);
+  EXPECT_EQ(*ParseDurationMs("250mS"), 250);
+  EXPECT_EQ(*ParseDurationMs("10S"), 10000);
+  EXPECT_EQ(*ParseDurationMs("2M"), 120000);
+}
+
+TEST(DurationGrammarTest, BareNumberIsRejectedNamingTheSuffixes) {
+  // --timeout documents a required unit; the error must say which ones.
+  ExpectRejects(ParseDurationMs("10"),
+                {"missing unit suffix", "ms, s, m"});
+  ExpectRejects(ParseDurationMs("0"), {"missing unit suffix"});
+}
+
+TEST(DurationGrammarTest, SuffixOnlyStringsAreRejectedAsMissingNumber) {
+  // "ms" used to fall through the suffix chain as <"m">+"s" and produce
+  // a generic integer error; it is a missing magnitude, not a bad one.
+  ExpectRejects(ParseDurationMs("ms"), {"missing a number", "'ms'"});
+  ExpectRejects(ParseDurationMs("s"), {"missing a number", "'s'"});
+  ExpectRejects(ParseDurationMs("m"), {"missing a number", "'m'"});
+  ExpectRejects(ParseDurationMs("MS"), {"missing a number"});
+}
+
+TEST(DurationGrammarTest, UnknownSuffixesAreRejectedByName) {
+  ExpectRejects(ParseDurationMs("10h"), {"unknown unit suffix 'h'"});
+  ExpectRejects(ParseDurationMs("10sec"), {"unknown unit suffix 'sec'"});
+  ExpectRejects(ParseDurationMs("10us"), {"unknown unit suffix 'us'"});
+  ExpectRejects(ParseDurationMs(""), {"missing unit suffix"});
+}
+
+TEST(DurationGrammarTest, BadMagnitudesAreRejected) {
+  ExpectRejects(ParseDurationMs("-5s"), {"non-negative"});
+  ExpectRejects(ParseDurationMs("1 0ms"), {"not a decimal integer"});
+  ExpectRejects(ParseDurationMs("0x10ms"), {"not a decimal integer"});
+  EXPECT_FALSE(ParseDurationMs("999999999999999999m").ok());  // overflow
+}
+
+TEST(ByteSizeGrammarTest, AcceptsDocumentedForms) {
+  EXPECT_EQ(*ParseByteSize("1048576"), 1048576);
+  EXPECT_EQ(*ParseByteSize("0"), 0);
+  EXPECT_EQ(*ParseByteSize("64k"), 64 * 1024);
+  EXPECT_EQ(*ParseByteSize("512m"), 512LL * 1024 * 1024);
+  EXPECT_EQ(*ParseByteSize("2g"), 2LL * 1024 * 1024 * 1024);
+  EXPECT_EQ(*ParseByteSize("64K"), 64 * 1024);
+  EXPECT_EQ(*ParseByteSize("512M"), 512LL * 1024 * 1024);
+  EXPECT_EQ(*ParseByteSize("2G"), 2LL * 1024 * 1024 * 1024);
+}
+
+TEST(ByteSizeGrammarTest, SuffixOnlyStringsAreRejectedAsMissingNumber) {
+  ExpectRejects(ParseByteSize("k"), {"missing a number", "'k'"});
+  ExpectRejects(ParseByteSize("g"), {"missing a number"});
+  ExpectRejects(ParseByteSize(""), {"expected a number"});
+}
+
+TEST(ByteSizeGrammarTest, UnknownSuffixesAreRejectedByName) {
+  // "64kb" is an unknown *suffix* "kb", not the integer junk "64k"+"b":
+  // the whole trailing alphabetic run is the unit.
+  ExpectRejects(ParseByteSize("64kb"), {"unknown unit suffix 'kb'"});
+  ExpectRejects(ParseByteSize("10t"), {"unknown unit suffix 't'", "k, m, g"});
+  ExpectRejects(ParseByteSize("x"), {"unknown unit suffix 'x'"});
+}
+
+TEST(ByteSizeGrammarTest, BadMagnitudesAreRejected) {
+  ExpectRejects(ParseByteSize("-1"), {"non-negative"});
+  ExpectRejects(ParseByteSize("-1k"), {"non-negative"});
+  ExpectRejects(ParseByteSize("1 0"), {"not a decimal integer"});
+  EXPECT_FALSE(ParseByteSize("999999999999999999g").ok());  // overflow
 }
 
 }  // namespace

@@ -1,0 +1,76 @@
+#!/bin/sh
+# Exercises rav_cli's SIGINT contract end to end (docs/robustness.md):
+#
+#   first Ctrl-C   cooperative cancel — the run winds down at the next
+#                  safe point and exits 5 (cancelled)
+#   second Ctrl-C  the handler restored SIG_DFL on the first one, so the
+#                  second kills the process (exit 128+SIGINT = 130)
+#
+# The vehicle is `rav_cli batch -` reading from a FIFO this script holds
+# open: the process is deterministically alive (blocked in the read
+# phase) when each signal lands, so neither case races the run's natural
+# completion — the flaw with signalling a bounded search, which finishes
+# in tens of milliseconds.
+#
+# Usage: cli_sigint_test.sh <rav_cli> <scratch-dir>
+set -u
+
+CLI="$1"
+WORK="$2"
+mkdir -p "$WORK"
+
+fail() {
+  echo "cli_sigint_test: FAIL: $1" >&2
+  exit 1
+}
+
+require_alive() {
+  kill -0 "$1" 2>/dev/null || fail "$2"
+}
+
+# --- case 1: one SIGINT -> cooperative cancel -> exit 5 -----------------
+FIFO="$WORK/requests.fifo"
+rm -f "$FIFO"
+mkfifo "$FIFO" || fail "cannot create FIFO"
+
+"$CLI" batch - <"$FIFO" >/dev/null 2>&1 &
+pid=$!
+# Hold the write end open so the batch reader stays blocked.
+exec 3>"$FIFO"
+printf '{"id":"r1","op":"stats"}\n' >&3
+
+sleep 0.3
+require_alive "$pid" "batch finished before the first SIGINT"
+kill -INT "$pid"
+sleep 0.3
+# Cooperative: the handler only sets a flag; the process must still be
+# draining/blocked, not signal-killed.
+require_alive "$pid" "first SIGINT killed the process (should be cooperative)"
+exec 3>&-   # EOF: the reader wakes, sees the cancel, winds down
+wait "$pid"
+got=$?
+[ "$got" -eq 5 ] || fail "single SIGINT: exit $got, want 5 (cancelled)"
+echo "-- single SIGINT: cooperative cancel, exit 5"
+
+# --- case 2: two SIGINTs -> default disposition -> killed (130) ---------
+rm -f "$FIFO"
+mkfifo "$FIFO" || fail "cannot create FIFO"
+
+"$CLI" batch - <"$FIFO" >/dev/null 2>&1 &
+pid=$!
+exec 3>"$FIFO"
+
+sleep 0.3
+require_alive "$pid" "batch finished before the second-SIGINT case"
+kill -INT "$pid"          # handler: cancel + restore SIG_DFL
+sleep 0.3
+require_alive "$pid" "process died after one SIGINT in the double case"
+kill -INT "$pid"          # default disposition now: kill
+wait "$pid"
+got=$?
+exec 3>&-
+rm -f "$FIFO"
+[ "$got" -eq 130 ] || fail "double SIGINT: exit $got, want 130 (killed)"
+echo "-- double SIGINT: SIG_DFL restored, killed with 130"
+
+echo "cli_sigint_test: PASS"

@@ -14,6 +14,14 @@
 //                                       uses propositions p0, p1, ... and
 //                                       each <fo> is "xi=yj", "xi!=xj",
 //                                       etc. interpreting proposition pN.
+//   rav_cli batch <file|-> [--threads N] [--cache N]
+//                                       answer a file of JSON-lines
+//                                       decision-service requests (the
+//                                       rav_serve wire format; see
+//                                       docs/serving.md) concurrently in
+//                                       one process. Exit 0 if every
+//                                       request was answered ok, 1
+//                                       otherwise.
 //   rav_cli lint <file>... [--json] [--werror]
 //                                       static analysis (docs/linting.md):
 //                                       prints RAV0xx diagnostics; exit
@@ -48,13 +56,17 @@
 //   4  stopped by the governor: --timeout or --memory-limit tripped
 //   5  cancelled (Ctrl-C / SIGINT)
 
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <iostream>
+#include <mutex>
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "analysis/lint.h"
 #include "base/governor.h"
@@ -62,11 +74,14 @@
 #include "base/report.h"
 #include "era/emptiness.h"
 #include "era/ltlfo.h"
+#include "io/proposition.h"
 #include "io/text_format.h"
 #include "projection/lr_bounded.h"
 #include "projection/project_era.h"
 #include "ra/simulate.h"
 #include "ra/transform.h"
+#include "service/request.h"
+#include "service/service.h"
 
 namespace rav {
 namespace {
@@ -143,71 +158,6 @@ Result<ExtendedAutomaton> Load(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return ParseExtendedAutomaton(buffer.str());
-}
-
-// Parses a tiny FO-proposition syntax: "x1=y2", "x1!=x2", "x1=c" (constant
-// by name), "R(x1,y2)", "!R(x1)".
-Result<Formula> ParseProposition(const std::string& text,
-                                 const RegisterAutomaton& a) {
-  const int k = a.num_registers();
-  auto term = [&](const std::string& t) -> Result<Term> {
-    if (t.size() >= 2 && (t[0] == 'x' || t[0] == 'y') &&
-        isdigit(static_cast<unsigned char>(t[1]))) {
-      Result<int> parsed = ParseIntArg("register index", t.substr(1));
-      if (!parsed.ok()) return parsed.status();
-      int index = *parsed - 1;
-      if (index < 0 || index >= k) {
-        return Status::InvalidArgument("register out of range: " + t);
-      }
-      return Term::Var(t[0] == 'x' ? index : k + index);
-    }
-    ConstantId c = a.schema().FindConstant(t);
-    if (c < 0) return Status::InvalidArgument("unknown term: " + t);
-    return Term::Const(c);
-  };
-
-  bool negated = false;
-  std::string body = text;
-  if (!body.empty() && body[0] == '!' && body.find('(') != std::string::npos) {
-    negated = true;
-    body = body.substr(1);
-  }
-  size_t lparen = body.find('(');
-  if (lparen != std::string::npos) {
-    std::string rel = body.substr(0, lparen);
-    RelationId r = a.schema().FindRelation(rel);
-    if (r < 0) return Status::InvalidArgument("unknown relation: " + rel);
-    size_t rparen = body.find(')');
-    if (rparen == std::string::npos) {
-      return Status::InvalidArgument("missing ')' in " + text);
-    }
-    std::vector<Term> args;
-    std::string inner = body.substr(lparen + 1, rparen - lparen - 1);
-    std::istringstream arg_stream(inner);
-    std::string arg;
-    while (std::getline(arg_stream, arg, ',')) {
-      // Trim whitespace.
-      size_t b = arg.find_first_not_of(' ');
-      size_t e = arg.find_last_not_of(' ');
-      RAV_ASSIGN_OR_RETURN(Term t, term(arg.substr(b, e - b + 1)));
-      args.push_back(t);
-    }
-    Formula atom = Formula::Rel(r, std::move(args));
-    return negated ? Formula::Not(atom) : atom;
-  }
-  size_t neq = body.find("!=");
-  size_t eq = body.find('=');
-  if (neq != std::string::npos) {
-    RAV_ASSIGN_OR_RETURN(Term lhs, term(body.substr(0, neq)));
-    RAV_ASSIGN_OR_RETURN(Term rhs, term(body.substr(neq + 2)));
-    return Formula::Neq(lhs, rhs);
-  }
-  if (eq != std::string::npos) {
-    RAV_ASSIGN_OR_RETURN(Term lhs, term(body.substr(0, eq)));
-    RAV_ASSIGN_OR_RETURN(Term rhs, term(body.substr(eq + 1)));
-    return Formula::Eq(lhs, rhs);
-  }
-  return Status::InvalidArgument("cannot parse proposition: " + text);
 }
 
 // `rav_cli lint`: every file is parsed and linted; a file that fails to
@@ -376,27 +326,12 @@ int CmdSimulate(const ExtendedAutomaton& era, int steps) {
 
 int CmdVerify(const ExtendedAutomaton& era, const std::string& ltl_text,
               const std::vector<std::string>& proposition_texts) {
-  LtlFoProperty property;
-  for (const std::string& text : proposition_texts) {
-    auto f = ParseProposition(text, era.automaton());
-    if (!f.ok()) return Fail(f.status().ToString());
-    property.propositions.push_back(std::move(f).value());
-    property.proposition_names.push_back(text);
-  }
-  auto resolve = [&](const std::string& name) -> int {
-    if (name.size() >= 2 && name[0] == 'p' &&
-        isdigit(static_cast<unsigned char>(name[1]))) {
-      Result<int> index = ParseInt32(name.substr(1));
-      if (index.ok() &&
-          *index < static_cast<int>(property.propositions.size())) {
-        return *index;
-      }
-    }
-    return -1;
-  };
-  auto formula = LtlFormula::Parse(ltl_text, resolve);
-  if (!formula.ok()) return Fail(formula.status().ToString());
-  property.formula = std::move(formula).value();
+  // The proposition and LTL syntax is shared with the decision service's
+  // `verify` op (io/proposition.h, docs/serving.md).
+  auto parsed = ParseLtlFoProperty(ltl_text, proposition_texts,
+                                   era.automaton());
+  if (!parsed.ok()) return Fail(parsed.status().ToString());
+  LtlFoProperty property = std::move(parsed).value();
 
   VerificationOptions options;
   options.emptiness.governor = &g_governor;
@@ -420,6 +355,93 @@ int CmdVerify(const ExtendedAutomaton& era, const std::string& ltl_text,
   return kExitPropertyFalse;
 }
 
+// `rav_cli batch <file|-> [--threads N] [--cache N]`: answers a file of
+// JSON-lines decision-service requests (schema of service/request.h —
+// the same wire format tools/rav_serve speaks) concurrently in one
+// process, one response line per request in completion order. Exit 0
+// when every request was answered ok, 1 when any failed, 5 on Ctrl-C.
+// Each request still runs under its OWN governor; the process-wide
+// --timeout/--memory-limit flags are not inherited by batch requests
+// (set per-request "timeout"/"memory_limit" fields instead).
+int CmdBatch(const std::string& path, int threads, size_t cache_capacity) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (path != "-") {
+    file.open(path);
+    if (!file) return Fail("batch: cannot open '" + path + "'");
+    in = &file;
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+
+  service::ServiceOptions options;
+  options.cache_capacity = cache_capacity;
+  service::Service service(options);
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> failures{0};
+  std::mutex stdout_mu;
+
+  auto emit = [&](const service::QueryResponse& response) {
+    if (!response.ok) failures.fetch_add(1);
+    const std::string out = response.ToJsonLine();
+    std::lock_guard<std::mutex> lock(stdout_mu);
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    std::fputc('\n', stdout);
+  };
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= lines.size()) return;
+      // Ctrl-C (cooperative cancel of the process governor) stops
+      // starting new requests; the watchdog below trips the in-flight
+      // ones.
+      if (g_governor.Check() == GovernorTrip::kCancelled) return;
+      auto request = service::ParseRequest(lines[i]);
+      if (!request.ok()) {
+        service::QueryResponse response;
+        response.op = "?";
+        response.ok = false;
+        response.error = request.status().ToString();
+        response.verdict = "error";
+        response.exit_equivalent = kExitError;
+        emit(response);
+        continue;
+      }
+      emit(service.Handle(*request));
+    }
+  };
+
+  std::atomic<bool> done{false};
+  std::thread watchdog([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      if (g_governor.Check() == GovernorTrip::kCancelled) service.CancelAll();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  if (threads < 1) threads = 1;
+  std::vector<std::thread> pool;
+  for (int i = 1; i < threads; ++i) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+  done.store(true, std::memory_order_relaxed);
+  watchdog.join();
+
+  if (g_governor.Check() == GovernorTrip::kCancelled) {
+    g_verdict = "batch cancelled";
+    return kExitCancelled;
+  }
+  g_verdict = failures.load() == 0
+                  ? "batch ok"
+                  : "batch with " + std::to_string(failures.load()) +
+                        " failed request(s)";
+  std::fprintf(stderr, "rav_cli: batch: %zu request(s), %zu failed\n",
+               lines.size(), failures.load());
+  return failures.load() == 0 ? kExitOk : kExitError;
+}
+
 int RunCommand(const std::vector<std::string>& args) {
   const int argc = static_cast<int>(args.size());
   std::vector<const char*> ptrs;
@@ -428,11 +450,42 @@ int RunCommand(const std::vector<std::string>& args) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: rav_cli "
-                 "<info|print|dot|empty|project|lrbound|simulate|verify|lint> "
-                 "<file> [args...] [--report <json>]\n");
+                 "<info|print|dot|empty|project|lrbound|simulate|verify|lint"
+                 "|batch> <file> [args...] [--report <json>]\n");
     return 2;
   }
   std::string command = argv[1];
+
+  if (command == "batch") {
+    int threads = 1;
+    size_t cache_capacity = 64;
+    std::string batch_path;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--threads" && i + 1 < argc) {
+        auto threads_arg = ParseIntArg("--threads", argv[++i]);
+        if (!threads_arg.ok()) return Fail(threads_arg.status().message());
+        if (*threads_arg < 0) return Fail("batch --threads must be >= 0");
+        threads = *threads_arg == 0
+                      ? static_cast<int>(std::thread::hardware_concurrency())
+                      : *threads_arg;
+      } else if (arg == "--cache" && i + 1 < argc) {
+        auto cache_arg = ParseIntArg("--cache", argv[++i]);
+        if (!cache_arg.ok()) return Fail(cache_arg.status().message());
+        if (*cache_arg < 1) return Fail("batch --cache must be >= 1");
+        cache_capacity = static_cast<size_t>(*cache_arg);
+      } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+        return Fail("batch: unknown flag '" + arg +
+                    "' (supported: --threads N, --cache N)");
+      } else if (batch_path.empty()) {
+        batch_path = arg;
+      } else {
+        return Fail("batch: takes one <file> (or '-' for stdin)");
+      }
+    }
+    if (batch_path.empty()) return Fail("batch needs <file> (or '-')");
+    return CmdBatch(batch_path, threads, cache_capacity);
+  }
 
   if (command == "lint") {
     bool as_json = false;
@@ -604,8 +657,15 @@ int Main(int argc, char** argv) {
                        .count();
   Status written = WriteReportFile(report_path, report);
   if (!written.ok()) {
-    std::fprintf(stderr, "--report: %s\n", written.ToString().c_str());
-    return exit_code != 0 ? exit_code : 1;
+    // A requested report that cannot be written is a hard failure: exit
+    // nonzero and name the path, so a pipeline never sees a verdict with
+    // exit 0 while the report file is silently missing. A domain exit
+    // code (3/4/5) is preserved — it is already nonzero and more
+    // specific than the generic error.
+    std::fprintf(stderr,
+                 "rav_cli: --report: cannot write report file '%s': %s\n",
+                 report_path.c_str(), written.ToString().c_str());
+    return exit_code != kExitOk ? exit_code : kExitError;
   }
   return exit_code;
 }

@@ -1,0 +1,252 @@
+// rav_serve — long-lived decision service over stdio (docs/serving.md).
+//
+// Usage:
+//   rav_serve [--threads N] [--cache N]
+//
+// Protocol: JSON lines. Each stdin line is one request (schema of
+// service/request.h), each stdout line one response — responses appear
+// in COMPLETION order, matched to requests by their "id". A spec is
+// compiled once (parse → lint → strip → complete) and cached by content
+// hash, so a stream of queries against one spec pays the compile once
+// (bench/bench_service.cc measures the amortization).
+//
+//   --threads N   worker threads executing query ops concurrently
+//                 (default 4; 0 = all hardware threads). `cancel` and
+//                 `stats` are answered inline by the reader thread, so
+//                 a cancel reaches a stuck request even when every
+//                 worker is busy.
+//   --cache N     compiled-spec cache capacity (default 64).
+//
+// Isolation: each request runs under its own ExecutionGovernor armed
+// from the request's "timeout"/"memory_limit"; a request tripping its
+// deadline or budget yields exit_equivalent 4 for THAT response and
+// leaves concurrent requests untouched (tests/service_test.cc proves
+// this; tools/run_ci.sh smokes it end to end).
+//
+// Shutdown:
+//   * stdin EOF — drain every accepted request, flush, exit 0;
+//   * first SIGINT — cancel all in-flight requests cooperatively, drop
+//     not-yet-started ones, flush, exit 5;
+//   * second SIGINT — default disposition (kill), exit 130.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <condition_variable>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/numbers.h"
+#include "service/request.h"
+#include "service/service.h"
+
+namespace rav {
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 2;
+constexpr int kExitCancelled = 5;
+
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void HandleSigint(int) {
+  // First Ctrl-C: cooperative shutdown (one relaxed store — async-signal
+  // safe). Second Ctrl-C: default disposition, i.e. kill.
+  g_interrupted.store(true, std::memory_order_relaxed);
+  std::signal(SIGINT, SIG_DFL);
+}
+
+// Stdout is shared by every worker: one line per response, atomically.
+std::mutex g_stdout_mu;
+
+void EmitResponse(const service::QueryResponse& response) {
+  const std::string line = response.ToJsonLine();
+  std::lock_guard<std::mutex> lock(g_stdout_mu);
+  std::fwrite(line.data(), 1, line.size(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);  // each line is a complete message; don't batch
+}
+
+// A parse failure still gets a response line, so the client sees every
+// rejection on the same channel (id echoes back when the bad request at
+// least carried one).
+void EmitParseError(const std::string& id, const Status& status) {
+  service::QueryResponse response;
+  response.id = id;
+  response.op = "?";
+  response.ok = false;
+  response.error = status.ToString();
+  response.verdict = "error";
+  response.exit_equivalent = 1;
+  EmitResponse(response);
+}
+
+// Best-effort id recovery from an unparseable request line, so the
+// client can still match the error to its request.
+std::string RecoverId(const std::string& line) {
+  Result<Json> parsed = Json::Parse(line);
+  if (!parsed.ok() || !parsed->is_object()) return "";
+  const Json* id = parsed->Find("id");
+  return (id != nullptr && id->is_string()) ? id->string_value() : "";
+}
+
+struct RequestQueue {
+  std::mutex mu;
+  std::condition_variable ready;
+  std::deque<service::QueryRequest> items;
+  bool closed = false;
+
+  void Push(service::QueryRequest request) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      items.push_back(std::move(request));
+    }
+    ready.notify_one();
+  }
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    ready.notify_all();
+  }
+  // Drops everything not yet started (shutdown path); returns the count.
+  size_t Clear() {
+    std::lock_guard<std::mutex> lock(mu);
+    size_t dropped = items.size();
+    items.clear();
+    return dropped;
+  }
+  bool Pop(service::QueryRequest* request) {
+    std::unique_lock<std::mutex> lock(mu);
+    ready.wait(lock, [&] { return closed || !items.empty(); });
+    if (items.empty()) return false;
+    *request = std::move(items.front());
+    items.pop_front();
+    return true;
+  }
+};
+
+int Main(int argc, char** argv) {
+  int threads = 4;
+  size_t cache_capacity = 64;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      Result<int> parsed = ParseInt32(argv[++i]);
+      if (!parsed.ok() || *parsed < 0) {
+        std::fprintf(stderr,
+                     "rav_serve: --threads must be a non-negative integer\n");
+        return kExitUsage;
+      }
+      threads = *parsed;
+    } else if (arg == "--cache" && i + 1 < argc) {
+      Result<int> parsed = ParseInt32(argv[++i]);
+      if (!parsed.ok() || *parsed < 1) {
+        std::fprintf(stderr, "rav_serve: --cache must be a positive integer\n");
+        return kExitUsage;
+      }
+      cache_capacity = static_cast<size_t>(*parsed);
+    } else {
+      std::fprintf(stderr,
+                   "usage: rav_serve [--threads N] [--cache N]\n"
+                   "  JSON-lines requests on stdin, responses on stdout "
+                   "(docs/serving.md)\n");
+      return kExitUsage;
+    }
+  }
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads == 0) threads = 1;
+  }
+
+  service::ServiceOptions options;
+  options.cache_capacity = cache_capacity;
+  service::Service service(options);
+  RequestQueue queue;
+
+  std::signal(SIGINT, HandleSigint);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers.emplace_back([&] {
+      service::QueryRequest request;
+      while (queue.Pop(&request)) EmitResponse(service.Handle(request));
+    });
+  }
+
+  // The watchdog turns the SIGINT flag into cooperative cancellation:
+  // in-flight governors trip, workers finish fast, queued requests are
+  // dropped. Polling is the only option — the reader may be blocked in
+  // getline and must not be required to notice. Exactly one side (EOF
+  // drain or interrupt path) joins the workers: `shutdown_claimed`
+  // arbitrates.
+  std::atomic<bool> done{false};
+  std::atomic<bool> shutdown_claimed{false};
+  std::thread watchdog([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      if (g_interrupted.load(std::memory_order_relaxed)) {
+        const size_t dropped = queue.Clear();
+        queue.Close();
+        const size_t cancelled = service.CancelAll();
+        std::fprintf(stderr,
+                     "rav_serve: interrupted — cancelled %zu in-flight, "
+                     "dropped %zu queued request(s)\n",
+                     cancelled, dropped);
+        if (shutdown_claimed.exchange(true)) return;  // EOF drain owns it
+        for (std::thread& w : workers) w.join();
+        {
+          std::lock_guard<std::mutex> lock(g_stdout_mu);
+          std::fflush(stdout);
+        }
+        // The reader thread may be parked in getline on an open stdin;
+        // _Exit skips waiting on it (everything is flushed above).
+        std::_Exit(kExitCancelled);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    Result<service::QueryRequest> request = service::ParseRequest(line);
+    if (!request.ok()) {
+      EmitParseError(RecoverId(line), request.status());
+      continue;
+    }
+    // Control ops answer inline so they cannot starve behind busy
+    // workers; query ops go to the pool.
+    if (request->op == service::Op::kCancel ||
+        request->op == service::Op::kStats) {
+      EmitResponse(service.Handle(*request));
+    } else {
+      queue.Push(*std::move(request));
+    }
+  }
+
+  queue.Close();
+  if (shutdown_claimed.exchange(true)) {
+    // The interrupt path got there first and will join + _Exit; just
+    // wait for it.
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+  }
+  for (std::thread& w : workers) w.join();
+  done.store(true, std::memory_order_relaxed);
+  watchdog.join();
+  std::fflush(stdout);
+  return g_interrupted.load(std::memory_order_relaxed) ? kExitCancelled
+                                                       : kExitOk;
+}
+
+}  // namespace
+}  // namespace rav
+
+int main(int argc, char** argv) { return rav::Main(argc, argv); }

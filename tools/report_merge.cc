@@ -7,12 +7,18 @@
 // files written by `bench_* --report` and `rav_cli ... --report`). Every
 // input is validated against kReportRequiredKeys; any schema violation is
 // reported with its file name and the merge fails without writing output.
-// The output is `{"schema_version": 1, "reports": [...]}` with the inputs
-// in command-line order — this is how BENCH_RESULTS.json is produced (see
+// Duplicate experiment ids across inputs (and, a fortiori, two reports
+// for one experiment carrying different claim strings) are a hard error
+// for the same reason: the perf-regression gate of tools/run_ci.sh keys
+// the committed BENCH_RESULTS.json baseline by experiment, so last-write-
+// wins would silently corrupt it. The output is
+// `{"schema_version": 1, "reports": [...]}` with the inputs in
+// command-line order — this is how BENCH_RESULTS.json is produced (see
 // docs/observability.md and tools/run_ci.sh).
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,6 +38,8 @@ int Main(int argc, char** argv) {
   Json merged = Json::Object();
   merged.Set("schema_version", Json::Number(1));
   Json reports = Json::Array();
+  // experiment id -> (first source file, claim), for duplicate detection.
+  std::map<std::string, std::pair<std::string, std::string>> seen;
   int bad_inputs = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string path = argv[i];
@@ -58,6 +66,30 @@ int Main(int argc, char** argv) {
       continue;
     }
     Json entry = std::move(parsed).value();
+    const Json* experiment = entry.Find("experiment");
+    const Json* claim = entry.Find("claim");
+    // Both exist and are strings — ValidateReportJson just checked.
+    const std::string& id = experiment->string_value();
+    auto [it, inserted] = seen.emplace(
+        id, std::make_pair(path, claim->string_value()));
+    if (!inserted) {
+      if (it->second.second != claim->string_value()) {
+        std::fprintf(stderr,
+                     "report_merge: %s: experiment '%s' conflicts with %s — "
+                     "same id, different claim:\n  %s\n  vs\n  %s\n",
+                     path.c_str(), id.c_str(), it->second.first.c_str(),
+                     claim->string_value().c_str(),
+                     it->second.second.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "report_merge: %s: duplicate experiment id '%s' "
+                     "(already provided by %s) — merging both would let "
+                     "one silently shadow the other in the baseline\n",
+                     path.c_str(), id.c_str(), it->second.first.c_str());
+      }
+      ++bad_inputs;
+      continue;
+    }
     entry.Set("source_file", Json::String(path));
     reports.Append(std::move(entry));
   }

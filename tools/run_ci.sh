@@ -13,12 +13,16 @@
 #      a real benchmark target, and every report must carry a verdict
 #
 # Pipeline continues:
-#   6. fault-injection matrix: rav_cli under three RAV_FAILPOINTS
-#      configurations (base/failpoints.h) — each must degrade to a clean,
+#   6. fault-injection matrix: rav_cli under RAV_FAILPOINTS
+#      configurations (base/failpoints.h), including a poisoned
+#      decision-service request — each must degrade to a clean,
 #      documented status, never crash or hang (docs/robustness.md)
-#   7. fuzz corpus smoke: the deterministic text-format fuzz runner at
+#   7. decision-service smoke: rav_serve end to end — concurrent
+#      queries, one deadline-tripped, per-request isolation, clean EOF
+#      shutdown (docs/serving.md)
+#   8. fuzz corpus smoke: the deterministic text-format fuzz runner at
 #      a CI-sized input count
-#   8. perf-regression gate: the hot benchmarks below are compared against
+#   9. perf-regression gate: the hot benchmarks below are compared against
 #      the committed baseline (`git show HEAD:BENCH_RESULTS.json`); a
 #      >RAV_PERF_GATE_RATIO× cpu_ns_per_iter slowdown fails the run
 #
@@ -119,6 +123,73 @@ run_failpoint "era/search/worker_spawn=1" 3 \
     "worker-spawn failure degrades the pool, verdict unchanged" --threads 4
 run_failpoint "governor/memory=1" 4 \
     "forced memory trip yields a truthful resource-exhausted stop"
+# The decision-service seam: a poisoned request is rejected at parse
+# time (failpoint in service::ParseRequest) with an error response; the
+# other requests in the batch still get answered, and the batch exits 1
+# (some requests failed) rather than crashing or taking the rest down.
+python3 - <<'EOF' >build/reports/batch_requests.jsonl
+import json
+spec = open("tests/data/ping_pong.rav").read()
+print(json.dumps({"id": "p1", "op": "empty", "spec": spec}))
+print(json.dumps({"id": "p2", "op": "info", "spec": spec}))
+EOF
+got=0
+RAV_FAILPOINTS="service/parse_request=1" timeout 60 \
+    build/tools/rav_cli batch build/reports/batch_requests.jsonl \
+    >build/reports/failpoint.out 2>&1 || got=$?
+if [ "$got" -ne 1 ]; then
+  echo "fault injection 'service/parse_request=1' (batch): exit $got, want 1" >&2
+  cat build/reports/failpoint.out >&2
+  exit 1
+fi
+grep -q "failpoint service/parse_request fired" build/reports/failpoint.out \
+  || { echo "batch failpoint: rejection message missing" >&2; exit 1; }
+grep -q '"id":"p2".*"ok":true' build/reports/failpoint.out \
+  || { echo "batch failpoint: healthy request p2 was not answered" >&2; exit 1; }
+echo "-- service/parse_request=1 -> exit 1 (poisoned request rejected, rest answered)"
+
+echo "== decision-service smoke =="
+# rav_serve end to end (docs/serving.md): one process, concurrent
+# queries including a deadline-tripped one, per-request isolation, spec
+# cache reuse, and a clean EOF shutdown. Asserted from the outside —
+# the in-process isolation test lives in tests/service_test.cc.
+timeout 120 python3 - <<'EOF'
+import json, subprocess, sys
+
+spec = open("tests/data/ping_pong.rav").read()
+requests = [{"id": "trip", "op": "empty", "spec": spec, "timeout": "0ms"}]
+for i in range(8):
+    requests.append({"id": f"q{i}", "op": "empty", "spec": spec})
+requests.append({"id": "inspect", "op": "info", "spec": spec})
+requests.append({"id": "tally", "op": "stats"})
+payload = "".join(json.dumps(r) + "\n" for r in requests)
+
+proc = subprocess.run(
+    ["build/tools/rav_serve", "--threads", "4"],
+    input=payload, capture_output=True, text=True)
+if proc.returncode != 0:
+    sys.exit(f"rav_serve exit {proc.returncode}, want 0 (clean EOF shutdown)\n"
+             f"{proc.stderr}")
+responses = {json.loads(l)["id"]: json.loads(l)
+             for l in proc.stdout.splitlines()}
+if len(responses) != len(requests):
+    sys.exit(f"{len(responses)} responses for {len(requests)} requests")
+
+trip = responses["trip"]
+if trip["exit_equivalent"] != 4 or trip["details"].get("stop_reason") != "deadline":
+    sys.exit(f"deadline request did not trip cleanly: {trip}")
+for i in range(8):
+    r = responses[f"q{i}"]
+    if not (r["ok"] and r["verdict"] == "NONEMPTY" and r["exit_equivalent"] == 3):
+        sys.exit(f"concurrent request q{i} disturbed by the tripped one: {r}")
+if not responses["inspect"]["ok"]:
+    sys.exit(f"info request failed: {responses['inspect']}")
+hits = [responses[f"q{i}"]["cache_hit"] for i in range(8)]
+if True not in hits:
+    sys.exit("no query hit the CompiledSpec cache — amortization is broken")
+print("rav_serve smoke passed: 1 tripped + 8 isolated queries, "
+      f"{sum(hits)}/8 cache hits, clean shutdown")
+EOF
 
 echo "== fuzz corpus smoke =="
 RAV_FUZZ_SMOKE_INPUTS=30000 timeout 300 build/tests/fuzz_smoke >/dev/null
