@@ -1,0 +1,99 @@
+#include "base/concurrent_set.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace rav {
+
+namespace {
+
+// Power-of-two shard tables start at 64 slots and grow at 3/4 load.
+constexpr size_t kInitialSlots = 64;
+
+}  // namespace
+
+ConcurrentSet::ConcurrentSet(StatePool* pool,
+                             const ExecutionGovernor* governor, int num_shards)
+    : pool_(pool), governor_(governor) {
+  RAV_CHECK(pool_ != nullptr);
+  RAV_CHECK_GT(num_shards, 0);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  size_t charged = 0;
+  for (int i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->slots.resize(kInitialSlots);
+    charged += kInitialSlots * sizeof(Entry);
+    shards_.push_back(std::move(shard));
+  }
+  if (governor_ != nullptr) governor_->ChargeBytes(charged);
+  bytes_reserved_.store(charged, std::memory_order_relaxed);
+}
+
+ConcurrentSet::~ConcurrentSet() {
+  if (governor_ != nullptr) {
+    governor_->ReleaseBytes(bytes_reserved());
+  }
+}
+
+uint64_t ConcurrentSet::Fingerprint(const uint8_t* data, uint32_t size) {
+  // FNV-1a, then a splitmix64 finalizer so short keys still spread over
+  // the shard index and the high probe bits.
+  uint64_t h = 1469598103934665603ull;
+  for (uint32_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  // 0 marks an empty slot; remap rather than special-case the probes.
+  return h == 0 ? 1 : h;
+}
+
+void ConcurrentSet::GrowShard(Shard& shard) {
+  std::vector<Entry> old = std::move(shard.slots);
+  const size_t new_size = old.size() * 2;
+  shard.slots.assign(new_size, Entry{});
+  const size_t mask = new_size - 1;
+  for (const Entry& e : old) {
+    if (e.fingerprint == 0) continue;
+    size_t slot = static_cast<size_t>(e.fingerprint) & mask;
+    while (shard.slots[slot].fingerprint != 0) slot = (slot + 1) & mask;
+    shard.slots[slot] = e;
+  }
+  const size_t added = (new_size - old.size()) * sizeof(Entry);
+  if (governor_ != nullptr) governor_->ChargeBytes(added);
+  bytes_reserved_.fetch_add(added, std::memory_order_relaxed);
+}
+
+ConcurrentSet::InternResult ConcurrentSet::Intern(StatePool::ThreadCache& cache,
+                                                  const uint8_t* data,
+                                                  uint32_t size) {
+  const uint64_t fp = Fingerprint(data, size);
+  // High bits pick the shard, low bits the slot, so the two indices stay
+  // independent even though they come from one fingerprint.
+  Shard& shard = *shards_[(fp >> 48) % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const size_t mask = shard.slots.size() - 1;
+  size_t slot = static_cast<size_t>(fp) & mask;
+  while (true) {
+    Entry& e = shard.slots[slot];
+    if (e.fingerprint == 0) break;
+    if (e.fingerprint == fp && pool_->Size(e.handle) == size &&
+        std::memcmp(pool_->Data(e.handle), data, size) == 0) {
+      return {e.handle, false};
+    }
+    slot = (slot + 1) & mask;
+  }
+  const StatePool::Handle handle = pool_->Store(cache, data, size);
+  shard.slots[slot] = Entry{fp, handle};
+  ++shard.used;
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.used * 4 >= shard.slots.size() * 3) GrowShard(shard);
+  return {handle, true};
+}
+
+}  // namespace rav

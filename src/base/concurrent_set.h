@@ -1,0 +1,88 @@
+#ifndef RAV_BASE_CONCURRENT_SET_H_
+#define RAV_BASE_CONCURRENT_SET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/governor.h"
+#include "base/state_pool.h"
+
+namespace rav {
+
+// Finely-sharded concurrent hash set of interned byte strings — the
+// visited/seen table of the shared-memory search mode (DIVINE's shared
+// `hashmap.h` over a state pool is the model). Keys live in a StatePool;
+// the table stores one (fingerprint, handle) pair per entry, so a probe
+// is fingerprint compares with at most one full byte compare per
+// 64-bit-fingerprint collision — never a false merge.
+//
+// Insert-only: entries are never removed, so a returned handle (and the
+// pooled bytes plus payload word behind it) stays valid for the life of
+// the set. Each shard is guarded by its own mutex with a critical
+// section of a few probes; with the default 64 shards and hashed shard
+// selection, contention is noise next to the work a caller does per
+// interned state.
+//
+// Memory accounting: shard tables are charged to the governor as they
+// grow and released by the destructor, alongside the pool's chunks.
+class ConcurrentSet {
+ public:
+  // `pool` must outlive the set; keys are interned into it.
+  explicit ConcurrentSet(StatePool* pool,
+                         const ExecutionGovernor* governor = nullptr,
+                         int num_shards = 64);
+  ~ConcurrentSet();
+
+  ConcurrentSet(const ConcurrentSet&) = delete;
+  ConcurrentSet& operator=(const ConcurrentSet&) = delete;
+
+  struct InternResult {
+    StatePool::Handle handle;
+    bool inserted;  // true iff this call created the entry
+  };
+
+  // Interns `size` bytes at `data`: returns the existing entry's handle,
+  // or copies the bytes into the pool (through `cache`, the calling
+  // thread's pool cache) and inserts. Thread-safe.
+  InternResult Intern(StatePool::ThreadCache& cache, const uint8_t* data,
+                      uint32_t size);
+
+  // Entries across all shards.
+  size_t size() const { return entries_.load(std::memory_order_relaxed); }
+
+  // Table bytes reserved across all shards (what the governor was
+  // charged; the pooled key bytes are accounted by the pool itself).
+  size_t bytes_reserved() const {
+    return bytes_reserved_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    uint64_t fingerprint = 0;  // 0 = empty slot (fingerprints avoid 0)
+    StatePool::Handle handle = StatePool::kNullHandle;
+  };
+
+  // Sized and aligned so two shards never share a cache line.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::vector<Entry> slots;  // power-of-two open addressing
+    size_t used = 0;
+  };
+
+  static uint64_t Fingerprint(const uint8_t* data, uint32_t size);
+  void GrowShard(Shard& shard);
+
+  StatePool* pool_;
+  const ExecutionGovernor* governor_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<size_t> entries_{0};
+  std::atomic<size_t> bytes_reserved_{0};
+};
+
+}  // namespace rav
+
+#endif  // RAV_BASE_CONCURRENT_SET_H_

@@ -1,0 +1,106 @@
+#include "base/state_pool.h"
+
+#include <cstring>
+#include <new>
+
+#include "base/logging.h"
+
+namespace rav {
+
+StatePool::StatePool(const ExecutionGovernor* governor, size_t chunk_bytes)
+    : governor_(governor), chunk_bytes_(chunk_bytes) {
+  RAV_CHECK_GE(chunk_bytes_, static_cast<size_t>(kHeaderBytes + kAlign));
+}
+
+StatePool::~StatePool() {
+  const uint32_t n = num_chunks_.load(std::memory_order_acquire);
+  for (uint32_t c = 0; c < n; ++c) {
+    delete[] ChunkData(c);
+  }
+  for (auto& slot : leaves_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+  if (governor_ != nullptr) {
+    governor_->ReleaseBytes(bytes_reserved());
+  }
+}
+
+uint8_t* StatePool::ChunkData(uint32_t chunk) const {
+  const Leaf* leaf =
+      leaves_[chunk >> kLeafBits].load(std::memory_order_acquire);
+  RAV_CHECK(leaf != nullptr);
+  uint8_t* data =
+      leaf->chunks[chunk & (kLeafSize - 1)].load(std::memory_order_acquire);
+  RAV_CHECK(data != nullptr);
+  return data;
+}
+
+uint32_t StatePool::ReserveChunk(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t index = num_chunks_.load(std::memory_order_relaxed);
+  RAV_CHECK_LT(index, kMaxChunks);
+  Leaf* leaf = leaves_[index >> kLeafBits].load(std::memory_order_relaxed);
+  if (leaf == nullptr) {
+    leaf = new Leaf();
+    leaves_[index >> kLeafBits].store(leaf, std::memory_order_release);
+  }
+  leaf->chunks[index & (kLeafSize - 1)].store(new uint8_t[bytes],
+                                              std::memory_order_release);
+  // Charge before publishing the count: a budget trip surfaces at the
+  // next safe-point poll, with the bytes already accounted.
+  if (governor_ != nullptr) governor_->ChargeBytes(bytes);
+  bytes_reserved_.fetch_add(bytes, std::memory_order_relaxed);
+  num_chunks_.store(index + 1, std::memory_order_release);
+  return index;
+}
+
+StatePool::Handle StatePool::Store(ThreadCache& cache, const uint8_t* data,
+                                   uint32_t size) {
+  const uint32_t record_bytes =
+      (kHeaderBytes + size + (kAlign - 1)) & ~(kAlign - 1);
+  uint32_t offset;
+  uint32_t chunk;
+  if (record_bytes > chunk_bytes_) {
+    // Oversize record: a dedicated chunk of exactly the record's size.
+    // The thread's bump cache is left untouched.
+    chunk = ReserveChunk(record_bytes);
+    offset = 0;
+  } else {
+    if (cache.offset + record_bytes > cache.end) {
+      cache.chunk = ReserveChunk(chunk_bytes_);
+      cache.offset = 0;
+      cache.end = static_cast<uint32_t>(chunk_bytes_);
+    }
+    chunk = cache.chunk;
+    offset = cache.offset;
+    cache.offset += record_bytes;
+  }
+  uint8_t* record = ChunkData(chunk) + offset;
+  new (record) std::atomic<uint32_t>(0);
+  std::memcpy(record + sizeof(std::atomic<uint32_t>), &size, sizeof(size));
+  if (size > 0) std::memcpy(record + kHeaderBytes, data, size);
+  bytes_stored_.fetch_add(kHeaderBytes + size, std::memory_order_relaxed);
+  records_.fetch_add(1, std::memory_order_relaxed);
+  return (static_cast<Handle>(chunk) << 32) | offset;
+}
+
+const uint8_t* StatePool::Data(Handle handle) const {
+  return ChunkData(static_cast<uint32_t>(handle >> 32)) +
+         static_cast<uint32_t>(handle) + kHeaderBytes;
+}
+
+uint32_t StatePool::Size(Handle handle) const {
+  const uint8_t* record = ChunkData(static_cast<uint32_t>(handle >> 32)) +
+                          static_cast<uint32_t>(handle);
+  uint32_t size;
+  std::memcpy(&size, record + sizeof(std::atomic<uint32_t>), sizeof(size));
+  return size;
+}
+
+std::atomic<uint32_t>& StatePool::Payload(Handle handle) const {
+  uint8_t* record = ChunkData(static_cast<uint32_t>(handle >> 32)) +
+                    static_cast<uint32_t>(handle);
+  return *reinterpret_cast<std::atomic<uint32_t>*>(record);
+}
+
+}  // namespace rav

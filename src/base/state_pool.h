@@ -1,0 +1,114 @@
+#ifndef RAV_BASE_STATE_POOL_H_
+#define RAV_BASE_STATE_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "base/governor.h"
+
+namespace rav {
+
+// Pooled, compactly-encoded state storage for the shared-memory search
+// (the DIVINE toolkit's `pool.h` is the model): variable-length byte
+// records are bump-allocated out of fixed-size chunks and addressed by
+// stable 64-bit handles, so a concurrent visited-set can store one small
+// handle per state instead of a heap string. Records are immutable after
+// Store() except for a single per-record atomic payload word, which the
+// visited-set uses to publish a verdict for the interned state.
+//
+// Thread model: any number of threads may Store() concurrently, each
+// through its own ThreadCache (a bump pointer into a chunk that thread
+// owns); the global mutex is taken only to hand out fresh chunks.
+// Data()/Size()/Payload() are wait-free and may run concurrently with
+// Store()s of *other* records. Handles are never invalidated — chunks
+// are only freed by the destructor.
+//
+// Memory accounting: every chunk is charged to the governor (nullptr =
+// unaccounted) when reserved and released in one piece by the
+// destructor, so a search's visited states show up in the existing
+// byte accounting (`ExecutionGovernor::live_bytes`) and a memory budget
+// can trip on them.
+class StatePool {
+ public:
+  using Handle = uint64_t;
+  static constexpr Handle kNullHandle = ~0ull;
+
+  // Per-thread bump allocator state. Each storing thread owns one; it
+  // holds the thread's current chunk and is only touched by that thread.
+  struct ThreadCache {
+    uint32_t chunk = 0;
+    uint32_t offset = 0;
+    uint32_t end = 0;  // offset == end forces a refill (0 == 0 initially)
+  };
+
+  explicit StatePool(const ExecutionGovernor* governor = nullptr,
+                     size_t chunk_bytes = kDefaultChunkBytes);
+  ~StatePool();
+
+  StatePool(const StatePool&) = delete;
+  StatePool& operator=(const StatePool&) = delete;
+
+  // Copies `size` bytes into the pool and returns the record's handle.
+  // Thread-safe through per-thread caches. Records larger than the chunk
+  // payload get a dedicated oversize chunk.
+  Handle Store(ThreadCache& cache, const uint8_t* data, uint32_t size);
+
+  // The stored bytes / byte count of a record. Safe concurrently with
+  // other threads' Store()s once the handle has been published to this
+  // thread (the visited-set's shard lock or an acquire load orders it).
+  const uint8_t* Data(Handle handle) const;
+  uint32_t Size(Handle handle) const;
+
+  // The record's payload word (zero-initialized by Store). The
+  // visited-set publishes the evaluated verdict here with a release
+  // store; readers use acquire loads.
+  std::atomic<uint32_t>& Payload(Handle handle) const;
+
+  // Chunk bytes reserved (what the governor was charged).
+  size_t bytes_reserved() const {
+    return bytes_reserved_.load(std::memory_order_relaxed);
+  }
+  // Payload bytes actually stored (record headers + data, no slack).
+  size_t bytes_stored() const {
+    return bytes_stored_.load(std::memory_order_relaxed);
+  }
+  size_t records() const { return records_.load(std::memory_order_relaxed); }
+
+  static constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+ private:
+  // Record layout, 8-byte aligned: payload word, size, then the bytes.
+  static constexpr uint32_t kHeaderBytes = 8;
+  static constexpr uint32_t kAlign = 8;
+
+  // Two-level chunk directory so the pool can grow without moving or
+  // locking against readers: 256 lazily-allocated leaves of 256 chunk
+  // pointers each. Leaf and chunk slots are published with release
+  // stores and read with acquire loads.
+  static constexpr uint32_t kLeafBits = 8;
+  static constexpr uint32_t kLeafSize = 1u << kLeafBits;
+  static constexpr uint32_t kMaxChunks = kLeafSize * kLeafSize;
+
+  struct Leaf {
+    std::atomic<uint8_t*> chunks[kLeafSize] = {};
+  };
+
+  uint8_t* ChunkData(uint32_t chunk) const;
+  // Reserves a fresh chunk of `bytes` and returns its index.
+  uint32_t ReserveChunk(size_t bytes);
+
+  const ExecutionGovernor* governor_;
+  const size_t chunk_bytes_;
+  std::mutex mu_;  // guards chunk reservation only
+  std::atomic<uint32_t> num_chunks_{0};
+  std::atomic<Leaf*> leaves_[kLeafSize] = {};
+  std::atomic<size_t> bytes_reserved_{0};
+  std::atomic<size_t> bytes_stored_{0};
+  std::atomic<size_t> records_{0};
+};
+
+}  // namespace rav
+
+#endif  // RAV_BASE_STATE_POOL_H_

@@ -29,9 +29,14 @@ struct EraEmptinessOptions {
   // Worker threads for the candidate checks (<= 1 = inline serial, 0 =
   // all hardware threads). Verdict and witness are identical for every
   // setting; only wall time and the checked counts vary.
-  int num_workers = 1;
+  int num_workers = kDefaultSearchWorkers;
   // Candidates handed to the worker queue per producer push.
   size_t batch_size = 16;
+  // Work-sharing mode of the lasso engine (see SearchMode): kPartitioned
+  // is the deterministic reference; kSharedVisited dedups candidates by
+  // canonical ω-word across workers (same verdict; a witness's word is
+  // reported in canonical form).
+  SearchMode search_mode = SearchMode::kPartitioned;
   // Run analysis::AnalyzeAndStrip first and search the reduced automaton
   // (dead states/transitions and vacuous constraints removed; verdict and
   // witness are unchanged — the witness is remapped back to the caller's

@@ -4,12 +4,44 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "automata/nba.h"
 #include "base/governor.h"
 #include "era/constraint_graph.h"
 
 namespace rav {
+
+// How candidate work is divided among search workers.
+//
+// kPartitioned is the reference engine: candidates are dealt to workers
+// by enumeration rank and every worker evaluates its own candidates from
+// scratch. Verdict, witness, and stop reason are byte-identical to the
+// serial search for any worker count.
+//
+// kSharedVisited adds a process-wide visited set: each candidate is
+// reduced to the canonical decomposition of its ω-word (primitive cycle,
+// minimal prefix — see LassoWord::Canonicalized), interned into a pooled
+// concurrent hash set, and evaluated at most once; every later candidate
+// denoting the same ω-word reuses the published verdict, so one worker's
+// dead subspace is every worker's dead subspace. Verdict and stop reason
+// still match the partitioned engine (the evaluator's verdict is a
+// function of the ω-word, and the first witness by rank still wins), but
+// a witness's word is reported in canonical form rather than in whichever
+// decomposition the enumerator happened to deliver first.
+enum class SearchMode {
+  kPartitioned = 0,
+  kSharedVisited = 1,
+};
+
+// Stable name ("partitioned", "shared") / its inverse (nullopt on junk).
+const char* SearchModeName(SearchMode mode);
+std::optional<SearchMode> ParseSearchMode(std::string_view name);
+
+// The default worker count of every search-backed procedure (emptiness,
+// LTL-FO verification, LR-boundedness) and of the CLI/service `threads`
+// knobs in front of them. One thread: parallelism is strictly opt-in.
+inline constexpr int kDefaultSearchWorkers = 1;
 
 // Why a lasso search (the shared core of ERA emptiness, LTL-FO
 // verification, and LR-boundedness sampling) stopped. Only kExhausted
@@ -46,6 +78,11 @@ struct SearchStats {
   int workers = 1;                 // worker threads that evaluated lassos
   double wall_seconds = 0.0;
   SearchStopReason stop_reason = SearchStopReason::kExhausted;
+  SearchMode mode = SearchMode::kPartitioned;
+  // Shared-visited instrumentation (all zero in partitioned mode).
+  size_t visited_hits = 0;     // candidates answered from the visited set
+  size_t visited_entries = 0;  // distinct canonical ω-words interned
+  size_t pool_bytes = 0;       // governor-accounted set + pool bytes
 
   // True iff a negative verdict is relative to a search bound rather than
   // definitive: the search stopped because a budget ran out — an
@@ -86,7 +123,12 @@ struct LassoSearchOptions {
   size_t max_search_steps = 500000;
   // Worker threads evaluating candidates. <= 1 runs inline on the calling
   // thread (no thread is spawned); 0 means "all hardware threads".
-  int num_workers = 1;
+  int num_workers = kDefaultSearchWorkers;
+  // Work-sharing mode; see SearchMode. kSharedVisited requires the
+  // evaluator's verdict to be a function of the candidate's ω-word alone
+  // (all in-tree evaluators are), since verdicts are reused across
+  // decompositions of the same word.
+  SearchMode mode = SearchMode::kPartitioned;
   // Candidates handed to the queue per producer push.
   size_t batch_size = 16;
   // Resource governor (nullptr = unlimited). Polled at the engine's safe

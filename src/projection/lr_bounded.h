@@ -37,8 +37,14 @@ struct LrBoundOptions {
   // Worker threads measuring lasso covers (<= 1 = inline serial, 0 = all
   // hardware threads). The per-lasso aggregation (max / or) is
   // commutative, so the result is identical for every setting.
-  int num_workers = 1;
+  int num_workers = kDefaultSearchWorkers;
   size_t batch_size = 16;
+  // Work-sharing mode of the sampler (see SearchMode). kSharedVisited
+  // measures each distinct ω-word once, at its canonical decomposition;
+  // because measurement windows scale with the cycle length, the sampled
+  // aggregates can differ slightly from partitioned mode, which measures
+  // duplicate decompositions at their delivered (pumped) cycles.
+  SearchMode search_mode = SearchMode::kPartitioned;
   // Run analysis::AnalyzeAndStrip first and sample the reduced automaton.
   // Dead structure carries no control lassos, so the estimate is
   // unchanged; the sampler just stops wading through it.

@@ -18,8 +18,14 @@
 #include <vector>
 
 #include "base/status.h"
+#include "era/parallel_search.h"
 
 namespace rav::service {
+
+// Worker threads of the rav_serve frontend's request executor (not of a
+// single search — that default is kDefaultSearchWorkers). One constant so
+// the frontend, its --help text, and docs/serving.md cannot drift apart.
+inline constexpr int kDefaultServeThreads = 4;
 
 // The ops a request may name. kStats and kCancel are control ops that
 // need no spec.
@@ -46,7 +52,10 @@ struct QueryRequest {
   long long timeout_ms = -1;     // -1 = unlimited; 0 arms an already-
   long long memory_bytes = -1;   //   expired budget (as rav_cli
                                  //   --timeout 0ms does)
-  int threads = 1;               // lasso-check workers (as rav_cli --threads)
+  // Lasso-check workers (as rav_cli --threads).
+  int threads = kDefaultSearchWorkers;
+  // Lasso-engine work sharing (as rav_cli --search-mode).
+  SearchMode search_mode = SearchMode::kPartitioned;
 };
 
 // Parses and validates one wire line. Every rejection is an

@@ -11,7 +11,8 @@
 // (bench/bench_service.cc measures the amortization).
 //
 //   --threads N   worker threads executing query ops concurrently
-//                 (default 4; 0 = all hardware threads). `cancel` and
+//                 (default service::kDefaultServeThreads = 4; 0 = all
+//                 hardware threads). `cancel` and
 //                 `stats` are answered inline by the reader thread, so
 //                 a cancel reaches a stuck request even when every
 //                 worker is busy.
@@ -134,7 +135,7 @@ struct RequestQueue {
 };
 
 int Main(int argc, char** argv) {
-  int threads = 4;
+  int threads = service::kDefaultServeThreads;
   size_t cache_capacity = 64;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

@@ -22,7 +22,11 @@
 #      shutdown (docs/serving.md)
 #   8. fuzz corpus smoke: the deterministic text-format fuzz runner at
 #      a CI-sized input count
-#   9. perf-regression gate: the hot benchmarks below are compared against
+#   9. docs gate: every fenced rav_cli / rav_serve invocation shown in
+#      the markdown docs is smoke-run (placeholders substituted), and
+#      every intra-repo markdown link (including #anchors) must resolve
+#      — stale docs fail CI instead of rotting
+#  10. perf-regression gate: the hot benchmarks below are compared against
 #      the committed baseline (`git show HEAD:BENCH_RESULTS.json`); a
 #      >RAV_PERF_GATE_RATIO× cpu_ns_per_iter slowdown fails the run
 #
@@ -194,6 +198,157 @@ EOF
 echo "== fuzz corpus smoke =="
 RAV_FUZZ_SMOKE_INPUTS=30000 timeout 300 build/tests/fuzz_smoke >/dev/null
 echo "fuzz smoke passed (30000 generated inputs)"
+
+echo "== docs gate =="
+# Two checks over the markdown documentation, so the docs can't drift
+# from the tools they describe:
+#   a) every rav_cli / rav_serve command inside a fenced code block in
+#      docs/*.md and README.md still parses and exits with a documented
+#      status (0..5, see docs/robustness.md). Usage placeholders are
+#      substituted (`[...]` optional groups stripped, `<file>` and
+#      nonexistent .rav paths -> a committed example spec); lines with
+#      an explicit `...` elision are skipped.
+#   b) every intra-repo markdown link — including #anchors, resolved
+#      with GitHub's heading-slug rules — points at something that
+#      exists.
+timeout 300 python3 - <<'EOF'
+import glob, json, os, re, shlex, subprocess, sys
+
+DOC_FILES = sorted(glob.glob("docs/*.md")) + ["README.md", "EXPERIMENTS.md"]
+SPEC = "examples/data/example1.rav"
+failures = []
+
+# A one-request batch file for `rav_cli batch <file|->` usage lines.
+os.makedirs("build/reports", exist_ok=True)
+batch_file = "build/reports/docs_gate_batch.jsonl"
+with open(batch_file, "w") as f:
+    f.write(json.dumps({"id": "doc", "op": "info",
+                        "spec": open(SPEC).read()}) + "\n")
+
+def extract_commands(path):
+    """Yield (lineno, command) for rav_cli/rav_serve lines in fences."""
+    in_fence = False
+    for lineno, line in enumerate(open(path), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            continue
+        text = line.strip()
+        # Drop env-var prefixes to find the program word.
+        rest = re.sub(r"^([A-Z_][A-Z0-9_]*=\S+\s+)*", "", text)
+        prog = rest.split()[0] if rest.split() else ""
+        if os.path.basename(prog) in ("rav_cli", "rav_serve"):
+            yield lineno, text
+
+def prepare(cmd):
+    """Substitute doc placeholders; None means 'skip this line'."""
+    cmd = re.sub(r"\[[^\][]*\]", "", cmd)          # strip [...] groups
+    cmd = cmd.replace("<file|->", batch_file)
+    cmd = cmd.replace("<file>...", SPEC).replace("<file>", SPEC)
+    if "..." in cmd or "<" in cmd:                  # elided example line
+        return None
+    try:
+        argv = shlex.split(cmd)
+    except ValueError:
+        return None
+    if "|" in argv:                                 # keep the rav_ half
+        argv = argv[: argv.index("|")]
+    out = []
+    skip_env = True
+    for i, arg in enumerate(argv):
+        if skip_env and re.fullmatch(r"[A-Z_][A-Z0-9_]*=.*", arg):
+            out.append(arg)
+            continue
+        skip_env = False
+        if arg.endswith(".rav") and not os.path.exists(arg):
+            arg = SPEC
+        if i > 0 and argv[i - 1] == "--report":
+            arg = "build/reports/docs_gate_report.json"
+        out.append(arg)
+    # Resolve bare tool names against the build tree.
+    for i, arg in enumerate(out):
+        if re.fullmatch(r"[A-Z_][A-Z0-9_]*=.*", arg):
+            continue
+        if os.path.basename(arg) in ("rav_cli", "rav_serve"):
+            out[i] = "build/tools/" + os.path.basename(arg)
+        break
+    return out
+
+ran = 0
+for path in DOC_FILES:
+    for lineno, raw in extract_commands(path):
+        argv = prepare(raw)
+        if argv is None:
+            continue
+        env = dict(os.environ)
+        for arg in list(argv):
+            m = re.fullmatch(r"([A-Z_][A-Z0-9_]*)=(.*)", arg)
+            if m:
+                env[m.group(1)] = m.group(2)
+                argv.remove(arg)
+        proc = subprocess.run(argv, env=env, stdin=subprocess.DEVNULL,
+                              capture_output=True, text=True, timeout=120)
+        ran += 1
+        err = proc.stderr.lower()
+        if proc.returncode not in range(6) or "usage:" in err \
+                or "unknown" in err:
+            failures.append(
+                f"{path}:{lineno}: `{raw}` -> exit {proc.returncode}\n"
+                f"  ran: {' '.join(argv)}\n  stderr: {proc.stderr.strip()}")
+print(f"docs gate: {ran} documented commands smoke-ran")
+
+def slugs(path):
+    """GitHub-style anchor slugs of a markdown file's headings."""
+    out, in_fence = set(), False
+    for line in open(path):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+        if in_fence or not line.startswith("#"):
+            continue
+        text = line.lstrip("#").strip().replace("`", "")
+        slug = re.sub(r"[^\w\- ]", "", text.lower()).replace(" ", "-")
+        if slug in out:  # GitHub dedups repeats with -1, -2, ...
+            n = 1
+            while f"{slug}-{n}" in out:
+                n += 1
+            slug = f"{slug}-{n}"
+        out.add(slug)
+    return out
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+link_files = DOC_FILES + ["CONTRIBUTING.md", "DESIGN.md", "ROADMAP.md"]
+checked = 0
+for path in link_files:
+    if not os.path.exists(path):
+        continue
+    in_fence = False
+    for lineno, line in enumerate(open(path), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            ref, _, anchor = target.partition("#")
+            dest = os.path.normpath(
+                os.path.join(os.path.dirname(path), ref)) if ref else path
+            if not os.path.exists(dest):
+                failures.append(f"{path}:{lineno}: broken link -> {target}")
+                continue
+            if anchor and dest.endswith(".md") and anchor not in slugs(dest):
+                failures.append(
+                    f"{path}:{lineno}: broken anchor -> {target}")
+print(f"docs gate: {checked} intra-repo links resolved")
+
+if failures:
+    print("docs gate FAILED:", file=sys.stderr)
+    print("\n".join(failures), file=sys.stderr)
+    sys.exit(1)
+EOF
 
 echo "== merge =="
 # report_merge validates each report against the schema of base/report.h
