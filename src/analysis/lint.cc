@@ -7,6 +7,7 @@
 
 #include "base/logging.h"
 #include "base/metrics.h"
+#include "compile/guard_tables.h"
 #include "types/completion.h"
 #include "types/type.h"
 
@@ -253,33 +254,19 @@ void CheckTransitions(const RegisterAutomaton& a, Analysis& analysis) {
   // transitions, so every guard-level computation below (frontier
   // restrictions, pairwise Conjoins) is deduplicated to distinct guards
   // and memoized per distinct-guard pair — this keeps the pass cheap
-  // enough to run at the top of every decision procedure.
-  std::vector<const Type*> distinct;
-  std::vector<int> guard_id(num_transitions);
+  // enough to run at the top of every decision procedure. The dedup and
+  // the x̄/ȳ restrictions are the compile layer's GuardTableSet — the
+  // same representation the closure engine and the alphabet build — so
+  // lint+strip and the decision procedures share one lowering.
+  std::vector<const Type*> transition_guards;
+  transition_guards.reserve(num_transitions);
   for (int ti = 0; ti < num_transitions; ++ti) {
-    const Type& g = a.transition(ti).guard;
-    int id = -1;
-    for (size_t d = 0; d < distinct.size(); ++d) {
-      if (*distinct[d] == g) {
-        id = static_cast<int>(d);
-        break;
-      }
-    }
-    if (id < 0) {
-      id = static_cast<int>(distinct.size());
-      distinct.push_back(&g);
-    }
-    guard_id[ti] = id;
+    transition_guards.push_back(&a.transition(ti).guard);
   }
-  const int num_guards = static_cast<int>(distinct.size());
-  std::vector<Type> x_part;
-  std::vector<Type> y_part;
-  x_part.reserve(num_guards);
-  y_part.reserve(num_guards);
-  for (const Type* g : distinct) {
-    x_part.push_back(RestrictToX(*g, k));
-    y_part.push_back(RestrictToYAsX(*g, k));
-  }
+  std::vector<int> guard_id;
+  const compile::GuardTableSet tables = compile::GuardTableSet::Build(
+      transition_guards, k, a.schema().num_constants(), &guard_id);
+  const int num_guards = tables.num_guards();
   const int n = a.num_states();
   std::vector<std::vector<int>> out_live(n);
   std::vector<std::vector<int>> in_live(n);
@@ -297,7 +284,9 @@ void CheckTransitions(const RegisterAutomaton& a, Analysis& analysis) {
         compat_memo[static_cast<size_t>(guard_id[before]) * num_guards +
                     guard_id[after]];
     if (memo < 0) {
-      memo = y_part[guard_id[before]].Conjoin(x_part[guard_id[after]]).ok()
+      memo = tables.y_restricted_as_x(guard_id[before])
+                     .Conjoin(tables.x_restricted(guard_id[after]))
+                     .ok()
                  ? 1
                  : 0;
     }

@@ -200,6 +200,44 @@ void ConstraintClosure::ApplyTypes(size_t from_pos, ClosureScratch& scratch) {
     ReferenceApplyTypes(from_pos, scratch);
     return;
   }
+  // With a compiled alphabet the per-symbol programs already exist as
+  // compile::GuardOps (lowered once at alphabet build, shared across every
+  // closure and every worker) — replay them directly, skipping the
+  // per-pass CompileType stage below entirely.
+  if (const compile::GuardTableSet* tables = alphabet_->tables()) {
+    SymbolCursor cursor(word_, from_pos);
+    for (size_t n = from_pos; n + 1 < window_; ++n) {
+      const int sym = cursor.Next();
+      // One dense load per position; -1 marks a data-trivial guard whose
+      // program is empty — the same skip the interpreted path's
+      // kEmptyProgram marker takes.
+      const int gid = alphabet_->closure_program_of_symbol(sym);
+      if (gid < 0) continue;
+      const compile::GuardOps& ops = tables->closure_ops(gid);
+      const int base = num_constants_ + static_cast<int>(n) * k_;
+      const int two_k = 2 * k_;
+      auto node = [&](int e) { return e < two_k ? base + e : e - two_k; };
+      for (const auto& [a, b] : ops.unions) uf_.Union(node(a), node(b));
+      for (const auto& [a, b] : ops.diseqs) {
+        raw_ineq_.emplace_back(node(a), node(b));
+      }
+      for (int e : ops.adom) node_in_adom_[node(e)] = true;
+    }
+    // Last position: the precompiled x̄-restricted program over
+    // (k registers at window_-1, constants).
+    const int last_gid =
+        alphabet_->x_closure_program_of_symbol(word_.SymbolAt(window_ - 1));
+    if (last_gid < 0) return;
+    const compile::GuardOps& last_ops = tables->x_closure_ops(last_gid);
+    const int base = num_constants_ + static_cast<int>(window_ - 1) * k_;
+    auto node = [&](int e) { return e < k_ ? base + e : e - k_; };
+    for (const auto& [a, b] : last_ops.unions) uf_.Union(node(a), node(b));
+    for (const auto& [a, b] : last_ops.diseqs) {
+      raw_ineq_.emplace_back(node(a), node(b));
+    }
+    for (int e : last_ops.adom) node_in_adom_[node(e)] = true;
+    return;
+  }
   std::vector<int>& nodes = scratch.element_nodes_;
   // Full types of positions with a successor inside the window. The 2k-var
   // type's elements map to (x̄ at n, ȳ at n+1, constants); since

@@ -64,7 +64,8 @@ Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
 Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
                                      const ControlAlphabet& alphabet,
                                      const LassoWord& control_word,
-                                     const ConstraintClosure& closure) {
+                                     const ConstraintClosure& closure,
+                                     compile::GuardStats* guard_stats) {
   const size_t length = closure.window();
   const RegisterAutomaton& automaton = era.automaton();
   const int k = automaton.num_registers();
@@ -130,8 +131,8 @@ Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
     const Type& t = alphabet.guard_of(control_word.SymbolAt(n));
     process_type(t, [&](int e) { return element_class(n, e); });
   }
-  Type last =
-      RestrictToX(alphabet.guard_of(control_word.SymbolAt(length - 1)), k);
+  const Type& last =
+      alphabet.x_restricted_guard_of(control_word.SymbolAt(length - 1));
   process_type(last, [&](int e) { return last_element_class(e); });
 
   for (const PendingNegative& neg : negatives) {
@@ -172,8 +173,10 @@ Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
     run.transition_indices.push_back(found);
   }
 
-  RAV_RETURN_IF_ERROR(
-      ValidateEraRunPrefix(era, db, run, /*require_initial=*/false));
+  RAV_RETURN_IF_ERROR(ValidateEraRunPrefix(era, db, run,
+                                           /*require_initial=*/false,
+                                           alphabet.transition_guard_view(),
+                                           guard_stats));
   return RunWitness{std::move(db), std::move(run)};
 }
 
@@ -262,7 +265,7 @@ EraEmptinessResult SearchConsistentLasso(const ExtendedAutomaton& era,
     // Validate by realizing a concrete witness on the window, reusing the
     // closure already built for this candidate.
     Result<RunWitness> witness =
-        RealizeEraWitness(era, alphabet, lasso, closure);
+        RealizeEraWitness(era, alphabet, lasso, closure, &counters.guard);
     if (!witness.ok()) {
       RAV_METRIC_COUNT("era/emptiness/witness_rejections", 1);
       return LassoVerdict::kReject;
@@ -288,6 +291,10 @@ EraEmptinessResult SearchConsistentLasso(const ExtendedAutomaton& era,
   }
   result.lassos_tried = outcome.stats.lassos_checked;
   result.stats = outcome.stats;
+  result.stats.guard_table_bytes = alphabet.guard_table_bytes();
+  if (result.stats.guard_table_bytes > 0) {
+    RAV_METRIC_SET("era/guard/table_bytes", result.stats.guard_table_bytes);
+  }
   result.search_truncated = outcome.stats.truncated();
   return result;
 }

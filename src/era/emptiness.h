@@ -103,10 +103,13 @@ Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
 // Same, but reuses a prebuilt closure of `control_word` instead of paying
 // a rebuild; the realized prefix spans closure.window() positions. The
 // closure must have been built for this era/alphabet/word triple.
+// `guard_stats` (optional) tallies compiled guard evaluations of the
+// final validation pass when the alphabet carries compiled tables.
 Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
                                      const ControlAlphabet& alphabet,
                                      const LassoWord& control_word,
-                                     const ConstraintClosure& closure);
+                                     const ConstraintClosure& closure,
+                                     compile::GuardStats* guard_stats = nullptr);
 
 }  // namespace rav
 

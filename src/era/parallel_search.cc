@@ -1,5 +1,6 @@
 #include "era/parallel_search.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -153,6 +154,8 @@ LassoSearchOutcome SearchInline(const Nba& nba,
   outcome.stats.inconsistent_closures = tally.inconsistent;
   outcome.stats.closures_built = tally.counters.closures_built;
   outcome.stats.closures_extended = tally.counters.closures_extended;
+  outcome.stats.guard_evals = tally.counters.guard.evals;
+  outcome.stats.guard_batches = tally.counters.guard.batches;
   outcome.stats.visited_hits = tally.visited_hits;
   outcome.stats.enumeration_steps = enumerator.steps();
   outcome.stats.workers = 1;
@@ -166,9 +169,9 @@ LassoSearchOutcome SearchInline(const Nba& nba,
   return outcome;
 }
 
-// The producer/worker state shared across threads. All fields are guarded
-// by `mu`; candidates are heavy enough (a constraint closure each) that
-// one lock round-trip per candidate is noise.
+// The producer/worker state shared across threads. All fields except
+// `best_hint` are guarded by `mu`; candidates are heavy enough (a
+// constraint closure each) that one lock round-trip per *batch* is noise.
 struct SharedState {
   std::mutex mu;
   std::condition_variable work_ready;
@@ -177,48 +180,64 @@ struct SharedState {
   bool producer_done = false;
   size_t best_index = kNoWitness;
   LassoWord best_word;
+  // Mirror of best_index for lock-free cancellation checks between the
+  // candidates of a popped batch. Updated under `mu` whenever best_index
+  // improves; read relaxed — a stale read only means one moot candidate
+  // gets evaluated, never that a lower-rank candidate is skipped.
+  std::atomic<size_t> best_hint{kNoWitness};
 };
 
 void WorkerLoop(SharedState& shared, const LassoEvaluator& evaluate,
                 const ExecutionGovernor* governor, SharedVisitedContext* ctx,
-                WorkerTally& tally) {
+                size_t batch, WorkerTally& tally) {
+  std::vector<LassoCandidate> local;
+  local.reserve(batch);
   for (;;) {
-    LassoCandidate candidate;
-    bool cancelled;
+    local.clear();
     {
       std::unique_lock<std::mutex> lock(shared.mu);
       shared.work_ready.wait(lock, [&] {
         return !shared.queue.empty() || shared.producer_done;
       });
       if (shared.queue.empty()) return;
-      candidate = std::move(shared.queue.front());
-      shared.queue.pop_front();
-      // A witness of lower rank already won; ranks above it are moot.
-      cancelled = candidate.index > shared.best_index;
+      // Pop up to a whole batch per lock round-trip; the candidates are
+      // then evaluated without touching the mutex (cancellation reads the
+      // atomic hint instead).
+      while (local.size() < batch && !shared.queue.empty()) {
+        local.push_back(std::move(shared.queue.front()));
+        shared.queue.pop_front();
+      }
       shared.space_ready.notify_one();
     }
-    // After a governor trip the queue is drained without evaluating, so
-    // the pool winds down within one candidate's evaluation per worker.
-    if (!cancelled && GovernorCheck(governor) != GovernorTrip::kNone) {
-      cancelled = true;
-    }
-    if (cancelled) {
-      ++tally.cancelled;
-      continue;
-    }
-    ++tally.checked;
-    const uint64_t eval_start = NowNs();
-    LassoVerdict verdict = EvaluateCandidate(ctx, evaluate, candidate, tally);
-    tally.busy_ns += NowNs() - eval_start;
-    if (verdict == LassoVerdict::kInconsistent) ++tally.inconsistent;
-    if (verdict == LassoVerdict::kWitness) {
-      std::lock_guard<std::mutex> lock(shared.mu);
-      if (candidate.index < shared.best_index) {
-        shared.best_index = candidate.index;
-        shared.best_word = std::move(candidate.word);
+    for (LassoCandidate& candidate : local) {
+      // A witness of lower rank already won; ranks above it are moot.
+      bool cancelled = candidate.index >
+                       shared.best_hint.load(std::memory_order_relaxed);
+      // After a governor trip the queue is drained without evaluating, so
+      // the pool winds down within one candidate's evaluation per worker.
+      if (!cancelled && GovernorCheck(governor) != GovernorTrip::kNone) {
+        cancelled = true;
       }
-      // Wake the producer (to stop enumerating) and any waiting workers.
-      shared.space_ready.notify_all();
+      if (cancelled) {
+        ++tally.cancelled;
+        continue;
+      }
+      ++tally.checked;
+      const uint64_t eval_start = NowNs();
+      LassoVerdict verdict =
+          EvaluateCandidate(ctx, evaluate, candidate, tally);
+      tally.busy_ns += NowNs() - eval_start;
+      if (verdict == LassoVerdict::kInconsistent) ++tally.inconsistent;
+      if (verdict == LassoVerdict::kWitness) {
+        std::lock_guard<std::mutex> lock(shared.mu);
+        if (candidate.index < shared.best_index) {
+          shared.best_index = candidate.index;
+          shared.best_hint.store(candidate.index, std::memory_order_relaxed);
+          shared.best_word = std::move(candidate.word);
+        }
+        // Wake the producer (to stop enumerating) and any waiting workers.
+        shared.space_ready.notify_all();
+      }
     }
   }
 }
@@ -242,10 +261,10 @@ LassoSearchOutcome SearchParallel(const Nba& nba,
             std::make_error_code(std::errc::resource_unavailable_try_again),
             "injected worker-spawn failure");
       }
-      workers.emplace_back(
-          [&shared, &evaluate, &tallies, ctx, governor = options.governor, w] {
-            WorkerLoop(shared, evaluate, governor, ctx, tallies[w]);
-          });
+      workers.emplace_back([&shared, &evaluate, &tallies, ctx, batch,
+                            governor = options.governor, w] {
+        WorkerLoop(shared, evaluate, governor, ctx, batch, tallies[w]);
+      });
     } catch (const std::system_error&) {
       // Thread creation failed (resource exhaustion or the injected
       // fault): degrade to however many workers exist rather than
@@ -307,6 +326,8 @@ LassoSearchOutcome SearchParallel(const Nba& nba,
     outcome.stats.inconsistent_closures += tally.inconsistent;
     outcome.stats.closures_built += tally.counters.closures_built;
     outcome.stats.closures_extended += tally.counters.closures_extended;
+    outcome.stats.guard_evals += tally.counters.guard.evals;
+    outcome.stats.guard_batches += tally.counters.guard.batches;
     outcome.stats.visited_hits += tally.visited_hits;
     RAV_METRIC_COUNT("era/search/candidates_cancelled", tally.cancelled);
     RAV_METRIC_COUNT("era/search/worker_busy_ns", tally.busy_ns);
@@ -402,6 +423,13 @@ std::string SearchStats::ToString() const {
         << " visited_entries=" << visited_entries
         << " pool_bytes=" << pool_bytes;
   }
+  // Likewise the compiled-guard fields: absent under the interpreted
+  // engine, so existing consumers of the line see no change.
+  if (guard_evals > 0 || guard_table_bytes > 0) {
+    out << " guard_evals=" << guard_evals
+        << " guard_batches=" << guard_batches
+        << " guard_table_bytes=" << guard_table_bytes;
+  }
   return out.str();
 }
 
@@ -447,6 +475,10 @@ LassoSearchOutcome SearchLassos(const Nba& nba,
                    outcome.stats.enumeration_steps);
   RAV_METRIC_COUNT("era/search/inconsistent_closures",
                    outcome.stats.inconsistent_closures);
+  if (outcome.stats.guard_evals > 0) {
+    RAV_METRIC_COUNT("era/guard/evals", outcome.stats.guard_evals);
+    RAV_METRIC_COUNT("era/guard/batches", outcome.stats.guard_batches);
+  }
   if (outcome.witness.has_value()) {
     RAV_METRIC_COUNT("era/search/witnesses_found", 1);
   }

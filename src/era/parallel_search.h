@@ -8,6 +8,7 @@
 
 #include "automata/nba.h"
 #include "base/governor.h"
+#include "compile/guard_tables.h"
 #include "era/constraint_graph.h"
 
 namespace rav {
@@ -83,6 +84,11 @@ struct SearchStats {
   size_t visited_hits = 0;     // candidates answered from the visited set
   size_t visited_entries = 0;  // distinct canonical ω-words interned
   size_t pool_bytes = 0;       // governor-accounted set + pool bytes
+  // Compiled-guard instrumentation (era/guard/* metrics; all zero under
+  // GuardEngine::kInterpreted).
+  size_t guard_evals = 0;       // valuations decided through compiled tables
+  size_t guard_batches = 0;     // SoA EvalBatch passes
+  size_t guard_table_bytes = 0;  // bytes of the alphabet's compiled tables
 
   // True iff a negative verdict is relative to a search bound rather than
   // definitive: the search stopped because a budget ran out — an
@@ -154,6 +160,7 @@ struct LassoSearchOutcome {
 struct LassoWorkerCounters {
   size_t closures_built = 0;
   size_t closures_extended = 0;
+  compile::GuardStats guard;  // compiled guard evaluations (witness checks)
   ClosureScratch scratch;
 };
 

@@ -38,9 +38,11 @@ Status CheckFiniteRunConstraints(const ExtendedAutomaton& era,
 }
 
 Status ValidateEraRunPrefix(const ExtendedAutomaton& era, const Database& db,
-                            const FiniteRun& run, bool require_initial) {
-  RAV_RETURN_IF_ERROR(
-      ValidateRunPrefix(era.automaton(), db, run, require_initial));
+                            const FiniteRun& run, bool require_initial,
+                            const compile::TransitionGuardView& guards,
+                            compile::GuardStats* guard_stats) {
+  RAV_RETURN_IF_ERROR(ValidateRunPrefix(era.automaton(), db, run,
+                                        require_initial, guards, guard_stats));
   return CheckFiniteRunConstraints(era, run);
 }
 
@@ -72,8 +74,11 @@ Status CheckLassoRunConstraints(const ExtendedAutomaton& era,
 }
 
 Status ValidateEraLassoRun(const ExtendedAutomaton& era, const Database& db,
-                           const LassoRun& run) {
-  RAV_RETURN_IF_ERROR(ValidateLassoRun(era.automaton(), db, run));
+                           const LassoRun& run,
+                           const compile::TransitionGuardView& guards,
+                           compile::GuardStats* guard_stats) {
+  RAV_RETURN_IF_ERROR(
+      ValidateLassoRun(era.automaton(), db, run, guards, guard_stats));
   return CheckLassoRunConstraints(era, run);
 }
 

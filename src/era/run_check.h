@@ -17,10 +17,13 @@ Status CheckFiniteRunConstraints(const ExtendedAutomaton& era,
                                  const FiniteRun& run);
 
 // Full validity of a finite run prefix of an extended automaton:
-// underlying-automaton validity plus the constraints.
+// underlying-automaton validity plus the constraints. `guards` /
+// `guard_stats` route the guard checks through the compiled tables, as
+// in ValidateRunPrefix.
 Status ValidateEraRunPrefix(const ExtendedAutomaton& era, const Database& db,
-                            const FiniteRun& run,
-                            bool require_initial = true);
+                            const FiniteRun& run, bool require_initial = true,
+                            const compile::TransitionGuardView& guards = {},
+                            compile::GuardStats* guard_stats = nullptr);
 
 // Checks every global constraint on the infinite unrolling of a lasso
 // run. The check is exact: because both the values and the DFA states are
@@ -33,7 +36,9 @@ Status CheckLassoRunConstraints(const ExtendedAutomaton& era,
 // Full validity of a lasso run of an extended automaton: underlying
 // validity (including Büchi) plus the constraints on the unrolling.
 Status ValidateEraLassoRun(const ExtendedAutomaton& era, const Database& db,
-                           const LassoRun& run);
+                           const LassoRun& run,
+                           const compile::TransitionGuardView& guards = {},
+                           compile::GuardStats* guard_stats = nullptr);
 
 }  // namespace rav
 

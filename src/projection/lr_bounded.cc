@@ -223,6 +223,10 @@ Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
   result.growth_detected = growth_detected;
   result.lassos_examined = outcome.stats.lassos_checked;
   result.stats = outcome.stats;
+  result.stats.guard_table_bytes = alphabet.guard_table_bytes();
+  if (result.stats.guard_table_bytes > 0) {
+    RAV_METRIC_SET("era/guard/table_bytes", result.stats.guard_table_bytes);
+  }
   result.search_truncated = outcome.stats.truncated();
   return result;
 }

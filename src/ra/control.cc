@@ -2,7 +2,9 @@
 
 namespace rav {
 
-ControlAlphabet::ControlAlphabet(const RegisterAutomaton& automaton) {
+ControlAlphabet::ControlAlphabet(const RegisterAutomaton& automaton,
+                                 compile::GuardEngine engine)
+    : engine_(compile::ResolveGuardEngine(engine)) {
   transition_symbol_.resize(automaton.num_transitions(), -1);
   for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
     const RaTransition& t = automaton.transition(ti);
@@ -14,9 +16,36 @@ ControlAlphabet::ControlAlphabet(const RegisterAutomaton& automaton) {
     transition_symbol_[ti] = symbol;
   }
   const int k = automaton.num_registers();
-  restricted_.reserve(symbols_.size());
-  for (const auto& [state, guard] : symbols_) {
-    restricted_.push_back(RestrictToX(guard, k));
+  if (engine_ == compile::GuardEngine::kCompiled) {
+    std::vector<const Type*> guards;
+    guards.reserve(automaton.num_transitions());
+    for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
+      guards.push_back(&automaton.transition(ti).guard);
+    }
+    tables_ = compile::GuardTableSet::Build(
+        guards, k, automaton.schema().num_constants(), &transition_guard_id_);
+    symbol_guard_id_.assign(symbols_.size(), -1);
+    for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
+      symbol_guard_id_[transition_symbol_[ti]] = transition_guard_id_[ti];
+    }
+    // The table set already holds every distinct x̄ restriction — reuse it
+    // instead of recomputing RestrictToX per symbol.
+    restricted_.reserve(symbols_.size());
+    symbol_closure_program_.reserve(symbols_.size());
+    symbol_x_closure_program_.reserve(symbols_.size());
+    for (size_t s = 0; s < symbols_.size(); ++s) {
+      const int gid = symbol_guard_id_[s];
+      restricted_.push_back(tables_->x_restricted(gid));
+      symbol_closure_program_.push_back(
+          tables_->closure_ops(gid).empty() ? -1 : gid);
+      symbol_x_closure_program_.push_back(
+          tables_->x_closure_ops(gid).empty() ? -1 : gid);
+    }
+  } else {
+    restricted_.reserve(symbols_.size());
+    for (const auto& [state, guard] : symbols_) {
+      restricted_.push_back(RestrictToX(guard, k));
+    }
   }
 }
 
@@ -48,11 +77,33 @@ Nba BuildSControlNba(const RegisterAutomaton& automaton,
   // searches need.
   std::vector<std::vector<bool>> compatible(
       num_symbols, std::vector<bool>(num_symbols, false));
-  for (int s1 = 0; s1 < num_symbols; ++s1) {
-    Type frontier1 = RestrictToYAsX(alphabet.guard_of(s1), k);
-    for (int s2 = 0; s2 < num_symbols; ++s2) {
-      compatible[s1][s2] =
-          frontier1.Conjoin(RestrictToX(alphabet.guard_of(s2), k)).ok();
+  if (const compile::GuardTableSet* tables = alphabet.tables()) {
+    // Symbols sharing a guard share a row/column: decide compatibility
+    // once per distinct-guard pair on the precomputed restrictions.
+    const int num_guards = tables->num_guards();
+    std::vector<std::vector<bool>> guard_compatible(
+        num_guards, std::vector<bool>(num_guards, false));
+    for (int g1 = 0; g1 < num_guards; ++g1) {
+      const Type& frontier1 = tables->y_restricted_as_x(g1);
+      for (int g2 = 0; g2 < num_guards; ++g2) {
+        guard_compatible[g1][g2] =
+            frontier1.Conjoin(tables->x_restricted(g2)).ok();
+      }
+    }
+    for (int s1 = 0; s1 < num_symbols; ++s1) {
+      for (int s2 = 0; s2 < num_symbols; ++s2) {
+        compatible[s1][s2] =
+            guard_compatible[alphabet.guard_id_of_symbol(s1)]
+                            [alphabet.guard_id_of_symbol(s2)];
+      }
+    }
+  } else {
+    for (int s1 = 0; s1 < num_symbols; ++s1) {
+      Type frontier1 = RestrictToYAsX(alphabet.guard_of(s1), k);
+      for (int s2 = 0; s2 < num_symbols; ++s2) {
+        compatible[s1][s2] =
+            frontier1.Conjoin(RestrictToX(alphabet.guard_of(s2), k)).ok();
+      }
     }
   }
 

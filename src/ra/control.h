@@ -1,10 +1,13 @@
 #ifndef RAV_RA_CONTROL_H_
 #define RAV_RA_CONTROL_H_
 
+#include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "automata/nba.h"
+#include "compile/guard_tables.h"
 #include "ra/register_automaton.h"
 #include "ra/run.h"
 
@@ -14,9 +17,17 @@ namespace rav {
 // one symbol per distinct (source state, guard) pair occurring in Δ.
 // Control traces and symbolic control traces are ω-words over this
 // alphabet.
+//
+// Building the alphabet is also where the guard compilation layer hooks
+// in (docs/compilation.md): with GuardEngine::kCompiled (the kAuto
+// default unless RAV_GUARD_TABLES=off) every distinct guard is lowered
+// once into a compile::GuardTableSet that the closure engine, the run
+// validators, and the simulators all share.
 class ControlAlphabet {
  public:
-  explicit ControlAlphabet(const RegisterAutomaton& automaton);
+  explicit ControlAlphabet(
+      const RegisterAutomaton& automaton,
+      compile::GuardEngine engine = compile::GuardEngine::kAuto);
 
   int size() const { return static_cast<int>(symbols_.size()); }
 
@@ -35,6 +46,41 @@ class ControlAlphabet {
     return transition_symbol_[transition_index];
   }
 
+  // --- compiled guard tables ---
+  // The engine the alphabet resolved to (never kAuto).
+  compile::GuardEngine guard_engine() const { return engine_; }
+  // The compiled table set, or nullptr under kInterpreted.
+  const compile::GuardTableSet* tables() const {
+    return tables_ ? &*tables_ : nullptr;
+  }
+  // Dense table id of a symbol's guard (compiled engine only).
+  int guard_id_of_symbol(int symbol) const {
+    return symbol_guard_id_[symbol];
+  }
+  // Table id for the closure engine's per-position replay, or -1 when the
+  // symbol's full-guard / x̄-restricted program is empty — the skip the
+  // hot closure loop takes with one dense load, mirroring the interpreted
+  // path's kEmptyProgram marker (compiled engine only).
+  int closure_program_of_symbol(int symbol) const {
+    return symbol_closure_program_[symbol];
+  }
+  int x_closure_program_of_symbol(int symbol) const {
+    return symbol_x_closure_program_[symbol];
+  }
+  // Borrowed view over the owning automaton's transitions; falsy under
+  // kInterpreted. Valid as long as this alphabet is alive and unmoved.
+  compile::TransitionGuardView transition_guard_view() const {
+    if (!tables_) return {};
+    return {&*tables_, transition_guard_id_.data()};
+  }
+  // Distinct guards / total compiled-table bytes (0 under kInterpreted).
+  int num_distinct_guards() const {
+    return tables_ ? tables_->num_guards() : 0;
+  }
+  size_t guard_table_bytes() const {
+    return tables_ ? tables_->table_bytes() : 0;
+  }
+
   std::string SymbolName(const RegisterAutomaton& automaton,
                          int symbol) const;
 
@@ -42,6 +88,12 @@ class ControlAlphabet {
   std::vector<std::pair<StateId, Type>> symbols_;
   std::vector<Type> restricted_;
   std::vector<int> transition_symbol_;
+  compile::GuardEngine engine_ = compile::GuardEngine::kInterpreted;
+  std::optional<compile::GuardTableSet> tables_;
+  std::vector<int> transition_guard_id_;  // transition -> table id
+  std::vector<int> symbol_guard_id_;      // symbol -> table id
+  std::vector<int> symbol_closure_program_;    // symbol -> id, -1 if empty
+  std::vector<int> symbol_x_closure_program_;  // symbol -> id, -1 if empty
 };
 
 // Builds the Büchi automaton recognizing SControl(A), the symbolic control

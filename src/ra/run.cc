@@ -83,9 +83,61 @@ std::string LassoRun::ToString(const RegisterAutomaton& automaton) const {
   return out.str();
 }
 
+namespace {
+
+// Compiled-engine guard pass: positions [0, limit) have valid wiring;
+// batch them per distinct guard, lay each batch out SoA, and evaluate
+// every batch in one EvalBatch call. Returns the first position whose
+// guard fails, or -1. Equivalent to checking positions in order because
+// the first guard failure is the minimum failing position across groups.
+ptrdiff_t FirstGuardFailure(const RegisterAutomaton& automaton,
+                            const Database& db, const FiniteRun& run,
+                            size_t limit,
+                            const rav::compile::TransitionGuardView& guards,
+                            rav::compile::GuardStats* stats) {
+  const int k = automaton.num_registers();
+  const int two_k = 2 * k;
+  // Bucket positions by guard id.
+  std::vector<std::vector<int>> positions_of(guards.tables->num_guards());
+  for (size_t n = 0; n < limit; ++n) {
+    positions_of[guards.guard_id_of_transition[run.transition_indices[n]]]
+        .push_back(static_cast<int>(n));
+  }
+  ptrdiff_t first_fail = -1;
+  std::vector<DataValue> soa;
+  std::vector<unsigned char> ok;
+  for (int gid = 0; gid < guards.tables->num_guards(); ++gid) {
+    const std::vector<int>& positions = positions_of[gid];
+    if (positions.empty()) continue;
+    const size_t count = positions.size();
+    soa.resize(static_cast<size_t>(two_k) * count);
+    // Element e of candidate i: register e of values[nᵢ] for e < k, else
+    // register e-k of values[nᵢ+1] (the guard's x̄·ȳ layout).
+    for (int e = 0; e < two_k; ++e) {
+      DataValue* row = soa.data() + static_cast<size_t>(e) * count;
+      for (size_t i = 0; i < count; ++i) {
+        const size_t n = static_cast<size_t>(positions[i]);
+        row[i] = e < k ? run.values[n][e] : run.values[n + 1][e - k];
+      }
+    }
+    ok.assign(count, 1);
+    guards.tables->EvalBatch(gid, soa.data(), count, db, ok.data(), stats);
+    for (size_t i = 0; i < count; ++i) {
+      if (!ok[i] && (first_fail < 0 || positions[i] < first_fail)) {
+        first_fail = positions[i];
+      }
+    }
+  }
+  return first_fail;
+}
+
+}  // namespace
+
 Status ValidateRunPrefix(const RegisterAutomaton& automaton,
                          const Database& db, const FiniteRun& run,
-                         bool require_initial) {
+                         bool require_initial,
+                         const compile::TransitionGuardView& guards,
+                         compile::GuardStats* guard_stats) {
   const size_t len = run.length();
   if (run.states.size() != len) {
     return Status::InvalidArgument("run: states/values length mismatch");
@@ -102,6 +154,36 @@ Status ValidateRunPrefix(const RegisterAutomaton& automaton,
   }
   if (require_initial && !automaton.IsInitial(run.states[0])) {
     return Status::InvalidArgument("run: first state is not initial");
+  }
+  if (guards) {
+    // Wiring first: the first wiring error bounds how far guards are
+    // checked, so the reported violation matches the interleaved order
+    // of the interpreted loop below.
+    size_t limit = len - 1;
+    Status wiring_error = Status::OK();
+    for (size_t n = 0; n + 1 < len; ++n) {
+      int ti = run.transition_indices[n];
+      if (ti < 0 || ti >= automaton.num_transitions()) {
+        wiring_error = Status::InvalidArgument("run: bad transition index at " +
+                                               std::to_string(n));
+        limit = n;
+        break;
+      }
+      const RaTransition& t = automaton.transition(ti);
+      if (t.from != run.states[n] || t.to != run.states[n + 1]) {
+        wiring_error = Status::InvalidArgument(
+            "run: transition endpoints mismatch at " + std::to_string(n));
+        limit = n;
+        break;
+      }
+    }
+    ptrdiff_t fail =
+        FirstGuardFailure(automaton, db, run, limit, guards, guard_stats);
+    if (fail >= 0) {
+      return Status::InvalidArgument("run: guard violated at position " +
+                                     std::to_string(fail));
+    }
+    return wiring_error;
   }
   for (size_t n = 0; n + 1 < len; ++n) {
     int ti = run.transition_indices[n];
@@ -123,8 +205,12 @@ Status ValidateRunPrefix(const RegisterAutomaton& automaton,
 }
 
 Status ValidateLassoRun(const RegisterAutomaton& automaton, const Database& db,
-                        const LassoRun& run) {
-  RAV_RETURN_IF_ERROR(ValidateRunPrefix(automaton, db, run.spine));
+                        const LassoRun& run,
+                        const compile::TransitionGuardView& guards,
+                        compile::GuardStats* guard_stats) {
+  RAV_RETURN_IF_ERROR(ValidateRunPrefix(automaton, db, run.spine,
+                                        /*require_initial=*/true, guards,
+                                        guard_stats));
   if (run.cycle_start >= run.spine.length()) {
     return Status::InvalidArgument("lasso: cycle_start beyond spine");
   }
@@ -138,9 +224,13 @@ Status ValidateLassoRun(const RegisterAutomaton& automaton, const Database& db,
   if (t.from != last || t.to != first) {
     return Status::InvalidArgument("lasso: wrap transition endpoints mismatch");
   }
-  if (!t.guard.HoldsIn(
-          db, JoinXy(run.spine.values.back(),
-                     run.spine.values[run.cycle_start]))) {
+  const ValueTuple wrap_xy =
+      JoinXy(run.spine.values.back(), run.spine.values[run.cycle_start]);
+  const bool wrap_holds =
+      guards ? guards.tables->Holds(guards.guard_id_of_transition[ti],
+                                    wrap_xy.data(), db, guard_stats)
+             : t.guard.HoldsIn(db, wrap_xy);
+  if (!wrap_holds) {
     return Status::InvalidArgument("lasso: wrap guard violated");
   }
   bool final_in_cycle = false;

@@ -7,6 +7,7 @@
 
 #include "base/status.h"
 #include "base/value.h"
+#include "compile/guard_tables.h"
 #include "ra/register_automaton.h"
 #include "relational/database.h"
 
@@ -53,15 +54,26 @@ struct LassoRun {
 // Checks that `run` is a valid run prefix of `automaton` over `db`:
 // states/transitions wired correctly, first state initial, and every
 // guard satisfied by the adjacent value tuples. Returns OK or a
-// description of the first violation.
+// description of the first violation (identical message either engine).
+//
+// With a truthy `guards` view (from ControlAlphabet::transition_guard_view)
+// the guard checks run through the compiled tables: the run's positions
+// are batched per distinct guard, laid out SoA, and evaluated in one
+// EvalBatch pass per guard instead of one interpreted HoldsIn per
+// position. `guard_stats` (optional) tallies compiled evaluations.
 Status ValidateRunPrefix(const RegisterAutomaton& automaton,
                          const Database& db, const FiniteRun& run,
-                         bool require_initial = true);
+                         bool require_initial = true,
+                         const compile::TransitionGuardView& guards = {},
+                         compile::GuardStats* guard_stats = nullptr);
 
 // Checks that `run` is a valid *accepting* infinite run (Büchi: the cycle
 // must contain a final state; the wrap transition must be satisfied).
+// `guards`/`guard_stats` as in ValidateRunPrefix.
 Status ValidateLassoRun(const RegisterAutomaton& automaton, const Database& db,
-                        const LassoRun& run);
+                        const LassoRun& run,
+                        const compile::TransitionGuardView& guards = {},
+                        compile::GuardStats* guard_stats = nullptr);
 
 // Projects the register trace of a finite run onto registers [0, m).
 std::vector<ValueTuple> ProjectValues(const std::vector<ValueTuple>& values,

@@ -76,6 +76,22 @@ std::optional<FiniteRun> SampleRun(const RegisterAutomaton& automaton,
     }
   };
 
+  // Guard evaluation: through the compiled tables when the caller passed
+  // some, otherwise the interpreted walk. The x̄·ȳ scratch valuation is
+  // reused across every attempt of the sampling loop.
+  const compile::TransitionGuardView* view =
+      options.guards != nullptr && *options.guards ? options.guards : nullptr;
+  ValueTuple xy_scratch;
+  auto guard_holds = [&](int ti, const RaTransition& t, const ValueTuple& cur,
+                         const ValueTuple& next) {
+    if (view == nullptr) return t.guard.HoldsIn(db, JoinXy(cur, next));
+    xy_scratch.clear();
+    xy_scratch.insert(xy_scratch.end(), cur.begin(), cur.end());
+    xy_scratch.insert(xy_scratch.end(), next.begin(), next.end());
+    return view->tables->Holds(view->guard_id_of_transition[ti],
+                               xy_scratch.data(), db, options.guard_stats);
+  };
+
   FiniteRun run;
   std::uniform_int_distribution<size_t> init_dist(0, initial.size() - 1);
 
@@ -104,7 +120,7 @@ std::optional<FiniteRun> SampleRun(const RegisterAutomaton& automaton,
         for (int a = 0; a < options.assignment_attempts; ++a) {
           ValueTuple next;
           sample_successor(t.guard, run.values.back(), next);
-          if (t.guard.HoldsIn(db, JoinXy(run.values.back(), next))) {
+          if (guard_holds(ti, t, run.values.back(), next)) {
             run.values.push_back(std::move(next));
             run.states.push_back(t.to);
             run.transition_indices.push_back(ti);

@@ -6,6 +6,7 @@
 #include <random>
 #include <vector>
 
+#include "compile/guard_tables.h"
 #include "ra/register_automaton.h"
 #include "ra/run.h"
 #include "relational/database.h"
@@ -20,6 +21,13 @@ struct SimulateOptions {
   int transition_attempts = 16;
   // How many fresh (never-seen) values the value pool is topped up with.
   int fresh_values = 4;
+  // Compiled guard tables of the automaton being simulated (optional, and
+  // ignored when null or falsy): the per-attempt guard checks then run
+  // through GuardTableSet::Holds instead of Type::HoldsIn. Must outlive
+  // the sampling call. `guard_stats` (optional) tallies the compiled
+  // evaluations.
+  const compile::TransitionGuardView* guards = nullptr;
+  compile::GuardStats* guard_stats = nullptr;
 };
 
 // Randomized generation of run prefixes of `automaton` over `db`: at each

@@ -25,6 +25,7 @@
 
 #include "analysis/lint.h"
 #include "base/status.h"
+#include "compile/guard_tables.h"
 #include "era/extended_automaton.h"
 #include "ra/control.h"
 
@@ -74,6 +75,21 @@ class CompiledSpec {
   }
   const ControlAlphabet& emptiness_alphabet() const {
     return emptiness_alphabet_;
+  }
+
+  // --- compiled guard tables (docs/compilation.md) ---
+  // Engine and table stats of the compiled alphabets; `info` reports them
+  // and charges the bytes to the request governor. Both alphabets compile
+  // their own table set, so the byte total sums the two.
+  const char* guard_engine_name() const {
+    return compile::GuardEngineName(analysis_alphabet_.guard_engine());
+  }
+  int distinct_guards() const {
+    return analysis_alphabet_.num_distinct_guards();
+  }
+  size_t guard_table_bytes() const {
+    return analysis_alphabet_.guard_table_bytes() +
+           emptiness_alphabet_.guard_table_bytes();
   }
 
   // --- compile-time accounting (reported per response) ---

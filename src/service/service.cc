@@ -370,6 +370,13 @@ QueryResponse Service::Execute(const QueryRequest& request) {
 
     case Op::kInfo: {
       const RegisterAutomaton& a = spec->era().automaton();
+      // The compiled guard tables live for this response's lifetime as far
+      // as the request is concerned — charge them like any other artifact.
+      ScopedMemoryCharge table_charge(governor.get(),
+                                      spec->guard_table_bytes());
+      if (Status charged = governor->CheckStatus("info"); !charged.ok()) {
+        return fail(charged, ExitForStatus(charged, *governor));
+      }
       response.ok = true;
       response.verdict = "ok";
       response.details.Set("registers", Json::Number(a.num_registers()));
@@ -379,6 +386,13 @@ QueryResponse Service::Execute(const QueryRequest& request) {
           "constraints",
           Json::Number(static_cast<uint64_t>(spec->era().constraints().size())));
       response.details.Set("complete", Json::Bool(a.IsComplete()));
+      response.details.Set("guard_engine",
+                           Json::String(spec->guard_engine_name()));
+      response.details.Set("distinct_guards",
+                           Json::Number(spec->distinct_guards()));
+      response.details.Set(
+          "guard_table_bytes",
+          Json::Number(static_cast<uint64_t>(spec->guard_table_bytes())));
       response.details.Set("compile_ms", Json::Number(spec->compile_ms()));
       response.details.Set("states_stripped",
                            Json::Number(spec->states_stripped()));

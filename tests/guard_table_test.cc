@@ -1,0 +1,428 @@
+// Tests of the guard compilation layer (docs/compilation.md): table
+// layout and lowering invariants of GuardTableSet, and randomized
+// differentials holding the compiled engine to the interpreted reference
+// across the three decision procedures — identical verdicts, witnesses,
+// and stop reasons on every instance.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "compile/guard_tables.h"
+#include "era/emptiness.h"
+#include "era/ltlfo.h"
+#include "projection/lr_bounded.h"
+#include "ra/control.h"
+#include "ra/random.h"
+#include "ra/transform.h"
+
+namespace rav {
+namespace {
+
+using compile::GuardEngine;
+using compile::GuardStats;
+using compile::GuardTableSet;
+
+// --- shared generators ---
+
+Dfa RandomConstraintDfa(std::mt19937& rng, int alphabet_size) {
+  std::uniform_int_distribution<int> num_states_dist(1, 4);
+  const int n = num_states_dist(rng);
+  std::uniform_int_distribution<int> state_dist(0, n - 1);
+  Dfa dfa(alphabet_size, n, state_dist(rng));
+  std::uniform_int_distribution<int> accept_dist(0, 3);
+  for (int s = 0; s < n; ++s) {
+    for (int a = 0; a < alphabet_size; ++a) {
+      dfa.SetTransition(s, a, state_dist(rng));
+    }
+    dfa.SetAccepting(s, accept_dist(rng) == 0);
+  }
+  return dfa;
+}
+
+// A random automaton; `relational` adds a schema with a unary and a
+// binary relation (LR-boundedness requires a relation-free schema).
+RegisterAutomaton MakeRandomAutomaton(std::mt19937& rng, bool relational) {
+  RandomAutomatonOptions options;
+  options.num_registers = std::uniform_int_distribution<int>(1, 3)(rng);
+  options.num_states = std::uniform_int_distribution<int>(2, 4)(rng);
+  options.num_transitions = 2 * options.num_states;
+  if (std::uniform_int_distribution<int>(0, 1)(rng) == 1) {
+    options.schema.AddConstant("c0");
+  }
+  if (relational && std::uniform_int_distribution<int>(0, 1)(rng) == 1) {
+    options.schema.AddRelation("R", 1);
+    options.schema.AddRelation("S", 2);
+  }
+  return RandomAutomaton(rng, options);
+}
+
+// A deliberately small relational automaton that stays completable: one
+// unary relation, k <= 2, few states (completion is exponential in the
+// guard element count — see ra/transform.h).
+RegisterAutomaton MakeSmallRelationalAutomaton(std::mt19937& rng) {
+  RandomAutomatonOptions options;
+  options.num_registers = std::uniform_int_distribution<int>(1, 2)(rng);
+  options.num_states = std::uniform_int_distribution<int>(2, 3)(rng);
+  options.num_transitions = 2 * options.num_states;
+  options.schema.AddRelation("R", 1);
+  return RandomAutomaton(rng, options);
+}
+
+ExtendedAutomaton AddRandomConstraints(RegisterAutomaton a,
+                                       std::mt19937& rng) {
+  const int num_states = a.num_states();
+  const int k = a.num_registers();
+  ExtendedAutomaton era(std::move(a));
+  std::uniform_int_distribution<int> num_constraints_dist(0, 3);
+  std::uniform_int_distribution<int> reg_pick(0, k - 1);
+  std::uniform_int_distribution<int> coin(0, 1);
+  const int nc = num_constraints_dist(rng);
+  for (int c = 0; c < nc; ++c) {
+    EXPECT_TRUE(era.AddConstraintDfa(reg_pick(rng), reg_pick(rng),
+                                     /*is_equality=*/coin(rng) == 1,
+                                     RandomConstraintDfa(rng, num_states))
+                    .ok());
+  }
+  return era;
+}
+
+ExtendedAutomaton MakeRandomEra(std::mt19937& rng, bool relational) {
+  return AddRandomConstraints(MakeRandomAutomaton(rng, relational), rng);
+}
+
+// Completion is worst-case exponential (relational schemas especially);
+// instances that trip the transition cap are skipped by the caller.
+std::optional<ExtendedAutomaton> CompletedEra(const ExtendedAutomaton& era,
+                                              size_t max_transitions) {
+  Result<RegisterAutomaton> completed =
+      Completed(era.automaton(), max_transitions);
+  if (!completed.ok()) return std::nullopt;
+  ExtendedAutomaton out(std::move(*completed));
+  for (const GlobalConstraint& c : era.constraints()) {
+    EXPECT_TRUE(
+        out.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa, c.description)
+            .ok());
+  }
+  return out;
+}
+
+// A database with every constant bound and (when the schema has
+// relations) a few random facts over a small value pool.
+Database MakeRandomDatabase(const Schema& schema, std::mt19937& rng) {
+  Database db(schema);
+  std::uniform_int_distribution<DataValue> value_dist(0, 5);
+  for (int c = 0; c < schema.num_constants(); ++c) {
+    db.SetConstant(c, value_dist(rng));
+  }
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    const int facts = std::uniform_int_distribution<int>(0, 6)(rng);
+    for (int f = 0; f < facts; ++f) {
+      ValueTuple tuple(schema.arity(r));
+      for (DataValue& v : tuple) v = value_dist(rng);
+      db.Insert(r, std::move(tuple));
+    }
+  }
+  return db;
+}
+
+// --- engine selection ---
+
+TEST(GuardEngineTest, NamesRoundTrip) {
+  for (GuardEngine engine : {GuardEngine::kInterpreted, GuardEngine::kCompiled,
+                             GuardEngine::kAuto}) {
+    auto parsed = compile::ParseGuardEngine(compile::GuardEngineName(engine));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, engine);
+  }
+  EXPECT_FALSE(compile::ParseGuardEngine("bogus").has_value());
+}
+
+TEST(GuardEngineTest, ExplicitEnginesPassThroughResolve) {
+  EXPECT_EQ(compile::ResolveGuardEngine(GuardEngine::kInterpreted),
+            GuardEngine::kInterpreted);
+  EXPECT_EQ(compile::ResolveGuardEngine(GuardEngine::kCompiled),
+            GuardEngine::kCompiled);
+}
+
+TEST(GuardEngineTest, AutoHonorsEscapeHatch) {
+  // Default (unset or any other value): compiled.
+  ::unsetenv("RAV_GUARD_TABLES");
+  EXPECT_EQ(compile::ResolveGuardEngine(GuardEngine::kAuto),
+            GuardEngine::kCompiled);
+  for (const char* off : {"off", "0", "interpreted"}) {
+    ::setenv("RAV_GUARD_TABLES", off, 1);
+    EXPECT_EQ(compile::ResolveGuardEngine(GuardEngine::kAuto),
+              GuardEngine::kInterpreted)
+        << "RAV_GUARD_TABLES=" << off;
+  }
+  ::setenv("RAV_GUARD_TABLES", "on", 1);
+  EXPECT_EQ(compile::ResolveGuardEngine(GuardEngine::kAuto),
+            GuardEngine::kCompiled);
+  ::unsetenv("RAV_GUARD_TABLES");
+}
+
+// --- table layout ---
+
+TEST(GuardTableLayoutTest, BuildDedupsByTypeEquality) {
+  std::mt19937 rng(11);
+  RegisterAutomaton a = MakeRandomAutomaton(rng, /*relational=*/true);
+  const int k = a.num_registers();
+  std::vector<const Type*> guards;
+  for (int ti = 0; ti < a.num_transitions(); ++ti) {
+    guards.push_back(&a.transition(ti).guard);
+  }
+  // Duplicate the whole list: the table set must not grow.
+  std::vector<const Type*> doubled = guards;
+  doubled.insert(doubled.end(), guards.begin(), guards.end());
+  std::vector<int> ids;
+  GuardTableSet tables = GuardTableSet::Build(
+      doubled, k, a.schema().num_constants(), &ids);
+  ASSERT_EQ(ids.size(), doubled.size());
+  EXPECT_EQ(tables.num_guards(),
+            static_cast<int>(a.DistinctGuards().size()));
+  EXPECT_LE(tables.num_guards(), static_cast<int>(guards.size()));
+  for (size_t i = 0; i < doubled.size(); ++i) {
+    // Each input maps to a table entry equal to it, and duplicates share
+    // ids (first-use order, like RegisterAutomaton::DistinctGuards).
+    ASSERT_GE(ids[i], 0);
+    ASSERT_LT(ids[i], tables.num_guards());
+    EXPECT_EQ(tables.guard(ids[i]), *doubled[i]);
+    EXPECT_EQ(ids[i], ids[i % guards.size()]);
+  }
+}
+
+TEST(GuardTableLayoutTest, RestrictionsMatchTypeAlgebra) {
+  std::mt19937 rng(12);
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    RegisterAutomaton a = MakeRandomAutomaton(rng, /*relational=*/true);
+    const int k = a.num_registers();
+    std::vector<const Type*> guards;
+    for (int ti = 0; ti < a.num_transitions(); ++ti) {
+      guards.push_back(&a.transition(ti).guard);
+    }
+    GuardTableSet tables =
+        GuardTableSet::Build(guards, k, a.schema().num_constants());
+    EXPECT_GT(tables.table_bytes(), 0u);
+    EXPECT_EQ(tables.num_registers(), k);
+    for (int id = 0; id < tables.num_guards(); ++id) {
+      EXPECT_EQ(tables.x_restricted(id), RestrictToX(tables.guard(id), k));
+      EXPECT_EQ(tables.y_restricted_as_x(id),
+                RestrictToYAsX(tables.guard(id), k));
+      // The lowered program's instruction count is bounded by the type's
+      // element structure: one union per non-representative element, at
+      // most one diseq per recorded disequality.
+      const Type& g = tables.guard(id);
+      EXPECT_EQ(tables.closure_ops(id).unions.size(),
+                static_cast<size_t>(g.num_elements() - g.num_classes()));
+      EXPECT_LE(tables.closure_ops(id).diseqs.size(),
+                g.disequalities().size());
+    }
+  }
+}
+
+TEST(GuardTableLayoutTest, HoldsMatchesInterpretedWalk) {
+  std::mt19937 rng(13);
+  std::uniform_int_distribution<DataValue> value_dist(0, 5);
+  size_t checked = 0;
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    RegisterAutomaton a = MakeRandomAutomaton(rng, /*relational=*/true);
+    const int k = a.num_registers();
+    Database db = MakeRandomDatabase(a.schema(), rng);
+    std::vector<const Type*> guards;
+    for (int ti = 0; ti < a.num_transitions(); ++ti) {
+      guards.push_back(&a.transition(ti).guard);
+    }
+    std::vector<int> ids;
+    GuardTableSet tables =
+        GuardTableSet::Build(guards, k, a.schema().num_constants(), &ids);
+    GuardStats stats;
+    for (int trial = 0; trial < 40; ++trial) {
+      const size_t gi = trial % guards.size();
+      ValueTuple xy(2 * k);
+      for (DataValue& v : xy) v = value_dist(rng);
+      const bool interpreted = guards[gi]->HoldsIn(db, xy);
+      const bool compiled = tables.Holds(ids[gi], xy.data(), db, &stats);
+      EXPECT_EQ(compiled, interpreted) << "guard " << gi;
+      ++checked;
+    }
+    EXPECT_EQ(stats.evals, 40u);
+  }
+  EXPECT_EQ(checked, 50u * 40u);
+}
+
+TEST(GuardTableLayoutTest, EvalBatchMatchesScalarHolds) {
+  std::mt19937 rng(14);
+  std::uniform_int_distribution<DataValue> value_dist(0, 5);
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    RegisterAutomaton a = MakeRandomAutomaton(rng, /*relational=*/true);
+    const int k = a.num_registers();
+    Database db = MakeRandomDatabase(a.schema(), rng);
+    std::vector<const Type*> guards;
+    for (int ti = 0; ti < a.num_transitions(); ++ti) {
+      guards.push_back(&a.transition(ti).guard);
+    }
+    std::vector<int> ids;
+    GuardTableSet tables =
+        GuardTableSet::Build(guards, k, a.schema().num_constants(), &ids);
+    const size_t count = std::uniform_int_distribution<size_t>(1, 33)(rng);
+    // Element-major SoA: soa[e * count + i] = element e of valuation i.
+    std::vector<DataValue> soa(2 * k * count);
+    std::vector<ValueTuple> rows(count, ValueTuple(2 * k));
+    for (size_t i = 0; i < count; ++i) {
+      for (int e = 0; e < 2 * k; ++e) {
+        rows[i][e] = value_dist(rng);
+        soa[static_cast<size_t>(e) * count + i] = rows[i][e];
+      }
+    }
+    const int id = ids[iteration % ids.size()];
+    std::vector<unsigned char> ok(count, 1);
+    GuardStats stats;
+    tables.EvalBatch(id, soa.data(), count, db, ok.data(), &stats);
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.evals, count);
+    for (size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(ok[i] != 0, tables.guard(id).HoldsIn(db, rows[i]))
+          << "valuation " << i;
+    }
+  }
+}
+
+TEST(GuardTableLayoutTest, AlphabetExposesTablesOnlyWhenCompiled) {
+  std::mt19937 rng(15);
+  ExtendedAutomaton era = MakeRandomEra(rng, /*relational=*/false);
+  ControlAlphabet interpreted(era.automaton(), GuardEngine::kInterpreted);
+  EXPECT_EQ(interpreted.tables(), nullptr);
+  EXPECT_FALSE(interpreted.transition_guard_view());
+  EXPECT_EQ(interpreted.guard_table_bytes(), 0u);
+
+  ControlAlphabet compiled(era.automaton(), GuardEngine::kCompiled);
+  ASSERT_NE(compiled.tables(), nullptr);
+  EXPECT_TRUE(compiled.transition_guard_view());
+  EXPECT_GT(compiled.guard_table_bytes(), 0u);
+  EXPECT_EQ(compiled.num_distinct_guards(),
+            static_cast<int>(era.automaton().DistinctGuards().size()));
+  // Same symbols, same restrictions — only the evaluation engine differs.
+  ASSERT_EQ(compiled.size(), interpreted.size());
+  for (int s = 0; s < compiled.size(); ++s) {
+    EXPECT_EQ(compiled.x_restricted_guard_of(s),
+              interpreted.x_restricted_guard_of(s));
+  }
+}
+
+// --- randomized differentials: compiled vs interpreted, all three
+// --- decision procedures (>= 220 instances total)
+
+TEST(GuardTableDiffTest, EmptinessAgreesOnRandomInstances) {
+  std::mt19937 rng(20260809);
+  int instances = 0;
+  int attempts = 0;
+  while (instances < 100 && attempts < 500) {
+    ++attempts;
+    // Every third instance carries a (small, unary-relation) relational
+    // schema; larger relational completions are exponential, and any
+    // instance tripping the completion cap is skipped.
+    const bool relational = instances % 3 == 2;
+    std::optional<ExtendedAutomaton> era = CompletedEra(
+        relational
+            ? AddRandomConstraints(MakeSmallRelationalAutomaton(rng), rng)
+            : MakeRandomEra(rng, /*relational=*/false),
+        /*max_transitions=*/256);
+    if (!era.has_value()) continue;
+    ++instances;
+    ControlAlphabet interpreted(era->automaton(), GuardEngine::kInterpreted);
+    ControlAlphabet compiled(era->automaton(), GuardEngine::kCompiled);
+    EraEmptinessOptions options;
+    options.analyze_and_strip = false;  // isolate the engines under test
+    options.max_lasso_length = 6;
+    options.max_lassos = 300;
+    options.max_search_steps = 20000;
+    options.num_workers = 1;
+    auto a = CheckEraEmptiness(*era, interpreted, options);
+    auto b = CheckEraEmptiness(*era, compiled, options);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->nonempty, b->nonempty) << "instance " << instances;
+    EXPECT_EQ(a->control_word, b->control_word) << "instance " << instances;
+    EXPECT_EQ(a->stats.stop_reason, b->stats.stop_reason)
+        << "instance " << instances;
+    if (b->stats.lassos_checked > 0) {
+      EXPECT_GT(b->stats.guard_table_bytes, 0u);
+    }
+  }
+  EXPECT_EQ(instances, 100);
+}
+
+TEST(GuardTableDiffTest, LtlFoAgreesOnRandomInstances) {
+  // VerifyLtlFo builds its alphabets internally, so the engines are
+  // toggled the way operators do it: through the escape hatch.
+  std::mt19937 rng(20260810);
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    ExtendedAutomaton era = MakeRandomEra(rng, /*relational=*/false);
+    const int k = era.automaton().num_registers();
+    std::uniform_int_distribution<int> var_dist(0, 2 * k - 1);
+    LtlFoProperty prop;
+    const int v1 = var_dist(rng);
+    const int v2 = var_dist(rng);
+    prop.propositions = {Formula::Eq(Term::Var(v1), Term::Var(v2))};
+    switch (std::uniform_int_distribution<int>(0, 2)(rng)) {
+      case 0:
+        prop.formula = LtlFormula::Globally(LtlFormula::Ap(0));
+        break;
+      case 1:
+        prop.formula = LtlFormula::Eventually(LtlFormula::Ap(0));
+        break;
+      default:
+        prop.formula =
+            LtlFormula::Globally(LtlFormula::Not(LtlFormula::Ap(0)));
+        break;
+    }
+    VerificationOptions options;
+    options.analyze_and_strip = false;
+    options.emptiness.max_lasso_length = 6;
+    options.emptiness.max_lassos = 300;
+    options.emptiness.max_search_steps = 20000;
+    options.emptiness.num_workers = 1;
+    ::setenv("RAV_GUARD_TABLES", "off", 1);
+    auto a = VerifyLtlFo(era, prop, options);
+    ::unsetenv("RAV_GUARD_TABLES");
+    auto b = VerifyLtlFo(era, prop, options);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->holds, b->holds) << "iteration " << iteration;
+    EXPECT_EQ(a->counterexample, b->counterexample)
+        << "iteration " << iteration;
+    EXPECT_EQ(a->search_stats.stop_reason, b->search_stats.stop_reason)
+        << "iteration " << iteration;
+  }
+}
+
+TEST(GuardTableDiffTest, LrBoundAgreesOnRandomInstances) {
+  std::mt19937 rng(20260811);
+  for (int iteration = 0; iteration < 60; ++iteration) {
+    ExtendedAutomaton era = MakeRandomEra(rng, /*relational=*/false);
+    ControlAlphabet interpreted(era.automaton(), GuardEngine::kInterpreted);
+    ControlAlphabet compiled(era.automaton(), GuardEngine::kCompiled);
+    LrBoundOptions options;
+    options.analyze_and_strip = false;
+    options.max_lasso_length = 5;
+    options.max_lassos = 200;
+    options.max_search_steps = 20000;
+    options.num_workers = 1;
+    auto a = EstimateLrBound(era, interpreted, options);
+    auto b = EstimateLrBound(era, compiled, options);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    EXPECT_EQ(a->max_cover, b->max_cover) << "iteration " << iteration;
+    EXPECT_EQ(a->growth_detected, b->growth_detected)
+        << "iteration " << iteration;
+    EXPECT_EQ(a->stats.stop_reason, b->stats.stop_reason)
+        << "iteration " << iteration;
+  }
+}
+
+}  // namespace
+}  // namespace rav

@@ -247,13 +247,22 @@ int CmdLint(const std::vector<std::string>& files, bool as_json,
 
 int CmdInfo(const ExtendedAutomaton& era) {
   const RegisterAutomaton& a = era.automaton();
-  std::printf("registers:    %d\n", a.num_registers());
-  std::printf("schema:       %s\n", a.schema().ToString().c_str());
-  std::printf("states:       %d\n", a.num_states());
-  std::printf("transitions:  %d\n", a.num_transitions());
-  std::printf("constraints:  %zu\n", era.constraints().size());
-  std::printf("complete:     %s\n", a.IsComplete() ? "yes" : "no");
-  std::printf("state-driven: %s\n", a.IsStateDriven() ? "yes" : "no");
+  // Build the control alphabet the decision procedures would run with, so
+  // the compiled-guard stats reflect the engine actually selected (and the
+  // table bytes are governor-charged like every other artifact).
+  ControlAlphabet alphabet(a);
+  ScopedMemoryCharge table_charge(&g_governor, alphabet.guard_table_bytes());
+  std::printf("registers:       %d\n", a.num_registers());
+  std::printf("schema:          %s\n", a.schema().ToString().c_str());
+  std::printf("states:          %d\n", a.num_states());
+  std::printf("transitions:     %d\n", a.num_transitions());
+  std::printf("constraints:     %zu\n", era.constraints().size());
+  std::printf("complete:        %s\n", a.IsComplete() ? "yes" : "no");
+  std::printf("state-driven:    %s\n", a.IsStateDriven() ? "yes" : "no");
+  std::printf("guard engine:    %s\n",
+              compile::GuardEngineName(alphabet.guard_engine()));
+  std::printf("distinct guards: %d\n", alphabet.num_distinct_guards());
+  std::printf("guard tables:    %zu bytes\n", alphabet.guard_table_bytes());
   return 0;
 }
 

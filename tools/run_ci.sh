@@ -127,6 +127,19 @@ run_failpoint "era/search/worker_spawn=1" 3 \
     "worker-spawn failure degrades the pool, verdict unchanged" --threads 4
 run_failpoint "governor/memory=1" 4 \
     "forced memory trip yields a truthful resource-exhausted stop"
+# The compiled-guard escape hatch (docs/compilation.md): with
+# RAV_GUARD_TABLES=off every procedure runs the interpreted Type walk,
+# and the verdict must be unchanged (ping_pong.rav stays NONEMPTY).
+got=0
+RAV_GUARD_TABLES=off timeout 60 build/tools/rav_cli \
+    empty tests/data/ping_pong.rav \
+    >build/reports/failpoint.out 2>&1 || got=$?
+if [ "$got" -ne 3 ]; then
+  echo "RAV_GUARD_TABLES=off: exit $got, want 3 (interpreted engine must agree)" >&2
+  cat build/reports/failpoint.out >&2
+  exit 1
+fi
+echo "-- RAV_GUARD_TABLES=off -> exit 3 (interpreted engine agrees)"
 # The decision-service seam: a poisoned request is rejected at parse
 # time (failpoint in service::ParseRequest) with an error response; the
 # other requests in the batch still get answered, and the batch exits 1
@@ -402,6 +415,8 @@ HOT_PREFIXES = (
     "BM_ClosureAndColoring/",
     "BM_PumpSweep/",
     "BM_RealizeWitness/",
+    "BM_GuardTablesValidate/",
+    "BM_GuardTablesRealize/",
 )
 
 def cpu_times(path):
