@@ -28,9 +28,11 @@ ExtendedAutomaton MakeLongSpanEra(bool contradictory) {
   a.SetFinal(q);
   a.AddTransition(q, a.NewGuardBuilder().Build().value(), q);
   ExtendedAutomaton era(std::move(a));
-  RAV_CHECK(era.AddConstraintFromText(0, 0, true, "q q q q q q q").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, true, "q q q q q q q").ok());
   // Contradictory variant: also force inequality at gap 6.
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false,
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, 
                                       contradictory ? "q q q q q q q"
                                                     : "q q q q")
                 .ok());

@@ -40,7 +40,9 @@ ExtendedAutomaton MakeAnchoredConstraintEra(int num_constraints) {
     std::string expr = "q0";
     for (int i = 0; i < gap; ++i) expr += " q1";
     RAV_CHECK(
-        era.AddConstraintFromText(0, 1, /*is_equality=*/c % 2 == 0, expr)
+        era.AddConstraintFromText(
+            RegisterPair{RegisterId(0), RegisterId(1)},
+            /*is_equality=*/c % 2 == 0, expr)
             .ok());
   }
   return era;
@@ -52,7 +54,7 @@ LassoWord AnchoredWord(const RegisterAutomaton& a,
   int sym_q0 = -1;
   int sym_q1 = -1;
   for (int s = 0; s < alphabet.size(); ++s) {
-    const std::string& name = a.state_name(alphabet.state_of(s));
+    const std::string& name = a.state_name(alphabet.state_of(SymbolId(s)));
     if (name == "q0" && sym_q0 < 0) sym_q0 = s;
     if (name == "q1" && sym_q1 < 0) sym_q1 = s;
   }

@@ -50,12 +50,13 @@ inline RegisterAutomaton MakeShiftRing(int k, int num_states) {
   for (int s = 0; s < num_states; ++s) {
     a.AddState("s" + std::to_string(s));
   }
-  a.SetInitial(0);
-  a.SetFinal(0);
+  a.SetInitial(StateId(0));
+  a.SetFinal(StateId(0));
   for (int s = 0; s < num_states; ++s) {
     TypeBuilder b = a.NewGuardBuilder();
     for (int i = 0; i + 1 < k; ++i) b.AddEq(b.X(i), b.Y(i + 1));
-    a.AddTransition(s, b.Build().value(), (s + 1) % num_states);
+    a.AddTransition(StateId(s), b.Build().value(),
+                    StateId((s + 1) % num_states));
   }
   return a;
 }
@@ -72,7 +73,9 @@ inline ExtendedAutomaton MakeExample5() {
   b.AddTransition(p2, empty, p2);
   b.AddTransition(p2, empty, p1);
   ExtendedAutomaton era(std::move(b));
-  Status s = era.AddConstraintFromText(0, 0, true, "p1 p2* p1");
+  Status s = era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                       true, "p1 p2* p1");
   RAV_CHECK(s.ok());
   return era;
 }
@@ -93,12 +96,13 @@ inline ExtendedAutomaton MakeShiftRingSearchEra(int k, int n,
     TypeBuilder b = a.NewGuardBuilder();
     for (int i = 0; i + 1 < k; ++i) b.AddEq(b.X(i), b.Y(i + 1));
     b.AddEq(b.X(0), b.Y(0));
-    a.AddTransition(s, b.Build().value(), (s + 2) % n);
+    a.AddTransition(StateId(s), b.Build().value(), StateId((s + 2) % n));
   }
   ExtendedAutomaton era(std::move(a));
   if (contradictory) {
-    RAV_CHECK(era.AddConstraintFromText(0, 0, true, "s0 .* s0").ok());
-    RAV_CHECK(era.AddConstraintFromText(0, 0, false, "s0 .* s0").ok());
+    const RegisterPair r00{RegisterId(0), RegisterId(0)};
+    RAV_CHECK(era.AddConstraintFromText(r00, true, "s0 .* s0").ok());
+    RAV_CHECK(era.AddConstraintFromText(r00, false, "s0 .* s0").ok());
   }
   return era;
 }
@@ -108,8 +112,8 @@ inline ExtendedAutomaton CompletedEra(const ExtendedAutomaton& era) {
   RegisterAutomaton completed = Completed(era.automaton()).value();
   ExtendedAutomaton out(std::move(completed));
   for (const GlobalConstraint& c : era.constraints()) {
-    Status s = out.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa,
-                                    c.description);
+    Status s = out.AddConstraintDfa(RegisterPair{c.i, c.j}, c.is_equality,
+                                    c.dfa, c.description);
     RAV_CHECK(s.ok());
   }
   return out;

@@ -49,7 +49,8 @@ BENCHMARK(BM_EmptinessExample5)->DenseRange(4, 10, 2);
 void BM_EmptinessContradictory(benchmark::State& state) {
   // Equality + inequality on the same factor: every lasso inconsistent.
   ExtendedAutomaton era = bench::MakeExample5();
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "p1 p2* p1").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, "p1 p2* p1").ok());
   ExtendedAutomaton complete = bench::CompletedEra(era);
   ControlAlphabet alphabet(complete.automaton());
   EraEmptinessOptions options;
@@ -83,7 +84,8 @@ void BM_EmptinessExample8(benchmark::State& state) {
   a.AddTransition(q, b.Build().value(), q);
   RegisterAutomaton completed = Completed(a).value();
   ExtendedAutomaton era(std::move(completed));
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "q q+").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, "q q+").ok());
   ControlAlphabet alphabet(era.automaton());
   EraEmptinessOptions options;
   options.max_lasso_length = 6;

@@ -42,13 +42,13 @@ RegisterAutomaton MakePhaseCycle(int phases) {
   RelationId e = s.AddRelation("E", 2);
   RegisterAutomaton a(2, s);
   for (int i = 0; i < phases; ++i) a.AddState("s" + std::to_string(i));
-  a.SetInitial(0);
-  a.SetFinal(0);
+  a.SetInitial(StateId(0));
+  a.SetFinal(StateId(0));
   for (int i = 0; i < phases; ++i) {
     TypeBuilder d = a.NewGuardBuilder();
     d.AddEq(d.X(1), d.Y(1));
     d.AddAtom(e, {d.X(1), d.X(0)}, i % 2 == 0);
-    a.AddTransition(i, d.Build().value(), (i + 1) % phases);
+    a.AddTransition(StateId(i), d.Build().value(), StateId((i + 1) % phases));
   }
   return a;
 }

@@ -45,7 +45,8 @@ void BM_ProjectEraWithConstraint(benchmark::State& state) {
   ExtendedAutomaton era(MakeStateDriven(a));
   std::string expr = ".";
   for (int i = 0; i < gap; ++i) expr += " .";
-  RAV_CHECK(era.AddConstraintFromText(1, 1, false, expr).ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(1), RegisterId(1)}, false, expr).ok());
   Theorem13Stats stats;
   for (auto _ : state) {
     auto projected = ProjectExtendedAutomaton(era, 1, &stats);
@@ -73,7 +74,8 @@ void BM_ProjectEraWithEquality(benchmark::State& state) {
   two.AddTransition(p2, empty, p2);
   two.AddTransition(p2, empty, p1);
   ExtendedAutomaton era2(std::move(two));
-  RAV_CHECK(era2.AddConstraintFromText(1, 1, true, "p1 p2* p1").ok());
+  RAV_CHECK(era2.AddConstraintFromText(
+      RegisterPair{RegisterId(1), RegisterId(1)}, true, "p1 p2* p1").ok());
   Theorem13Stats stats;
   for (auto _ : state) {
     auto projected = ProjectExtendedAutomaton(era2, 1, &stats);

@@ -56,7 +56,7 @@ FiniteRun MakeShiftRingRun(const RegisterAutomaton& a, size_t len) {
   }
   // Ring transitions were added first, one per state, in state order.
   for (size_t n = 0; n + 1 < len; ++n) {
-    run.transition_indices.push_back(static_cast<int>(run.states[n]));
+    run.transition_indices.push_back(run.states[n].value());
   }
   return run;
 }
@@ -121,9 +121,10 @@ void BM_GuardTablesRealize(benchmark::State& state) {
   // transitions were added first, one per state, in state order).
   LassoWord word;
   for (int s = 0; s < a.num_states(); ++s) {
-    const int symbol = alphabet.SymbolOf(s, a.transition(s).guard);
-    RAV_CHECK_GE(symbol, 0);
-    word.cycle.push_back(symbol);
+    const SymbolId symbol = alphabet.SymbolOf(
+        StateId(s), a.transition(s).guard);
+    RAV_CHECK(symbol.valid());
+    word.cycle.push_back(symbol.value());
   }
   const size_t window = word.cycle.size() * pump;
 
@@ -203,9 +204,10 @@ void BM_GuardTablesClosure(benchmark::State& state) {
   const RegisterAutomaton& a = era.automaton();
   LassoWord word;
   for (int s = 0; s < a.num_states(); ++s) {
-    const int symbol = alphabet.SymbolOf(s, a.transition(s).guard);
-    RAV_CHECK_GE(symbol, 0);
-    word.cycle.push_back(symbol);
+    const SymbolId symbol = alphabet.SymbolOf(
+        StateId(s), a.transition(s).guard);
+    RAV_CHECK(symbol.valid());
+    word.cycle.push_back(symbol.value());
   }
 
   {

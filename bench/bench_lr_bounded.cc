@@ -41,7 +41,8 @@ ExtendedAutomaton MakeDistinctWithin(int window) {
   for (int gapped = 1; gapped <= window; ++gapped) {
     std::string e = "q";
     for (int i = 0; i < gapped; ++i) e += " q";
-    RAV_CHECK(era.AddConstraintFromText(0, 0, false, e).ok());
+    RAV_CHECK(era.AddConstraintFromText(
+        RegisterPair{RegisterId(0), RegisterId(0)}, false, e).ok());
   }
   return era;
 }
@@ -75,9 +76,12 @@ void BM_LrBoundShiftRingParallel(benchmark::State& state) {
   // is checked identical to the serial reference on every run.
   const int workers = static_cast<int>(state.range(0));
   ExtendedAutomaton era = bench::MakeShiftRingSearchEra(4, 6, false);
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "s0 .* s3").ok());
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "s1 .* s4").ok());
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "s2 .* s5").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, "s0 .* s3").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, "s1 .* s4").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, "s2 .* s5").ok());
   ControlAlphabet alphabet(era.automaton());
   LrBoundOptions options;
   options.max_lassos = 64;
@@ -116,7 +120,8 @@ void BM_LrBoundAllDistinct(benchmark::State& state) {
   a.SetFinal(q);
   a.AddTransition(q, a.NewGuardBuilder().Build().value(), q);
   ExtendedAutomaton era(std::move(a));
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "q q+").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, "q q+").ok());
   ControlAlphabet alphabet(era.automaton());
   LrBoundResult last;
   for (auto _ : state) {
@@ -139,7 +144,8 @@ void BM_MaxCutVertexCoverScaling(benchmark::State& state) {
   a.SetFinal(q);
   a.AddTransition(q, a.NewGuardBuilder().Build().value(), q);
   ExtendedAutomaton era(std::move(a));
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "q q+").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, "q q+").ok());
   ControlAlphabet alphabet(era.automaton());
   LassoWord lasso{{}, {0}};
   int cover = 0;

@@ -77,7 +77,8 @@ BENCHMARK(BM_VerifyNestedGf)->DenseRange(1, 3);
 void BM_VerifyWithConstraints(benchmark::State& state) {
   // The counterexample search must reject constraint-inconsistent lassos.
   ExtendedAutomaton era(MakeOrderWorkflow());
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "created . * created")
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, "created . * created")
                 .ok());
   LtlFoProperty prop;
   // G !(x1 = y1 at the created->... loop closing) — shaped so the global

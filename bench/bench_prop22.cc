@@ -22,7 +22,8 @@ ExtendedAutomaton MakeGapDistinct(int gap) {
   ExtendedAutomaton era(std::move(a));
   std::string e = "q";
   for (int i = 0; i < gap; ++i) e += " q";
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, e).ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, e).ok());
   return era;
 }
 

@@ -30,7 +30,8 @@ ExtendedAutomaton MakeGapConstraintEra(int gap) {
   std::string expr = "p1";
   for (int i = 0; i < gap; ++i) expr += " p2";
   expr += " p1";
-  Status s = era.AddConstraintFromText(0, 0, true, expr);
+  Status s = era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, true, expr);
   RAV_CHECK(s.ok());
   return era;
 }

@@ -15,8 +15,8 @@ namespace {
 RegisterAutomaton MakeDenseAutomaton(int s, int g) {
   RegisterAutomaton a(2, Schema());
   for (int i = 0; i < s; ++i) a.AddState("s" + std::to_string(i));
-  a.SetInitial(0);
-  a.SetFinal(0);
+  a.SetInitial(StateId(0));
+  a.SetFinal(StateId(0));
   std::vector<Type> guards;
   for (int i = 0; i < g; ++i) {
     TypeBuilder b = a.NewGuardBuilder();
@@ -32,7 +32,7 @@ RegisterAutomaton MakeDenseAutomaton(int s, int g) {
   }
   for (int i = 0; i < s; ++i) {
     for (int j = 0; j < g; ++j) {
-      a.AddTransition(i, guards[j], (i + 1 + j) % s);
+      a.AddTransition(StateId(i), guards[j], StateId((i + 1 + j) % s));
     }
   }
   return a;

@@ -32,7 +32,7 @@ void BM_EqualityCompletionsConstrained(benchmark::State& state) {
   // register k glued across the transition.
   const int k = static_cast<int>(state.range(0));
   TypeBuilder b(2 * k, 0);
-  b.AddEq(k - 1, 2 * k - 1);
+  b.AddEq(ElementIndex(k - 1), ElementIndex(2 * k - 1));
   Type t = b.Build().value();
   size_t count = 0;
   for (auto _ : state) {

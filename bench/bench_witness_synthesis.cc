@@ -48,7 +48,8 @@ void BM_ClosureAndColoring(benchmark::State& state) {
   b.AddAtom(p, {b.X(0)}, true).AddAtom(p, {b.Y(0)}, true);
   a.AddTransition(q, b.Build().value(), q);
   ExtendedAutomaton era(MakeStateDriven(a));
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, ". .+").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, ". .+").ok());
   ControlAlphabet alphabet(era.automaton());
   LassoWord lasso{{}, {0}};
   int classes = 0, adom = 0, colors = 0, clique = 0;

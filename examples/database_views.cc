@@ -86,8 +86,8 @@ int main() {
 
   // --- The constraints at work ---
   const RegisterAutomaton& b = enhanced->automaton();
-  StateId bp = -1, bq = -1;
-  for (StateId st = 0; st < b.num_states(); ++st) {
+  StateId bp, bq;
+  for (StateId st : b.States()) {
     if (b.state_name(st)[0] == 'p') bp = st;
     if (b.state_name(st)[0] == 'q') bq = st;
   }

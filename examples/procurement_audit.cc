@@ -69,8 +69,9 @@ int main() {
 
   // --- Global constraint: purchase-order ids are globally fresh ---
   ExtendedAutomaton era(*workflow);
-  RAV_CHECK(era.AddConstraintFromText(attr_po, attr_po, false,
-                                      "requested . * requested")
+  RAV_CHECK(era.AddConstraintFromText(
+                   RegisterPair{RegisterId(attr_po), RegisterId(attr_po)},
+                   false, "requested . * requested")
                 .ok());
   std::mt19937 rng(17);
   auto run = SampleEraRun(era, db, 7, rng);

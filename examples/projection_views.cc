@@ -62,8 +62,8 @@ int main() {
     const RegisterAutomaton& b = view->automaton();
     // Find a q1-state and a q2-state of the projected automaton by the
     // names inherited from the state-driven construction.
-    StateId some_q1 = -1, some_q2 = -1;
-    for (StateId s = 0; s < b.num_states(); ++s) {
+    StateId some_q1, some_q2;
+    for (StateId s : b.States()) {
       if (b.state_name(s).substr(0, 2) == "q1" && b.IsInitial(s)) {
         some_q1 = s;
       }
@@ -91,7 +91,8 @@ int main() {
   one.SetFinal(q);
   one.AddTransition(q, one.NewGuardBuilder().Build().value(), q);
   ExtendedAutomaton all_distinct(one);
-  Status s = all_distinct.AddConstraintFromText(0, 0, false, "q q+");
+  Status s = all_distinct.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, "q q+");
   if (!s.ok()) std::printf("constraint error: %s\n", s.ToString().c_str());
 
   ControlAlphabet alpha(all_distinct.automaton());
@@ -112,7 +113,8 @@ int main() {
   // --- Example 16: consecutive-distinct IS LR-bounded and realizable ---
   std::printf("\n== Example 16: consecutive-distinct ==\n");
   ExtendedAutomaton consecutive(one);
-  s = consecutive.AddConstraintFromText(0, 0, false, "q q");
+  s = consecutive.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, false, "q q");
   if (!s.ok()) std::printf("constraint error: %s\n", s.ToString().c_str());
   ControlAlphabet alpha2(consecutive.automaton());
   auto bound2 = EstimateLrBound(consecutive, alpha2);

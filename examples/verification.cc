@@ -92,7 +92,8 @@ int main() {
   // any two distinct created-positions.
   ExtendedAutomaton with_freshness(MakeOrderWorkflow());
   Status s = with_freshness.AddConstraintFromText(
-      0, 0, /*is_equality=*/false, "created . * created");
+      RegisterPair{RegisterId(0), RegisterId(0)}, /*is_equality=*/false,
+      "created . * created");
   RAV_CHECK(s.ok());
 
   // Property: order ids at consecutive created stages differ — via global
@@ -120,11 +121,12 @@ int main() {
     };
     check(with_freshness, "workflow + order freshness");
     ExtendedAutomaton contradictory(MakeOrderWorkflow());
+    const RegisterPair r00{RegisterId(0), RegisterId(0)};
     RAV_CHECK(contradictory
-                  .AddConstraintFromText(0, 0, false, "created . * created")
+                  .AddConstraintFromText(r00, false, "created . * created")
                   .ok());
     RAV_CHECK(contradictory
-                  .AddConstraintFromText(0, 0, true, "created . * created")
+                  .AddConstraintFromText(r00, true, "created . * created")
                   .ok());
     check(contradictory, "workflow + freshness + recurrence");
   }

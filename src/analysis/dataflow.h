@@ -1,0 +1,147 @@
+#ifndef RAV_ANALYSIS_DATAFLOW_H_
+#define RAV_ANALYSIS_DATAFLOW_H_
+
+// A small generic forward/backward worklist-fixpoint framework over the
+// control graph of a register automaton, plus the three flow-sensitive
+// analyses built on it (docs/linting.md):
+//
+//   RAV011  register liveness: a register written by some transition but
+//           dead (never read before being overwritten) along every path
+//           from that write to an accepting cycle.
+//   RAV012  statically-unsatisfiable guards: the guard conjoined with
+//           every frontier that can actually arrive at its source state
+//           (propagated transitively from the initial states through the
+//           compiled guard tables) is contradictory — strictly stronger
+//           than the local pairwise RAV003 checks.
+//   RAV013  reachability-refined Büchi-dead structure: transitions (and
+//           states) that survive the local RAV002 liveness pass but lose
+//           every path to an accepting cycle once the RAV012-unsatisfiable
+//           transitions are removed from the graph.
+//
+// The framework is deliberately tiny: facts live per state, a Problem
+// supplies the join-semilattice (BoundaryFact / Join / Transfer), and
+// RunFixpoint drives round-based sweeps in a fixed state order, so the
+// fixpoint — and therefore every diagnostic derived from it — is
+// deterministic. It is also the intended plug-in point for the ordered
+// guard theories of PAPERS.md (interval / extrema facts are just another
+// lattice).
+
+#include <vector>
+
+#include "base/strong_id.h"
+#include "era/extended_automaton.h"
+#include "ra/register_automaton.h"
+
+namespace rav::analysis {
+
+// The control graph of a register automaton, extracted once: per-state
+// incident transition-index lists in ascending transition order (the
+// iteration order every analysis below inherits).
+class ControlGraph {
+ public:
+  explicit ControlGraph(const RegisterAutomaton& a);
+
+  const RegisterAutomaton& automaton() const { return *a_; }
+  int num_states() const { return static_cast<int>(out_.size()); }
+  const std::vector<int>& OutTransitions(StateId q) const {
+    return out_[q.value()];
+  }
+  const std::vector<int>& InTransitions(StateId q) const {
+    return in_[q.value()];
+  }
+
+ private:
+  const RegisterAutomaton* a_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+};
+
+enum class FlowDirection { kForward, kBackward };
+
+// Drives `problem` to its least fixpoint over `graph` and returns the
+// per-state facts. The Problem concept:
+//
+//   using Fact = ...;                 // a join-semilattice element
+//   Fact BoundaryFact(StateId q);     // the initial fact at state q
+//   bool Join(Fact& into, const Fact& from);   // true iff `into` grew
+//   Fact Transfer(int transition_index, const Fact& source);
+//
+// Transfer moves a fact across one transition: from `t.from` for forward
+// problems, from `t.to` for backward ones. Join must be monotone and the
+// lattice of finite height, so the sweep terminates. Iteration is
+// round-based over states in ascending (forward) or descending (backward)
+// id order with edges in ascending transition order — a fixed, input-only
+// order, so the fixpoint is byte-for-byte deterministic. The number of
+// sweeps is written to *rounds when non-null (metrics).
+template <typename Problem>
+std::vector<typename Problem::Fact> RunFixpoint(const ControlGraph& graph,
+                                                FlowDirection direction,
+                                                Problem& problem,
+                                                int* rounds = nullptr) {
+  const RegisterAutomaton& a = graph.automaton();
+  const int n = graph.num_states();
+  std::vector<typename Problem::Fact> fact;
+  fact.reserve(n);
+  for (StateId q : a.States()) fact.push_back(problem.BoundaryFact(q));
+  int sweeps = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++sweeps;
+    for (int i = 0; i < n; ++i) {
+      const int qi = direction == FlowDirection::kForward ? i : n - 1 - i;
+      const auto& edges = direction == FlowDirection::kForward
+                              ? graph.InTransitions(StateId(qi))
+                              : graph.OutTransitions(StateId(qi));
+      for (int ti : edges) {
+        const RaTransition& t = a.transition(ti);
+        const StateId source =
+            direction == FlowDirection::kForward ? t.from : t.to;
+        typename Problem::Fact moved =
+            problem.Transfer(ti, fact[source.value()]);
+        if (problem.Join(fact[qi], moved)) changed = true;
+      }
+    }
+  }
+  if (rounds != nullptr) *rounds = sweeps;
+  return fact;
+}
+
+// The combined result of the three flow passes, computed by
+// RunFlowAnalyses below. All vectors are indexed by the obvious dense id
+// space; `state_live` refinement is in-place sound: refined_state_live
+// implies the input state_live.
+struct FlowAnalysisResult {
+  // RAV011: register r is flow-dead — some live transition writes it,
+  // some guard reads it globally (so RAV004 stays quiet), but no write's
+  // value is ever read before being overwritten. dead_writes[r] counts
+  // the writing transitions.
+  std::vector<bool> register_flow_dead;  // size k
+  std::vector<int> dead_writes;          // size k
+  // RAV012: transition ti can never fire — every frontier that reaches
+  // its source state (transitively from the initial states) contradicts
+  // its guard.
+  std::vector<bool> unsatisfiable;  // size num_transitions
+  // RAV013: the refined liveness once RAV012 transitions are removed.
+  // A transition with refined_transition_live[ti] == false (but fireable
+  // and live-endpointed on input) lost every path to an accepting cycle.
+  std::vector<bool> refined_state_live;       // size num_states
+  std::vector<bool> refined_transition_live;  // size num_transitions
+  // Fixpoint sweep counts (analysis/dataflow/* metrics).
+  int liveness_rounds = 0;
+  int fireability_rounds = 0;
+  int refine_rounds = 0;
+};
+
+// Runs the three analyses over the live part of `a` (`state_live` is the
+// RAV001/RAV002 liveness from the local passes). `constraints` may be
+// null (plain register automata); registers a global constraint mentions
+// are treated as read everywhere. Deterministic.
+FlowAnalysisResult RunFlowAnalyses(
+    const RegisterAutomaton& a,
+    const std::vector<GlobalConstraint>* constraints,
+    const std::vector<bool>& state_live);
+
+}  // namespace rav::analysis
+
+#endif  // RAV_ANALYSIS_DATAFLOW_H_

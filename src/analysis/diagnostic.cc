@@ -1,5 +1,9 @@
 #include "analysis/diagnostic.h"
 
+#include <algorithm>
+#include <map>
+#include <tuple>
+
 namespace rav::analysis {
 
 const char* SeverityName(Severity severity) {
@@ -30,6 +34,14 @@ std::string FormatDiagnostic(const Diagnostic& diagnostic,
   return out;
 }
 
+void SortDiagnostics(std::vector<Diagnostic>& diagnostics) {
+  std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.loc.line, a.loc.column, a.code) <
+                            std::tie(b.loc.line, b.loc.column, b.code);
+                   });
+}
+
 Severity MaxSeverity(const std::vector<Diagnostic>& diagnostics) {
   Severity max = Severity::kNote;
   for (const Diagnostic& d : diagnostics) {
@@ -53,6 +65,108 @@ Json DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
     rows.Append(std::move(row));
   }
   doc.Set("diagnostics", std::move(rows));
+  return doc;
+}
+
+namespace {
+
+// One-line rule descriptions for the SARIF reportingDescriptor table —
+// the stable catalog of docs/linting.md.
+const char* RuleDescription(const std::string& code) {
+  if (code == "RAV001") return "state unreachable from the initial states";
+  if (code == "RAV002") return "state cannot reach an accepting cycle";
+  if (code == "RAV003") return "transition can never fire on an accepting run";
+  if (code == "RAV004") return "dead register";
+  if (code == "RAV005") return "vacuous global constraint";
+  if (code == "RAV006") return "contradictory global constraint";
+  if (code == "RAV007") return "duplicate or subsumed transition";
+  if (code == "RAV008") return "guard atom violates the schema";
+  if (code == "RAV009") return "no initial state";
+  if (code == "RAV010") return "no final state";
+  if (code == "RAV011") return "register is flow-dead (writes never read)";
+  if (code == "RAV012") return "statically-unsatisfiable guard";
+  if (code == "RAV013") return "flow-refined Büchi-dead structure";
+  return "rav lint finding";
+}
+
+// SARIF maps our severities onto its result level enum directly.
+const char* SarifLevel(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "none";
+}
+
+}  // namespace
+
+Json DiagnosticsToSarif(
+    const std::vector<std::pair<std::string, std::vector<Diagnostic>>>&
+        files) {
+  // Rules table: every distinct code present, in sorted order so the
+  // log is deterministic across input orderings.
+  std::map<std::string, int> rule_index;
+  for (const auto& [file, diagnostics] : files) {
+    for (const Diagnostic& d : diagnostics) rule_index.emplace(d.code, 0);
+  }
+  int next = 0;
+  for (auto& [code, index] : rule_index) index = next++;
+  Json rules = Json::Array();
+  for (const auto& [code, index] : rule_index) {
+    Json rule = Json::Object();
+    rule.Set("id", Json::String(code));
+    Json desc = Json::Object();
+    desc.Set("text", Json::String(RuleDescription(code)));
+    rule.Set("shortDescription", std::move(desc));
+    rules.Append(std::move(rule));
+  }
+  Json results = Json::Array();
+  for (const auto& [file, diagnostics] : files) {
+    for (const Diagnostic& d : diagnostics) {
+      Json result = Json::Object();
+      result.Set("ruleId", Json::String(d.code));
+      result.Set("ruleIndex", Json::Number(rule_index[d.code]));
+      result.Set("level", Json::String(SarifLevel(d.severity)));
+      Json message = Json::Object();
+      message.Set("text", Json::String(d.message));
+      result.Set("message", std::move(message));
+      Json artifact = Json::Object();
+      artifact.Set("uri", Json::String(file));
+      Json physical = Json::Object();
+      physical.Set("artifactLocation", std::move(artifact));
+      if (d.loc.valid()) {
+        Json region = Json::Object();
+        region.Set("startLine", Json::Number(d.loc.line));
+        region.Set("startColumn", Json::Number(d.loc.column));
+        physical.Set("region", std::move(region));
+      }
+      Json location = Json::Object();
+      location.Set("physicalLocation", std::move(physical));
+      Json locations = Json::Array();
+      locations.Append(std::move(location));
+      result.Set("locations", std::move(locations));
+      results.Append(std::move(result));
+    }
+  }
+  Json driver = Json::Object();
+  driver.Set("name", Json::String("rav lint"));
+  driver.Set("rules", std::move(rules));
+  Json tool = Json::Object();
+  tool.Set("driver", std::move(driver));
+  Json run = Json::Object();
+  run.Set("tool", std::move(tool));
+  run.Set("results", std::move(results));
+  Json runs = Json::Array();
+  runs.Append(std::move(run));
+  Json doc = Json::Object();
+  doc.Set("$schema",
+          Json::String("https://json.schemastore.org/sarif-2.1.0.json"));
+  doc.Set("version", Json::String("2.1.0"));
+  doc.Set("runs", std::move(runs));
   return doc;
 }
 

@@ -2,6 +2,7 @@
 #define RAV_ANALYSIS_DIAGNOSTIC_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/report.h"
@@ -20,11 +21,18 @@ const char* SeverityName(Severity severity);
 // One lint finding. `code` is stable across releases (docs/linting.md
 // catalogs every code); messages are human-oriented and may change.
 struct Diagnostic {
-  std::string code;  // "RAV001" ... "RAV010"
+  std::string code;  // "RAV001" ... "RAV013"
   Severity severity = Severity::kWarning;
   std::string message;
   SourceLocation loc;  // invalid for automaton-level findings
 };
+
+// Stable-sorts by (line, column, code): the output contract of every
+// lint entry point. Automaton-level findings (line 0) sort first; ties
+// keep emission (pass) order, so equal inputs render byte-identically
+// no matter which pass produced a finding or on how many threads the
+// caller fanned out.
+void SortDiagnostics(std::vector<Diagnostic>& diagnostics);
 
 // "file:3:7: warning: RAV001: ..." — the file and location prefixes are
 // omitted when `file` is empty / the location is invalid.
@@ -39,6 +47,15 @@ Severity MaxSeverity(const std::vector<Diagnostic>& diagnostics);
 // column are 0 for automaton-level findings.
 Json DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics,
                        const std::string& file);
+
+// A SARIF 2.1.0 log (one run, driver "rav lint") over per-file
+// diagnostic lists — the interchange format CI annotators ingest
+// (docs/linting.md). Each distinct code becomes a reportingDescriptor
+// rule; severities map kError → "error", kWarning → "warning", kNote →
+// "note". Automaton-level findings carry no region.
+Json DiagnosticsToSarif(
+    const std::vector<std::pair<std::string, std::vector<Diagnostic>>>&
+        files);
 
 }  // namespace rav::analysis
 

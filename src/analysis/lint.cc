@@ -1,10 +1,13 @@
 #include "analysis/lint.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <queue>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/dataflow.h"
 #include "base/logging.h"
 #include "base/metrics.h"
 #include "compile/guard_tables.h"
@@ -58,20 +61,21 @@ std::string ConstraintLabel(const GlobalConstraint& c, int index) {
 std::string RegisterLabel(int reg) { return "register r" + std::to_string(reg + 1); }
 
 // Forward reachability from the initial states over the control graph.
-std::vector<bool> ReachableStates(const RegisterAutomaton& a,
-                                  const std::vector<std::vector<int>>& succ) {
+std::vector<bool> ReachableStates(
+    const RegisterAutomaton& a,
+    const std::vector<std::vector<StateId>>& succ) {
   std::vector<bool> reachable(a.num_states(), false);
   std::queue<StateId> frontier;
   for (StateId q : a.InitialStates()) {
-    reachable[q] = true;
+    reachable[q.value()] = true;
     frontier.push(q);
   }
   while (!frontier.empty()) {
     StateId q = frontier.front();
     frontier.pop();
-    for (StateId q2 : succ[q]) {
-      if (!reachable[q2]) {
-        reachable[q2] = true;
+    for (StateId q2 : succ[q.value()]) {
+      if (!reachable[q2.value()]) {
+        reachable[q2.value()] = true;
         frontier.push(q2);
       }
     }
@@ -81,49 +85,49 @@ std::vector<bool> ReachableStates(const RegisterAutomaton& a,
 
 // States whose forward cone contains a final state lying on a cycle —
 // the states an accepting infinite run can still pass through.
-std::vector<bool> BuchiCoaccepting(const RegisterAutomaton& a,
-                                   const std::vector<std::vector<int>>& succ,
-                                   const std::vector<std::vector<int>>& pred) {
+std::vector<bool> BuchiCoaccepting(
+    const RegisterAutomaton& a, const std::vector<std::vector<StateId>>& succ,
+    const std::vector<std::vector<StateId>>& pred) {
   const int n = a.num_states();
   std::vector<bool> cycle_final(n, false);
   std::vector<bool> seen(n, false);
-  for (StateId f = 0; f < n; ++f) {
+  for (StateId f : a.States()) {
     if (!a.IsFinal(f)) continue;
     // Is f reachable from one of its successors?
     std::fill(seen.begin(), seen.end(), false);
     std::queue<StateId> frontier;
-    for (StateId q : succ[f]) {
-      if (!seen[q]) {
-        seen[q] = true;
+    for (StateId q : succ[f.value()]) {
+      if (!seen[q.value()]) {
+        seen[q.value()] = true;
         frontier.push(q);
       }
     }
-    while (!frontier.empty() && !seen[f]) {
+    while (!frontier.empty() && !seen[f.value()]) {
       StateId q = frontier.front();
       frontier.pop();
-      for (StateId q2 : succ[q]) {
-        if (!seen[q2]) {
-          seen[q2] = true;
+      for (StateId q2 : succ[q.value()]) {
+        if (!seen[q2.value()]) {
+          seen[q2.value()] = true;
           frontier.push(q2);
         }
       }
     }
-    cycle_final[f] = seen[f];
+    cycle_final[f.value()] = seen[f.value()];
   }
   std::vector<bool> coaccepting(n, false);
   std::queue<StateId> frontier;
-  for (StateId f = 0; f < n; ++f) {
-    if (cycle_final[f]) {
-      coaccepting[f] = true;
+  for (StateId f : a.States()) {
+    if (cycle_final[f.value()]) {
+      coaccepting[f.value()] = true;
       frontier.push(f);
     }
   }
   while (!frontier.empty()) {
     StateId q = frontier.front();
     frontier.pop();
-    for (StateId q2 : pred[q]) {
-      if (!coaccepting[q2]) {
-        coaccepting[q2] = true;
+    for (StateId q2 : pred[q.value()]) {
+      if (!coaccepting[q2.value()]) {
+        coaccepting[q2.value()] = true;
         frontier.push(q2);
       }
     }
@@ -136,7 +140,8 @@ std::vector<bool> BuchiCoaccepting(const RegisterAutomaton& a,
 // plain edge relation over-approximate run factors, so a negative answer
 // proves the constraint vacuous (RAV005) while a positive one proves
 // nothing — exactly the sound direction.
-bool MatchRealizable(const Dfa& dfa, const std::vector<std::vector<int>>& succ,
+bool MatchRealizable(const Dfa& dfa,
+                     const std::vector<std::vector<StateId>>& succ,
                      const std::vector<bool>& live) {
   const int num_control = static_cast<int>(live.size());
   if (num_control == 0) return false;
@@ -159,9 +164,9 @@ bool MatchRealizable(const Dfa& dfa, const std::vector<std::vector<int>>& succ,
     frontier.pop();
     const int d = node / num_control;
     const int q = node % num_control;
-    for (int q2 : succ[q]) {
-      if (live[q2]) {
-        visit(dfa.Next(d, q2), q2);
+    for (StateId q2 : succ[q]) {
+      if (live[q2.value()]) {
+        visit(dfa.Next(d, q2.value()), q2.value());
         if (accepted) break;
       }
     }
@@ -224,8 +229,8 @@ void CheckRegisters(const RegisterAutomaton& a,
   std::vector<bool> in_constraint(k, false);
   if (constraints != nullptr) {
     for (const GlobalConstraint& c : *constraints) {
-      in_constraint[c.i] = true;
-      in_constraint[c.j] = true;
+      in_constraint[c.i.value()] = true;
+      in_constraint[c.j.value()] = true;
     }
   }
   for (int r = 0; r < k; ++r) {
@@ -263,7 +268,7 @@ void CheckTransitions(const RegisterAutomaton& a, Analysis& analysis) {
   for (int ti = 0; ti < num_transitions; ++ti) {
     transition_guards.push_back(&a.transition(ti).guard);
   }
-  std::vector<int> guard_id;
+  std::vector<GuardId> guard_id;
   const compile::GuardTableSet tables = compile::GuardTableSet::Build(
       transition_guards, k, a.schema().num_constants(), &guard_id);
   const int num_guards = tables.num_guards();
@@ -272,17 +277,17 @@ void CheckTransitions(const RegisterAutomaton& a, Analysis& analysis) {
   std::vector<std::vector<int>> in_live(n);
   for (int ti = 0; ti < num_transitions; ++ti) {
     const RaTransition& t = a.transition(ti);
-    if (analysis.live[t.from] && analysis.live[t.to]) {
-      out_live[t.from].push_back(ti);
-      in_live[t.to].push_back(ti);
+    if (analysis.live[t.from.value()] && analysis.live[t.to.value()]) {
+      out_live[t.from.value()].push_back(ti);
+      in_live[t.to.value()].push_back(ti);
     }
   }
   std::vector<int8_t> compat_memo(
       static_cast<size_t>(num_guards) * num_guards, -1);
   auto compatible = [&](int before, int after) {
     int8_t& memo =
-        compat_memo[static_cast<size_t>(guard_id[before]) * num_guards +
-                    guard_id[after]];
+        compat_memo[static_cast<size_t>(guard_id[before].value()) * num_guards +
+                    guard_id[after].value()];
     if (memo < 0) {
       memo = tables.y_restricted_as_x(guard_id[before])
                      .Conjoin(tables.x_restricted(guard_id[after]))
@@ -294,7 +299,7 @@ void CheckTransitions(const RegisterAutomaton& a, Analysis& analysis) {
   };
   std::vector<int8_t> completion_memo(num_guards, -1);
   auto has_completion = [&](int ti) {
-    int8_t& memo = completion_memo[guard_id[ti]];
+    int8_t& memo = completion_memo[guard_id[ti].value()];
     if (memo < 0) {
       memo = EnumerateEqualityCompletions(a.transition(ti).guard,
                                           [](const Type&) { return false; }) >
@@ -309,9 +314,11 @@ void CheckTransitions(const RegisterAutomaton& a, Analysis& analysis) {
   // with every neighbour (or its guard admits no complete extension).
   for (int ti = 0; ti < num_transitions; ++ti) {
     const RaTransition& t = a.transition(ti);
-    if (!analysis.live[t.from] || !analysis.live[t.to]) continue;
+    if (!analysis.live[t.from.value()] || !analysis.live[t.to.value()]) {
+      continue;
+    }
     bool can_continue = false;
-    for (int tj : out_live[t.to]) {
+    for (int tj : out_live[t.to.value()]) {
       if (compatible(ti, tj)) {
         can_continue = true;
         break;
@@ -319,7 +326,7 @@ void CheckTransitions(const RegisterAutomaton& a, Analysis& analysis) {
     }
     bool can_enter = a.IsInitial(t.from);
     if (!can_enter) {
-      for (int tj : in_live[t.from]) {
+      for (int tj : in_live[t.from.value()]) {
         if (compatible(tj, ti)) {
           can_enter = true;
           break;
@@ -353,7 +360,7 @@ void CheckTransitions(const RegisterAutomaton& a, Analysis& analysis) {
   // 0 = unrelated, 1 = second subsumed, 2 = first subsumed.
   std::vector<int8_t> subsume_memo(
       static_cast<size_t>(num_guards) * num_guards, -1);
-  for (StateId s = 0; s < n; ++s) {
+  for (StateId s : a.States()) {
     const std::vector<int>& out = a.TransitionsFrom(s);
     for (size_t bi = 0; bi < out.size(); ++bi) {
       const int tb = out[bi];
@@ -373,9 +380,10 @@ void CheckTransitions(const RegisterAutomaton& a, Analysis& analysis) {
           analysis.drop_transition[tb] = true;
           break;
         }
-        int8_t& sub = subsume_memo[static_cast<size_t>(guard_id[ta]) *
-                                       num_guards +
-                                   guard_id[tb]];
+        int8_t& sub =
+            subsume_memo[static_cast<size_t>(guard_id[ta].value()) *
+                             num_guards +
+                         guard_id[tb].value()];
         if (sub < 0) {
           auto conj = t.guard.Conjoin(b.guard);
           sub = 0;
@@ -405,22 +413,24 @@ void CheckTransitions(const RegisterAutomaton& a, Analysis& analysis) {
 
 void CheckConstraints(const RegisterAutomaton& a,
                       const std::vector<GlobalConstraint>& constraints,
-                      const std::vector<std::vector<int>>& succ,
+                      const std::vector<std::vector<StateId>>& succ,
                       Analysis& analysis) {
-  const int n = a.num_states();
   for (size_t ci = 0; ci < constraints.size(); ++ci) {
     const GlobalConstraint& c = constraints[ci];
     if (!c.is_equality && c.i == c.j) {
       // A single-position window forces d_n[i] ≠ d_n[i].
       bool contradictory = false;
-      for (int q = 0; q < n && !contradictory; ++q) {
-        if (analysis.live[q] && AcceptsSinglePosition(c.dfa, q)) {
+      for (StateId q : a.States()) {
+        if (contradictory) break;
+        if (analysis.live[q.value()] &&
+            AcceptsSinglePosition(c.dfa, q.value())) {
           Emit(analysis, "RAV006", Severity::kError, c.loc,
                ConstraintLabel(c, static_cast<int>(ci)) +
                    " is contradictory: it matches the single-position window "
                    "at state '" +
-                   a.state_name(q) + "', forcing d[" + std::to_string(c.i + 1) +
-                   "] ≠ d[" + std::to_string(c.i + 1) + "] at one position");
+                   a.state_name(q) + "', forcing d[" +
+                   std::to_string(c.i.value() + 1) + "] ≠ d[" +
+                   std::to_string(c.i.value() + 1) + "] at one position");
           contradictory = true;
         }
       }
@@ -442,9 +452,69 @@ void CheckConstraints(const RegisterAutomaton& a,
   }
 }
 
+// The flow-sensitive passes (analysis/dataflow.h): RAV011 register
+// liveness, RAV012 whole-graph fireability, RAV013 refined Büchi
+// liveness. Runs after the local passes so drop_transition marks from
+// RAV003/RAV007 are already in place (a transition gets at most one
+// dropping diagnostic), and refines analysis.live in place so the
+// constraint pass and the strip both see the refined structure.
+void RunFlowPasses(const RegisterAutomaton& a,
+                   const std::vector<GlobalConstraint>* constraints,
+                   Analysis& analysis) {
+  if (a.num_transitions() > kMaxTransitionsForGuardPasses) {
+    RAV_METRIC_COUNT("analysis/dataflow/skipped", 1);
+    return;
+  }
+  const FlowAnalysisResult flow =
+      RunFlowAnalyses(a, constraints, analysis.live);
+  for (int r = 0; r < a.num_registers(); ++r) {
+    if (!flow.register_flow_dead[r]) continue;
+    // Advisory only: the writes constrain the data word, so removing
+    // them would change the language even though their values die.
+    Emit(analysis, "RAV011", Severity::kNote, SourceLocation{},
+         RegisterLabel(r) + " is flow-dead: every write (" +
+             std::to_string(flow.dead_writes[r]) +
+             " live writing transition(s)) is overwritten before any read "
+             "on every path to an accepting cycle");
+  }
+  for (int ti = 0; ti < a.num_transitions(); ++ti) {
+    const RaTransition& t = a.transition(ti);
+    if (!analysis.live[t.from.value()] || !analysis.live[t.to.value()] ||
+        analysis.drop_transition[ti]) {
+      continue;
+    }
+    if (flow.unsatisfiable[ti]) {
+      Emit(analysis, "RAV012", Severity::kWarning, a.transition_location(ti),
+           TransitionLabel(a, ti) +
+               " is statically unsatisfiable: every guard frontier that can "
+               "arrive at '" +
+               a.state_name(t.from) +
+               "' from the initial states contradicts its guard");
+      analysis.drop_transition[ti] = true;
+    } else if (!flow.refined_transition_live[ti]) {
+      Emit(analysis, "RAV013", Severity::kWarning, a.transition_location(ti),
+           TransitionLabel(a, ti) +
+               " is flow-dead: with unsatisfiable transitions removed it "
+               "lies on no path from an initial state to an accepting "
+               "cycle");
+      analysis.drop_transition[ti] = true;
+    }
+  }
+  for (StateId q : a.States()) {
+    if (analysis.live[q.value()] && !flow.refined_state_live[q.value()]) {
+      Emit(analysis, "RAV013", Severity::kWarning, a.state_location(q),
+           StateLabel(a, q) +
+               " is flow-dead: with unsatisfiable transitions removed it "
+               "lies on no path from an initial state to an accepting "
+               "cycle");
+      analysis.live[q.value()] = false;
+    }
+  }
+}
+
 Analysis Analyze(const RegisterAutomaton& a,
                  const std::vector<GlobalConstraint>* constraints,
-                 bool guard_passes = true,
+                 bool guard_passes = true, bool flow_passes = true,
                  const ExecutionGovernor* governor = nullptr) {
   Analysis analysis;
   const int n = a.num_states();
@@ -452,7 +522,7 @@ Analysis Analyze(const RegisterAutomaton& a,
   analysis.drop_transition.assign(a.num_transitions(), false);
   analysis.drop_constraint.assign(constraints ? constraints->size() : 0,
                                   false);
-  for (StateId q = 0; q < n; ++q) {
+  for (StateId q : a.States()) {
     analysis.has_initial = analysis.has_initial || a.IsInitial(q);
     analysis.has_final = analysis.has_final || a.IsFinal(q);
   }
@@ -471,21 +541,21 @@ Analysis Analyze(const RegisterAutomaton& a,
     if (guard_passes) CheckRegisters(a, constraints, analysis);
     return analysis;
   }
-  std::vector<std::vector<int>> succ(n);
-  std::vector<std::vector<int>> pred(n);
+  std::vector<std::vector<StateId>> succ(n);
+  std::vector<std::vector<StateId>> pred(n);
   for (int ti = 0; ti < a.num_transitions(); ++ti) {
     const RaTransition& t = a.transition(ti);
-    succ[t.from].push_back(t.to);
-    pred[t.to].push_back(t.from);
+    succ[t.from.value()].push_back(t.to);
+    pred[t.to.value()].push_back(t.from);
   }
   const std::vector<bool> reachable = ReachableStates(a, succ);
   const std::vector<bool> coaccepting = BuchiCoaccepting(a, succ, pred);
-  for (StateId q = 0; q < n; ++q) {
-    analysis.live[q] = reachable[q] && coaccepting[q];
-    if (!reachable[q]) {
+  for (StateId q : a.States()) {
+    analysis.live[q.value()] = reachable[q.value()] && coaccepting[q.value()];
+    if (!reachable[q.value()]) {
       Emit(analysis, "RAV001", Severity::kWarning, a.state_location(q),
            StateLabel(a, q) + " is unreachable from the initial states");
-    } else if (!coaccepting[q]) {
+    } else if (!coaccepting[q.value()]) {
       Emit(analysis, "RAV002", Severity::kWarning, a.state_location(q),
            StateLabel(a, q) +
                " cannot reach an accepting cycle: no run through it is "
@@ -502,6 +572,10 @@ Analysis Analyze(const RegisterAutomaton& a,
     CheckRegisters(a, constraints, analysis);
     analysis.tripped = GovernorCheck(governor) != GovernorTrip::kNone;
   }
+  if (!analysis.tripped && flow_passes) {
+    RunFlowPasses(a, constraints, analysis);
+    analysis.tripped = GovernorCheck(governor) != GovernorTrip::kNone;
+  }
   if (!analysis.tripped && constraints != nullptr) {
     CheckConstraints(a, *constraints, succ, analysis);
   }
@@ -511,21 +585,33 @@ Analysis Analyze(const RegisterAutomaton& a,
   return analysis;
 }
 
-void CountLint(const Analysis& analysis) {
+void CountLint(Analysis& analysis) {
   RAV_METRIC_COUNT("analysis/lint/calls", 1);
   RAV_METRIC_COUNT("analysis/lint/diagnostics", analysis.diagnostics.size());
+  // The output contract (lint.h): sorted by (line, column, code) at every
+  // public entry point, stably, so pass order never leaks into output.
+  SortDiagnostics(analysis.diagnostics);
+}
+
+// RAV_STRIP_FLOW=off (or =0) disables the flow passes inside
+// AnalyzeAndStrip — a fault-matrix switch (tools/run_ci.sh): turning it
+// off may only cost strip power, never change a decision verdict.
+bool StripFlowEnabled() {
+  const char* env = std::getenv("RAV_STRIP_FLOW");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0;
 }
 
 // Copies `dfa` (alphabet = old state set) onto the surviving state
 // alphabet. Removed symbols never occur on stripped control paths, so
 // dropping their columns preserves every matched factor.
-Dfa RemapConstraintDfa(const Dfa& dfa, const std::vector<int>& new_id,
+Dfa RemapConstraintDfa(const Dfa& dfa, const std::vector<StateId>& new_id,
                        int kept_states) {
   Dfa remapped(kept_states, dfa.num_states(), dfa.initial());
   for (int d = 0; d < dfa.num_states(); ++d) {
     for (int q = 0; q < static_cast<int>(new_id.size()); ++q) {
-      if (new_id[q] >= 0) {
-        remapped.SetTransition(d, new_id[q], dfa.Next(d, q));
+      if (new_id[q].valid()) {
+        remapped.SetTransition(d, new_id[q].value(), dfa.Next(d, q));
       }
     }
     remapped.SetAccepting(d, dfa.IsAccepting(d));
@@ -537,8 +623,8 @@ Dfa RemapConstraintDfa(const Dfa& dfa, const std::vector<int>& new_id,
 
 std::vector<Diagnostic> Lint(const RegisterAutomaton& automaton,
                              const ExecutionGovernor* governor) {
-  Analysis analysis =
-      Analyze(automaton, nullptr, /*guard_passes=*/true, governor);
+  Analysis analysis = Analyze(automaton, nullptr, /*guard_passes=*/true,
+                              /*flow_passes=*/true, governor);
   CountLint(analysis);
   return std::move(analysis.diagnostics);
 }
@@ -546,7 +632,8 @@ std::vector<Diagnostic> Lint(const RegisterAutomaton& automaton,
 std::vector<Diagnostic> Lint(const ExtendedAutomaton& era,
                              const ExecutionGovernor* governor) {
   Analysis analysis = Analyze(era.automaton(), &era.constraints(),
-                              /*guard_passes=*/true, governor);
+                              /*guard_passes=*/true,
+                              /*flow_passes=*/true, governor);
   CountLint(analysis);
   return std::move(analysis.diagnostics);
 }
@@ -555,7 +642,7 @@ std::vector<Diagnostic> Lint(const EnhancedAutomaton& enhanced,
                              const ExecutionGovernor* governor) {
   Analysis analysis =
       Analyze(enhanced.automaton(), &enhanced.equality_constraints(),
-              /*guard_passes=*/true, governor);
+              /*guard_passes=*/true, /*flow_passes=*/true, governor);
   for (size_t ci = 0; ci < enhanced.tuple_constraints().size(); ++ci) {
     const TupleInequalityConstraint& c = enhanced.tuple_constraints()[ci];
     if (c.pair_dfa.IsEmptyLanguage()) {
@@ -580,9 +667,12 @@ std::vector<Diagnostic> Lint(const EnhancedAutomaton& enhanced,
 StripResult AnalyzeAndStrip(const ExtendedAutomaton& era, StripEffort effort,
                             const ExecutionGovernor* governor) {
   const RegisterAutomaton& a = era.automaton();
-  Analysis analysis = Analyze(a, &era.constraints(),
-                              /*guard_passes=*/effort == StripEffort::kFull,
-                              governor);
+  const bool guard_passes = effort == StripEffort::kFull;
+  const bool flow_passes =
+      (effort == StripEffort::kFull || effort == StripEffort::kFlow) &&
+      StripFlowEnabled();
+  Analysis analysis =
+      Analyze(a, &era.constraints(), guard_passes, flow_passes, governor);
   CountLint(analysis);
   RAV_METRIC_COUNT("analysis/strip/calls", 1);
   StripResult out{std::nullopt, std::move(analysis.diagnostics), 0, 0, 0};
@@ -594,8 +684,8 @@ StripResult AnalyzeAndStrip(const ExtendedAutomaton& era, StripEffort effort,
 
   const int n = a.num_states();
   int kept_states = 0;
-  for (StateId q = 0; q < n; ++q) {
-    if (analysis.live[q]) ++kept_states;
+  for (StateId q : a.States()) {
+    if (analysis.live[q.value()]) ++kept_states;
   }
   // An empty live set means the language is empty; rebuilding a
   // zero-state automaton helps nobody, so leave the input untouched.
@@ -604,7 +694,7 @@ StripResult AnalyzeAndStrip(const ExtendedAutomaton& era, StripEffort effort,
   int dropped_transitions = 0;
   for (int ti = 0; ti < a.num_transitions(); ++ti) {
     const RaTransition& t = a.transition(ti);
-    if (!analysis.live[t.from] || !analysis.live[t.to] ||
+    if (!analysis.live[t.from.value()] || !analysis.live[t.to.value()] ||
         analysis.drop_transition[ti]) {
       ++dropped_transitions;
     }
@@ -618,22 +708,23 @@ StripResult AnalyzeAndStrip(const ExtendedAutomaton& era, StripEffort effort,
     return out;
   }
 
-  std::vector<int> new_id(n, -1);
+  std::vector<StateId> new_id(n);
   RegisterAutomaton stripped(a.num_registers(), a.schema());
-  for (StateId q = 0; q < n; ++q) {
-    if (!analysis.live[q]) continue;
-    new_id[q] = stripped.AddState(a.state_name(q));
-    stripped.SetInitial(new_id[q], a.IsInitial(q));
-    stripped.SetFinal(new_id[q], a.IsFinal(q));
-    stripped.SetStateLocation(new_id[q], a.state_location(q));
+  for (StateId q : a.States()) {
+    if (!analysis.live[q.value()]) continue;
+    new_id[q.value()] = stripped.AddState(a.state_name(q));
+    stripped.SetInitial(new_id[q.value()], a.IsInitial(q));
+    stripped.SetFinal(new_id[q.value()], a.IsFinal(q));
+    stripped.SetStateLocation(new_id[q.value()], a.state_location(q));
   }
   for (int ti = 0; ti < a.num_transitions(); ++ti) {
     const RaTransition& t = a.transition(ti);
-    if (new_id[t.from] < 0 || new_id[t.to] < 0 ||
+    if (!new_id[t.from.value()].valid() || !new_id[t.to.value()].valid() ||
         analysis.drop_transition[ti]) {
       continue;
     }
-    stripped.AddTransition(new_id[t.from], t.guard, new_id[t.to]);
+    stripped.AddTransition(new_id[t.from.value()], t.guard,
+                           new_id[t.to.value()]);
     stripped.SetTransitionLocation(stripped.num_transitions() - 1,
                                    a.transition_location(ti));
   }
@@ -643,8 +734,8 @@ StripResult AnalyzeAndStrip(const ExtendedAutomaton& era, StripEffort effort,
     const GlobalConstraint& c = era.constraints()[ci];
     Dfa dfa = kept_states == n ? c.dfa
                                : RemapConstraintDfa(c.dfa, new_id, kept_states);
-    Status added = result.AddConstraintDfa(c.i, c.j, c.is_equality,
-                                           std::move(dfa), c.description);
+    Status added = result.AddConstraintDfa(
+        RegisterPair{c.i, c.j}, c.is_equality, std::move(dfa), c.description);
     RAV_CHECK(added.ok());
     result.SetConstraintLocation(
         static_cast<int>(result.constraints().size()) - 1, c.loc);

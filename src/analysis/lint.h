@@ -32,11 +32,31 @@ namespace rav::analysis {
 //   RAV009  error    no initial state
 //   RAV010  warning  no final state
 //
-// Diagnostics are emitted in pass order (global, states, transitions,
-// registers, constraints), deterministically. A governor (nullptr =
-// unlimited) is polled at pass boundaries; a trip stops further passes
-// and returns the diagnostics found so far (a partial list, never a
-// wrong one).
+// Flow-sensitive codes, computed by the fixpoint framework in
+// analysis/dataflow.h over the whole control graph (not just adjacent
+// transition pairs):
+//
+//   RAV011  note     register liveness: every write to the register is
+//                    dead — overwritten before any read on every path —
+//                    yet some guard does read it (so RAV004 stays quiet).
+//                    Advisory only; never stripped (removing the write
+//                    constraints would change the language).
+//   RAV012  warning  statically-unsatisfiable guard: no frontier that can
+//                    actually arrive at the source state (propagated
+//                    transitively from the initial states) is compatible
+//                    with the guard. Strictly stronger than RAV003, which
+//                    only checks immediate neighbours.
+//   RAV013  warning  reachability-refined Büchi-dead structure: removing
+//                    the RAV012 transitions disconnects this transition
+//                    (or state) from every accepting cycle.
+//
+// Diagnostics are computed in pass order (global, states, transitions,
+// registers, constraints, flow) and then stably sorted by (line, column,
+// code) before being returned from every public entry point, so equal
+// inputs produce byte-identical output regardless of pass evolution or
+// caller threading. A governor (nullptr = unlimited) is polled at pass
+// boundaries; a trip stops further passes and returns the diagnostics
+// found so far (a partial list, never a wrong one).
 std::vector<Diagnostic> Lint(const RegisterAutomaton& automaton,
                              const ExecutionGovernor* governor = nullptr);
 std::vector<Diagnostic> Lint(const ExtendedAutomaton& era,
@@ -71,13 +91,26 @@ enum class StripEffort {
   // unstripped, so skipping them trades a per-call cost for nothing on
   // the verdict.
   kFast,
+  // kFast plus the flow passes of analysis/dataflow.h (RAV012/RAV013):
+  // whole-graph fireability through the compiled guard tables, then
+  // Büchi liveness refined to the fireable subgraph. Catches
+  // self-justifying dead loops the local kFull guard passes cannot,
+  // while skipping the quadratic local pairwise passes those run. The
+  // decision procedures run at this tier once the automaton clears
+  // their transition-count floor (min_flow_strip_transitions in the
+  // search options — the flat fixpoint cost is not worth paying on a
+  // tiny search). RAV_STRIP_FLOW=off (or =0)
+  // disables the flow passes in AnalyzeAndStrip at any tier — the
+  // verdict must not change, only the work to reach it.
+  kFlow,
 };
 
 // Removes structure that provably cannot take part in any accepting
 // infinite run: states that are unreachable or Büchi-dead (RAV001/002),
 // transitions that can never fire or exactly duplicate an earlier one
-// (RAV003 / RAV007-duplicate, kFull only), and vacuous constraints
-// (RAV005). Constraint DFAs are remapped onto the surviving state
+// (RAV003 / RAV007-duplicate, kFull only), flow-unsatisfiable and
+// flow-dead structure (RAV012/RAV013, kFlow and kFull), and vacuous
+// constraints (RAV005). Constraint DFAs are remapped onto the surviving state
 // alphabet, and state/transition names, flags, and source locations are
 // preserved. The accepted run set — and hence every decision-procedure
 // verdict — is unchanged. Degenerate automata (no initial or no final

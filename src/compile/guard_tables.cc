@@ -69,7 +69,7 @@ void LowerOps(const Type& t, std::vector<int>& rep, GuardOps& ops) {
 
 GuardTableSet GuardTableSet::Build(const std::vector<const Type*>& guards,
                                    int k, int num_constants,
-                                   std::vector<int>* id_of_input) {
+                                   std::vector<GuardId>* id_of_input) {
   GuardTableSet set;
   set.k_ = k;
   set.num_constants_ = num_constants;
@@ -108,7 +108,7 @@ GuardTableSet GuardTableSet::Build(const std::vector<const Type*>& guards,
       GuardOps& x_ops = set.x_ops_.emplace_back();
       LowerOps(set.x_restricted_[id], rep, x_ops);
     }
-    if (id_of_input != nullptr) id_of_input->push_back(id);
+    if (id_of_input != nullptr) id_of_input->push_back(GuardId(id));
   }
   for (int id = 0; id < set.num_guards(); ++id) {
     set.table_bytes_ += set.ops_[id].bytes() + set.x_ops_[id].bytes();
@@ -127,14 +127,14 @@ GuardTableSet GuardTableSet::Build(const std::vector<const Type*>& guards,
   return set;
 }
 
-bool GuardTableSet::Holds(int id, const DataValue* xy, const Database& db,
+bool GuardTableSet::Holds(GuardId id, const DataValue* xy, const Database& db,
                           GuardStats* stats) const {
   if (stats != nullptr) ++stats->evals;
   const int two_k = 2 * k_;
   auto value_of = [&](int e) -> DataValue {
     return e < two_k ? xy[e] : db.constant(e - two_k);
   };
-  const GuardOps& ops = ops_[id];
+  const GuardOps& ops = ops_[id.value()];
   // The union pairs are exactly "every element equals its class's first
   // element", so conjoining them decides the same forced equalities as
   // HoldsIn's first-seen walk; diseqs and atoms read the representatives.
@@ -144,9 +144,9 @@ bool GuardTableSet::Holds(int id, const DataValue* xy, const Database& db,
   for (const auto& [a, b] : ops.diseqs) {
     if (value_of(a) == value_of(b)) return false;
   }
-  if (!atoms_[id].empty()) {
+  if (!atoms_[id.value()].empty()) {
     ValueTuple args;
-    for (const GuardAtom& atom : atoms_[id]) {
+    for (const GuardAtom& atom : atoms_[id.value()]) {
       args.clear();
       args.reserve(atom.arg_elements.size());
       for (int e : atom.arg_elements) args.push_back(value_of(e));
@@ -156,7 +156,7 @@ bool GuardTableSet::Holds(int id, const DataValue* xy, const Database& db,
   return true;
 }
 
-void GuardTableSet::EvalBatch(int id, const DataValue* soa, size_t count,
+void GuardTableSet::EvalBatch(GuardId id, const DataValue* soa, size_t count,
                               const Database& db, unsigned char* ok,
                               GuardStats* stats) const {
   if (stats != nullptr) {
@@ -165,7 +165,7 @@ void GuardTableSet::EvalBatch(int id, const DataValue* soa, size_t count,
   }
   if (count == 0) return;
   const int two_k = 2 * k_;
-  const GuardOps& ops = ops_[id];
+  const GuardOps& ops = ops_[id.value()];
   auto row = [&](int e) { return soa + static_cast<size_t>(e) * count; };
   auto constant_of = [&](int e) { return db.constant(e - two_k); };
   // One pass over the batch per instruction. Register-register compares
@@ -206,14 +206,14 @@ void GuardTableSet::EvalBatch(int id, const DataValue* soa, size_t count,
       return;
     }
   }
-  if (atoms_[id].empty()) return;
+  if (atoms_[id.value()].empty()) return;
   // Relational atoms go through the database per surviving valuation —
   // they cannot be a flat compare, but the (in)equality instructions above
   // have already thinned the batch.
   ValueTuple args;
   for (size_t i = 0; i < count; ++i) {
     if (!ok[i]) continue;
-    for (const GuardAtom& atom : atoms_[id]) {
+    for (const GuardAtom& atom : atoms_[id.value()]) {
       args.clear();
       args.reserve(atom.arg_elements.size());
       for (int e : atom.arg_elements) {

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/strong_id.h"
 #include "base/value.h"
 #include "relational/database.h"
 #include "types/type.h"
@@ -96,22 +97,32 @@ class GuardTableSet {
   // one dense guard id per input position.
   static GuardTableSet Build(const std::vector<const Type*>& guards, int k,
                              int num_constants,
-                             std::vector<int>* id_of_input = nullptr);
+                             std::vector<GuardId>* id_of_input = nullptr);
 
   int num_guards() const { return static_cast<int>(guards_.size()); }
+  // The dense guard id space, iterable.
+  IdRange<GuardId> GuardIds() const { return IdRange<GuardId>(num_guards()); }
   int num_registers() const { return k_; }
   int num_constants() const { return num_constants_; }
 
-  const Type& guard(int id) const { return guards_[id]; }
+  const Type& guard(GuardId id) const { return guards_[id.value()]; }
   // RestrictToX(guard, k) / RestrictToYAsX(guard, k), precomputed.
-  const Type& x_restricted(int id) const { return x_restricted_[id]; }
-  const Type& y_restricted_as_x(int id) const { return y_restricted_[id]; }
+  const Type& x_restricted(GuardId id) const {
+    return x_restricted_[id.value()];
+  }
+  const Type& y_restricted_as_x(GuardId id) const {
+    return y_restricted_[id.value()];
+  }
 
   // Closure ops of the full 2k-variable guard (elements 0..2k-1 then
   // constants) and of its x̄ restriction (elements 0..k-1 then constants).
-  const GuardOps& closure_ops(int id) const { return ops_[id]; }
-  const GuardOps& x_closure_ops(int id) const { return x_ops_[id]; }
-  const std::vector<GuardAtom>& atoms(int id) const { return atoms_[id]; }
+  const GuardOps& closure_ops(GuardId id) const { return ops_[id.value()]; }
+  const GuardOps& x_closure_ops(GuardId id) const {
+    return x_ops_[id.value()];
+  }
+  const std::vector<GuardAtom>& atoms(GuardId id) const {
+    return atoms_[id.value()];
+  }
 
   // Approximate heap bytes of every table in the set (governor-charged by
   // the consumers that report it).
@@ -120,7 +131,7 @@ class GuardTableSet {
   // Evaluates guard `id` on one x̄·ȳ valuation (2k values). Observationally
   // identical to guard(id).HoldsIn(db, xy) — the differential tests hold
   // the two to it — without the per-call class-vector allocations.
-  bool Holds(int id, const DataValue* xy, const Database& db,
+  bool Holds(GuardId id, const DataValue* xy, const Database& db,
              GuardStats* stats = nullptr) const;
 
   // Batched SoA evaluation: `soa` holds `count` valuations element-major
@@ -129,7 +140,7 @@ class GuardTableSet {
   // entries branch-free, atoms are checked per surviving valuation). One
   // pass per instruction over the whole batch — the inner loops
   // auto-vectorize over the register compares.
-  void EvalBatch(int id, const DataValue* soa, size_t count,
+  void EvalBatch(GuardId id, const DataValue* soa, size_t count,
                  const Database& db, unsigned char* ok,
                  GuardStats* stats = nullptr) const;
 
@@ -151,7 +162,7 @@ class GuardTableSet {
 // Type::HoldsIn. Both pointers must outlive the view's uses.
 struct TransitionGuardView {
   const GuardTableSet* tables = nullptr;
-  const int* guard_id_of_transition = nullptr;
+  const GuardId* guard_id_of_transition = nullptr;
 
   explicit operator bool() const { return tables != nullptr; }
 };

@@ -5,17 +5,19 @@
 
 namespace rav {
 
-Status EnhancedAutomaton::AddEqualityConstraint(int i, int j, Dfa dfa,
+Status EnhancedAutomaton::AddEqualityConstraint(RegisterPair regs, Dfa dfa,
                                                 std::string description) {
   const int k = automaton_.num_registers();
-  if (i < 0 || i >= k || j < 0 || j >= k) {
+  if (regs.i.value() < 0 || regs.i.value() >= k || regs.j.value() < 0 ||
+      regs.j.value() >= k) {
     return Status::InvalidArgument("equality constraint registers bad");
   }
   if (dfa.alphabet_size() != automaton_.num_states()) {
     return Status::InvalidArgument(
         "equality constraint DFA alphabet must be the state set");
   }
-  eq_constraints_.push_back(GlobalConstraint{i, j, /*is_equality=*/true,
+  eq_constraints_.push_back(GlobalConstraint{regs.i, regs.j,
+                                             /*is_equality=*/true,
                                              std::move(dfa),
                                              std::move(description),
                                              /*coreachable=*/{},
@@ -76,7 +78,8 @@ std::string EnhancedAutomaton::ToString() const {
   std::ostringstream out;
   out << automaton_.ToString();
   for (const GlobalConstraint& c : eq_constraints_) {
-    out << "  equality e=[" << (c.i + 1) << "," << (c.j + 1) << "] "
+    out << "  equality e=[" << (c.i.value() + 1) << "," << (c.j.value() + 1)
+        << "] "
         << c.description << "\n";
   }
   for (const TupleInequalityConstraint& c : tuple_constraints_) {
@@ -96,9 +99,9 @@ Status CheckEnhancedRunConstraints(const EnhancedAutomaton& enhanced,
     for (size_t n = 0; n < len; ++n) {
       int state = c.dfa.initial();
       for (size_t m = n; m < len; ++m) {
-        state = c.dfa.Next(state, run.states[m]);
+        state = c.dfa.Next(state, run.states[m].value());
         if (!c.dfa.IsAccepting(state)) continue;
-        if (run.values[n][c.i] != run.values[m][c.j]) {
+        if (run.values[n][c.i.value()] != run.values[m][c.j.value()]) {
           return Status::InvalidArgument(
               "equality constraint violated between positions " +
               std::to_string(n) + " and " + std::to_string(m));
@@ -123,7 +126,7 @@ Status CheckEnhancedRunConstraints(const EnhancedAutomaton& enhanced,
     for (size_t n = 0; n < len; ++n) {
       int state = c.pair_dfa.initial();
       for (size_t m = n; m < len; ++m) {
-        state = c.pair_dfa.Next(state, run.states[m]);
+        state = c.pair_dfa.Next(state, run.states[m].value());
         if (!c.pair_dfa.IsAccepting(state)) continue;
         if (!tuple_at(n, c.regs_a, c.offs_a, &ta)) continue;
         if (!tuple_at(m, c.regs_b, c.offs_b, &tb)) continue;
@@ -155,7 +158,7 @@ std::vector<DataValue> SelectedValues(const FinitenessConstraint& constraint,
   std::set<DataValue> values;
   int state = constraint.selector.initial();
   for (size_t h = 0; h < run.length(); ++h) {
-    state = constraint.selector.Next(state, run.states[h]);
+    state = constraint.selector.Next(state, run.states[h].value());
     if (constraint.selector.IsAccepting(state)) {
       values.insert(run.values[h][constraint.reg]);
     }

@@ -56,7 +56,7 @@ class EnhancedAutomaton {
 
   const RegisterAutomaton& automaton() const { return automaton_; }
 
-  Status AddEqualityConstraint(int i, int j, Dfa dfa,
+  Status AddEqualityConstraint(RegisterPair regs, Dfa dfa,
                                std::string description = "");
   Status AddTupleConstraint(TupleInequalityConstraint constraint);
   Status AddFinitenessConstraint(FinitenessConstraint constraint);

@@ -107,14 +107,14 @@ Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
   const Type trivial(2 * k, num_constants);
   std::vector<const Type*> guard_of(sd.num_states(), &trivial);
   for (int ti = 0; ti < sd.num_transitions(); ++ti) {
-    guard_of[sd.transition(ti).from] = &sd.transition(ti).guard;
+    guard_of[sd.transition(ti).from.value()] = &sd.transition(ti).guard;
   }
 
   // --- B's automaton: visible equality structure over an empty schema ---
   RegisterAutomaton b(m, Schema());
-  for (StateId s = 0; s < sd.num_states(); ++s) {
+  for (StateId s : sd.States()) {
     StateId id = b.AddState(sd.state_name(s));
-    RAV_CHECK_EQ(id, s);
+    RAV_CHECK_EQ(id.value(), s.value());
     b.SetInitial(s, sd.IsInitial(s));
     b.SetFinal(s, sd.IsFinal(s));
   }
@@ -128,11 +128,11 @@ Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
     for (size_t p = 0; p < visible.size(); ++p) {
       for (size_t q = p + 1; q < visible.size(); ++q) {
         if (t.guard.AreEqual(visible[p], visible[q])) {
-          builder.AddEq(visible_element(visible[p]),
-                        visible_element(visible[q]));
+          builder.AddEq(ElementIndex(visible_element(visible[p])),
+                        ElementIndex(visible_element(visible[q])));
         } else if (t.guard.AreDistinct(visible[p], visible[q])) {
-          builder.AddNeq(visible_element(visible[p]),
-                         visible_element(visible[q]));
+          builder.AddNeq(ElementIndex(visible_element(visible[p])),
+                         ElementIndex(visible_element(visible[q])));
         }
       }
     }
@@ -155,7 +155,7 @@ Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
       const Dfa& eq = propagation.EqualityDfa(i, j);
       if (!eq.IsEmptyLanguage()) {
         RAV_RETURN_IF_ERROR(enhanced.AddEqualityConstraint(
-            i, j, eq,
+            RegisterPair{RegisterId(i), RegisterId(j)}, eq,
             "thm24 e=[" + std::to_string(i + 1) + "," +
                 std::to_string(j + 1) + "]"));
         ++local_stats.num_equality_constraints;
@@ -187,9 +187,9 @@ Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
     RAV_RETURN_IF_ERROR(GovernorCheckStatus(
         options.governor, "ProjectWithHiddenDatabase: finiteness"));
     bool any = false;
-    for (StateId q = 0; q < num_states; ++q) {
-      any = any || InPositiveLiteral(*guard_of[q], i) ||
-            InPositiveLiteral(*guard_of[q], k + i);
+    for (StateId q : sd.States()) {
+      any = any || InPositiveLiteral(*guard_of[q.value()], i) ||
+            InPositiveLiteral(*guard_of[q.value()], k + i);
     }
     if (!any) continue;
     const int n = 1 + num_states + num_states * num_states;
@@ -234,21 +234,21 @@ Result<EnhancedAutomaton> ProjectWithHiddenDatabase(
     // Group states by guard identity.
     std::vector<const Type*> distinct_guards;
     std::vector<std::vector<bool>> guard_states;
-    for (StateId q = 0; q < num_states; ++q) {
+    for (StateId q : sd.States()) {
       if (sd.TransitionsFrom(q).empty()) continue;
       int found = -1;
       for (size_t g = 0; g < distinct_guards.size(); ++g) {
-        if (*distinct_guards[g] == *guard_of[q]) {
+        if (*distinct_guards[g] == *guard_of[q.value()]) {
           found = static_cast<int>(g);
           break;
         }
       }
       if (found < 0) {
         found = static_cast<int>(distinct_guards.size());
-        distinct_guards.push_back(guard_of[q]);
+        distinct_guards.push_back(guard_of[q.value()]);
         guard_states.emplace_back(num_states, false);
       }
-      guard_states[found][q] = true;
+      guard_states[found][q.value()] = true;
     }
     for (size_t g = 0; g < distinct_guards.size(); ++g) {
       for (const TypeAtom& atom : distinct_guards[g]->atoms()) {

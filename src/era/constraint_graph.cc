@@ -184,11 +184,11 @@ void ConstraintClosure::ReferenceApplyTypes(size_t from_pos,
     for (int i = 0; i < k_; ++i) nodes.push_back(NodeOf(n, i));
     for (int i = 0; i < k_; ++i) nodes.push_back(NodeOf(n + 1, i));
     for (int c = 0; c < num_constants_; ++c) nodes.push_back(ConstantNode(c));
-    ApplyOneType(alphabet_->guard_of(word_.SymbolAt(n)), nodes.data(),
+    ApplyOneType(alphabet_->guard_of(SymbolId(word_.SymbolAt(n))), nodes.data(),
                  scratch);
   }
-  Type last =
-      RestrictToX(alphabet_->guard_of(word_.SymbolAt(window_ - 1)), k_);
+  Type last = RestrictToX(
+      alphabet_->guard_of(SymbolId(word_.SymbolAt(window_ - 1))), k_);
   nodes.clear();
   for (int i = 0; i < k_; ++i) nodes.push_back(NodeOf(window_ - 1, i));
   for (int c = 0; c < num_constants_; ++c) nodes.push_back(ConstantNode(c));
@@ -211,8 +211,8 @@ void ConstraintClosure::ApplyTypes(size_t from_pos, ClosureScratch& scratch) {
       // One dense load per position; -1 marks a data-trivial guard whose
       // program is empty — the same skip the interpreted path's
       // kEmptyProgram marker takes.
-      const int gid = alphabet_->closure_program_of_symbol(sym);
-      if (gid < 0) continue;
+      const GuardId gid = alphabet_->closure_program_of_symbol(SymbolId(sym));
+      if (!gid.valid()) continue;
       const compile::GuardOps& ops = tables->closure_ops(gid);
       const int base = num_constants_ + static_cast<int>(n) * k_;
       const int two_k = 2 * k_;
@@ -225,9 +225,9 @@ void ConstraintClosure::ApplyTypes(size_t from_pos, ClosureScratch& scratch) {
     }
     // Last position: the precompiled x̄-restricted program over
     // (k registers at window_-1, constants).
-    const int last_gid =
-        alphabet_->x_closure_program_of_symbol(word_.SymbolAt(window_ - 1));
-    if (last_gid < 0) return;
+    const GuardId last_gid = alphabet_->x_closure_program_of_symbol(
+        SymbolId(word_.SymbolAt(window_ - 1)));
+    if (!last_gid.valid()) return;
     const compile::GuardOps& last_ops = tables->x_closure_ops(last_gid);
     const int base = num_constants_ + static_cast<int>(window_ - 1) * k_;
     auto node = [&](int e) { return e < k_ ? base + e : e - k_; };
@@ -262,7 +262,7 @@ void ConstraintClosure::ApplyTypes(size_t from_pos, ClosureScratch& scratch) {
       fresh.unions.clear();
       fresh.diseqs.clear();
       fresh.adom.clear();
-      CompileType(alphabet_->guard_of(sym), scratch, fresh);
+      CompileType(alphabet_->guard_of(SymbolId(sym)), scratch, fresh);
       if (fresh.unions.empty() && fresh.diseqs.empty() &&
           fresh.adom.empty()) {
         scratch.program_of_symbol_[sym] = kEmptyProgram;
@@ -284,7 +284,7 @@ void ConstraintClosure::ApplyTypes(size_t from_pos, ClosureScratch& scratch) {
   // The last position contributes only its x̄-part (precomputed per
   // symbol by the alphabet).
   const Type& last =
-      alphabet_->x_restricted_guard_of(word_.SymbolAt(window_ - 1));
+      alphabet_->x_restricted_guard_of(SymbolId(word_.SymbolAt(window_ - 1)));
   nodes.clear();
   for (int i = 0; i < k_; ++i) nodes.push_back(NodeOf(window_ - 1, i));
   for (int c = 0; c < num_constants_; ++c) nodes.push_back(ConstantNode(c));
@@ -301,7 +301,7 @@ void ConstraintClosure::SweepConstraints(size_t from_pos,
   qs.clear();
   SymbolCursor cursor(word_, from_pos);
   for (size_t m = from_pos; m < window_; ++m) {
-    qs.push_back(alphabet_->state_of(cursor.Next()));
+    qs.push_back(alphabet_->state_of(SymbolId(cursor.Next())).value());
   }
 
   int max_q = 0;
@@ -394,13 +394,15 @@ void ConstraintClosure::SweepConstraints(size_t from_pos,
       // group collapses to a single representative.
       for (int s : occ_nxt) {
         if (!accept[s]) continue;
-        const int b = NodeOf(m, c.j);
+        const int b = NodeOf(m, c.j.value());
         std::vector<int>& starts = to_side[s];
         if (c.is_equality) {
-          for (int n : starts) uf_.Union(NodeOf(n, c.i), b);
+          for (int n : starts) uf_.Union(NodeOf(n, c.i.value()), b);
           starts.resize(1);
         } else {
-          for (int n : starts) raw_ineq_.emplace_back(NodeOf(n, c.i), b);
+          for (int n : starts) {
+            raw_ineq_.emplace_back(NodeOf(n, c.i.value()), b);
+          }
         }
       }
       cur = nxt;
@@ -429,11 +431,11 @@ void ConstraintClosure::ReferenceSweep() {
     for (size_t n = 0; n < window_; ++n) {
       int dfa_state = c.dfa.initial();
       for (size_t m = n; m < window_; ++m) {
-        int q = alphabet_->state_of(word_.SymbolAt(m));
+        int q = alphabet_->state_of(SymbolId(word_.SymbolAt(m))).value();
         dfa_state = c.dfa.Next(dfa_state, q);
         if (!c.dfa.IsAccepting(dfa_state)) continue;
-        int a = NodeOf(n, c.i);
-        int b = NodeOf(m, c.j);
+        int a = NodeOf(n, c.i.value());
+        int b = NodeOf(m, c.j.value());
         if (c.is_equality) {
           uf_.Union(a, b);
         } else {

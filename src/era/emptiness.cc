@@ -29,18 +29,19 @@ Status RemapLassoWord(LassoWord& word,
                       const ControlAlphabet& original_alphabet) {
   auto remap = [&](std::vector<int>& symbols) -> Status {
     for (int& symbol : symbols) {
-      const StateId stripped_state = stripped_alphabet.state_of(symbol);
+      const StateId stripped_state =
+          stripped_alphabet.state_of(SymbolId(symbol));
       const StateId original_state = original_automaton.FindState(
           stripped_automaton.state_name(stripped_state));
-      if (original_state < 0) {
+      if (!original_state.valid()) {
         return Status::Internal("strip witness remap: state vanished");
       }
-      const int original_symbol = original_alphabet.SymbolOf(
-          original_state, stripped_alphabet.guard_of(symbol));
-      if (original_symbol < 0) {
+      const SymbolId original_symbol = original_alphabet.SymbolOf(
+          original_state, stripped_alphabet.guard_of(SymbolId(symbol)));
+      if (!original_symbol.valid()) {
         return Status::Internal("strip witness remap: symbol vanished");
       }
-      symbol = original_symbol;
+      symbol = original_symbol.value();
     }
     return Status::OK();
   };
@@ -128,11 +129,11 @@ Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
   };
 
   for (size_t n = 0; n + 1 < length; ++n) {
-    const Type& t = alphabet.guard_of(control_word.SymbolAt(n));
+    const Type& t = alphabet.guard_of(SymbolId(control_word.SymbolAt(n)));
     process_type(t, [&](int e) { return element_class(n, e); });
   }
-  const Type& last =
-      alphabet.x_restricted_guard_of(control_word.SymbolAt(length - 1));
+  const Type& last = alphabet.x_restricted_guard_of(
+      SymbolId(control_word.SymbolAt(length - 1)));
   process_type(last, [&](int e) { return last_element_class(e); });
 
   for (const PendingNegative& neg : negatives) {
@@ -148,7 +149,7 @@ Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
   run.values.resize(length);
   run.states.resize(length);
   for (size_t n = 0; n < length; ++n) {
-    run.states[n] = alphabet.state_of(control_word.SymbolAt(n));
+    run.states[n] = alphabet.state_of(SymbolId(control_word.SymbolAt(n)));
     run.values[n].resize(k);
     for (int i = 0; i < k; ++i) {
       run.values[n][i] =
@@ -157,7 +158,7 @@ Result<RunWitness> RealizeEraWitness(const ExtendedAutomaton& era,
   }
   for (size_t n = 0; n + 1 < length; ++n) {
     int found = -1;
-    const Type& guard = alphabet.guard_of(control_word.SymbolAt(n));
+    const Type& guard = alphabet.guard_of(SymbolId(control_word.SymbolAt(n)));
     for (int ti : automaton.TransitionsFrom(run.states[n])) {
       const RaTransition& t = automaton.transition(ti);
       if (t.to == run.states[n + 1] && t.guard == guard) {
@@ -190,8 +191,12 @@ Result<EraEmptinessResult> CheckEraEmptiness(
   }
   RAV_TRACE_SPAN("era/emptiness");
   if (options.analyze_and_strip) {
-    analysis::StripResult stripped = analysis::AnalyzeAndStrip(
-        era, analysis::StripEffort::kFast, options.governor);
+    const analysis::StripEffort effort =
+        era.automaton().num_transitions() >= options.min_flow_strip_transitions
+            ? analysis::StripEffort::kFlow
+            : analysis::StripEffort::kFast;
+    analysis::StripResult stripped =
+        analysis::AnalyzeAndStrip(era, effort, options.governor);
     if (stripped.changed()) {
       RAV_METRIC_COUNT("era/emptiness/strips", 1);
       ControlAlphabet stripped_alphabet(stripped.era->automaton());

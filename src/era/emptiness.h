@@ -42,6 +42,14 @@ struct EraEmptinessOptions {
   // witness are unchanged — the witness is remapped back to the caller's
   // alphabet). Metrics appear under analysis/*.
   bool analyze_and_strip = true;
+  // The strip runs at StripEffort::kFlow — whole-graph fireability plus
+  // refined Büchi liveness — only when the automaton has at least this
+  // many transitions; below, it runs at kFast. The flow fixpoint costs
+  // microseconds flat, which a small search cannot recoup (EXPERIMENTS.md
+  // E24 puts breakeven near a hundred transitions). 0 forces kFlow
+  // everywhere (the differential tests do, to exercise the flow strip on
+  // small seeded automata).
+  int min_flow_strip_transitions = 64;
   // Resource governor (nullptr = unlimited): polled by the lasso engine
   // at every safe point, charged the approximate bytes of each closure a
   // candidate builds, and forwarded into the strip pre-pass. A trip turns

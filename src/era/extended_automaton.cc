@@ -4,25 +4,27 @@
 
 namespace rav {
 
-Status ExtendedAutomaton::AddConstraint(int i, int j, bool is_equality,
+Status ExtendedAutomaton::AddConstraint(RegisterPair regs, bool is_equality,
                                         const Regex& regex,
                                         std::string description) {
-  return AddConstraintDfa(i, j, is_equality,
+  return AddConstraintDfa(regs, is_equality,
                           regex.ToDfa(automaton_.num_states()),
                           std::move(description));
 }
 
-Status ExtendedAutomaton::AddConstraintDfa(int i, int j, bool is_equality,
+Status ExtendedAutomaton::AddConstraintDfa(RegisterPair regs, bool is_equality,
                                            Dfa dfa, std::string description) {
   const int k = automaton_.num_registers();
-  if (i < 0 || i >= k || j < 0 || j >= k) {
+  if (regs.i.value() < 0 || regs.i.value() >= k || regs.j.value() < 0 ||
+      regs.j.value() >= k) {
     return Status::InvalidArgument("constraint registers out of range");
   }
   if (dfa.alphabet_size() != automaton_.num_states()) {
     return Status::InvalidArgument(
         "constraint DFA alphabet must be the automaton's state set");
   }
-  constraints_.push_back(GlobalConstraint{i, j, is_equality, std::move(dfa),
+  constraints_.push_back(GlobalConstraint{regs.i, regs.j, is_equality,
+                                          std::move(dfa),
                                           std::move(description),
                                           /*coreachable=*/{},
                                           /*loc=*/{}});
@@ -36,14 +38,14 @@ void ExtendedAutomaton::SetConstraintLocation(int index, SourceLocation loc) {
   constraints_[index].loc = loc;
 }
 
-Status ExtendedAutomaton::AddConstraintFromText(int i, int j, bool is_equality,
-                                                const std::string& regex_text) {
+Status ExtendedAutomaton::AddConstraintFromText(
+    RegisterPair regs, bool is_equality, const std::string& regex_text) {
   auto resolve = [this](const std::string& name) {
-    return automaton_.FindState(name);
+    return automaton_.FindState(name).value();
   };
   auto regex = Regex::Parse(regex_text, resolve);
   if (!regex.ok()) return regex.status();
-  return AddConstraint(i, j, is_equality, regex.value(), regex_text);
+  return AddConstraint(regs, is_equality, regex.value(), regex_text);
 }
 
 int ExtendedAutomaton::MaxConstraintDfaStates() const {
@@ -58,8 +60,8 @@ std::string ExtendedAutomaton::ToString() const {
   std::ostringstream out;
   out << automaton_.ToString();
   for (const GlobalConstraint& c : constraints_) {
-    out << "  constraint e" << (c.is_equality ? "=" : "≠") << "[" << (c.i + 1)
-        << "," << (c.j + 1) << "]";
+    out << "  constraint e" << (c.is_equality ? "=" : "≠") << "["
+        << (c.i.value() + 1) << "," << (c.j.value() + 1) << "]";
     if (!c.description.empty()) out << " : " << c.description;
     out << " (dfa " << c.dfa.num_states() << " states)\n";
   }

@@ -12,14 +12,23 @@
 
 namespace rav {
 
+// The ordered register pair (i, j) of a global constraint e∘ᵢⱼ: i is
+// read at the matched window's first position, j at its last. One struct
+// instead of two adjacent RegisterId parameters, so call sites name the
+// direction (and the swappable-parameters tidy gate stays clean).
+struct RegisterPair {
+  RegisterId i;  // source register, read at the window start
+  RegisterId j;  // target register, read at the window end
+};
+
 // One global constraint of an extended automaton (Section 3): a regular
 // expression over the states Q together with a pair of registers and a
 // polarity. A run (d_n, q_n, δ_n) satisfies e=ᵢⱼ if for all n ≤ m with
 // q_n ... q_m ∈ L(e), d_n[i] = d_m[j]; the inequality form e≠ᵢⱼ requires
 // d_n[i] ≠ d_m[j] instead.
 struct GlobalConstraint {
-  int i = 0;               // source register (0-based)
-  int j = 0;               // target register (0-based)
+  RegisterId i;            // source register (0-based)
+  RegisterId j;            // target register (0-based)
   bool is_equality = true; // e= vs e≠
   Dfa dfa;                 // compiled over the state alphabet Q
   std::string description; // original regex text, for display
@@ -56,14 +65,14 @@ class ExtendedAutomaton {
 
   // Adds a constraint given as a compiled regex over the automaton's
   // states (alphabet = num_states).
-  Status AddConstraint(int i, int j, bool is_equality, const Regex& regex,
+  Status AddConstraint(RegisterPair regs, bool is_equality, const Regex& regex,
                        std::string description = "");
   // Adds a pre-compiled constraint; dfa alphabet must equal num_states.
-  Status AddConstraintDfa(int i, int j, bool is_equality, Dfa dfa,
+  Status AddConstraintDfa(RegisterPair regs, bool is_equality, Dfa dfa,
                           std::string description = "");
 
   // Parses `regex_text` with state names as symbols (see Regex syntax).
-  Status AddConstraintFromText(int i, int j, bool is_equality,
+  Status AddConstraintFromText(RegisterPair regs, bool is_equality,
                                const std::string& regex_text);
 
   // Records the spec-file position of constraint `index` (io/text_format).

@@ -36,8 +36,8 @@ Status AddFormulaAsLiterals(TypeBuilder& builder, const Formula& formula,
       }
       return Status::OK();
     case Formula::Op::kEq: {
-      int a = element_of(formula.lhs());
-      int b = element_of(formula.rhs());
+      ElementIndex a(element_of(formula.lhs()));
+      ElementIndex b(element_of(formula.rhs()));
       if (positive) {
         builder.AddEq(a, b);
       } else {
@@ -46,8 +46,10 @@ Status AddFormulaAsLiterals(TypeBuilder& builder, const Formula& formula,
       return Status::OK();
     }
     case Formula::Op::kRel: {
-      std::vector<int> elements;
-      for (const Term& t : formula.args()) elements.push_back(element_of(t));
+      std::vector<ElementIndex> elements;
+      for (const Term& t : formula.args()) {
+        elements.push_back(ElementIndex(element_of(t)));
+      }
       builder.AddAtom(formula.relation(), std::move(elements), positive);
       return Status::OK();
     }
@@ -83,9 +85,9 @@ Result<ExtendedAutomaton> RefineForPropositions(
   const RegisterAutomaton& a = era.automaton();
   const int k = a.num_registers();
   RegisterAutomaton refined(k, a.schema());
-  for (StateId s = 0; s < a.num_states(); ++s) {
+  for (StateId s : a.States()) {
     StateId id = refined.AddState(a.state_name(s));
-    RAV_CHECK_EQ(id, s);
+    RAV_CHECK_EQ(id.value(), s.value());
     refined.SetInitial(s, a.IsInitial(s));
     refined.SetFinal(s, a.IsFinal(s));
   }
@@ -147,7 +149,8 @@ Result<ExtendedAutomaton> RefineForPropositions(
   ExtendedAutomaton out(std::move(refined));
   for (const GlobalConstraint& c : era.constraints()) {
     RAV_RETURN_IF_ERROR(
-        out.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa, c.description));
+        out.AddConstraintDfa(RegisterPair{c.i, c.j}, c.is_equality, c.dfa,
+                             c.description));
   }
   return out;
 }
@@ -162,8 +165,15 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
   RAV_METRIC_COUNT("era/ltlfo/verifications", 1);
   const ExecutionGovernor* governor = options.emptiness.governor;
   if (options.analyze_and_strip) {
-    analysis::StripResult stripped = analysis::AnalyzeAndStrip(
-        era, analysis::StripEffort::kFast, governor);
+    // The floor rides on the emptiness options, which govern the
+    // counterexample search the strip feeds.
+    const analysis::StripEffort effort =
+        era.automaton().num_transitions() >=
+                options.emptiness.min_flow_strip_transitions
+            ? analysis::StripEffort::kFlow
+            : analysis::StripEffort::kFast;
+    analysis::StripResult stripped =
+        analysis::AnalyzeAndStrip(era, effort, governor);
     if (stripped.changed()) {
       RAV_METRIC_COUNT("era/ltlfo/strips", 1);
       VerificationOptions inner = options;
@@ -200,7 +210,7 @@ Result<VerificationResult> VerifyLtlFo(const ExtendedAutomaton& era,
       RAV_ASSIGN_OR_RETURN(
           bool truth,
           EvaluateOnCompleteType(property.propositions[p],
-                                 alphabet.guard_of(s)));
+                                 alphabet.guard_of(SymbolId(s))));
       if (truth) ap_mask[s] |= uint32_t{1} << p;
     }
   }
@@ -279,9 +289,9 @@ ExtendedAutomaton AddGlobalVariableRegisters(const ExtendedAutomaton& era,
   const int k = a.num_registers();
   const int k_new = k + count;
   RegisterAutomaton b(k_new, a.schema());
-  for (StateId s = 0; s < a.num_states(); ++s) {
+  for (StateId s : a.States()) {
     StateId id = b.AddState(a.state_name(s));
-    RAV_CHECK_EQ(id, s);
+    RAV_CHECK_EQ(id.value(), s.value());
     b.SetInitial(s, a.IsInitial(s));
     b.SetFinal(s, a.IsFinal(s));
   }
@@ -290,7 +300,8 @@ ExtendedAutomaton AddGlobalVariableRegisters(const ExtendedAutomaton& era,
     TypeBuilder builder(2 * k_new, a.schema().num_constants());
     builder.AddAll(EmbedTransition(t.guard, k, k_new));
     for (int r = k; r < k_new; ++r) {
-      builder.AddEq(r, k_new + r);  // x_r = y_r: the value never changes
+      // x_r = y_r: the value never changes
+      builder.AddEq(ElementIndex(r), ElementIndex(k_new + r));
     }
     Result<Type> guard = builder.Build();
     RAV_CHECK(guard.ok());
@@ -298,8 +309,8 @@ ExtendedAutomaton AddGlobalVariableRegisters(const ExtendedAutomaton& era,
   }
   ExtendedAutomaton out(std::move(b));
   for (const GlobalConstraint& c : era.constraints()) {
-    Status s = out.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa,
-                                    c.description);
+    Status s = out.AddConstraintDfa(RegisterPair{c.i, c.j}, c.is_equality,
+                                    c.dfa, c.description);
     RAV_CHECK(s.ok());
   }
   return out;

@@ -22,7 +22,7 @@ struct Book {
 
 // Composite control state of the Proposition 6 automaton.
 struct CompositeState {
-  StateId q = -1;
+  StateId q;
   std::vector<Book> books;  // one per equality constraint
   auto operator<=>(const CompositeState&) const = default;
 };
@@ -30,7 +30,7 @@ struct CompositeState {
 struct CompositeStateHash {
   size_t operator()(const CompositeState& cs) const {
     size_t seed = cs.books.size();
-    HashCombineValue(seed, cs.q);
+    HashCombineValue(seed, cs.q.value());
     for (const Book& b : cs.books) {
       HashCombineValue(seed, b.on);
       HashCombineValue(seed, b.dead);
@@ -74,9 +74,10 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
   FlatIdMap<CompositeState, CompositeStateHash> ids;
   std::queue<StateId> work;
   auto intern = [&](const CompositeState& cs) -> Result<StateId> {
-    auto [id, inserted] = ids.Intern(cs);
+    auto [raw_id, inserted] = ids.Intern(cs);
+    StateId id(raw_id);
     if (!inserted) return id;
-    if (static_cast<size_t>(id) >= options.max_states) {
+    if (static_cast<size_t>(raw_id) >= options.max_states) {
       return Status::ResourceExhausted(
           "EliminateEqualityConstraints: state budget exceeded");
     }
@@ -84,7 +85,7 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
     for (const Book& book : cs.books) {
       name += "/" + std::to_string(book.on) + "." + std::to_string(book.dead);
     }
-    RAV_CHECK_EQ(b.AddState(name), id);
+    RAV_CHECK_EQ(b.AddState(name).value(), id.value());
     b.SetInitial(id, false);  // initials set below
     b.SetFinal(id, a.IsFinal(cs.q));
     work.push(id);
@@ -106,8 +107,8 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
   while (!work.empty()) {
     StateId from_id = work.front();
     work.pop();
-    CompositeState from = ids.KeyOf(from_id);
-    const int q = from.q;
+    CompositeState from = ids.KeyOf(from_id.value());
+    const StateId q = from.q;
 
     for (int ti : a.TransitionsFrom(q)) {
       const RaTransition& t = a.transition(ti);
@@ -134,7 +135,7 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
         bool ok = true;
         for (int s = 0; s < dfa.num_states(); ++s) {
           if (!((book.on >> s) & 1)) continue;
-          int s2 = dfa.Next(s, q);
+          int s2 = dfa.Next(s, q.value());
           // Move the value: y_{r(s2)} = x_{r(s)}; merging sources at the
           // same target state forces their values equal via the shared y.
           eq_pairs.emplace_back(k_new + reg_base[c] + s2, reg_base[c] + s);
@@ -142,14 +143,14 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
           // Acceptance after reading q at this position: the stored value
           // must equal d_n[j], i.e. x_{r(s)} = x_j.
           if (dfa.IsAccepting(s2)) {
-            eq_pairs.emplace_back(reg_base[c] + s, gc.j);
+            eq_pairs.emplace_back(reg_base[c] + s, gc.j.value());
           }
         }
         // Advance the dead states; any accepting dead state kills the
         // option set entirely (the "no" guess is being refuted).
         for (int s = 0; s < dfa.num_states(); ++s) {
           if (!((book.dead >> s) & 1)) continue;
-          int s2 = dfa.Next(s, q);
+          int s2 = dfa.Next(s, q.value());
           if (dfa.IsAccepting(s2)) {
             ok = false;
             break;
@@ -162,17 +163,17 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
         }
 
         // Guess for the new source at position n (value d_n[i]).
-        int s0 = dfa.Next(dfa.initial(), q);
+        int s0 = dfa.Next(dfa.initial(), q.value());
         // Option "yes": store d_n[i] into the register of s0 (y-side; if
         // an advanced source shares s0, the shared y forces equality).
         Option yes;
         yes.book = advanced;
         yes.equalities = eq_pairs;
         yes.book.on |= uint32_t{1} << s0;
-        yes.equalities.emplace_back(k_new + reg_base[c] + s0, gc.i);
+        yes.equalities.emplace_back(k_new + reg_base[c] + s0, gc.i.value());
         if (dfa.IsAccepting(s0)) {
           // The factor q_n (length 1) matches: d_n[i] = d_n[j].
-          yes.equalities.emplace_back(gc.i, gc.j);
+          yes.equalities.emplace_back(gc.i.value(), gc.j.value());
         }
         // Option "no": the position never participates as a source.
         Option no;
@@ -206,7 +207,7 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
           const Option& opt = per_constraint[c][choice[c]];
           to.books[c] = opt.book;
           for (const auto& [e1, e2] : opt.equalities) {
-            builder.AddEq(e1, e2);
+            builder.AddEq(ElementIndex(e1), ElementIndex(e2));
           }
         }
         Result<Type> guard = builder.Build();
@@ -238,11 +239,13 @@ Result<ExtendedAutomaton> EliminateEqualityConstraints(
     Dfa lifted(b_ref.num_states(), c->dfa.num_states(), c->dfa.initial());
     for (int s = 0; s < c->dfa.num_states(); ++s) {
       lifted.SetAccepting(s, c->dfa.IsAccepting(s));
-      for (StateId bs = 0; bs < b_ref.num_states(); ++bs) {
-        lifted.SetTransition(s, bs, c->dfa.Next(s, ids.KeyOf(bs).q));
+      for (StateId bs : b_ref.States()) {
+        lifted.SetTransition(s, bs.value(),
+                             c->dfa.Next(s, ids.KeyOf(bs.value()).q.value()));
       }
     }
-    RAV_RETURN_IF_ERROR(out.AddConstraintDfa(c->i, c->j, /*is_equality=*/false,
+    RAV_RETURN_IF_ERROR(out.AddConstraintDfa(RegisterPair{c->i, c->j},
+                                             /*is_equality=*/false,
                                              std::move(lifted),
                                              c->description + " (lifted)"));
   }

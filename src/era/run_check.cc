@@ -9,7 +9,8 @@ namespace {
 std::string ViolationMessage(const GlobalConstraint& c, size_t n, size_t m) {
   std::string out = "constraint e";
   out += c.is_equality ? "=" : "≠";
-  out += "[" + std::to_string(c.i + 1) + "," + std::to_string(c.j + 1) +
+  out += "[" + std::to_string(c.i.value() + 1) + "," +
+         std::to_string(c.j.value() + 1) +
          "] violated between positions " + std::to_string(n) + " and " +
          std::to_string(m);
   if (!c.description.empty()) out += " (" + c.description + ")";
@@ -25,9 +26,9 @@ Status CheckFiniteRunConstraints(const ExtendedAutomaton& era,
     for (size_t n = 0; n < len; ++n) {
       int dfa_state = c.dfa.initial();
       for (size_t m = n; m < len; ++m) {
-        dfa_state = c.dfa.Next(dfa_state, run.states[m]);
+        dfa_state = c.dfa.Next(dfa_state, run.states[m].value());
         if (!c.dfa.IsAccepting(dfa_state)) continue;
-        bool equal = run.values[n][c.i] == run.values[m][c.j];
+        bool equal = run.values[n][c.i.value()] == run.values[m][c.j.value()];
         if (equal != c.is_equality) {
           return Status::InvalidArgument(ViolationMessage(c, n, m));
         }
@@ -61,9 +62,10 @@ Status CheckLassoRunConstraints(const ExtendedAutomaton& era,
     for (size_t n = 0; n < spine; ++n) {
       int dfa_state = c.dfa.initial();
       for (size_t m = n; m < n + window; ++m) {
-        dfa_state = c.dfa.Next(dfa_state, run.StateAt(m));
+        dfa_state = c.dfa.Next(dfa_state, run.StateAt(m).value());
         if (!c.dfa.IsAccepting(dfa_state)) continue;
-        bool equal = run.ValuesAt(n)[c.i] == run.ValuesAt(m)[c.j];
+        bool equal =
+            run.ValuesAt(n)[c.i.value()] == run.ValuesAt(m)[c.j.value()];
         if (equal != c.is_equality) {
           return Status::InvalidArgument(ViolationMessage(c, n, m));
         }

@@ -14,9 +14,9 @@ void RepairEqualities(const ExtendedAutomaton& era, FiniteRun& run) {
     for (size_t n = 0; n < run.length(); ++n) {
       int state = c.dfa.initial();
       for (size_t m = n; m < run.length(); ++m) {
-        state = c.dfa.Next(state, run.states[m]);
+        state = c.dfa.Next(state, run.states[m].value());
         if (c.dfa.IsAccepting(state)) {
-          run.values[m][c.j] = run.values[n][c.i];
+          run.values[m][c.j.value()] = run.values[n][c.i.value()];
         }
       }
     }
@@ -35,7 +35,7 @@ std::optional<FiniteRun> SampleEraRun(const ExtendedAutomaton& era,
   // one Build amortizes over attempts × length evaluations.
   SimulateOptions local_options = options;
   std::optional<compile::GuardTableSet> local_tables;
-  std::vector<int> local_guard_ids;
+  std::vector<GuardId> local_guard_ids;
   compile::TransitionGuardView local_view;
   if (options.guards == nullptr &&
       compile::ResolveGuardEngine(compile::GuardEngine::kAuto) ==

@@ -288,7 +288,7 @@ class TfParser {
     if (registers < 0) return Err("missing 'registers' directive");
     RegisterAutomaton automaton(registers, schema);
     for (const StateDecl& s : states) {
-      if (automaton.FindState(s.name) >= 0) {
+      if (automaton.FindState(s.name).valid()) {
         return Status::InvalidArgument("text format (" + s.loc.ToString() +
                                        "): duplicate state '" + s.name + "'");
       }
@@ -318,11 +318,11 @@ class TfParser {
     for (const TransitionDecl& t : transitions) {
       StateId from = automaton.FindState(t.from);
       StateId to = automaton.FindState(t.to);
-      if (from < 0 || to < 0) {
+      if (!from.valid() || !to.valid()) {
         return Status::InvalidArgument("text format (" + t.loc.ToString() +
                                        "): transition references unknown "
                                        "state '" +
-                                       (from < 0 ? t.from : t.to) + "'");
+                                       (!from.valid() ? t.from : t.to) + "'");
       }
       TypeBuilder builder(2 * k, schema.num_constants());
       for (const Literal& lit : t.literals) {
@@ -332,9 +332,9 @@ class TfParser {
             RAV_ASSIGN_OR_RETURN(int lhs, resolve_term(lit.lhs));
             RAV_ASSIGN_OR_RETURN(int rhs, resolve_term(lit.rhs));
             if (lit.kind == Literal::Kind::kEq) {
-              builder.AddEq(lhs, rhs);
+              builder.AddEq(ElementIndex(lhs), ElementIndex(rhs));
             } else {
-              builder.AddNeq(lhs, rhs);
+              builder.AddNeq(ElementIndex(lhs), ElementIndex(rhs));
             }
             break;
           }
@@ -347,10 +347,10 @@ class TfParser {
               return Err("arity mismatch for relation '" + lit.relation +
                          "'");
             }
-            std::vector<int> elements;
+            std::vector<ElementIndex> elements;
             for (const std::string& arg : lit.args) {
               RAV_ASSIGN_OR_RETURN(int e, resolve_term(arg));
-              elements.push_back(e);
+              elements.push_back(ElementIndex(e));
             }
             builder.AddAtom(rel, std::move(elements), lit.positive);
             break;
@@ -364,8 +364,9 @@ class TfParser {
 
     ExtendedAutomaton era(std::move(automaton));
     for (const ConstraintDecl& c : constraints) {
-      RAV_RETURN_IF_ERROR(era.AddConstraintFromText(c.i - 1, c.j - 1,
-                                                    c.equality, c.regex));
+      RAV_RETURN_IF_ERROR(era.AddConstraintFromText(
+          RegisterPair{RegisterId(c.i - 1), RegisterId(c.j - 1)}, c.equality,
+          c.regex));
       era.SetConstraintLocation(
           static_cast<int>(era.constraints().size()) - 1, c.loc);
     }
@@ -508,7 +509,7 @@ void AppendAutomatonBody(const RegisterAutomaton& a, std::ostringstream& out) {
     }
     out << " }\n";
   }
-  for (StateId s = 0; s < a.num_states(); ++s) {
+  for (StateId s : a.States()) {
     out << "  state " << a.state_name(s);
     if (a.IsInitial(s)) out << " initial";
     if (a.IsFinal(s)) out << " final";
@@ -539,11 +540,12 @@ std::string ToTextFormat(const ExtendedAutomaton& era) {
     // Serialize the compiled DFA back to a regex so the rendering
     // round-trips regardless of how the constraint was constructed.
     auto regex = DfaToRegexString(c.dfa, [&](int q) {
-      return era.automaton().state_name(q);
+      return era.automaton().state_name(StateId(q));
     });
     if (!regex.has_value()) continue;  // empty-language constraint: vacuous
     out << "  constraint " << (c.is_equality ? "eq" : "neq") << " "
-        << (c.i + 1) << " " << (c.j + 1) << " \"" << *regex << "\"\n";
+        << (c.i.value() + 1) << " " << (c.j.value() + 1) << " \"" << *regex
+        << "\"\n";
   }
   out << "}\n";
   return out.str();
@@ -553,13 +555,13 @@ std::string ToTextFormat(const EnhancedAutomaton& enhanced) {
   std::ostringstream out;
   AppendAutomatonBody(enhanced.automaton(), out);
   auto state_name = [&](int q) {
-    return enhanced.automaton().state_name(q);
+    return enhanced.automaton().state_name(StateId(q));
   };
   for (const GlobalConstraint& c : enhanced.equality_constraints()) {
     auto regex = DfaToRegexString(c.dfa, state_name);
     if (!regex.has_value()) continue;
-    out << "  constraint eq " << (c.i + 1) << " " << (c.j + 1) << " \""
-        << *regex << "\"\n";
+    out << "  constraint eq " << (c.i.value() + 1) << " "
+        << (c.j.value() + 1) << " \"" << *regex << "\"\n";
   }
   for (const TupleInequalityConstraint& c : enhanced.tuple_constraints()) {
     auto regex = DfaToRegexString(c.pair_dfa, state_name);
@@ -583,13 +585,13 @@ std::string ToTextFormat(const EnhancedAutomaton& enhanced) {
 std::string ToGraphviz(const RegisterAutomaton& automaton) {
   std::ostringstream out;
   out << "digraph automaton {\n  rankdir=LR;\n";
-  for (StateId s = 0; s < automaton.num_states(); ++s) {
+  for (StateId s : automaton.States()) {
     out << "  \"" << automaton.state_name(s) << "\" [shape="
         << (automaton.IsFinal(s) ? "doublecircle" : "circle") << "];\n";
     if (automaton.IsInitial(s)) {
-      out << "  \"__start" << s << "\" [shape=point];\n";
-      out << "  \"__start" << s << "\" -> \"" << automaton.state_name(s)
-          << "\";\n";
+      out << "  \"__start" << s.value() << "\" [shape=point];\n";
+      out << "  \"__start" << s.value() << "\" -> \""
+          << automaton.state_name(s) << "\";\n";
     }
   }
   for (int ti = 0; ti < automaton.num_transitions(); ++ti) {

@@ -62,7 +62,7 @@ Result<PropagationAutomata> PropagationAutomata::Build(
   std::vector<const Type*> guard_of(a.num_states(), &trivial);
   for (int ti = 0; ti < a.num_transitions(); ++ti) {
     const RaTransition& t = a.transition(ti);
-    guard_of[t.from] = &t.guard;
+    guard_of[t.from.value()] = &t.guard;
   }
 
   // Element helpers within a transition type (2k vars + constants).
@@ -87,10 +87,10 @@ Result<PropagationAutomata> PropagationAutomata::Build(
     // Start transitions: reading the first symbol q at position a seeds S
     // and D from the x̄-part of q's type.
     std::vector<int> start_row(a.num_states());
-    for (StateId q = 0; q < a.num_states(); ++q) {
-      const Type& g = *guard_of[q];
+    for (StateId q : a.States()) {
+      const Type& g = *guard_of[q.value()];
       Wavefront w;
-      w.prev_state = q;
+      w.prev_state = q.value();
       for (int slot = 0; slot < slots; ++slot) {
         if (g.AreEqual(x_elem(i), x_elem(slot))) {
           w.equal |= uint64_t{1} << slot;
@@ -98,7 +98,7 @@ Result<PropagationAutomata> PropagationAutomata::Build(
           w.distinct |= uint64_t{1} << slot;
         }
       }
-      start_row[q] = intern(w);
+      start_row[q.value()] = intern(w);
     }
 
     // Saturate.
@@ -106,9 +106,9 @@ Result<PropagationAutomata> PropagationAutomata::Build(
       Wavefront current = ids.KeyOf(static_cast<int>(front_index));
       std::vector<int> row(a.num_states());
       const Type& g = *guard_of[current.prev_state];
-      for (StateId q = 0; q < a.num_states(); ++q) {
+      for (StateId q : a.States()) {
         Wavefront next;
-        next.prev_state = q;
+        next.prev_state = q.value();
         for (int slot = 0; slot < slots; ++slot) {
           // Constants persist.
           if (slot >= k) {
@@ -136,7 +136,7 @@ Result<PropagationAutomata> PropagationAutomata::Build(
           if (equal) next.equal |= uint64_t{1} << m;
           if (distinct && !equal) next.distinct |= uint64_t{1} << m;
         }
-        row[q] = intern(next);
+        row[q.value()] = intern(next);
       }
       table.push_back(std::move(row));
       // `ids` may have grown; the loop continues over new entries.
@@ -150,15 +150,17 @@ Result<PropagationAutomata> PropagationAutomata::Build(
     for (int j = 0; j < k; ++j) {
       Dfa eq(a.num_states(), n, 0);
       Dfa neq(a.num_states(), n, 0);
-      for (StateId q = 0; q < a.num_states(); ++q) {
-        eq.SetTransition(0, q, start_row[q]);
-        neq.SetTransition(0, q, start_row[q]);
+      for (StateId q : a.States()) {
+        eq.SetTransition(0, q.value(), start_row[q.value()]);
+        neq.SetTransition(0, q.value(), start_row[q.value()]);
       }
       for (size_t s = 0; s < ids.size(); ++s) {
         const Wavefront& front = ids.KeyOf(static_cast<int>(s));
-        for (StateId q = 0; q < a.num_states(); ++q) {
-          eq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
-          neq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
+        for (StateId q : a.States()) {
+          eq.SetTransition(static_cast<int>(s) + 1, q.value(),
+                           table[s][q.value()]);
+          neq.SetTransition(static_cast<int>(s) + 1, q.value(),
+                            table[s][q.value()]);
         }
         eq.SetAccepting(static_cast<int>(s) + 1, (front.equal >> j) & 1);
         neq.SetAccepting(static_cast<int>(s) + 1, (front.distinct >> j) & 1);

@@ -138,8 +138,12 @@ Result<LrBoundResult> EstimateLrBound(const ExtendedAutomaton& era,
         "database (Section 5)");
   }
   if (options.analyze_and_strip) {
-    analysis::StripResult stripped = analysis::AnalyzeAndStrip(
-        era, analysis::StripEffort::kFast, options.governor);
+    const analysis::StripEffort effort =
+        era.automaton().num_transitions() >= options.min_flow_strip_transitions
+            ? analysis::StripEffort::kFlow
+            : analysis::StripEffort::kFast;
+    analysis::StripResult stripped =
+        analysis::AnalyzeAndStrip(era, effort, options.governor);
     if (stripped.changed()) {
       RAV_METRIC_COUNT("projection/lr_bounded/strips", 1);
       ControlAlphabet stripped_alphabet(stripped.era->automaton());

@@ -49,6 +49,9 @@ struct LrBoundOptions {
   // Dead structure carries no control lassos, so the estimate is
   // unchanged; the sampler just stops wading through it.
   bool analyze_and_strip = true;
+  // Transition-count floor for the StripEffort::kFlow tier; below it the
+  // strip runs at kFast (see EraEmptinessOptions for the rationale).
+  int min_flow_strip_transitions = 64;
   // Resource governor (nullptr = unlimited): polled by the sampling
   // engine per candidate and charged each candidate's closures. On a trip
   // the estimate covers the lassos sampled so far and search_truncated is

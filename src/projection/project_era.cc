@@ -95,12 +95,14 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
       Dfa lifted(sd_ref.num_states(), c.dfa.num_states(), c.dfa.initial());
       for (int s = 0; s < c.dfa.num_states(); ++s) {
         lifted.SetAccepting(s, c.dfa.IsAccepting(s));
-        for (StateId q = 0; q < sd_ref.num_states(); ++q) {
-          lifted.SetTransition(s, q, c.dfa.Next(s, origin_of[q]));
+        for (StateId q : sd_ref.States()) {
+          lifted.SetTransition(s, q.value(),
+                               c.dfa.Next(s, origin_of[q.value()].value()));
         }
       }
-      RAV_RETURN_IF_ERROR(sd_era.AddConstraintDfa(
-          c.i, c.j, c.is_equality, std::move(lifted), c.description));
+      RAV_RETURN_IF_ERROR(
+          sd_era.AddConstraintDfa(RegisterPair{c.i, c.j}, c.is_equality,
+                                  std::move(lifted), c.description));
     }
   }
   const RegisterAutomaton& a = sd_era.automaton();
@@ -119,7 +121,7 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
   const Type trivial(2 * k, num_constants);
   std::vector<const Type*> guard_of(a.num_states(), &trivial);
   for (int ti = 0; ti < a.num_transitions(); ++ti) {
-    guard_of[a.transition(ti).from] = &a.transition(ti).guard;
+    guard_of[a.transition(ti).from.value()] = &a.transition(ti).guard;
   }
   auto x_elem = [&](int slot) {
     return slot < k ? slot : 2 * k + (slot - k);
@@ -188,14 +190,14 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
   auto step = [&](const CompositionState* current,
                   StateId q) -> CompositionState {
     CompositionState next;
-    next.prev_state = q;
+    next.prev_state = q.value();
     next.case_a.assign(nc, 0);
     next.case_b.assign(nc, {});
     if (current == nullptr) {
       return next;  // caller fills equal/distinct for the seed
     }
     const Type& g = *guard_of[current->prev_state];
-    const Type& g_here = *guard_of[q];
+    const Type& g_here = *guard_of[q.value()];
     // (i) equal wavefront, (ii) distinct set.
     next.equal = close_equal(propagate(current->equal, g), g_here);
     for (int mreg = 0; mreg < slots; ++mreg) {
@@ -215,12 +217,12 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
       const Dfa& dfa = constraints[c].dfa;
       for (int s = 0; s < dfa.num_states(); ++s) {
         if (!((current->case_a[c] >> s) & 1)) continue;
-        int s2 = dfa.Next(s, q);
+        int s2 = dfa.Next(s, q.value());
         next.case_a[c] |= uint32_t{1} << s2;
         if (dfa.IsAccepting(s2)) {
           // Edge (seed, current): target register distinct from source.
-          if (!((next.equal >> constraints[c].j) & 1)) {
-            next.distinct |= uint64_t{1} << constraints[c].j;
+          if (!((next.equal >> constraints[c].j.value()) & 1)) {
+            next.distinct |= uint64_t{1} << constraints[c].j.value();
           }
         }
       }
@@ -228,9 +230,9 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
       for (const PendingEdge& e : current->case_b[c]) {
         uint64_t carriers = propagate(e.carriers, g);
         if (carriers == 0) continue;  // source value died
-        int s2 = dfa.Next(e.dfa_state, q);
+        int s2 = dfa.Next(e.dfa_state, q.value());
         if (dfa.IsAccepting(s2) &&
-            ((next.equal >> constraints[c].j) & 1)) {
+            ((next.equal >> constraints[c].j.value()) & 1)) {
           // Edge fires into the wavefront: carriers are distinct.
           next.distinct |= carriers & ~next.equal;
         }
@@ -246,9 +248,9 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
   auto seed = [&](CompositionState& st, StateId q) {
     for (size_t c = 0; c < nc; ++c) {
       const Dfa& dfa = constraints[c].dfa;
-      int s0 = dfa.Next(dfa.initial(), q);
-      int src = constraints[c].i;
-      int dst = constraints[c].j;
+      int s0 = dfa.Next(dfa.initial(), q.value());
+      int src = constraints[c].i.value();
+      int dst = constraints[c].j.value();
       if ((st.equal >> src) & 1) {
         st.case_a[c] |= uint32_t{1} << s0;
         if (dfa.IsAccepting(s0) && !((st.equal >> dst) & 1)) {
@@ -272,7 +274,7 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
     }
     // Final intra-position closure: constraint accepts may have marked a
     // register distinct whose x̄-equal siblings must follow.
-    st.distinct = close_distinct(st.distinct, st.equal, *guard_of[q]);
+    st.distinct = close_distinct(st.distinct, st.equal, *guard_of[q.value()]);
   };
 
   // --- Build the composed DFAs per source register i < m ---
@@ -294,8 +296,8 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
     };
 
     std::vector<int> start_row(a.num_states());
-    for (StateId q = 0; q < a.num_states(); ++q) {
-      const Type& g = *guard_of[q];
+    for (StateId q : a.States()) {
+      const Type& g = *guard_of[q.value()];
       CompositionState st = step(nullptr, q);
       for (int slot = 0; slot < slots; ++slot) {
         if (g.AreEqual(x_elem(i), x_elem(slot))) {
@@ -306,16 +308,16 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
       }
       seed(st, q);
       RAV_ASSIGN_OR_RETURN(int id, intern(st));
-      start_row[q] = id;
+      start_row[q.value()] = id;
     }
     for (size_t index = 0; index < ids.size(); ++index) {
       CompositionState current = ids.KeyOf(static_cast<int>(index));
       std::vector<int> row(a.num_states());
-      for (StateId q = 0; q < a.num_states(); ++q) {
+      for (StateId q : a.States()) {
         CompositionState st = step(&current, q);
         seed(st, q);
         RAV_ASSIGN_OR_RETURN(int id, intern(st));
-        row[q] = id;
+        row[q.value()] = id;
       }
       table.push_back(std::move(row));
     }
@@ -324,15 +326,17 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
     for (int j = 0; j < m; ++j) {
       Dfa eq(a.num_states(), n, 0);
       Dfa neq(a.num_states(), n, 0);
-      for (StateId q = 0; q < a.num_states(); ++q) {
-        eq.SetTransition(0, q, start_row[q]);
-        neq.SetTransition(0, q, start_row[q]);
+      for (StateId q : a.States()) {
+        eq.SetTransition(0, q.value(), start_row[q.value()]);
+        neq.SetTransition(0, q.value(), start_row[q.value()]);
       }
       for (size_t s = 0; s < ids.size(); ++s) {
         const CompositionState& state = ids.KeyOf(static_cast<int>(s));
-        for (StateId q = 0; q < a.num_states(); ++q) {
-          eq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
-          neq.SetTransition(static_cast<int>(s) + 1, q, table[s][q]);
+        for (StateId q : a.States()) {
+          eq.SetTransition(static_cast<int>(s) + 1, q.value(),
+                           table[s][q.value()]);
+          neq.SetTransition(static_cast<int>(s) + 1, q.value(),
+                            table[s][q.value()]);
         }
         eq.SetAccepting(static_cast<int>(s) + 1, (state.equal >> j) & 1);
         neq.SetAccepting(static_cast<int>(s) + 1, (state.distinct >> j) & 1);
@@ -344,9 +348,9 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
 
   // --- Assemble the projected automaton ---
   RegisterAutomaton projected(m, a.schema());
-  for (StateId s = 0; s < a.num_states(); ++s) {
+  for (StateId s : a.States()) {
     StateId id = projected.AddState(a.state_name(s));
-    RAV_CHECK_EQ(id, s);
+    RAV_CHECK_EQ(id.value(), s.value());
     projected.SetInitial(s, a.IsInitial(s));
     projected.SetFinal(s, a.IsFinal(s));
   }
@@ -367,7 +371,7 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
       const Dfa& eq = eq_dfas[i * m + j];
       if (!eq.IsEmptyLanguage()) {
         RAV_RETURN_IF_ERROR(out.AddConstraintDfa(
-            i, j, true, eq,
+            RegisterPair{RegisterId(i), RegisterId(j)}, true, eq,
             "thm13 e=[" + std::to_string(i + 1) + "," +
                 std::to_string(j + 1) + "]"));
         max_dfa = std::max(max_dfa, eq.num_states());
@@ -376,7 +380,7 @@ Result<ExtendedAutomaton> ProjectExtendedAutomaton(
       const Dfa& neq = neq_dfas[i * m + j];
       if (!neq.IsEmptyLanguage()) {
         RAV_RETURN_IF_ERROR(out.AddConstraintDfa(
-            i, j, false, neq,
+            RegisterPair{RegisterId(i), RegisterId(j)}, false, neq,
             "thm13 e≠[" + std::to_string(i + 1) + "," +
                 std::to_string(j + 1) + "]"));
         max_dfa = std::max(max_dfa, neq.num_states());

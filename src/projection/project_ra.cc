@@ -28,9 +28,9 @@ Result<ExtendedAutomaton> ProjectRegisterAutomaton(
   // The projected automaton: same states, guards restricted to the first
   // m registers.
   RegisterAutomaton projected(m, sd.schema());
-  for (StateId s = 0; s < sd.num_states(); ++s) {
+  for (StateId s : sd.States()) {
     StateId id = projected.AddState(sd.state_name(s));
-    RAV_CHECK_EQ(id, s);
+    RAV_CHECK_EQ(id.value(), s.value());
     projected.SetInitial(s, sd.IsInitial(s));
     projected.SetFinal(s, sd.IsFinal(s));
   }
@@ -52,7 +52,8 @@ Result<ExtendedAutomaton> ProjectRegisterAutomaton(
       const Dfa& eq = propagation.EqualityDfa(i, j);
       if (!eq.IsEmptyLanguage()) {
         RAV_RETURN_IF_ERROR(era.AddConstraintDfa(
-            i, j, /*is_equality=*/true, eq,
+            RegisterPair{RegisterId(i), RegisterId(j)}, /*is_equality=*/true,
+            eq,
             "lemma21 e=[" + std::to_string(i + 1) + "," +
                 std::to_string(j + 1) + "]"));
         max_dfa = std::max(max_dfa, eq.num_states());
@@ -61,7 +62,8 @@ Result<ExtendedAutomaton> ProjectRegisterAutomaton(
       const Dfa& neq = propagation.InequalityDfa(i, j);
       if (!neq.IsEmptyLanguage()) {
         RAV_RETURN_IF_ERROR(era.AddConstraintDfa(
-            i, j, /*is_equality=*/false, neq,
+            RegisterPair{RegisterId(i), RegisterId(j)}, /*is_equality=*/false,
+            neq,
             "lemma21 e≠[" + std::to_string(i + 1) + "," +
                 std::to_string(j + 1) + "]"));
         max_dfa = std::max(max_dfa, neq.num_states());

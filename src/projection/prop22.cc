@@ -149,8 +149,8 @@ Result<RegisterAutomaton> RealizeLrBoundedEra(
   struct NewStateHash {
     size_t operator()(const NewState& ns) const {
       size_t seed = ns.recent.size();
-      HashCombineValue(seed, ns.q);
-      for (StateId r : ns.recent) HashCombineValue(seed, r);
+      HashCombineValue(seed, ns.q.value());
+      for (StateId r : ns.recent) HashCombineValue(seed, r.value());
       return seed;
     }
   };
@@ -158,13 +158,14 @@ Result<RegisterAutomaton> RealizeLrBoundedEra(
   std::queue<StateId> work;
   ScopedMemoryCharge states_charge(governor);
   auto intern = [&](const NewState& ns) {
-    auto [id, inserted] = ids.Intern(ns);
+    auto [raw_id, inserted] = ids.Intern(ns);
+    StateId id(raw_id);
     if (!inserted) return id;
     states_charge.Add(sizeof(NewState) +
                       ns.recent.capacity() * sizeof(StateId) + 64);
     std::string name = b.state_name(ns.q);
     for (StateId r : ns.recent) name += "<" + b.state_name(r);
-    RAV_CHECK_EQ(out.AddState(name), id);
+    RAV_CHECK_EQ(out.AddState(name).value(), id.value());
     out.SetInitial(id, false);
     out.SetFinal(id, b.IsFinal(ns.q));
     work.push(id);
@@ -179,7 +180,7 @@ Result<RegisterAutomaton> RealizeLrBoundedEra(
     RAV_RETURN_IF_ERROR(GovernorCheckStatus(governor, "RealizeLrBoundedEra"));
     StateId from_id = work.front();
     work.pop();
-    NewState from = ids.KeyOf(from_id);
+    NewState from = ids.KeyOf(from_id.value());
     for (int ti = 0; ti < b.num_transitions(); ++ti) {
       const RaTransition& t = b.transition(ti);
       if (t.from != from.q) continue;
@@ -189,10 +190,13 @@ Result<RegisterAutomaton> RealizeLrBoundedEra(
       // History shift: y_hist(1,i) = x_i; y_hist(t+1,i) = x_hist(t,i).
       const int known_history = static_cast<int>(from.recent.size());
       for (int i = 0; i < m; ++i) {
-        if (history >= 1) builder.AddEq(k_new + hist_reg(1, i), i);
+        if (history >= 1) {
+          builder.AddEq(ElementIndex(k_new + hist_reg(1, i)), ElementIndex(i));
+        }
         for (int tstep = 1; tstep < std::min(known_history + 1, history);
              ++tstep) {
-          builder.AddEq(k_new + hist_reg(tstep + 1, i), hist_reg(tstep, i));
+          builder.AddEq(ElementIndex(k_new + hist_reg(tstep + 1, i)),
+                        ElementIndex(hist_reg(tstep, i)));
         }
       }
       // Constraint factors ending at the current position: the current
@@ -205,17 +209,18 @@ Result<RegisterAutomaton> RealizeLrBoundedEra(
           // Factor covering positions n-start .. n.
           int state = c.dfa.initial();
           for (int p = start; p >= 1; --p) {
-            state = c.dfa.Next(state, from.recent[p - 1]);
+            state = c.dfa.Next(state, from.recent[p - 1].value());
           }
-          state = c.dfa.Next(state, from.q);
+          state = c.dfa.Next(state, from.q.value());
           if (!c.dfa.IsAccepting(state)) continue;
-          int src = start == 0 ? c.i : hist_reg(start, c.i);
-          int dst = c.j;
+          int src =
+              start == 0 ? c.i.value() : hist_reg(start, c.i.value());
+          int dst = c.j.value();
           if (src == dst) {
             contradictory = true;  // value must differ from itself
             break;
           }
-          builder.AddNeq(src, dst);
+          builder.AddNeq(ElementIndex(src), ElementIndex(dst));
         }
       }
       if (contradictory) continue;

@@ -5,12 +5,12 @@ namespace rav {
 ControlAlphabet::ControlAlphabet(const RegisterAutomaton& automaton,
                                  compile::GuardEngine engine)
     : engine_(compile::ResolveGuardEngine(engine)) {
-  transition_symbol_.resize(automaton.num_transitions(), -1);
+  transition_symbol_.resize(automaton.num_transitions());
   for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
     const RaTransition& t = automaton.transition(ti);
-    int symbol = SymbolOf(t.from, t.guard);
-    if (symbol < 0) {
-      symbol = static_cast<int>(symbols_.size());
+    SymbolId symbol = SymbolOf(t.from, t.guard);
+    if (!symbol.valid()) {
+      symbol = SymbolId(static_cast<int>(symbols_.size()));
       symbols_.emplace_back(t.from, t.guard);
     }
     transition_symbol_[ti] = symbol;
@@ -24,9 +24,10 @@ ControlAlphabet::ControlAlphabet(const RegisterAutomaton& automaton,
     }
     tables_ = compile::GuardTableSet::Build(
         guards, k, automaton.schema().num_constants(), &transition_guard_id_);
-    symbol_guard_id_.assign(symbols_.size(), -1);
+    symbol_guard_id_.assign(symbols_.size(), GuardId::Invalid());
     for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
-      symbol_guard_id_[transition_symbol_[ti]] = transition_guard_id_[ti];
+      symbol_guard_id_[transition_symbol_[ti].value()] =
+          transition_guard_id_[ti];
     }
     // The table set already holds every distinct x̄ restriction — reuse it
     // instead of recomputing RestrictToX per symbol.
@@ -34,12 +35,12 @@ ControlAlphabet::ControlAlphabet(const RegisterAutomaton& automaton,
     symbol_closure_program_.reserve(symbols_.size());
     symbol_x_closure_program_.reserve(symbols_.size());
     for (size_t s = 0; s < symbols_.size(); ++s) {
-      const int gid = symbol_guard_id_[s];
+      const GuardId gid = symbol_guard_id_[s];
       restricted_.push_back(tables_->x_restricted(gid));
       symbol_closure_program_.push_back(
-          tables_->closure_ops(gid).empty() ? -1 : gid);
+          tables_->closure_ops(gid).empty() ? GuardId::Invalid() : gid);
       symbol_x_closure_program_.push_back(
-          tables_->x_closure_ops(gid).empty() ? -1 : gid);
+          tables_->x_closure_ops(gid).empty() ? GuardId::Invalid() : gid);
     }
   } else {
     restricted_.reserve(symbols_.size());
@@ -49,19 +50,19 @@ ControlAlphabet::ControlAlphabet(const RegisterAutomaton& automaton,
   }
 }
 
-int ControlAlphabet::SymbolOf(StateId q, const Type& guard) const {
+SymbolId ControlAlphabet::SymbolOf(StateId q, const Type& guard) const {
   for (size_t s = 0; s < symbols_.size(); ++s) {
     if (symbols_[s].first == q && symbols_[s].second == guard) {
-      return static_cast<int>(s);
+      return SymbolId(static_cast<int>(s));
     }
   }
-  return -1;
+  return SymbolId::Invalid();
 }
 
 std::string ControlAlphabet::SymbolName(const RegisterAutomaton& automaton,
-                                        int symbol) const {
+                                        SymbolId symbol) const {
   return "(" + automaton.state_name(state_of(symbol)) + ", δ" +
-         std::to_string(symbol) + ")";
+         std::to_string(symbol.value()) + ")";
 }
 
 Nba BuildSControlNba(const RegisterAutomaton& automaton,
@@ -83,25 +84,25 @@ Nba BuildSControlNba(const RegisterAutomaton& automaton,
     const int num_guards = tables->num_guards();
     std::vector<std::vector<bool>> guard_compatible(
         num_guards, std::vector<bool>(num_guards, false));
-    for (int g1 = 0; g1 < num_guards; ++g1) {
+    for (GuardId g1 : tables->GuardIds()) {
       const Type& frontier1 = tables->y_restricted_as_x(g1);
-      for (int g2 = 0; g2 < num_guards; ++g2) {
-        guard_compatible[g1][g2] =
+      for (GuardId g2 : tables->GuardIds()) {
+        guard_compatible[g1.value()][g2.value()] =
             frontier1.Conjoin(tables->x_restricted(g2)).ok();
       }
     }
-    for (int s1 = 0; s1 < num_symbols; ++s1) {
-      for (int s2 = 0; s2 < num_symbols; ++s2) {
-        compatible[s1][s2] =
-            guard_compatible[alphabet.guard_id_of_symbol(s1)]
-                            [alphabet.guard_id_of_symbol(s2)];
+    for (SymbolId s1 : alphabet.Symbols()) {
+      for (SymbolId s2 : alphabet.Symbols()) {
+        compatible[s1.value()][s2.value()] =
+            guard_compatible[alphabet.guard_id_of_symbol(s1).value()]
+                            [alphabet.guard_id_of_symbol(s2).value()];
       }
     }
   } else {
-    for (int s1 = 0; s1 < num_symbols; ++s1) {
+    for (SymbolId s1 : alphabet.Symbols()) {
       Type frontier1 = RestrictToYAsX(alphabet.guard_of(s1), k);
-      for (int s2 = 0; s2 < num_symbols; ++s2) {
-        compatible[s1][s2] =
+      for (SymbolId s2 : alphabet.Symbols()) {
+        compatible[s1.value()][s2.value()] =
             frontier1.Conjoin(RestrictToX(alphabet.guard_of(s2), k)).ok();
       }
     }
@@ -111,24 +112,24 @@ Nba BuildSControlNba(const RegisterAutomaton& automaton,
   // id = q * (num_symbols + 1) + (prev + 1).
   Nba nba(num_symbols);
   const int width = num_symbols + 1;
-  for (int q = 0; q < automaton.num_states(); ++q) {
+  for (StateId q : automaton.States()) {
     for (int p = 0; p < width; ++p) {
       int id = nba.AddState();
-      RAV_CHECK_EQ(id, q * width + p);
+      RAV_CHECK_EQ(id, q.value() * width + p);
       if (automaton.IsFinal(q)) nba.SetAccepting(id);
     }
   }
   for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
     const RaTransition& t = automaton.transition(ti);
-    int symbol = alphabet.SymbolOfTransition(ti);
+    const int symbol = alphabet.SymbolOfTransition(ti).value();
     for (int prev = -1; prev < num_symbols; ++prev) {
       if (prev >= 0 && !compatible[prev][symbol]) continue;
-      nba.AddTransition(t.from * width + (prev + 1), symbol,
-                        t.to * width + (symbol + 1));
+      nba.AddTransition(t.from.value() * width + (prev + 1), symbol,
+                        t.to.value() * width + (symbol + 1));
     }
   }
   for (StateId q : automaton.InitialStates()) {
-    nba.SetInitial(q * width + 0);
+    nba.SetInitial(q.value() * width + 0);
   }
   return nba;
 }
@@ -144,7 +145,7 @@ Nba BuildStateTraceNba(const RegisterAutomaton& automaton,
   }
   for (int s = 0; s < control.num_states(); ++s) {
     for (const auto& [symbol, to] : control.TransitionsFrom(s)) {
-      out.AddTransition(s, alphabet.state_of(symbol), to);
+      out.AddTransition(s, alphabet.state_of(SymbolId(symbol)).value(), to);
     }
   }
   for (int s : control.initial()) out.SetInitial(s);
@@ -158,7 +159,7 @@ std::vector<int> ControlWordOfRun(const RegisterAutomaton& automaton,
   std::vector<int> word;
   word.reserve(run.transition_indices.size());
   for (int ti : run.transition_indices) {
-    word.push_back(alphabet.SymbolOfTransition(ti));
+    word.push_back(alphabet.SymbolOfTransition(ti).value());
   }
   return word;
 }
@@ -170,11 +171,11 @@ LassoWord ControlWordOfLassoRun(const RegisterAutomaton& automaton,
   LassoWord word;
   for (size_t n = 0; n < run.cycle_start; ++n) {
     word.prefix.push_back(
-        alphabet.SymbolOfTransition(run.TransitionAt(n)));
+        alphabet.SymbolOfTransition(run.TransitionAt(n)).value());
   }
   for (size_t n = run.cycle_start; n < run.spine.length(); ++n) {
     word.cycle.push_back(
-        alphabet.SymbolOfTransition(run.TransitionAt(n)));
+        alphabet.SymbolOfTransition(run.TransitionAt(n)).value());
   }
   return word;
 }

@@ -30,19 +30,25 @@ class ControlAlphabet {
       compile::GuardEngine engine = compile::GuardEngine::kAuto);
 
   int size() const { return static_cast<int>(symbols_.size()); }
+  // The dense symbol id space, iterable: `for (SymbolId s : a.Symbols())`.
+  IdRange<SymbolId> Symbols() const { return IdRange<SymbolId>(size()); }
 
-  StateId state_of(int symbol) const { return symbols_[symbol].first; }
-  const Type& guard_of(int symbol) const { return symbols_[symbol].second; }
+  StateId state_of(SymbolId symbol) const {
+    return symbols_[symbol.value()].first;
+  }
+  const Type& guard_of(SymbolId symbol) const {
+    return symbols_[symbol.value()].second;
+  }
   // guard_of(symbol) restricted to its x̄-part, precomputed once — the
   // closure engine applies it at every window's last position.
-  const Type& x_restricted_guard_of(int symbol) const {
-    return restricted_[symbol];
+  const Type& x_restricted_guard_of(SymbolId symbol) const {
+    return restricted_[symbol.value()];
   }
 
-  // Symbol of (q, guard), or -1.
-  int SymbolOf(StateId q, const Type& guard) const;
+  // Symbol of (q, guard), or SymbolId::Invalid().
+  SymbolId SymbolOf(StateId q, const Type& guard) const;
   // Symbol induced by a transition (its source state and guard).
-  int SymbolOfTransition(int transition_index) const {
+  SymbolId SymbolOfTransition(int transition_index) const {
     return transition_symbol_[transition_index];
   }
 
@@ -54,18 +60,19 @@ class ControlAlphabet {
     return tables_ ? &*tables_ : nullptr;
   }
   // Dense table id of a symbol's guard (compiled engine only).
-  int guard_id_of_symbol(int symbol) const {
-    return symbol_guard_id_[symbol];
+  GuardId guard_id_of_symbol(SymbolId symbol) const {
+    return symbol_guard_id_[symbol.value()];
   }
-  // Table id for the closure engine's per-position replay, or -1 when the
-  // symbol's full-guard / x̄-restricted program is empty — the skip the
-  // hot closure loop takes with one dense load, mirroring the interpreted
-  // path's kEmptyProgram marker (compiled engine only).
-  int closure_program_of_symbol(int symbol) const {
-    return symbol_closure_program_[symbol];
+  // Table id for the closure engine's per-position replay, or
+  // GuardId::Invalid() when the symbol's full-guard / x̄-restricted
+  // program is empty — the skip the hot closure loop takes with one dense
+  // load, mirroring the interpreted path's kEmptyProgram marker (compiled
+  // engine only).
+  GuardId closure_program_of_symbol(SymbolId symbol) const {
+    return symbol_closure_program_[symbol.value()];
   }
-  int x_closure_program_of_symbol(int symbol) const {
-    return symbol_x_closure_program_[symbol];
+  GuardId x_closure_program_of_symbol(SymbolId symbol) const {
+    return symbol_x_closure_program_[symbol.value()];
   }
   // Borrowed view over the owning automaton's transitions; falsy under
   // kInterpreted. Valid as long as this alphabet is alive and unmoved.
@@ -82,18 +89,19 @@ class ControlAlphabet {
   }
 
   std::string SymbolName(const RegisterAutomaton& automaton,
-                         int symbol) const;
+                         SymbolId symbol) const;
 
  private:
   std::vector<std::pair<StateId, Type>> symbols_;
   std::vector<Type> restricted_;
-  std::vector<int> transition_symbol_;
+  std::vector<SymbolId> transition_symbol_;
   compile::GuardEngine engine_ = compile::GuardEngine::kInterpreted;
   std::optional<compile::GuardTableSet> tables_;
-  std::vector<int> transition_guard_id_;  // transition -> table id
-  std::vector<int> symbol_guard_id_;      // symbol -> table id
-  std::vector<int> symbol_closure_program_;    // symbol -> id, -1 if empty
-  std::vector<int> symbol_x_closure_program_;  // symbol -> id, -1 if empty
+  std::vector<GuardId> transition_guard_id_;  // transition -> table id
+  std::vector<GuardId> symbol_guard_id_;      // symbol -> table id
+  // symbol -> closure-program table id, Invalid() if the program is empty
+  std::vector<GuardId> symbol_closure_program_;
+  std::vector<GuardId> symbol_x_closure_program_;
 };
 
 // Builds the Büchi automaton recognizing SControl(A), the symbolic control

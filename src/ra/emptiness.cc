@@ -52,11 +52,11 @@ Result<RunWitness> RealizeWitness(const RegisterAutomaton& automaton,
   // restriction for the last). Merge the equalities into the union-find.
   std::vector<const Type*> guards(length, nullptr);
   for (size_t n = 0; n < length; ++n) {
-    int symbol = control_word.SymbolAt(n);
+    const int symbol = control_word.SymbolAt(n);
     if (symbol < 0 || symbol >= alphabet.size()) {
       return Status::InvalidArgument("RealizeWitness: bad control symbol");
     }
-    guards[n] = &alphabet.guard_of(symbol);
+    guards[n] = &alphabet.guard_of(SymbolId(symbol));
   }
 
   // Maps a type element (over 2k vars + constants) at step n to a node.
@@ -198,7 +198,7 @@ Result<RunWitness> RealizeWitness(const RegisterAutomaton& automaton,
   run.values.resize(length);
   run.states.resize(length);
   for (size_t n = 0; n < length; ++n) {
-    run.states[n] = alphabet.state_of(control_word.SymbolAt(n));
+    run.states[n] = alphabet.state_of(SymbolId(control_word.SymbolAt(n)));
     run.values[n].resize(k);
     for (int i = 0; i < k; ++i) run.values[n][i] = value_of(reg_node(n, i));
   }

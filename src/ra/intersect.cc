@@ -44,7 +44,7 @@ Result<RegisterAutomaton> IntersectWithStateNba(
   for (StateId q0 : automaton.InitialStates()) {
     for (int s0 : state_nba.initial()) {
       for (const auto& [symbol, s] : state_nba.TransitionsFrom(s0)) {
-        if (symbol != q0) continue;
+        if (symbol != q0.value()) continue;
         StateId id = intern(q0, s, 0);
         out.SetInitial(id, true);
       }
@@ -54,7 +54,7 @@ Result<RegisterAutomaton> IntersectWithStateNba(
   while (!work.empty()) {
     StateId from_id = work.front();
     work.pop();
-    auto [q, s, i] = keys[from_id];
+    auto [q, s, i] = keys[from_id.value()];
     // Counter advance: past 0 when q is automaton-final, past 1 when s is
     // NBA-accepting.
     int next_i = i;
@@ -63,7 +63,7 @@ Result<RegisterAutomaton> IntersectWithStateNba(
     for (int ti : automaton.TransitionsFrom(q)) {
       const RaTransition& t = automaton.transition(ti);
       for (const auto& [symbol, s2] : state_nba.TransitionsFrom(s)) {
-        if (symbol != t.to) continue;
+        if (symbol != t.to.value()) continue;
         StateId to_id = intern(t.to, s2, next_i);
         out.AddTransition(from_id, t.guard, to_id);
       }

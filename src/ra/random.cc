@@ -11,8 +11,9 @@ RegisterAutomaton RandomAutomaton(std::mt19937& rng,
   for (int s = 0; s < n; ++s) a.AddState("r" + std::to_string(s));
 
   std::uniform_int_distribution<int> state_dist(0, n - 1);
-  a.SetInitial(state_dist(rng));
-  a.SetFinal(state_dist(rng));
+  auto random_state = [&]() { return StateId(state_dist(rng)); };
+  a.SetInitial(random_state());
+  a.SetFinal(random_state());
 
   const int num_elements = 2 * k + options.schema.num_constants();
   std::uniform_int_distribution<int> element_dist(0, num_elements - 1);
@@ -31,9 +32,9 @@ RegisterAutomaton RandomAutomaton(std::mt19937& rng,
         std::uniform_int_distribution<int> rel_dist(
             0, options.schema.num_relations() - 1);
         RelationId rel = rel_dist(rng);
-        std::vector<int> args;
+        std::vector<ElementIndex> args;
         for (int i = 0; i < options.schema.arity(rel); ++i) {
-          args.push_back(element_dist(rng));
+          args.push_back(ElementIndex(element_dist(rng)));
         }
         builder.AddAtom(rel, std::move(args), coin(rng) == 0);
       } else {
@@ -41,9 +42,9 @@ RegisterAutomaton RandomAutomaton(std::mt19937& rng,
         int e2 = element_dist(rng);
         if (e1 == e2) continue;
         if (coin(rng) == 0) {
-          builder.AddEq(e1, e2);
+          builder.AddEq(ElementIndex(e1), ElementIndex(e2));
         } else {
-          builder.AddNeq(e1, e2);
+          builder.AddNeq(ElementIndex(e1), ElementIndex(e2));
         }
       }
       Result<Type> next = builder.Build();
@@ -56,10 +57,10 @@ RegisterAutomaton RandomAutomaton(std::mt19937& rng,
   // placed at random sources.
   int remaining = options.num_transitions;
   for (int s = 0; s < n && remaining > 0; ++s, --remaining) {
-    a.AddTransition(s, random_guard(), state_dist(rng));
+    a.AddTransition(StateId(s), random_guard(), random_state());
   }
   while (remaining-- > 0) {
-    a.AddTransition(state_dist(rng), random_guard(), state_dist(rng));
+    a.AddTransition(random_state(), random_guard(), random_state());
   }
   return a;
 }

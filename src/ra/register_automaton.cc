@@ -11,49 +11,49 @@ RegisterAutomaton::RegisterAutomaton(int num_registers, Schema schema)
 }
 
 StateId RegisterAutomaton::AddState(const std::string& name) {
-  RAV_CHECK(FindState(name) < 0);
+  RAV_CHECK(!FindState(name).valid());
   state_names_.push_back(name);
   initial_.push_back(false);
   final_.push_back(false);
   transitions_from_.emplace_back();
   state_locations_.emplace_back();
-  return num_states() - 1;
+  return StateId(num_states() - 1);
 }
 
 void RegisterAutomaton::SetInitial(StateId state, bool initial) {
-  RAV_CHECK_GE(state, 0);
-  RAV_CHECK_LT(state, num_states());
-  initial_[state] = initial;
+  RAV_CHECK_GE(state.value(), 0);
+  RAV_CHECK_LT(state.value(), num_states());
+  initial_[state.value()] = initial;
 }
 
 void RegisterAutomaton::SetFinal(StateId state, bool final_state) {
-  RAV_CHECK_GE(state, 0);
-  RAV_CHECK_LT(state, num_states());
-  final_[state] = final_state;
+  RAV_CHECK_GE(state.value(), 0);
+  RAV_CHECK_LT(state.value(), num_states());
+  final_[state.value()] = final_state;
 }
 
 void RegisterAutomaton::AddTransition(StateId from, Type guard, StateId to) {
-  RAV_CHECK_GE(from, 0);
-  RAV_CHECK_LT(from, num_states());
-  RAV_CHECK_GE(to, 0);
-  RAV_CHECK_LT(to, num_states());
+  RAV_CHECK_GE(from.value(), 0);
+  RAV_CHECK_LT(from.value(), num_states());
+  RAV_CHECK_GE(to.value(), 0);
+  RAV_CHECK_LT(to.value(), num_states());
   RAV_CHECK_EQ(guard.num_vars(), 2 * num_registers_);
   RAV_CHECK_EQ(guard.num_constants(), schema_.num_constants());
-  transitions_from_[from].push_back(num_transitions());
+  transitions_from_[from.value()].push_back(num_transitions());
   transitions_.push_back(RaTransition{from, std::move(guard), to});
   transition_locations_.emplace_back();
 }
 
 void RegisterAutomaton::SetStateLocation(StateId state, SourceLocation loc) {
-  RAV_CHECK_GE(state, 0);
-  RAV_CHECK_LT(state, num_states());
-  state_locations_[state] = loc;
+  RAV_CHECK_GE(state.value(), 0);
+  RAV_CHECK_LT(state.value(), num_states());
+  state_locations_[state.value()] = loc;
 }
 
 const SourceLocation& RegisterAutomaton::state_location(StateId state) const {
-  RAV_CHECK_GE(state, 0);
-  RAV_CHECK_LT(state, num_states());
-  return state_locations_[state];
+  RAV_CHECK_GE(state.value(), 0);
+  RAV_CHECK_LT(state.value(), num_states());
+  return state_locations_[state.value()];
 }
 
 void RegisterAutomaton::SetTransitionLocation(int index, SourceLocation loc) {
@@ -69,22 +69,22 @@ const SourceLocation& RegisterAutomaton::transition_location(int index) const {
 }
 
 const std::string& RegisterAutomaton::state_name(StateId s) const {
-  RAV_CHECK_GE(s, 0);
-  RAV_CHECK_LT(s, num_states());
-  return state_names_[s];
+  RAV_CHECK_GE(s.value(), 0);
+  RAV_CHECK_LT(s.value(), num_states());
+  return state_names_[s.value()];
 }
 
 StateId RegisterAutomaton::FindState(const std::string& name) const {
-  for (StateId s = 0; s < num_states(); ++s) {
-    if (state_names_[s] == name) return s;
+  for (StateId s : States()) {
+    if (state_names_[s.value()] == name) return s;
   }
-  return -1;
+  return StateId::Invalid();
 }
 
 std::vector<StateId> RegisterAutomaton::InitialStates() const {
   std::vector<StateId> out;
-  for (StateId s = 0; s < num_states(); ++s) {
-    if (initial_[s]) out.push_back(s);
+  for (StateId s : States()) {
+    if (initial_[s.value()]) out.push_back(s);
   }
   return out;
 }
@@ -96,8 +96,7 @@ const RaTransition& RegisterAutomaton::transition(int index) const {
 }
 
 bool RegisterAutomaton::IsStateDriven() const {
-  for (StateId s = 0; s < num_states(); ++s) {
-    const std::vector<int>& out = transitions_from_[s];
+  for (const std::vector<int>& out : transitions_from_) {
     for (size_t i = 1; i < out.size(); ++i) {
       if (!(transitions_[out[i]].guard == transitions_[out[0]].guard)) {
         return false;
@@ -133,16 +132,16 @@ std::string RegisterAutomaton::ToString() const {
   std::ostringstream out;
   out << "RegisterAutomaton(k=" << num_registers_ << ", "
       << schema_.ToString() << ")\n";
-  for (StateId s = 0; s < num_states(); ++s) {
-    out << "  state " << state_names_[s];
-    if (initial_[s]) out << " [initial]";
-    if (final_[s]) out << " [final]";
+  for (StateId s : States()) {
+    out << "  state " << state_names_[s.value()];
+    if (initial_[s.value()]) out << " [initial]";
+    if (final_[s.value()]) out << " [final]";
     out << "\n";
   }
   for (const RaTransition& t : transitions_) {
-    out << "  " << state_names_[t.from] << " --{"
+    out << "  " << state_names_[t.from.value()] << " --{"
         << t.guard.ToString(schema_, num_registers_) << "}--> "
-        << state_names_[t.to] << "\n";
+        << state_names_[t.to.value()] << "\n";
   }
   return out.str();
 }

@@ -6,21 +6,19 @@
 
 #include "base/source_location.h"
 #include "base/status.h"
+#include "base/strong_id.h"
 #include "relational/schema.h"
 #include "types/type.h"
 
 namespace rav {
 
-// Dense id of a control state of a register automaton.
-using StateId = int;
-
 // A transition (p, δ, q): from state p, the registers may evolve from x̄
 // to ȳ in any way satisfying the σ-type δ (evaluated against the
 // database), landing in state q.
 struct RaTransition {
-  StateId from = -1;
+  StateId from;
   Type guard;
-  StateId to = -1;
+  StateId to;
 };
 
 // A database-driven register automaton A = (k, σ, Q, I, F, Δ) with Büchi
@@ -31,6 +29,9 @@ struct RaTransition {
 //
 // The "no database" automata of Sections 4–5 are the special case of an
 // empty schema.
+//
+// State ids are the strong StateId type (base/strong_id.h): dense indices
+// minted by AddState, iterable via States().
 class RegisterAutomaton {
  public:
   RegisterAutomaton(int num_registers, Schema schema);
@@ -61,14 +62,17 @@ class RegisterAutomaton {
   // --- inspection ---
   int num_states() const { return static_cast<int>(state_names_.size()); }
   int num_transitions() const { return static_cast<int>(transitions_.size()); }
+  // The dense state id space, iterable: `for (StateId q : a.States())`.
+  IdRange<StateId> States() const { return IdRange<StateId>(num_states()); }
   const std::string& state_name(StateId s) const;
+  // StateId::Invalid() when no state has that name.
   StateId FindState(const std::string& name) const;
-  bool IsInitial(StateId s) const { return initial_[s]; }
-  bool IsFinal(StateId s) const { return final_[s]; }
+  bool IsInitial(StateId s) const { return initial_[s.value()]; }
+  bool IsFinal(StateId s) const { return final_[s.value()]; }
   std::vector<StateId> InitialStates() const;
   const RaTransition& transition(int index) const;
   const std::vector<int>& TransitionsFrom(StateId s) const {
-    return transitions_from_[s];
+    return transitions_from_[s.value()];
   }
 
   // At most one distinct guard per state (Section 2's state-driven

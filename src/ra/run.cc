@@ -100,7 +100,8 @@ ptrdiff_t FirstGuardFailure(const RegisterAutomaton& automaton,
   // Bucket positions by guard id.
   std::vector<std::vector<int>> positions_of(guards.tables->num_guards());
   for (size_t n = 0; n < limit; ++n) {
-    positions_of[guards.guard_id_of_transition[run.transition_indices[n]]]
+    positions_of[guards.guard_id_of_transition[run.transition_indices[n]]
+                     .value()]
         .push_back(static_cast<int>(n));
   }
   ptrdiff_t first_fail = -1;
@@ -121,7 +122,8 @@ ptrdiff_t FirstGuardFailure(const RegisterAutomaton& automaton,
       }
     }
     ok.assign(count, 1);
-    guards.tables->EvalBatch(gid, soa.data(), count, db, ok.data(), stats);
+    guards.tables->EvalBatch(GuardId(gid), soa.data(), count, db, ok.data(),
+                             stats);
     for (size_t i = 0; i < count; ++i) {
       if (!ok[i] && (first_fail < 0 || positions[i] < first_fail)) {
         first_fail = positions[i];

@@ -9,9 +9,9 @@ namespace rav {
 Result<RegisterAutomaton> Completed(const RegisterAutomaton& automaton,
                                     size_t max_transitions) {
   RegisterAutomaton out(automaton.num_registers(), automaton.schema());
-  for (StateId s = 0; s < automaton.num_states(); ++s) {
+  for (StateId s : automaton.States()) {
     StateId id = out.AddState(automaton.state_name(s));
-    RAV_CHECK_EQ(id, s);
+    RAV_CHECK_EQ(id.value(), s.value());
     out.SetInitial(s, automaton.IsInitial(s));
     out.SetFinal(s, automaton.IsFinal(s));
   }
@@ -51,23 +51,23 @@ RegisterAutomaton MakeStateDriven(const RegisterAutomaton& automaton,
   };
 
   RegisterAutomaton out(automaton.num_registers(), automaton.schema());
-  // pair_state[q][gi] = new state id or -1.
+  // pair_state[q][gi] = new state id or StateId::Invalid().
   std::vector<std::vector<StateId>> pair_state(
-      automaton.num_states(), std::vector<StateId>(guards.size(), -1));
+      automaton.num_states(), std::vector<StateId>(guards.size()));
   for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
     const RaTransition& t = automaton.transition(ti);
     int gi = guard_index(t.guard);
-    if (pair_state[t.from][gi] < 0) {
+    if (!pair_state[t.from.value()][gi].valid()) {
       // The guard index is appended with a regex-identifier-safe
       // separator so state names remain usable in constraint expressions.
       StateId s = out.AddState(automaton.state_name(t.from) + "_g" +
                                std::to_string(gi));
-      pair_state[t.from][gi] = s;
+      pair_state[t.from.value()][gi] = s;
       out.SetInitial(s, automaton.IsInitial(t.from));
       out.SetFinal(s, automaton.IsFinal(t.from));
       if (origin_of != nullptr) {
-        origin_of->resize(s + 1, -1);
-        (*origin_of)[s] = t.from;
+        origin_of->resize(s.value() + 1, StateId::Invalid());
+        (*origin_of)[s.value()] = t.from;
       }
     }
   }
@@ -75,10 +75,10 @@ RegisterAutomaton MakeStateDriven(const RegisterAutomaton& automaton,
   for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
     const RaTransition& t = automaton.transition(ti);
     int gi = guard_index(t.guard);
-    StateId from = pair_state[t.from][gi];
+    StateId from = pair_state[t.from.value()][gi];
     for (size_t gj = 0; gj < guards.size(); ++gj) {
-      StateId to = pair_state[t.to][gj];
-      if (to >= 0) out.AddTransition(from, t.guard, to);
+      StateId to = pair_state[t.to.value()][gj];
+      if (to.valid()) out.AddTransition(from, t.guard, to);
     }
   }
   return out;
@@ -90,14 +90,14 @@ RegisterAutomaton TrimToLiveStates(const RegisterAutomaton& automaton) {
   std::vector<bool> reachable(n, false);
   {
     std::vector<StateId> stack = automaton.InitialStates();
-    for (StateId s : stack) reachable[s] = true;
+    for (StateId s : stack) reachable[s.value()] = true;
     while (!stack.empty()) {
       StateId s = stack.back();
       stack.pop_back();
       for (int ti : automaton.TransitionsFrom(s)) {
         StateId t = automaton.transition(ti).to;
-        if (!reachable[t]) {
-          reachable[t] = true;
+        if (!reachable[t.value()]) {
+          reachable[t.value()] = true;
           stack.push_back(t);
         }
       }
@@ -110,8 +110,8 @@ RegisterAutomaton TrimToLiveStates(const RegisterAutomaton& automaton) {
     std::vector<StateId> stack;
     for (int ti : automaton.TransitionsFrom(from)) {
       StateId t = automaton.transition(ti).to;
-      if (reachable[t] && !seen[t]) {
-        seen[t] = true;
+      if (reachable[t.value()] && !seen[t.value()]) {
+        seen[t.value()] = true;
         stack.push_back(t);
       }
     }
@@ -121,8 +121,8 @@ RegisterAutomaton TrimToLiveStates(const RegisterAutomaton& automaton) {
       if (s == target) return true;
       for (int ti : automaton.TransitionsFrom(s)) {
         StateId t = automaton.transition(ti).to;
-        if (reachable[t] && !seen[t]) {
-          seen[t] = true;
+        if (reachable[t.value()] && !seen[t.value()]) {
+          seen[t.value()] = true;
           stack.push_back(t);
         }
       }
@@ -130,30 +130,32 @@ RegisterAutomaton TrimToLiveStates(const RegisterAutomaton& automaton) {
     return false;
   };
   std::vector<bool> live_final(n, false);
-  for (StateId f = 0; f < n; ++f) {
-    if (reachable[f] && automaton.IsFinal(f)) live_final[f] = reaches(f, f);
+  for (StateId f : automaton.States()) {
+    if (reachable[f.value()] && automaton.IsFinal(f)) {
+      live_final[f.value()] = reaches(f, f);
+    }
   }
   // Backward reachability to a live final state.
   std::vector<std::vector<StateId>> reverse(n);
   for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
     const RaTransition& t = automaton.transition(ti);
-    reverse[t.to].push_back(t.from);
+    reverse[t.to.value()].push_back(t.from);
   }
   std::vector<bool> coreachable(n, false);
   {
     std::vector<StateId> stack;
-    for (StateId f = 0; f < n; ++f) {
-      if (live_final[f]) {
-        coreachable[f] = true;
+    for (StateId f : automaton.States()) {
+      if (live_final[f.value()]) {
+        coreachable[f.value()] = true;
         stack.push_back(f);
       }
     }
     while (!stack.empty()) {
       StateId s = stack.back();
       stack.pop_back();
-      for (StateId p : reverse[s]) {
-        if (!coreachable[p]) {
-          coreachable[p] = true;
+      for (StateId p : reverse[s.value()]) {
+        if (!coreachable[p.value()]) {
+          coreachable[p.value()] = true;
           stack.push_back(p);
         }
       }
@@ -161,17 +163,17 @@ RegisterAutomaton TrimToLiveStates(const RegisterAutomaton& automaton) {
   }
 
   RegisterAutomaton out(automaton.num_registers(), automaton.schema());
-  std::vector<StateId> new_id(n, -1);
-  for (StateId s = 0; s < n; ++s) {
-    if (!reachable[s] || !coreachable[s]) continue;
-    new_id[s] = out.AddState(automaton.state_name(s));
-    out.SetInitial(new_id[s], automaton.IsInitial(s));
-    out.SetFinal(new_id[s], automaton.IsFinal(s));
+  std::vector<StateId> new_id(n);
+  for (StateId s : automaton.States()) {
+    if (!reachable[s.value()] || !coreachable[s.value()]) continue;
+    new_id[s.value()] = out.AddState(automaton.state_name(s));
+    out.SetInitial(new_id[s.value()], automaton.IsInitial(s));
+    out.SetFinal(new_id[s.value()], automaton.IsFinal(s));
   }
   for (int ti = 0; ti < automaton.num_transitions(); ++ti) {
     const RaTransition& t = automaton.transition(ti);
-    if (new_id[t.from] >= 0 && new_id[t.to] >= 0) {
-      out.AddTransition(new_id[t.from], t.guard, new_id[t.to]);
+    if (new_id[t.from.value()].valid() && new_id[t.to.value()].valid()) {
+      out.AddTransition(new_id[t.from.value()], t.guard, new_id[t.to.value()]);
     }
   }
   return out;
@@ -185,21 +187,21 @@ RegisterAutomaton PruneFrontierIncompatibleTransitions(
   // transitions accept any incoming frontier).
   std::vector<const Type*> guard_of(state_driven.num_states(), nullptr);
   for (int ti = 0; ti < state_driven.num_transitions(); ++ti) {
-    guard_of[state_driven.transition(ti).from] =
+    guard_of[state_driven.transition(ti).from.value()] =
         &state_driven.transition(ti).guard;
   }
   RegisterAutomaton out(k, state_driven.schema());
-  for (StateId s = 0; s < state_driven.num_states(); ++s) {
+  for (StateId s : state_driven.States()) {
     StateId id = out.AddState(state_driven.state_name(s));
-    RAV_CHECK_EQ(id, s);
+    RAV_CHECK_EQ(id.value(), s.value());
     out.SetInitial(s, state_driven.IsInitial(s));
     out.SetFinal(s, state_driven.IsFinal(s));
   }
   for (int ti = 0; ti < state_driven.num_transitions(); ++ti) {
     const RaTransition& t = state_driven.transition(ti);
-    if (guard_of[t.to] != nullptr) {
+    if (guard_of[t.to.value()] != nullptr) {
       Type frontier = RestrictToYAsX(t.guard, k);
-      Type next_x = RestrictToX(*guard_of[t.to], k);
+      Type next_x = RestrictToX(*guard_of[t.to.value()], k);
       if (!frontier.Conjoin(next_x).ok()) continue;  // dead transition
     }
     out.AddTransition(t.from, t.guard, t.to);
@@ -221,9 +223,9 @@ RegisterAutomaton PermuteRegisters(const RegisterAutomaton& automaton,
   for (int i = 0; i < k; ++i) inverse[permutation[i]] = i;
 
   RegisterAutomaton out(k, automaton.schema());
-  for (StateId s = 0; s < automaton.num_states(); ++s) {
+  for (StateId s : automaton.States()) {
     StateId id = out.AddState(automaton.state_name(s));
-    RAV_CHECK_EQ(id, s);
+    RAV_CHECK_EQ(id.value(), s.value());
     out.SetInitial(s, automaton.IsInitial(s));
     out.SetFinal(s, automaton.IsFinal(s));
   }
@@ -241,15 +243,19 @@ RegisterAutomaton PermuteRegisters(const RegisterAutomaton& automaton,
       if (rep[c] < 0) {
         rep[c] = e;
       } else {
-        builder.AddEq(map_element(rep[c]), map_element(e));
+        builder.AddEq(ElementIndex(map_element(rep[c])),
+                      ElementIndex(map_element(e)));
       }
     }
     for (const auto& [c1, c2] : t.guard.disequalities()) {
-      builder.AddNeq(map_element(rep[c1]), map_element(rep[c2]));
+      builder.AddNeq(ElementIndex(map_element(rep[c1])),
+                     ElementIndex(map_element(rep[c2])));
     }
     for (const TypeAtom& atom : t.guard.atoms()) {
-      std::vector<int> elems;
-      for (int c : atom.args) elems.push_back(map_element(rep[c]));
+      std::vector<ElementIndex> elems;
+      for (int c : atom.args) {
+        elems.push_back(ElementIndex(map_element(rep[c])));
+      }
       builder.AddAtom(atom.relation, std::move(elems), atom.positive);
     }
     Result<Type> guard = builder.Build();

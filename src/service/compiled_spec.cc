@@ -39,8 +39,8 @@ Result<ExtendedAutomaton> CompletedEra(const ExtendedAutomaton& era,
   }
   ExtendedAutomaton subject(std::move(completed));
   for (const GlobalConstraint& c : era.constraints()) {
-    RAV_RETURN_IF_ERROR(subject.AddConstraintDfa(c.i, c.j, c.is_equality,
-                                                 c.dfa, c.description));
+    RAV_RETURN_IF_ERROR(subject.AddConstraintDfa(
+        RegisterPair{c.i, c.j}, c.is_equality, c.dfa, c.description));
   }
   return subject;
 }

@@ -87,7 +87,8 @@ class EqualityCompletionEnumerator {
     std::vector<bool> group_has_var(groups_.size(), false);
     for (size_t g = 0; g < groups_.size(); ++g) {
       for (size_t i = 1; i < groups_[g].size(); ++i) {
-        builder.AddEq(rep_[groups_[g][0]], rep_[groups_[g][i]]);
+        builder.AddEq(ElementIndex(rep_[groups_[g][0]]),
+                      ElementIndex(rep_[groups_[g][i]]));
       }
       for (int c : groups_[g]) group_has_var[g] = group_has_var[g] || class_has_var_[c];
     }
@@ -96,7 +97,8 @@ class EqualityCompletionEnumerator {
     for (size_t g1 = 0; g1 < groups_.size(); ++g1) {
       for (size_t g2 = g1 + 1; g2 < groups_.size(); ++g2) {
         if (!group_has_var[g1] && !group_has_var[g2]) continue;
-        builder.AddNeq(rep_[groups_[g1][0]], rep_[groups_[g2][0]]);
+        builder.AddNeq(ElementIndex(rep_[groups_[g1][0]]),
+                       ElementIndex(rep_[groups_[g2][0]]));
       }
     }
     Result<Type> completed = builder.Build();
@@ -193,9 +195,9 @@ size_t EnumerateCompletions(const Type& t, const Schema& schema,
       TypeBuilder builder(t.num_vars(), t.num_constants());
       builder.AddAll(eq_complete);
       for (size_t i = 0; i < missing.size(); ++i) {
-        std::vector<int> elems;
+        std::vector<ElementIndex> elems;
         elems.reserve(missing[i].args.size());
-        for (int c : missing[i].args) elems.push_back(rep[c]);
+        for (int c : missing[i].args) elems.push_back(ElementIndex(rep[c]));
         builder.AddAtom(missing[i].relation, std::move(elems), signs[i]);
       }
       Result<Type> full = builder.Build();

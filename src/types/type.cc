@@ -160,16 +160,17 @@ Type Type::Restrict(const std::vector<bool>& keep_var) const {
     if (members[c].empty()) continue;
     survivor_rep[c] = members[c][0];
     for (size_t i = 1; i < members[c].size(); ++i) {
-      builder.AddEq(members[c][0], members[c][i]);
+      builder.AddEq(ElementIndex(members[c][0]), ElementIndex(members[c][i]));
     }
   }
   for (const auto& [c1, c2] : diseqs_) {
     if (survivor_rep[c1] >= 0 && survivor_rep[c2] >= 0) {
-      builder.AddNeq(survivor_rep[c1], survivor_rep[c2]);
+      builder.AddNeq(ElementIndex(survivor_rep[c1]),
+                     ElementIndex(survivor_rep[c2]));
     }
   }
   for (const TypeAtom& a : atoms_) {
-    std::vector<int> elems;
+    std::vector<ElementIndex> elems;
     elems.reserve(a.args.size());
     bool all_survive = true;
     for (int c : a.args) {
@@ -177,7 +178,7 @@ Type Type::Restrict(const std::vector<bool>& keep_var) const {
         all_survive = false;
         break;
       }
-      elems.push_back(survivor_rep[c]);
+      elems.push_back(ElementIndex(survivor_rep[c]));
     }
     if (all_survive) builder.AddAtom(a.relation, std::move(elems), a.positive);
   }
@@ -291,19 +292,23 @@ TypeBuilder::TypeBuilder(int num_vars, int num_constants)
   RAV_CHECK_GE(num_constants, 0);
 }
 
-TypeBuilder& TypeBuilder::AddEq(int element_a, int element_b) {
-  eqs_.emplace_back(element_a, element_b);
+TypeBuilder& TypeBuilder::AddEq(ElementIndex lhs, ElementIndex rhs) {
+  eqs_.emplace_back(lhs.value(), rhs.value());
   return *this;
 }
 
-TypeBuilder& TypeBuilder::AddNeq(int element_a, int element_b) {
-  neqs_.emplace_back(element_a, element_b);
+TypeBuilder& TypeBuilder::AddNeq(ElementIndex lhs, ElementIndex rhs) {
+  neqs_.emplace_back(lhs.value(), rhs.value());
   return *this;
 }
 
 TypeBuilder& TypeBuilder::AddAtom(RelationId relation,
-                                  std::vector<int> elements, bool positive) {
-  raw_atoms_.push_back(RawAtom{relation, std::move(elements), positive});
+                                  std::vector<ElementIndex> elements,
+                                  bool positive) {
+  RawAtom atom{relation, {}, positive};
+  atom.elements.reserve(elements.size());
+  for (ElementIndex e : elements) atom.elements.push_back(e.value());
+  raw_atoms_.push_back(std::move(atom));
   return *this;
 }
 
@@ -317,16 +322,16 @@ TypeBuilder& TypeBuilder::AddAll(const Type& t) {
     if (rep[c] < 0) {
       rep[c] = e;
     } else {
-      AddEq(rep[c], e);
+      AddEq(ElementIndex(rep[c]), ElementIndex(e));
     }
   }
   for (const auto& [c1, c2] : t.disequalities()) {
-    AddNeq(rep[c1], rep[c2]);
+    AddNeq(ElementIndex(rep[c1]), ElementIndex(rep[c2]));
   }
   for (const TypeAtom& a : t.atoms()) {
-    std::vector<int> elems;
+    std::vector<ElementIndex> elems;
     elems.reserve(a.args.size());
-    for (int c : a.args) elems.push_back(rep[c]);
+    for (int c : a.args) elems.push_back(ElementIndex(rep[c]));
     AddAtom(a.relation, std::move(elems), a.positive);
   }
   return *this;
@@ -422,16 +427,18 @@ Type EmbedTransition(const Type& delta, int k_old, int k_new) {
     if (rep[c] < 0) {
       rep[c] = e;
     } else {
-      builder.AddEq(map_element(rep[c]), map_element(e));
+      builder.AddEq(ElementIndex(map_element(rep[c])),
+                    ElementIndex(map_element(e)));
     }
   }
   for (const auto& [c1, c2] : delta.disequalities()) {
-    builder.AddNeq(map_element(rep[c1]), map_element(rep[c2]));
+    builder.AddNeq(ElementIndex(map_element(rep[c1])),
+                   ElementIndex(map_element(rep[c2])));
   }
   for (const TypeAtom& a : delta.atoms()) {
-    std::vector<int> elems;
+    std::vector<ElementIndex> elems;
     elems.reserve(a.args.size());
-    for (int c : a.args) elems.push_back(map_element(rep[c]));
+    for (int c : a.args) elems.push_back(ElementIndex(map_element(rep[c])));
     builder.AddAtom(a.relation, std::move(elems), a.positive);
   }
   Result<Type> out = builder.Build();

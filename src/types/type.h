@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "base/strong_id.h"
 #include "base/union_find.h"
 #include "base/value.h"
 #include "relational/database.h"
@@ -134,14 +135,17 @@ class TypeBuilder {
   }
 
   // x-variable i (0-based register index) and y-variable i as element ids,
-  // assuming the 2k-variable transition layout.
-  int X(int i) const { return i; }
-  int Y(int i) const { return num_vars_ / 2 + i; }
-  int Const(ConstantId c) const { return num_vars_ + c; }
+  // assuming the 2k-variable transition layout. The strong ElementIndex
+  // return type is what keeps AddEq(X(i), Y(j)) un-swappable with the raw
+  // register indices feeding it.
+  ElementIndex X(int i) const { return ElementIndex(i); }
+  ElementIndex Y(int i) const { return ElementIndex(num_vars_ / 2 + i); }
+  ElementIndex Const(ConstantId c) const { return ElementIndex(num_vars_ + c); }
 
-  TypeBuilder& AddEq(int element_a, int element_b);
-  TypeBuilder& AddNeq(int element_a, int element_b);
-  TypeBuilder& AddAtom(RelationId relation, std::vector<int> elements,
+  // lhs/rhs are symmetric: both literals are unordered pairs.
+  TypeBuilder& AddEq(ElementIndex lhs, ElementIndex rhs);
+  TypeBuilder& AddNeq(ElementIndex lhs, ElementIndex rhs);
+  TypeBuilder& AddAtom(RelationId relation, std::vector<ElementIndex> elements,
                        bool positive);
 
   // Conjoins all literals of `t` (over the same element space).

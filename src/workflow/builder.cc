@@ -88,7 +88,7 @@ WorkflowBuilder::Guard& WorkflowBuilder::Guard::Same(
     const std::string& ref_a, const std::string& ref_b) {
   int a = Resolve(ref_a);
   int b = Resolve(ref_b);
-  if (a >= 0 && b >= 0) builder_.AddEq(a, b);
+  if (a >= 0 && b >= 0) builder_.AddEq(ElementIndex(a), ElementIndex(b));
   return *this;
 }
 
@@ -96,7 +96,7 @@ WorkflowBuilder::Guard& WorkflowBuilder::Guard::Different(
     const std::string& ref_a, const std::string& ref_b) {
   int a = Resolve(ref_a);
   int b = Resolve(ref_b);
-  if (a >= 0 && b >= 0) builder_.AddNeq(a, b);
+  if (a >= 0 && b >= 0) builder_.AddNeq(ElementIndex(a), ElementIndex(b));
   return *this;
 }
 
@@ -114,11 +114,11 @@ void WorkflowBuilder::Guard::AddAtom(const std::string& relation,
         "workflow guard: arity mismatch for relation " + relation);
     return;
   }
-  std::vector<int> elements;
+  std::vector<ElementIndex> elements;
   for (const std::string& ref : refs) {
     int e = Resolve(ref);
     if (e < 0) return;
-    elements.push_back(e);
+    elements.push_back(ElementIndex(e));
   }
   builder_.AddAtom(rel, std::move(elements), positive);
 }

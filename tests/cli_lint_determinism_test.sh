@@ -1,0 +1,72 @@
+#!/bin/sh
+# Determinism gate for the lint pipeline (docs/linting.md): diagnostics
+# are sorted by (line, column, code) at every public entry point, so
+#   * two `lint --json` runs over the same files are byte-identical, and
+#   * `batch` lint requests produce the same per-request responses no
+#     matter how many worker threads race over them.
+#
+# Usage: cli_lint_determinism_test.sh <rav_cli> <fixture.rav> <scratch-dir>
+set -u
+
+CLI="$1"
+FIXTURE="$2"
+WORK="$3"
+mkdir -p "$WORK"
+
+fail() {
+  echo "cli_lint_determinism_test: FAIL: $1" >&2
+  exit 1
+}
+
+DATA_DIR=$(dirname "$FIXTURE")
+
+# --- lint --json: byte-identical across runs ----------------------------
+"$CLI" lint --json "$FIXTURE" "$DATA_DIR/ping_pong.rav" \
+  "$DATA_DIR/fresh_forever.rav" >"$WORK/run1.json" 2>/dev/null
+"$CLI" lint --json "$FIXTURE" "$DATA_DIR/ping_pong.rav" \
+  "$DATA_DIR/fresh_forever.rav" >"$WORK/run2.json" 2>/dev/null
+cmp -s "$WORK/run1.json" "$WORK/run2.json" ||
+  fail "two identical 'lint --json' runs differ"
+
+# --- batch lint: thread-count independent -------------------------------
+# Eight lint requests over the two fixture specs; responses arrive in
+# completion order, so compare the sorted response sets. The payloads
+# (per-request diagnostic lists) must match byte-for-byte between a
+# single-threaded and a four-threaded run.
+REQUESTS="$WORK/requests.jsonl"
+: >"$REQUESTS"
+dirty_spec=$(awk '{printf "%s\\n", $0}' "$FIXTURE")
+clean_spec=$(awk '{printf "%s\\n", $0}' "$DATA_DIR/ping_pong.rav")
+i=1
+while [ "$i" -le 4 ]; do
+  printf '{"id":"d%d","op":"lint","spec":"%s"}\n' "$i" "$dirty_spec" \
+    >>"$REQUESTS"
+  printf '{"id":"c%d","op":"lint","spec":"%s"}\n' "$i" "$clean_spec" \
+    >>"$REQUESTS"
+  i=$((i + 1))
+done
+
+# Wall-clock timings and cache hit/miss flags legitimately vary between
+# runs (with 4 threads the identical specs race to populate the cache);
+# everything else — above all the diagnostic lists — must not.
+normalize() {
+  sed -E 's/"wall_ms":[0-9.eE+-]+/"wall_ms":0/g
+          s/"cache_hit":(true|false)/"cache_hit":x/g' | sort
+}
+
+"$CLI" batch --threads 1 "$REQUESTS" 2>/dev/null |
+  normalize >"$WORK/threads1.out"
+"$CLI" batch --threads 4 "$REQUESTS" 2>/dev/null |
+  normalize >"$WORK/threads4.out"
+
+[ -s "$WORK/threads1.out" ] || fail "single-threaded batch produced no output"
+cmp -s "$WORK/threads1.out" "$WORK/threads4.out" ||
+  fail "batch lint responses differ between --threads 1 and --threads 4"
+
+# The dirty spec's responses must actually carry the flow findings (the
+# comparison above would also pass on two identically-empty outputs).
+grep -q 'RAV012' "$WORK/threads1.out" ||
+  fail "batch lint response lacks the fixture's RAV012 findings"
+
+echo "cli_lint_determinism_test: PASS"
+exit 0

@@ -1,0 +1,57 @@
+#!/bin/sh
+# Gate for `rav_cli lint --sarif` (docs/linting.md): lints the known-dirty
+# flow fixture and checks that the output is a SARIF 2.1.0 log carrying
+# the flow-sensitive findings (RAV011/012/013) with rule metadata and
+# region information, and that the exit code still reflects the worst
+# severity (1 = warnings).
+#
+# Usage: cli_lint_sarif_test.sh <rav_cli> <fixture.rav> <scratch-dir>
+set -u
+
+CLI="$1"
+FIXTURE="$2"
+WORK="$3"
+mkdir -p "$WORK"
+
+fail() {
+  echo "cli_lint_sarif_test: FAIL: $1" >&2
+  exit 1
+}
+
+SARIF="$WORK/lint.sarif"
+"$CLI" lint --sarif "$FIXTURE" >"$SARIF" 2>"$WORK/stderr"
+status=$?
+[ "$status" -eq 1 ] || fail "expected exit 1 (warnings), got $status"
+
+require() {
+  grep -q "$1" "$SARIF" || fail "SARIF log lacks $2"
+}
+
+require '"\$schema": "https://json.schemastore.org/sarif-2.1.0.json"' \
+  "the 2.1.0 \$schema reference"
+require '"version": "2.1.0"' "the version marker"
+require '"name": "rav lint"' "the tool driver name"
+require '"id": "RAV011"' "a rule entry for RAV011"
+require '"id": "RAV012"' "a rule entry for RAV012"
+require '"id": "RAV013"' "a rule entry for RAV013"
+require '"ruleId": "RAV011"' "an RAV011 result"
+require '"ruleId": "RAV012"' "an RAV012 result"
+require '"ruleId": "RAV013"' "an RAV013 result"
+require '"level": "warning"' "warning-level results"
+require '"level": "note"' "the note-level RAV011 result"
+require '"startLine"' "region line information"
+require '"artifactLocation"' "artifact locations"
+
+# The three RAV012 findings of the fixture must all be present.
+rav012=$(grep -c '"ruleId": "RAV012"' "$SARIF")
+[ "$rav012" -eq 3 ] || fail "expected 3 RAV012 results, got $rav012"
+
+# A clean spec must produce an empty results array and exit 0.
+CLEAN="$WORK/clean.sarif"
+if ! "$CLI" lint --sarif "$(dirname "$FIXTURE")/ping_pong.rav" >"$CLEAN"; then
+  fail "clean fixture should exit 0 under --sarif"
+fi
+grep -q '"results": \[\]' "$CLEAN" || fail "clean spec should have no results"
+
+echo "cli_lint_sarif_test: PASS"
+exit 0

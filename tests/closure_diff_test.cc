@@ -59,8 +59,9 @@ RandomInstance MakeInstance(std::mt19937& rng) {
   std::uniform_int_distribution<int> coin(0, 1);
   const int nc = num_constraints_dist(rng);
   for (int c = 0; c < nc; ++c) {
-    EXPECT_TRUE(era.AddConstraintDfa(reg_pick(rng), reg_pick(rng),
-                                     /*is_equality=*/coin(rng) == 1,
+    const RegisterPair regs{RegisterId(reg_pick(rng)),
+                            RegisterId(reg_pick(rng))};
+    EXPECT_TRUE(era.AddConstraintDfa(regs, /*is_equality=*/coin(rng) == 1,
                                      RandomConstraintDfa(rng, num_states))
                     .ok());
   }

@@ -18,14 +18,14 @@ TEST(CompletionTest, TrivialTypeCountsAreBellNumbers) {
 
 TEST(CompletionTest, ForcedEqualityReducesCount) {
   TypeBuilder b(3, 0);
-  b.AddEq(0, 1);
+  b.AddEq(ElementIndex(0), ElementIndex(1));
   // v0=v1 glued: partitions of {v0v1, v2} = 2.
   EXPECT_EQ(CountEqualityCompletions(b.Build().value()), 2u);
 }
 
 TEST(CompletionTest, DisequalityPrunesPartitions) {
   TypeBuilder b(3, 0);
-  b.AddNeq(0, 1);
+  b.AddNeq(ElementIndex(0), ElementIndex(1));
   // Partitions of 3 elements where 0,1 separated: 5 - 2 = ... partitions
   // of {0,1,2}: {012},{01|2},{02|1},{0|12},{0|1|2}; excluded those merging
   // 0,1: {012},{01|2} -> 3 remain.
@@ -34,7 +34,7 @@ TEST(CompletionTest, DisequalityPrunesPartitions) {
 
 TEST(CompletionTest, CompletionsAreEqualityComplete) {
   TypeBuilder b(3, 0);
-  b.AddEq(0, 1);
+  b.AddEq(ElementIndex(0), ElementIndex(1));
   for (const Type& c : EqualityCompletions(b.Build().value())) {
     EXPECT_TRUE(c.IsEqualityComplete());
     EXPECT_TRUE(c.AreEqual(0, 1));  // extension preserves original literals
@@ -86,7 +86,7 @@ TEST(CompletionTest, FullCompletionAddsAllAtoms) {
   Schema s;
   s.AddRelation("P", 1);
   TypeBuilder b(2, 0);
-  b.AddNeq(0, 1);
+  b.AddNeq(ElementIndex(0), ElementIndex(1));
   // Equality part fixed (2 classes). Atoms: P on each class undecided:
   // 2 classes -> 4 sign assignments.
   std::vector<Type> cs = Completions(b.Build().value(), s);
@@ -108,7 +108,7 @@ TEST(CompletionTest, MergeRespectingAtomsPrunesContradictions) {
   Schema s;
   s.AddRelation("P", 1);
   TypeBuilder b(2, 0);
-  b.AddAtom(0, {0}, true).AddAtom(0, {1}, false);
+  b.AddAtom(0, {ElementIndex(0)}, true).AddAtom(0, {ElementIndex(1)}, false);
   // P(v0) ∧ ¬P(v1) forbids merging v0, v1: only the separated partition
   // survives, with all atoms already settled.
   std::vector<Type> cs = Completions(b.Build().value(), s);
@@ -126,7 +126,7 @@ TEST(CompletionTest, BinaryRelationAtomCount) {
   Schema s;
   s.AddRelation("E", 2);
   TypeBuilder b(2, 0);
-  b.AddNeq(0, 1);
+  b.AddNeq(ElementIndex(0), ElementIndex(1));
   // 2 classes, binary relation: 4 class tuples -> 16 completions.
   std::vector<Type> cs = Completions(b.Build().value(), s);
   EXPECT_EQ(cs.size(), 16u);

@@ -15,6 +15,7 @@
 #include "ra/simulate.h"
 #include "ra/transform.h"
 #include "types/type.h"
+#include "test_util.h"
 
 namespace rav {
 namespace {
@@ -81,10 +82,13 @@ TEST(Lemma21ConstantsTest, EqualityThroughConstantIsNonContiguous) {
   auto propagation = PropagationAutomata::Build(a);
   ASSERT_TRUE(propagation.ok()) << propagation.status().ToString();
   // Factor even odd even: positions 0 and 2 both equal c -> related.
-  EXPECT_TRUE(propagation->EqualityDfa(0, 0).Accepts({even, odd, even}));
+  EXPECT_TRUE(propagation->EqualityDfa(0, 0).Accepts(
+      {even.value(), odd.value(), even.value()}));
   // Factor even odd: position 0 = c, position 1 ≠ c -> forced distinct.
-  EXPECT_TRUE(propagation->InequalityDfa(0, 0).Accepts({even, odd}));
-  EXPECT_FALSE(propagation->EqualityDfa(0, 0).Accepts({even, odd}));
+  EXPECT_TRUE(
+      propagation->InequalityDfa(0, 0).Accepts({even.value(), odd.value()}));
+  EXPECT_FALSE(
+      propagation->EqualityDfa(0, 0).Accepts({even.value(), odd.value()}));
 }
 
 // --- LassoRun accessors ---
@@ -92,7 +96,7 @@ TEST(Lemma21ConstantsTest, EqualityThroughConstantIsNonContiguous) {
 TEST(LassoRunTest, AccessorsUnrollCorrectly) {
   LassoRun lasso;
   lasso.spine.values = {{10}, {20}, {30}};
-  lasso.spine.states = {0, 1, 2};
+  lasso.spine.states = testing::StateIds({0, 1, 2});
   lasso.spine.transition_indices = {100, 101};
   lasso.cycle_start = 1;
   lasso.wrap_transition_index = 102;
@@ -100,7 +104,7 @@ TEST(LassoRunTest, AccessorsUnrollCorrectly) {
   EXPECT_EQ(lasso.ValuesAt(0), (ValueTuple{10}));
   EXPECT_EQ(lasso.ValuesAt(3), (ValueTuple{20}));  // 1 + (3-1) % 2
   EXPECT_EQ(lasso.ValuesAt(4), (ValueTuple{30}));
-  EXPECT_EQ(lasso.StateAt(5), 1);
+  EXPECT_EQ(lasso.StateAt(5), StateId(1));
   EXPECT_EQ(lasso.TransitionAt(0), 100);
   EXPECT_EQ(lasso.TransitionAt(1), 101);
   EXPECT_EQ(lasso.TransitionAt(2), 102);  // wrap
@@ -124,9 +128,15 @@ TEST(EnhancedValidationTest, RejectsBadInputs) {
   a.AddState("q");
   EnhancedAutomaton enhanced(a);
   // Register out of range.
-  EXPECT_FALSE(enhanced.AddEqualityConstraint(0, 3, Dfa(1, 1, 0)).ok());
+  EXPECT_FALSE(enhanced
+                   .AddEqualityConstraint(
+                       RegisterPair{RegisterId(0), RegisterId(3)}, Dfa(1, 1, 0))
+                   .ok());
   // Wrong alphabet.
-  EXPECT_FALSE(enhanced.AddEqualityConstraint(0, 0, Dfa(7, 1, 0)).ok());
+  EXPECT_FALSE(enhanced
+                   .AddEqualityConstraint(
+                       RegisterPair{RegisterId(0), RegisterId(0)}, Dfa(7, 1, 0))
+                   .ok());
   // Tuple arity mismatch.
   TupleInequalityConstraint c;
   c.pair_dfa = Dfa(1, 1, 0);
@@ -160,9 +170,9 @@ TEST(ControlAlphabetTest, SymbolLookupAndNames) {
   ControlAlphabet alphabet(a);
   EXPECT_EQ(alphabet.size(), 2);
   EXPECT_EQ(alphabet.SymbolOfTransition(1), alphabet.SymbolOfTransition(2));
-  EXPECT_GE(alphabet.SymbolOf(p, empty), 0);
-  EXPECT_EQ(alphabet.SymbolOf(p, keep), -1);
-  EXPECT_FALSE(alphabet.SymbolName(a, 0).empty());
+  EXPECT_TRUE(alphabet.SymbolOf(p, empty).valid());
+  EXPECT_FALSE(alphabet.SymbolOf(p, keep).valid());
+  EXPECT_FALSE(alphabet.SymbolName(a, SymbolId(0)).empty());
 }
 
 TEST(ControlAlphabetTest, ControlWordOfRun) {
@@ -222,7 +232,7 @@ TEST(RandomAutomatonTest, GeneratedAutomataAreWellFormed) {
     RegisterAutomaton a = RandomAutomaton(rng);
     EXPECT_FALSE(a.InitialStates().empty());
     bool any_final = false;
-    for (StateId s = 0; s < a.num_states(); ++s) {
+    for (StateId s : a.States()) {
       any_final = any_final || a.IsFinal(s);
       EXPECT_FALSE(a.TransitionsFrom(s).empty());
     }

@@ -6,6 +6,7 @@
 #include "enhanced/theorem24.h"
 #include "ra/simulate.h"
 #include "ra/transform.h"
+#include "test_util.h"
 
 namespace rav {
 namespace {
@@ -60,7 +61,7 @@ TEST(EnhancedAutomatonTest, TupleConstraintChecking) {
   }
   FiniteRun run;
   run.values = {{1}, {2}, {3}, {4}};
-  run.states = {0, 0, 0, 0};
+  run.states = testing::StateIds({0, 0, 0, 0});
   run.transition_indices = {0, 0, 0};
   EXPECT_TRUE(CheckEnhancedRunConstraints(enhanced, run).ok());
   run.values[2] = {1};  // position 0 vs 2 now equal
@@ -88,7 +89,7 @@ TEST(EnhancedAutomatonTest, PairConstraintWithOffsets) {
   }
   FiniteRun run;
   run.values = {{1, 0}, {2, 0}, {1, 0}, {3, 0}};
-  run.states = {0, 0, 0, 0};
+  run.states = testing::StateIds({0, 0, 0, 0});
   run.transition_indices = {0, 0, 0};
   // Pairs: (1,2) at 0 vs (1,3) at 2 — differ: OK.
   EXPECT_TRUE(CheckEnhancedRunConstraints(enhanced, run).ok());
@@ -117,7 +118,7 @@ TEST(EnhancedAutomatonTest, SelectedValues) {
   fc.selector = r->ToDfa(2);
   FiniteRun run;
   run.values = {{5}, {6}, {7}, {6}};
-  run.states = {0, 1, 0, 1};
+  run.states = testing::StateIds({0, 1, 0, 1});
   run.transition_indices = {0, 1, 0};
   std::vector<DataValue> vals = SelectedValues(fc, run);
   EXPECT_EQ(vals, (std::vector<DataValue>{5, 7}));
@@ -152,18 +153,18 @@ TEST(Theorem24Test, Example23AlternationEnforced) {
   // projected enhanced automaton must reject such traces...
   FiniteRun bad;
   bad.values = {{7}, {7}, {8}};
-  bad.states = {0, 1, 0};  // guards alternate starting from p
+  bad.states = testing::StateIds({0, 1, 0});  // guards alternate from p
   bad.transition_indices.clear();
   // Recover transition indices from the projected automaton.
   const RegisterAutomaton& b = enhanced->automaton();
   // Map: the state-driven states keep their origin names ("p#0" / "q#1").
-  StateId p_state = -1, q_state = -1;
-  for (StateId s = 0; s < b.num_states(); ++s) {
+  StateId p_state, q_state;
+  for (StateId s : b.States()) {
     if (b.state_name(s)[0] == 'p') p_state = s;
     if (b.state_name(s)[0] == 'q') q_state = s;
   }
-  ASSERT_GE(p_state, 0);
-  ASSERT_GE(q_state, 0);
+  ASSERT_TRUE(p_state.valid());
+  ASSERT_TRUE(q_state.valid());
   bad.states = {p_state, q_state, p_state};
   for (size_t n = 0; n + 1 < bad.states.size(); ++n) {
     int found = -1;
@@ -268,8 +269,8 @@ TEST(Theorem24Test, TernaryExample23NeedsArity2TupleConstraints) {
   // differ from the pair at a ¬E-position. Value 7 followed by 8 at both
   // an even and an odd anchor violates; distinct pairs are fine.
   const RegisterAutomaton& b = enhanced->automaton();
-  StateId bp = -1, bq = -1;
-  for (StateId st = 0; st < b.num_states(); ++st) {
+  StateId bp, bq;
+  for (StateId st : b.States()) {
     if (b.state_name(st)[0] == 'p') bp = st;
     if (b.state_name(st)[0] == 'q') bq = st;
   }

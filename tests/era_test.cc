@@ -27,10 +27,10 @@ TEST(EraTest, Example5ConstraintParses) {
   const Dfa& dfa = era.constraints()[0].dfa;
   StateId p1 = era.automaton().FindState("p1");
   StateId p2 = era.automaton().FindState("p2");
-  EXPECT_TRUE(dfa.Accepts({p1, p1}));
-  EXPECT_TRUE(dfa.Accepts({p1, p2, p2, p1}));
-  EXPECT_FALSE(dfa.Accepts({p1}));
-  EXPECT_FALSE(dfa.Accepts({p2, p1}));
+  EXPECT_TRUE(dfa.Accepts({p1.value(), p1.value()}));
+  EXPECT_TRUE(dfa.Accepts({p1.value(), p2.value(), p2.value(), p1.value()}));
+  EXPECT_FALSE(dfa.Accepts({p1.value()}));
+  EXPECT_FALSE(dfa.Accepts({p2.value(), p1.value()}));
 }
 
 FiniteRun Example5Run(bool satisfy) {
@@ -39,7 +39,7 @@ FiniteRun Example5Run(bool satisfy) {
   FiniteRun run;
   DataValue at_p1 = 7;
   run.values = {{at_p1}, {3}, {4}, {satisfy ? at_p1 : 8}, {5}, {at_p1}};
-  run.states = {0, 1, 1, 0, 1, 0};
+  run.states = testing::StateIds({0, 1, 1, 0, 1, 0});
   run.transition_indices = {0, 1, 2, 0, 2};
   return run;
 }
@@ -59,7 +59,7 @@ TEST(EraTest, LassoRunConstraintChecking) {
   // Cycle p1 p2: value at p1 always 7 — satisfied.
   LassoRun lasso;
   lasso.spine.values = {{7}, {3}};
-  lasso.spine.states = {0, 1};
+  lasso.spine.states = testing::StateIds({0, 1});
   lasso.spine.transition_indices = {0};
   lasso.cycle_start = 0;
   lasso.wrap_transition_index = 2;  // p2 -> p1
@@ -68,7 +68,7 @@ TEST(EraTest, LassoRunConstraintChecking) {
   // relates p1 ... p1 across the cycle boundary and must fail.
   LassoRun bad;
   bad.spine.values = {{7}, {3}, {9}, {4}};
-  bad.spine.states = {0, 1, 0, 1};
+  bad.spine.states = testing::StateIds({0, 1, 0, 1});
   bad.spine.transition_indices = {0, 2, 0};
   bad.cycle_start = 0;
   bad.wrap_transition_index = 2;
@@ -82,7 +82,7 @@ TEST(EraTest, AllDistinctRunChecking) {
   Database db{Schema()};
   FiniteRun distinct;
   distinct.values = {{1}, {2}, {3}, {4}};
-  distinct.states = {0, 0, 0, 0};
+  distinct.states = testing::StateIds({0, 0, 0, 0});
   distinct.transition_indices = {0, 0, 0};
   EXPECT_TRUE(ValidateEraRunPrefix(era, db, distinct).ok());
   FiniteRun repeat = distinct;
@@ -96,9 +96,9 @@ TEST(ConstraintClosureTest, Example5ClosureMergesP1Positions) {
   ExtendedAutomaton era = MakeExample5();
   ControlAlphabet alpha(era.automaton());
   // Control word: (p1,δ)(p2,δ)(p2,δ) cycling — states p1 p2 p2 p1 p2 p2...
-  int s_p1 = alpha.SymbolOfTransition(0);
-  int s_p2_loop = alpha.SymbolOfTransition(1);
-  int s_p2_exit = alpha.SymbolOfTransition(2);
+  int s_p1 = alpha.SymbolOfTransition(0).value();
+  int s_p2_loop = alpha.SymbolOfTransition(1).value();
+  int s_p2_exit = alpha.SymbolOfTransition(2).value();
   LassoWord w{{}, {s_p1, s_p2_loop, s_p2_exit}};
   ConstraintClosure closure(era, alpha, w, 9);
   EXPECT_TRUE(closure.consistent());
@@ -116,11 +116,13 @@ TEST(ConstraintClosureTest, InconsistencyDetected) {
   // Same automaton shape as Example 5 but with BOTH an equality and an
   // inequality constraint on the p1 positions.
   ExtendedAutomaton era = MakeExample5();
-  ASSERT_TRUE(era.AddConstraintFromText(0, 0, /*is_equality=*/false,
-                                        "p1 p2* p1")
+  ASSERT_TRUE(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                        /*is_equality=*/false, "p1 p2* p1")
                   .ok());
   ControlAlphabet alpha(era.automaton());
-  LassoWord w{{}, {alpha.SymbolOfTransition(0), alpha.SymbolOfTransition(2)}};
+  LassoWord w{{}, {alpha.SymbolOfTransition(0).value(),
+                   alpha.SymbolOfTransition(2).value()}};
   ConstraintClosure closure(era, alpha, w, 8);
   EXPECT_FALSE(closure.consistent());
 }
@@ -138,10 +140,13 @@ TEST(ConstraintClosureTest, CliqueOfAllDistinctAdomGrows) {
   b.AddAtom(p, {b.X(0)}, true).AddAtom(p, {b.Y(0)}, true);
   a.AddTransition(q, b.Build().value(), q);
   ExtendedAutomaton era(std::move(a));
-  ASSERT_TRUE(era.AddConstraintFromText(0, 0, false, "q q+").ok());
+  ASSERT_TRUE(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                        false, "q q+")
+                  .ok());
 
   ControlAlphabet alpha(era.automaton());
-  LassoWord w{{}, {alpha.SymbolOfTransition(0)}};
+  LassoWord w{{}, {alpha.SymbolOfTransition(0).value()}};
   ConstraintClosure c4(era, alpha, w, 4);
   ConstraintClosure c6(era, alpha, w, 6);
   EXPECT_TRUE(c4.consistent());
@@ -151,7 +156,7 @@ TEST(ConstraintClosureTest, CliqueOfAllDistinctAdomGrows) {
 TEST(ConstraintClosureTest, GreedyColoringIsProper) {
   ExtendedAutomaton era = MakeAllDistinct();
   ControlAlphabet alpha(era.automaton());
-  LassoWord w{{}, {alpha.SymbolOfTransition(0)}};
+  LassoWord w{{}, {alpha.SymbolOfTransition(0).value()}};
   ConstraintClosure closure(era, alpha, w, 6);
   int num_colors = 0;
   std::vector<int> colors = closure.GreedyAdomColoring(&num_colors);
@@ -168,8 +173,8 @@ TEST(EraEmptinessTest, Example5IsNonempty) {
   ExtendedAutomaton complete_era(std::move(completed));
   for (const GlobalConstraint& c : era.constraints()) {
     ASSERT_TRUE(complete_era
-                    .AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa,
-                                      c.description)
+                    .AddConstraintDfa(RegisterPair{c.i, c.j}, c.is_equality,
+                                      c.dfa, c.description)
                     .ok());
   }
   ControlAlphabet alpha(complete_era.automaton());
@@ -189,15 +194,16 @@ TEST(EraEmptinessTest, ContradictoryConstraintsEmpty) {
   // Equality and inequality on the same factor: every candidate lasso is
   // inconsistent.
   ExtendedAutomaton era = MakeExample5();
-  ASSERT_TRUE(
-      era.AddConstraintFromText(0, 0, /*is_equality=*/false, "p1 p2* p1")
-          .ok());
+  ASSERT_TRUE(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                        /*is_equality=*/false, "p1 p2* p1")
+                  .ok());
   RegisterAutomaton completed = Completed(era.automaton()).value();
   ExtendedAutomaton complete_era(std::move(completed));
   for (const GlobalConstraint& c : era.constraints()) {
     ASSERT_TRUE(complete_era
-                    .AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa,
-                                      c.description)
+                    .AddConstraintDfa(RegisterPair{c.i, c.j}, c.is_equality,
+                                      c.dfa, c.description)
                     .ok());
   }
   ControlAlphabet alpha(complete_era.automaton());
@@ -223,7 +229,10 @@ TEST(EraEmptinessTest, Example8RejectedOverFiniteDatabases) {
   a.AddTransition(q, b.Build().value(), q);
   RegisterAutomaton completed = Completed(a).value();
   ExtendedAutomaton era(std::move(completed));
-  ASSERT_TRUE(era.AddConstraintFromText(0, 0, false, "q q+").ok());
+  ASSERT_TRUE(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                        false, "q q+")
+                  .ok());
   ControlAlphabet alpha(era.automaton());
   EraEmptinessOptions options;
   options.max_lasso_length = 6;
@@ -266,7 +275,7 @@ TEST(Prop6Test, ResultEnforcesOriginalEqualityConstraint) {
     projected.states.clear();
     for (StateId s : run.states) {
       std::string name = b.automaton().state_name(s);
-      projected.states.push_back(name.substr(0, 2) == "p1" ? 0 : 1);
+      projected.states.push_back(StateId(name.substr(0, 2) == "p1" ? 0 : 1));
     }
     // Check the Example 5 equality semantics directly: every pair of
     // p1-positions with only p2 in between must agree on the value. The
@@ -275,9 +284,9 @@ TEST(Prop6Test, ResultEnforcesOriginalEqualityConstraint) {
     // m < length-1 are enforced within a finite prefix (runs violating a
     // pair at the last position are dead ends with no valid extension).
     for (size_t n = 0; n + 1 < projected.states.size(); ++n) {
-      if (projected.states[n] != 0) continue;
+      if (projected.states[n].value() != 0) continue;
       for (size_t m = n + 1; m + 1 < projected.states.size(); ++m) {
-        if (projected.states[m] == 0) {
+        if (projected.states[m].value() == 0) {
           EXPECT_EQ(projected.values[n][0], projected.values[m][0])
               << "B-run violates the simulated constraint";
           break;

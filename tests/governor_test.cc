@@ -265,7 +265,8 @@ ExtendedAutomaton BigEmptySpace() {
   Dfa every_factor(/*alphabet_size=*/n, /*num_states=*/1, /*initial=*/0);
   for (int a = 0; a < n; ++a) every_factor.SetTransition(0, a, 0);
   every_factor.SetAccepting(0, true);
-  RAV_CHECK(era->AddConstraintDfa(0, 0, /*is_equality=*/false,
+  RAV_CHECK(era->AddConstraintDfa(RegisterPair{RegisterId(0), RegisterId(0)},
+                                  /*is_equality=*/false,
                                   std::move(every_factor))
                 .ok());
   return *std::move(era);
@@ -510,8 +511,9 @@ ExtendedAutomaton RandomCompleteEra(std::mt19937& rng) {
   std::uniform_int_distribution<int> coin(0, 1);
   const int nc = std::uniform_int_distribution<int>(1, 3)(rng);
   for (int c = 0; c < nc; ++c) {
-    RAV_CHECK(era.AddConstraintDfa(reg_pick(rng), reg_pick(rng),
-                                   /*is_equality=*/coin(rng) == 1,
+    const RegisterPair regs{RegisterId(reg_pick(rng)),
+                            RegisterId(reg_pick(rng))};
+    RAV_CHECK(era.AddConstraintDfa(regs, /*is_equality=*/coin(rng) == 1,
                                    RandomConstraintDfa(rng, num_states))
                   .ok());
   }

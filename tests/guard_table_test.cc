@@ -82,8 +82,9 @@ ExtendedAutomaton AddRandomConstraints(RegisterAutomaton a,
   std::uniform_int_distribution<int> coin(0, 1);
   const int nc = num_constraints_dist(rng);
   for (int c = 0; c < nc; ++c) {
-    EXPECT_TRUE(era.AddConstraintDfa(reg_pick(rng), reg_pick(rng),
-                                     /*is_equality=*/coin(rng) == 1,
+    const RegisterPair regs{RegisterId(reg_pick(rng)),
+                            RegisterId(reg_pick(rng))};
+    EXPECT_TRUE(era.AddConstraintDfa(regs, /*is_equality=*/coin(rng) == 1,
                                      RandomConstraintDfa(rng, num_states))
                     .ok());
   }
@@ -104,7 +105,8 @@ std::optional<ExtendedAutomaton> CompletedEra(const ExtendedAutomaton& era,
   ExtendedAutomaton out(std::move(*completed));
   for (const GlobalConstraint& c : era.constraints()) {
     EXPECT_TRUE(
-        out.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa, c.description)
+        out.AddConstraintDfa(RegisterPair{c.i, c.j}, c.is_equality, c.dfa,
+                             c.description)
             .ok());
   }
   return out;
@@ -178,7 +180,7 @@ TEST(GuardTableLayoutTest, BuildDedupsByTypeEquality) {
   // Duplicate the whole list: the table set must not grow.
   std::vector<const Type*> doubled = guards;
   doubled.insert(doubled.end(), guards.begin(), guards.end());
-  std::vector<int> ids;
+  std::vector<GuardId> ids;
   GuardTableSet tables = GuardTableSet::Build(
       doubled, k, a.schema().num_constants(), &ids);
   ASSERT_EQ(ids.size(), doubled.size());
@@ -188,10 +190,10 @@ TEST(GuardTableLayoutTest, BuildDedupsByTypeEquality) {
   for (size_t i = 0; i < doubled.size(); ++i) {
     // Each input maps to a table entry equal to it, and duplicates share
     // ids (first-use order, like RegisterAutomaton::DistinctGuards).
-    ASSERT_GE(ids[i], 0);
-    ASSERT_LT(ids[i], tables.num_guards());
+    ASSERT_GE(ids[i].value(), 0);
+    ASSERT_LT(ids[i].value(), tables.num_guards());
     EXPECT_EQ(tables.guard(ids[i]), *doubled[i]);
-    EXPECT_EQ(ids[i], ids[i % guards.size()]);
+    EXPECT_EQ(ids[i].value(), ids[i % guards.size()].value());
   }
 }
 
@@ -208,7 +210,7 @@ TEST(GuardTableLayoutTest, RestrictionsMatchTypeAlgebra) {
         GuardTableSet::Build(guards, k, a.schema().num_constants());
     EXPECT_GT(tables.table_bytes(), 0u);
     EXPECT_EQ(tables.num_registers(), k);
-    for (int id = 0; id < tables.num_guards(); ++id) {
+    for (GuardId id : tables.GuardIds()) {
       EXPECT_EQ(tables.x_restricted(id), RestrictToX(tables.guard(id), k));
       EXPECT_EQ(tables.y_restricted_as_x(id),
                 RestrictToYAsX(tables.guard(id), k));
@@ -236,7 +238,7 @@ TEST(GuardTableLayoutTest, HoldsMatchesInterpretedWalk) {
     for (int ti = 0; ti < a.num_transitions(); ++ti) {
       guards.push_back(&a.transition(ti).guard);
     }
-    std::vector<int> ids;
+    std::vector<GuardId> ids;
     GuardTableSet tables =
         GuardTableSet::Build(guards, k, a.schema().num_constants(), &ids);
     GuardStats stats;
@@ -265,7 +267,7 @@ TEST(GuardTableLayoutTest, EvalBatchMatchesScalarHolds) {
     for (int ti = 0; ti < a.num_transitions(); ++ti) {
       guards.push_back(&a.transition(ti).guard);
     }
-    std::vector<int> ids;
+    std::vector<GuardId> ids;
     GuardTableSet tables =
         GuardTableSet::Build(guards, k, a.schema().num_constants(), &ids);
     const size_t count = std::uniform_int_distribution<size_t>(1, 33)(rng);
@@ -278,7 +280,7 @@ TEST(GuardTableLayoutTest, EvalBatchMatchesScalarHolds) {
         soa[static_cast<size_t>(e) * count + i] = rows[i][e];
       }
     }
-    const int id = ids[iteration % ids.size()];
+    const GuardId id = ids[iteration % ids.size()];
     std::vector<unsigned char> ok(count, 1);
     GuardStats stats;
     tables.EvalBatch(id, soa.data(), count, db, ok.data(), &stats);
@@ -308,8 +310,8 @@ TEST(GuardTableLayoutTest, AlphabetExposesTablesOnlyWhenCompiled) {
   // Same symbols, same restrictions — only the evaluation engine differs.
   ASSERT_EQ(compiled.size(), interpreted.size());
   for (int s = 0; s < compiled.size(); ++s) {
-    EXPECT_EQ(compiled.x_restricted_guard_of(s),
-              interpreted.x_restricted_guard_of(s));
+    EXPECT_EQ(compiled.x_restricted_guard_of(SymbolId(s)),
+              interpreted.x_restricted_guard_of(SymbolId(s)));
   }
 }
 

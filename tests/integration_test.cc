@@ -236,9 +236,8 @@ TEST_P(RandomAutomatonSweep, RandomEraEmptinessWitnessesValidate) {
   std::string expr = ".";
   int gap = gap_dist(rng);
   for (int i = 0; i < gap; ++i) expr += " .";
-  ASSERT_TRUE(era.AddConstraintFromText(reg(rng), reg(rng), coin(rng) == 0,
-                                        expr)
-                  .ok());
+  const RegisterPair regs{RegisterId(reg(rng)), RegisterId(reg(rng))};
+  ASSERT_TRUE(era.AddConstraintFromText(regs, coin(rng) == 0, expr).ok());
   ControlAlphabet alphabet(era.automaton());
   EraEmptinessOptions emptiness;
   emptiness.max_lasso_length = 8;

@@ -19,9 +19,9 @@ Nba ThreePeriodic(const RegisterAutomaton& a) {
   int s0 = nba.AddState();
   int s1 = nba.AddState();
   int s2 = nba.AddState();
-  nba.AddTransition(s0, q1, s1);
-  nba.AddTransition(s1, q2, s2);
-  nba.AddTransition(s2, q2, s0);
+  nba.AddTransition(s0, q1.value(), s1);
+  nba.AddTransition(s1, q2.value(), s2);
+  nba.AddTransition(s2, q2.value(), s0);
   nba.SetInitial(s0);
   nba.SetAccepting(s0);
   return nba;
@@ -67,7 +67,7 @@ TEST(IntersectTest, EmptyWhenPatternUnrealizable) {
   StateId q2 = a.FindState("q2");
   Nba nba(a.num_states());
   int s = nba.AddState();
-  nba.AddTransition(s, q2, s);
+  nba.AddTransition(s, q2.value(), s);
   nba.SetInitial(s);
   nba.SetAccepting(s);
   auto product = IntersectWithStateNba(a, nba);
@@ -94,10 +94,10 @@ TEST(IntersectTest, BuchiConjunctionRequiresBothConditions) {
   Nba nba(a.num_states());
   int s0 = nba.AddState();
   int s1 = nba.AddState();
-  nba.AddTransition(s0, f, s0);
-  nba.AddTransition(s0, g, s1);
-  nba.AddTransition(s1, g, s1);
-  nba.AddTransition(s1, f, s0);
+  nba.AddTransition(s0, f.value(), s0);
+  nba.AddTransition(s0, g.value(), s1);
+  nba.AddTransition(s1, g.value(), s1);
+  nba.AddTransition(s1, f.value(), s0);
   nba.SetInitial(s0);
   nba.SetAccepting(s1);
 

@@ -71,7 +71,7 @@ TEST(TextFormatTest, ParsesConstraints) {
   ASSERT_TRUE(era.ok()) << era.status().ToString();
   ASSERT_EQ(era->constraints().size(), 1u);
   EXPECT_TRUE(era->constraints()[0].is_equality);
-  EXPECT_EQ(era->constraints()[0].i, 0);
+  EXPECT_EQ(era->constraints()[0].i, RegisterId(0));
 }
 
 TEST(TextFormatTest, RejectsPlainParseWithConstraints) {
@@ -96,8 +96,8 @@ TEST(TextFormatTest, RecordsDeclarationLocations) {
       "}\n");
   ASSERT_TRUE(era.ok());
   const RegisterAutomaton& a = era->automaton();
-  EXPECT_EQ(a.state_location(0), (SourceLocation{3, 3}));
-  EXPECT_EQ(a.state_location(1), (SourceLocation{4, 3}));
+  EXPECT_EQ(a.state_location(StateId(0)), (SourceLocation{3, 3}));
+  EXPECT_EQ(a.state_location(StateId(1)), (SourceLocation{4, 3}));
   EXPECT_EQ(a.transition_location(0), (SourceLocation{5, 3}));
   EXPECT_EQ(a.transition_location(1), (SourceLocation{6, 3}));
   ASSERT_EQ(era->constraints().size(), 1u);
@@ -198,7 +198,11 @@ TEST(TextFormatTest, EnhancedAutomatonRendering) {
     return n == "q" ? 0 : -1;
   });
   ASSERT_TRUE(r.ok());
-  ASSERT_TRUE(enhanced.AddEqualityConstraint(0, 0, r->ToDfa(1), "").ok());
+  ASSERT_TRUE(enhanced
+                  .AddEqualityConstraint(
+                      RegisterPair{RegisterId(0), RegisterId(0)}, r->ToDfa(1),
+                      "")
+                  .ok());
   TupleInequalityConstraint c;
   c.pair_dfa = r->ToDfa(1);
   c.regs_a = {0};

@@ -72,7 +72,7 @@ TEST(Lemma21Test, AgreesWithClosureOnSampledTraces) {
     // State word of the window.
     std::vector<int> states;
     for (size_t n = 0; n < window; ++n) {
-      states.push_back(alpha.state_of(lasso.SymbolAt(n)));
+      states.push_back(alpha.state_of(SymbolId(lasso.SymbolAt(n))).value());
     }
     for (size_t a_pos = 0; a_pos < window; ++a_pos) {
       for (size_t b_pos = a_pos; b_pos < window; ++b_pos) {
@@ -231,7 +231,9 @@ ExtendedAutomaton MakeConsecutiveDistinctEra() {
   b.SetFinal(q);
   b.AddTransition(q, b.NewGuardBuilder().Build().value(), q);
   ExtendedAutomaton era(std::move(b));
-  Status s = era.AddConstraintFromText(0, 0, /*is_equality=*/false, "q q");
+  Status s = era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                       /*is_equality=*/false, "q q");
   RAV_CHECK(s.ok());
   return era;
 }
@@ -312,8 +314,9 @@ TEST(Theorem13Test, ProjectionWithInequalityConstraint) {
   g.AddEq(g.X(0), g.X(1));  // x1 = x2 at every position
   a.AddTransition(q, g.Build().value(), q);
   ExtendedAutomaton era(MakeStateDriven(a));
-  ASSERT_TRUE(era.AddConstraintFromText(1, 1, false, "q0 q0").ok() ||
-              era.AddConstraintFromText(1, 1, false, ". .").ok());
+  const RegisterPair r11{RegisterId(1), RegisterId(1)};
+  ASSERT_TRUE(era.AddConstraintFromText(r11, false, "q0 q0").ok() ||
+              era.AddConstraintFromText(r11, false, ". .").ok());
 
   auto projected = ProjectExtendedAutomaton(era, 1);
   ASSERT_TRUE(projected.ok()) << projected.status().ToString();

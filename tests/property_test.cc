@@ -28,9 +28,9 @@ Type RandomType(std::mt19937& rng, int num_vars, int num_constants) {
     int b = element(rng);
     if (a == b) continue;
     if (coin(rng) == 0) {
-      builder.AddEq(a, b);
+      builder.AddEq(ElementIndex(a), ElementIndex(b));
     } else {
-      builder.AddNeq(a, b);
+      builder.AddNeq(ElementIndex(a), ElementIndex(b));
     }
     Result<Type> next = builder.Build();
     if (next.ok()) current = std::move(next).value();

@@ -11,8 +11,8 @@ ExtendedAutomaton CompletedEra(const ExtendedAutomaton& era) {
   RegisterAutomaton completed = Completed(era.automaton()).value();
   ExtendedAutomaton out(std::move(completed));
   for (const GlobalConstraint& c : era.constraints()) {
-    RAV_CHECK(out.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa,
-                                   c.description)
+    RAV_CHECK(out.AddConstraintDfa(RegisterPair{c.i, c.j}, c.is_equality,
+                                   c.dfa, c.description)
                   .ok());
   }
   return out;
@@ -42,9 +42,10 @@ TEST(QuasiRegularTest, Example5MembershipVerdicts) {
 
 TEST(QuasiRegularTest, InconsistentConstraintsRejectClosure) {
   ExtendedAutomaton era = testing::MakeExample5();
-  RAV_CHECK(
-      era.AddConstraintFromText(0, 0, /*is_equality=*/false, "p1 p2* p1")
-          .ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                      /*is_equality=*/false, "p1 p2* p1")
+                .ok());
   ExtendedAutomaton complete = CompletedEra(era);
   auto qr = QuasiRegularControl::Build(complete);
   ASSERT_TRUE(qr.ok());
@@ -70,7 +71,10 @@ TEST(QuasiRegularTest, Example8CliqueUnbounded) {
   b.AddAtom(p, {b.X(0)}, true).AddAtom(p, {b.Y(0)}, true);
   a.AddTransition(q, b.Build().value(), q);
   ExtendedAutomaton era(Completed(a).value());
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "q q+").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                      false, "q q+")
+                .ok());
 
   auto qr = QuasiRegularControl::Build(era);
   ASSERT_TRUE(qr.ok());

@@ -33,7 +33,7 @@ TEST(RegisterAutomatonTest, Example1Structure) {
 FiniteRun Example1Run() {
   FiniteRun run;
   run.values = {{1, 1}, {3, 1}, {4, 1}, {5, 1}, {1, 1}};
-  run.states = {0, 1, 1, 1, 0};
+  run.states = testing::StateIds({0, 1, 1, 1, 0});
   run.transition_indices = {0, 1, 1, 2};
   return run;
 }
@@ -56,7 +56,7 @@ TEST(RunTest, WiringErrorsDetected) {
   RegisterAutomaton a = MakeExample1();
   Database db{Schema()};
   FiniteRun run = Example1Run();
-  run.states[1] = 0;  // transition 0 goes to q2, not q1
+  run.states[1] = StateId(0);  // transition 0 goes to q2, not q1
   EXPECT_FALSE(ValidateRunPrefix(a, db, run).ok());
 }
 
@@ -73,7 +73,7 @@ TEST(RunTest, LassoRunOfExample1) {
   // Wrap: from (5,1) at q2 via δ3 to (1,1) at q1: x2=y2 (1==1) ✓,
   // y1=y2 (1==1) ✓.
   EXPECT_TRUE(ValidateLassoRun(a, db, lasso).ok());
-  EXPECT_EQ(lasso.StateAt(4), 0);
+  EXPECT_EQ(lasso.StateAt(4).value(), 0);
   EXPECT_EQ(lasso.ValuesAt(5), (ValueTuple{3, 1}));
 }
 
@@ -82,7 +82,7 @@ TEST(RunTest, LassoWithoutFinalStateRejected) {
   Database db{Schema()};
   LassoRun lasso;
   lasso.spine.values = {{1, 1}, {2, 1}, {3, 1}};
-  lasso.spine.states = {0, 1, 1};
+  lasso.spine.states = testing::StateIds({0, 1, 1});
   lasso.spine.transition_indices = {0, 1};
   lasso.cycle_start = 1;  // cycle q2 q2 never visits final q1
   lasso.wrap_transition_index = 1;

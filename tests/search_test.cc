@@ -22,8 +22,8 @@ ExtendedAutomaton CompletedEra(const ExtendedAutomaton& era) {
   RegisterAutomaton completed = Completed(era.automaton()).value();
   ExtendedAutomaton out(std::move(completed));
   for (const GlobalConstraint& c : era.constraints()) {
-    Status s = out.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa,
-                                    c.description);
+    Status s = out.AddConstraintDfa(RegisterPair{c.i, c.j}, c.is_equality,
+                                    c.dfa, c.description);
     RAV_CHECK(s.ok());
   }
   return out;
@@ -35,23 +35,24 @@ ExtendedAutomaton CompletedEra(const ExtendedAutomaton& era) {
 ExtendedAutomaton MakeShiftRingSearchEra(int k, int n, bool contradictory) {
   RegisterAutomaton a(k, Schema());
   for (int s = 0; s < n; ++s) a.AddState("s" + std::to_string(s));
-  a.SetInitial(0);
-  a.SetFinal(0);
+  a.SetInitial(StateId(0));
+  a.SetFinal(StateId(0));
   for (int s = 0; s < n; ++s) {
     TypeBuilder b = a.NewGuardBuilder();
     for (int i = 0; i + 1 < k; ++i) b.AddEq(b.X(i), b.Y(i + 1));
-    a.AddTransition(s, b.Build().value(), (s + 1) % n);
+    a.AddTransition(StateId(s), b.Build().value(), StateId((s + 1) % n));
   }
   for (int s = 0; s < n; ++s) {
     TypeBuilder b = a.NewGuardBuilder();
     for (int i = 0; i + 1 < k; ++i) b.AddEq(b.X(i), b.Y(i + 1));
     b.AddEq(b.X(0), b.Y(0));
-    a.AddTransition(s, b.Build().value(), (s + 2) % n);
+    a.AddTransition(StateId(s), b.Build().value(), StateId((s + 2) % n));
   }
   ExtendedAutomaton era(std::move(a));
   if (contradictory) {
-    RAV_CHECK(era.AddConstraintFromText(0, 0, true, "s0 .* s0").ok());
-    RAV_CHECK(era.AddConstraintFromText(0, 0, false, "s0 .* s0").ok());
+    const RegisterPair r00{RegisterId(0), RegisterId(0)};
+    RAV_CHECK(era.AddConstraintFromText(r00, true, "s0 .* s0").ok());
+    RAV_CHECK(era.AddConstraintFromText(r00, false, "s0 .* s0").ok());
   }
   return era;
 }
@@ -61,7 +62,10 @@ ExtendedAutomaton MakeShiftRingSearchEra(int k, int n, bool contradictory) {
 // the whole bounded space (or its budget) without finding a witness.
 ExtendedAutomaton MakeContradictoryExample5() {
   ExtendedAutomaton era = testing::MakeExample5();
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "p1 p2* p1").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                      false, "p1 p2* p1")
+                .ok());
   return era;
 }
 
@@ -353,7 +357,10 @@ TEST(ParallelSearch, DeterministicEmptyVerdictOnShiftRing) {
 
 TEST(ParallelSearch, LrBoundMatchesSerialAtAnyWorkerCount) {
   ExtendedAutomaton era = MakeShiftRingSearchEra(4, 6, false);
-  RAV_CHECK(era.AddConstraintFromText(0, 0, false, "s0 .* s3").ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                      false, "s0 .* s3")
+                .ok());
   ControlAlphabet alphabet(era.automaton());
   LrBoundOptions serial;
   serial.max_lassos = 32;

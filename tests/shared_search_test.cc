@@ -252,8 +252,9 @@ ExtendedAutomaton RandomCompleteEra(std::mt19937& rng) {
   std::uniform_int_distribution<int> coin(0, 1);
   const int nc = std::uniform_int_distribution<int>(1, 3)(rng);
   for (int c = 0; c < nc; ++c) {
-    RAV_CHECK(era.AddConstraintDfa(reg_pick(rng), reg_pick(rng),
-                                   /*is_equality=*/coin(rng) == 1,
+    const RegisterPair regs{RegisterId(reg_pick(rng)),
+                            RegisterId(reg_pick(rng))};
+    RAV_CHECK(era.AddConstraintDfa(regs, /*is_equality=*/coin(rng) == 1,
                                    RandomConstraintDfa(rng, num_states))
                   .ok());
   }
@@ -343,23 +344,24 @@ TEST(SharedSearchDifferentialTest, SharedModeIsDeterministicAcrossWorkers) {
 ExtendedAutomaton MakeShiftRingSearchEra(int k, int n, bool contradictory) {
   RegisterAutomaton a(k, Schema());
   for (int s = 0; s < n; ++s) a.AddState("s" + std::to_string(s));
-  a.SetInitial(0);
-  a.SetFinal(0);
+  a.SetInitial(StateId(0));
+  a.SetFinal(StateId(0));
   for (int s = 0; s < n; ++s) {
     TypeBuilder b = a.NewGuardBuilder();
     for (int i = 0; i + 1 < k; ++i) b.AddEq(b.X(i), b.Y(i + 1));
-    a.AddTransition(s, b.Build().value(), (s + 1) % n);
+    a.AddTransition(StateId(s), b.Build().value(), StateId((s + 1) % n));
   }
   for (int s = 0; s < n; ++s) {
     TypeBuilder b = a.NewGuardBuilder();
     for (int i = 0; i + 1 < k; ++i) b.AddEq(b.X(i), b.Y(i + 1));
     b.AddEq(b.X(0), b.Y(0));
-    a.AddTransition(s, b.Build().value(), (s + 2) % n);
+    a.AddTransition(StateId(s), b.Build().value(), StateId((s + 2) % n));
   }
   ExtendedAutomaton era(std::move(a));
   if (contradictory) {
-    RAV_CHECK(era.AddConstraintFromText(0, 0, true, "s0 .* s0").ok());
-    RAV_CHECK(era.AddConstraintFromText(0, 0, false, "s0 .* s0").ok());
+    const RegisterPair r00{RegisterId(0), RegisterId(0)};
+    RAV_CHECK(era.AddConstraintFromText(r00, true, "s0 .* s0").ok());
+    RAV_CHECK(era.AddConstraintFromText(r00, false, "s0 .* s0").ok());
   }
   return era;
 }

@@ -1,12 +1,24 @@
 #ifndef RAV_TESTS_TEST_UTIL_H_
 #define RAV_TESTS_TEST_UTIL_H_
 
+#include <initializer_list>
+#include <vector>
+
 #include "era/extended_automaton.h"
 #include "ra/register_automaton.h"
 #include "relational/schema.h"
 #include "types/type.h"
 
 namespace rav::testing {
+
+// Shorthand for literal state sequences in run expectations:
+// run.states = StateIds({0, 1, 0}).
+inline std::vector<StateId> StateIds(std::initializer_list<int> ids) {
+  std::vector<StateId> out;
+  out.reserve(ids.size());
+  for (int v : ids) out.push_back(StateId(v));
+  return out;
+}
 
 // Example 1 of the paper: the 2-register automaton with states q1, q2 and
 // types δ1 = (x1 = x2 ∧ x2 = y2), δ2 = (x2 = y2),
@@ -46,8 +58,9 @@ inline ExtendedAutomaton MakeExample5() {
   b.AddTransition(p2, empty, p2);
   b.AddTransition(p2, empty, p1);
   ExtendedAutomaton era(std::move(b));
-  Status s = era.AddConstraintFromText(0, 0, /*is_equality=*/true,
-                                       "p1 p2* p1");
+  Status s = era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                       /*is_equality=*/true, "p1 p2* p1");
   RAV_CHECK(s.ok());
   return era;
 }
@@ -67,7 +80,9 @@ inline ExtendedAutomaton MakeAllDistinct() {
   Type empty = b.NewGuardBuilder().Build().value();
   b.AddTransition(q, empty, q);
   ExtendedAutomaton era(std::move(b));
-  Status s = era.AddConstraintFromText(0, 0, /*is_equality=*/false, "q q+");
+  Status s = era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                       /*is_equality=*/false, "q q+");
   RAV_CHECK(s.ok());
   return era;
 }

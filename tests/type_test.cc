@@ -20,24 +20,29 @@ TEST(TypeBuilderTest, TrivialTypeIsSatisfiable) {
 
 TEST(TypeBuilderTest, DetectsEqualityContradiction) {
   TypeBuilder b(3, 0);
-  b.AddEq(0, 1).AddEq(1, 2).AddNeq(0, 2);
+  b.AddEq(ElementIndex(0), ElementIndex(1))
+      .AddEq(ElementIndex(1), ElementIndex(2))
+      .AddNeq(ElementIndex(0), ElementIndex(2));
   EXPECT_FALSE(b.Build().ok());
 }
 
 TEST(TypeBuilderTest, DetectsAtomContradiction) {
   Schema s = UnarySchema();
   TypeBuilder b(2, 0);
-  b.AddEq(0, 1);
-  b.AddAtom(0, {0}, true);
-  b.AddAtom(0, {1}, false);
+  b.AddEq(ElementIndex(0), ElementIndex(1));
+  b.AddAtom(0, {ElementIndex(0)}, true);
+  b.AddAtom(0, {ElementIndex(1)}, false);
   EXPECT_FALSE(b.Build().ok());
 }
 
 TEST(TypeTest, CanonicalEqualityIgnoresLiteralOrder) {
   TypeBuilder b1(4, 0);
-  b1.AddEq(0, 1).AddNeq(2, 3);
+  b1.AddEq(ElementIndex(0), ElementIndex(1))
+      .AddNeq(ElementIndex(2), ElementIndex(3));
   TypeBuilder b2(4, 0);
-  b2.AddNeq(3, 2).AddEq(1, 0).AddEq(0, 1);
+  b2.AddNeq(ElementIndex(3), ElementIndex(2))
+      .AddEq(ElementIndex(1), ElementIndex(0))
+      .AddEq(ElementIndex(0), ElementIndex(1));
   EXPECT_TRUE(b1.Build().value() == b2.Build().value());
 }
 
@@ -53,7 +58,8 @@ TEST(TypeTest, TransitionLayoutHelpers) {
 
 TEST(TypeTest, HoldsEquality) {
   TypeBuilder b(4, 0);
-  b.AddEq(0, 1).AddNeq(1, 2);
+  b.AddEq(ElementIndex(0), ElementIndex(1))
+      .AddNeq(ElementIndex(1), ElementIndex(2));
   Type t = b.Build().value();
   EXPECT_TRUE(t.HoldsEquality({5, 5, 6, 0}));
   EXPECT_FALSE(t.HoldsEquality({5, 4, 6, 0}));  // forced equality broken
@@ -69,9 +75,9 @@ TEST(TypeTest, HoldsInWithRelationsAndConstants) {
   db.SetConstant(c, 9);
 
   TypeBuilder b(2, 1);
-  b.AddAtom(p, {0}, true);      // P(v0)
-  b.AddAtom(p, {1}, false);     // ¬P(v1)
-  b.AddEq(1, 2);                // v1 = c
+  b.AddAtom(p, {ElementIndex(0)}, true);      // P(v0)
+  b.AddAtom(p, {ElementIndex(1)}, false);     // ¬P(v1)
+  b.AddEq(ElementIndex(1), ElementIndex(2));                // v1 = c
   Type t = b.Build().value();
   EXPECT_TRUE(t.HoldsIn(db, {7, 9}));
   EXPECT_FALSE(t.HoldsIn(db, {8, 9}));   // P(v0) fails
@@ -83,7 +89,9 @@ TEST(TypeTest, HoldsInWithRelationsAndConstants) {
 TEST(TypeTest, RestrictKeepsInducedLiterals) {
   // Variables v0..v3; v0=v1, v1≠v2, v2=v3. Restrict to {v0, v2}.
   TypeBuilder b(4, 0);
-  b.AddEq(0, 1).AddNeq(1, 2).AddEq(2, 3);
+  b.AddEq(ElementIndex(0), ElementIndex(1))
+      .AddNeq(ElementIndex(1), ElementIndex(2))
+      .AddEq(ElementIndex(2), ElementIndex(3));
   Type t = b.Build().value();
   Type r = t.Restrict({true, false, true, false});
   EXPECT_EQ(r.num_vars(), 2);
@@ -93,7 +101,7 @@ TEST(TypeTest, RestrictKeepsInducedLiterals) {
 
 TEST(TypeTest, RestrictDropsLiteralsOnDroppedClasses) {
   TypeBuilder b(3, 0);
-  b.AddNeq(0, 1);
+  b.AddNeq(ElementIndex(0), ElementIndex(1));
   Type t = b.Build().value();
   Type r = t.Restrict({true, false, true});
   EXPECT_TRUE(r.disequalities().empty());
@@ -105,7 +113,8 @@ TEST(TypeTest, RestrictKeepsConstantAnchoredLiterals) {
   // v0 = c, v1 ≠ c. Restrict away v1: v0 = c must survive,
   // v1 ≠ c must vanish.
   TypeBuilder b(2, 1);
-  b.AddEq(0, 2).AddNeq(1, 2);
+  b.AddEq(ElementIndex(0), ElementIndex(2))
+      .AddNeq(ElementIndex(1), ElementIndex(2));
   Type t = b.Build().value();
   Type r = t.Restrict({true, false});
   EXPECT_EQ(r.num_vars(), 1);
@@ -137,9 +146,9 @@ TEST(TypeTest, FrontierIncompatibility) {
 
 TEST(TypeTest, ConjoinMergesLiterals) {
   TypeBuilder b1(3, 0);
-  b1.AddEq(0, 1);
+  b1.AddEq(ElementIndex(0), ElementIndex(1));
   TypeBuilder b2(3, 0);
-  b2.AddNeq(1, 2);
+  b2.AddNeq(ElementIndex(1), ElementIndex(2));
   Result<Type> c = b1.Build().value().Conjoin(b2.Build().value());
   ASSERT_TRUE(c.ok());
   EXPECT_TRUE(c->AreEqual(0, 1));
@@ -148,30 +157,33 @@ TEST(TypeTest, ConjoinMergesLiterals) {
 
 TEST(TypeTest, ConjoinDetectsContradiction) {
   TypeBuilder b1(2, 0);
-  b1.AddEq(0, 1);
+  b1.AddEq(ElementIndex(0), ElementIndex(1));
   TypeBuilder b2(2, 0);
-  b2.AddNeq(0, 1);
+  b2.AddNeq(ElementIndex(0), ElementIndex(1));
   EXPECT_FALSE(b1.Build().value().Conjoin(b2.Build().value()).ok());
 }
 
 TEST(TypeTest, IsEqualityComplete) {
   TypeBuilder b(2, 0);
-  b.AddNeq(0, 1);
+  b.AddNeq(ElementIndex(0), ElementIndex(1));
   EXPECT_TRUE(b.Build().value().IsEqualityComplete());
   TypeBuilder b2(2, 0);
   EXPECT_FALSE(b2.Build().value().IsEqualityComplete());
   TypeBuilder b3(2, 0);
-  b3.AddEq(0, 1);
+  b3.AddEq(ElementIndex(0), ElementIndex(1));
   EXPECT_TRUE(b3.Build().value().IsEqualityComplete());
 }
 
 TEST(TypeTest, IsCompleteRequiresAllAtoms) {
   Schema s = UnarySchema();
   TypeBuilder b(2, 0);
-  b.AddNeq(0, 1).AddAtom(0, {0}, true);
+  b.AddNeq(ElementIndex(0), ElementIndex(1))
+      .AddAtom(0, {ElementIndex(0)}, true);
   EXPECT_FALSE(b.Build().value().IsComplete(s));
   TypeBuilder b2(2, 0);
-  b2.AddNeq(0, 1).AddAtom(0, {0}, true).AddAtom(0, {1}, false);
+  b2.AddNeq(ElementIndex(0), ElementIndex(1))
+      .AddAtom(0, {ElementIndex(0)}, true)
+      .AddAtom(0, {ElementIndex(1)}, false);
   EXPECT_TRUE(b2.Build().value().IsComplete(s));
 }
 
@@ -214,7 +226,8 @@ TEST(TypeTest, ToFormulaRoundTripsSemantics) {
   Schema s;
   Database db(s);
   TypeBuilder b(3, 0);
-  b.AddEq(0, 1).AddNeq(1, 2);
+  b.AddEq(ElementIndex(0), ElementIndex(1))
+      .AddNeq(ElementIndex(1), ElementIndex(2));
   Type t = b.Build().value();
   Formula f = t.ToFormula();
   EXPECT_TRUE(f.Eval(db, {4, 4, 5}));

@@ -21,7 +21,10 @@ ExtendedAutomaton MakeGapEquality(int gap, bool equality) {
   ExtendedAutomaton era(std::move(a));
   std::string expr = "q";
   for (int i = 0; i < gap; ++i) expr += " q";
-  RAV_CHECK(era.AddConstraintFromText(0, 0, equality, expr).ok());
+  RAV_CHECK(era.AddConstraintFromText(
+      RegisterPair{RegisterId(0), RegisterId(0)}, 
+                                      equality, expr)
+                .ok());
   return era;
 }
 
@@ -29,7 +32,7 @@ LassoRun CycleRun(std::vector<DataValue> values) {
   LassoRun run;
   for (DataValue v : values) {
     run.spine.values.push_back({v});
-    run.spine.states.push_back(0);
+    run.spine.states.push_back(StateId(0));
   }
   run.spine.transition_indices.assign(values.size() - 1, 0);
   run.cycle_start = 0;
@@ -84,7 +87,7 @@ TEST(WindowTest, PrefixThenCycle) {
   ExtendedAutomaton era = MakeGapEquality(2, /*equality=*/true);
   LassoRun run;
   run.spine.values = {{9}, {1}, {2}};
-  run.spine.states = {0, 0, 0};
+  run.spine.states = testing::StateIds({0, 0, 0});
   run.spine.transition_indices = {0, 0};
   run.cycle_start = 1;
   run.wrap_transition_index = 0;
@@ -93,7 +96,7 @@ TEST(WindowTest, PrefixThenCycle) {
   // 1 [1 1]: all values equal.
   LassoRun ok;
   ok.spine.values = {{1}, {1}, {1}};
-  ok.spine.states = {0, 0, 0};
+  ok.spine.states = testing::StateIds({0, 0, 0});
   ok.spine.transition_indices = {0, 0};
   ok.cycle_start = 1;
   ok.wrap_transition_index = 0;

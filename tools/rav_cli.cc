@@ -31,14 +31,15 @@
 //                                       one process. Exit 0 if every
 //                                       request was answered ok, 1
 //                                       otherwise.
-//   rav_cli lint <file>... [--json] [--werror]
+//   rav_cli lint <file>... [--json|--sarif] [--werror]
 //                                       static analysis (docs/linting.md):
 //                                       prints RAV0xx diagnostics; exit
 //                                       code 2 on errors, 1 on warnings,
 //                                       0 when clean. --werror promotes
 //                                       warnings to errors; --json emits
 //                                       one machine-readable object per
-//                                       file.
+//                                       file; --sarif emits one SARIF
+//                                       2.1.0 log over all files.
 //
 // Automaton files use the text format of io/text_format.h.
 //
@@ -175,7 +176,9 @@ Result<ExtendedAutomaton> Load(const std::string& path) {
 // maximum severity seen (2 = error, 1 = warning, 0 = clean/notes);
 // --werror promotes every warning to an error before both rendering and
 // the exit code.
-int CmdLint(const std::vector<std::string>& files, bool as_json,
+enum class LintOutput { kText, kJson, kSarif };
+
+int CmdLint(const std::vector<std::string>& files, LintOutput output,
             bool werror) {
   using analysis::Diagnostic;
   using analysis::Severity;
@@ -185,6 +188,7 @@ int CmdLint(const std::vector<std::string>& files, bool as_json,
   int notes = 0;
   bool any = false;
   Json json_files = Json::Array();
+  std::vector<std::pair<std::string, std::vector<Diagnostic>>> sarif_files;
   for (const std::string& path : files) {
     std::vector<Diagnostic> diagnostics;
     auto era = Load(path);
@@ -212,16 +216,20 @@ int CmdLint(const std::vector<std::string>& files, bool as_json,
           break;
       }
       any = true;
-      if (!as_json) {
+      if (output == LintOutput::kText) {
         std::printf("%s\n", FormatDiagnostic(d, path).c_str());
       }
     }
-    if (as_json) {
+    if (output == LintOutput::kJson) {
       json_files.Append(analysis::DiagnosticsToJson(diagnostics, path));
+    } else if (output == LintOutput::kSarif) {
+      sarif_files.emplace_back(path, std::move(diagnostics));
     }
   }
-  if (as_json) {
+  if (output == LintOutput::kJson) {
     std::printf("%s\n", json_files.Dump(2).c_str());
+  } else if (output == LintOutput::kSarif) {
+    std::printf("%s\n", analysis::DiagnosticsToSarif(sarif_files).Dump(2).c_str());
   } else if (any) {
     std::printf("lint: %zu file(s), %d error(s), %d warning(s), %d note(s)\n",
                 files.size(), errors, warnings, notes);
@@ -276,8 +284,8 @@ int CmdEmpty(const ExtendedAutomaton& era,
   }
   ExtendedAutomaton subject(std::move(completed));
   for (const GlobalConstraint& c : era.constraints()) {
-    Status s = subject.AddConstraintDfa(c.i, c.j, c.is_equality, c.dfa,
-                                        c.description);
+    Status s = subject.AddConstraintDfa(RegisterPair{c.i, c.j}, c.is_equality,
+                                        c.dfa, c.description);
     if (!s.ok()) return Fail(s.ToString());
   }
   ControlAlphabet alphabet(subject.automaton());
@@ -507,24 +515,26 @@ int RunCommand(const std::vector<std::string>& args) {
   }
 
   if (command == "lint") {
-    bool as_json = false;
+    LintOutput output = LintOutput::kText;
     bool werror = false;
     std::vector<std::string> files;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--json") {
-        as_json = true;
+        output = LintOutput::kJson;
+      } else if (arg == "--sarif") {
+        output = LintOutput::kSarif;
       } else if (arg == "--werror") {
         werror = true;
       } else if (!arg.empty() && arg[0] == '-') {
         return Fail("lint: unknown flag '" + arg +
-                    "' (supported: --json, --werror)");
+                    "' (supported: --json, --sarif, --werror)");
       } else {
         files.push_back(arg);
       }
     }
     if (files.empty()) return Fail("lint needs at least one <file>");
-    return CmdLint(files, as_json, werror);
+    return CmdLint(files, output, werror);
   }
 
   // Numeric arguments are validated before any file I/O, so a malformed

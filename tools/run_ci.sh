@@ -63,9 +63,12 @@ echo "== tests =="
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "== clang-tidy =="
-# Static analysis over the library sources (.clang-tidy at the repo
-# root). Uses the compile_commands.json the configure step exported.
-# WarningsAsErrors is '*', so any finding fails the run.
+# Static analysis over the library sources plus the test and bench
+# binaries (.clang-tidy at the repo root) — test helpers pass the same
+# strong-id seams the library does, so they are held to the same
+# easily-swappable-parameters bar. Uses the compile_commands.json the
+# configure step exported. WarningsAsErrors is '*', so any finding
+# fails the run.
 if [ "${RAV_TIDY:-on}" = "off" ]; then
   echo "clang-tidy skipped (RAV_TIDY=off)"
 elif ! command -v clang-tidy >/dev/null 2>&1; then
@@ -74,7 +77,7 @@ elif [ ! -f build/compile_commands.json ]; then
   echo "clang-tidy skipped (no compile_commands.json — reconfigure build/)" >&2
   exit 1
 else
-  find src -name '*.cc' -print0 \
+  find src tests bench -name '*.cc' -print0 \
     | xargs -0 -n 4 -P "$JOBS" clang-tidy -p build --quiet
   echo "clang-tidy passed"
 fi
@@ -140,6 +143,21 @@ if [ "$got" -ne 3 ]; then
   exit 1
 fi
 echo "-- RAV_GUARD_TABLES=off -> exit 3 (interpreted engine agrees)"
+# The flow-strip escape hatch (docs/linting.md): with RAV_STRIP_FLOW=off
+# the decision procedures fall back from the kFlow strip tier to kFast,
+# searching the unpruned structure — the verdict must be unchanged
+# (ping_pong.rav stays NONEMPTY). A disagreement means a flow pass
+# stripped something an accepting run needed.
+got=0
+RAV_STRIP_FLOW=off timeout 60 build/tools/rav_cli \
+    empty tests/data/ping_pong.rav \
+    >build/reports/failpoint.out 2>&1 || got=$?
+if [ "$got" -ne 3 ]; then
+  echo "RAV_STRIP_FLOW=off: exit $got, want 3 (unstripped search must agree)" >&2
+  cat build/reports/failpoint.out >&2
+  exit 1
+fi
+echo "-- RAV_STRIP_FLOW=off -> exit 3 (unstripped search agrees)"
 # The decision-service seam: a poisoned request is rejected at parse
 # time (failpoint in service::ParseRequest) with an error response; the
 # other requests in the batch still get answered, and the batch exits 1
